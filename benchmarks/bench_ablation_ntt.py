@@ -1,0 +1,56 @@
+"""Ablation: NTT decomposition shapes and scratchpad fusion.
+
+DESIGN.md calls out two NTT-mapping choices: the tile size of the MDC
+pipelines (2**5 per half-row) and the two-dimensions-per-pass fusion
+through the transpose buffer.  This bench sweeps both.
+"""
+
+import numpy as np
+
+from repro.field import gl64
+from repro.hw import DEFAULT_CONFIG
+from repro.mapping.ntt_mapping import ntt_cost
+from repro.ntt.decomposition import ntt_multidim
+
+_RNG = np.random.default_rng(4)
+_COEFFS = gl64.random(1 << 12, _RNG)
+
+
+def test_multidim_2x64(benchmark):
+    benchmark(ntt_multidim, _COEFFS, [64, 64])
+
+
+def test_multidim_3d(benchmark):
+    benchmark(ntt_multidim, _COEFFS, [16, 16, 16])
+
+
+def test_multidim_vs_direct(benchmark):
+    from repro.ntt import ntt
+
+    out = benchmark(ntt, _COEFFS)
+    assert np.array_equal(out, ntt_multidim(_COEFFS, [64, 64]))
+
+
+def test_tile_size_sweep():
+    """Smaller pipeline tiles mean more decomposed dims and more passes."""
+    print()
+    rows = []
+    for tile_log2 in (3, 4, 5, 6):
+        hw = DEFAULT_CONFIG.scaled(ntt_tile_log2=tile_log2)
+        cost = ntt_cost(20, 135, hw)
+        ms = hw.cycles_to_seconds(cost.elapsed_cycles(hw)) * 1e3
+        rows.append((tile_log2, cost.detail["passes"], ms))
+        print(f"tile 2^{tile_log2}: passes={cost.detail['passes']} "
+              f"elapsed={ms:.1f} ms")
+    # Bigger tiles -> fewer passes -> never slower.
+    times = [r[2] for r in rows]
+    assert times == sorted(times, reverse=True)
+
+
+def test_scratchpad_fusion():
+    """Halving scratchpad below 4 MB breaks the 2-dims-per-pass fusion."""
+    big = ntt_cost(20, 135, DEFAULT_CONFIG)
+    small_hw = DEFAULT_CONFIG.scaled(scratchpad_mb=2.0)
+    small = ntt_cost(20, 135, small_hw)
+    print(f"\n8 MB: {big.detail['passes']} passes; 2 MB: {small.detail['passes']} passes")
+    assert small.detail["passes"] == 2 * big.detail["passes"]

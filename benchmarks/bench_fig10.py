@@ -1,0 +1,13 @@
+"""Benchmark: regenerate paper Figure 10 (design space exploration)."""
+
+from repro.experiments.figures import fig10, format_fig10
+
+
+def test_fig10(benchmark):
+    sweeps = benchmark(fig10)
+    print()
+    print(format_fig10(sweeps))
+    vs = {r["scale"]: r for r in sweeps["vsas"]}
+    bw = {r["scale"]: r for r in sweeps["bandwidth"]}
+    assert vs[4.0]["hash"] > 3.5  # Merkle tracks VSA count
+    assert bw[0.25]["ntt"] < 0.3  # NTT tracks bandwidth

@@ -1,0 +1,11 @@
+"""Benchmark: regenerate paper Figure 8 (UniZK breakdown by kernel)."""
+
+from repro.experiments.figures import fig8, format_fig8
+
+
+def test_fig8(benchmark):
+    rows = benchmark(fig8)
+    print()
+    print(format_fig8(rows))
+    for r in rows:
+        assert r["poly"] == max(r["poly"], r["ntt"], r["hash"])

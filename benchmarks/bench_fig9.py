@@ -1,0 +1,11 @@
+"""Benchmark: regenerate paper Figure 9 (per-kernel speedups)."""
+
+from repro.experiments.figures import fig9, format_fig9
+
+
+def test_fig9(benchmark):
+    rows = benchmark(fig9)
+    print()
+    print(format_fig9(rows))
+    for r in rows:
+        assert r["hash"] > r["poly"]  # hash accelerates most, poly least

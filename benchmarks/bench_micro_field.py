@@ -1,0 +1,41 @@
+"""Micro-benchmarks: the vectorised field and transform substrates."""
+
+import numpy as np
+
+from repro.field import gl64
+from repro.ntt import intt, ntt
+
+_RNG = np.random.default_rng(1)
+_A = gl64.random(1 << 16, _RNG)
+_B = gl64.random(1 << 16, _RNG)
+_POLY = gl64.random(1 << 14, _RNG)
+_BATCH = gl64.random((16, 1 << 10), _RNG)
+
+
+def test_gl64_mul_64k(benchmark):
+    benchmark(gl64.mul, _A, _B)
+
+
+def test_gl64_add_64k(benchmark):
+    benchmark(gl64.add, _A, _B)
+
+
+def test_gl64_pow7_64k(benchmark):
+    benchmark(gl64.pow7, _A)
+
+
+def test_gl64_inv_fast_64k(benchmark):
+    benchmark(gl64.inv_fast, _A[: 1 << 12])
+
+
+def test_ntt_16k(benchmark):
+    out = benchmark(ntt, _POLY)
+    assert out.shape == _POLY.shape
+
+
+def test_intt_16k(benchmark):
+    benchmark(intt, _POLY)
+
+
+def test_ntt_batch_16x1k(benchmark):
+    benchmark(ntt, _BATCH)

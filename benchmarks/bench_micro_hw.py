@@ -1,0 +1,64 @@
+"""Micro-benchmarks: hardware-model layers (microcode grid, schedules,
+multiproofs, simulator throughput)."""
+
+import numpy as np
+
+from repro.compiler import PlonkParams, lower, trace_plonky2
+from repro.field import gl64
+from repro.hw import DEFAULT_CONFIG
+from repro.mapping.microcode_schedules import (
+    run_matvec,
+    run_reverse_dot,
+    run_sbox_pipeline,
+)
+from repro.merkle import MerkleTree
+from repro.merkle.multiproof import individual_paths_bytes, prove_multi
+from repro.sim import simulate_plonky2
+
+_RNG = np.random.default_rng(6)
+_W12 = gl64.random((12, 12), _RNG)
+_STATES = gl64.random((16, 12), _RNG)
+_PARAMS = PlonkParams(name="bench", degree_bits=18, width=135)
+
+
+def test_microcode_matvec_12x12(benchmark):
+    out, cycles = benchmark(run_matvec, _W12, _STATES)
+    assert out.shape == (16, 12)
+    assert cycles <= 16 + 25
+
+
+def test_microcode_sbox_pipeline(benchmark):
+    vals = [int(x) for x in gl64.random(16, _RNG)]
+    outs, _ = benchmark(run_sbox_pipeline, vals, 5)
+    assert len(outs) == 16
+
+
+def test_microcode_reverse_dot(benchmark):
+    state = [int(x) for x in gl64.random(12, _RNG)]
+    coeffs = [int(x) for x in gl64.random(12, _RNG)]
+    benchmark(run_reverse_dot, state, coeffs)
+
+
+def test_simulator_throughput(benchmark):
+    """One full proof-generation simulation (27 kernels)."""
+    report = benchmark(simulate_plonky2, _PARAMS, DEFAULT_CONFIG)
+    assert report.total_cycles > 0
+
+
+def test_schedule_lowering(benchmark):
+    graph = trace_plonky2(_PARAMS)
+    sched = benchmark(lower, graph, DEFAULT_CONFIG)
+    assert len(sched.kernels) == len(graph)
+
+
+def test_merkle_multiproof_compression(benchmark):
+    leaves = gl64.random((256, 8), _RNG)
+    tree = MerkleTree(leaves)
+    rng = np.random.default_rng(1)
+    indices = sorted(set(int(i) for i in rng.integers(0, 256, size=28)))
+
+    mp = benchmark(prove_multi, tree, indices)
+    naive = individual_paths_bytes(tree, indices)
+    print(f"\nmultiproof {mp.size_bytes()} B vs {naive} B individual "
+          f"({naive / mp.size_bytes():.1f}x compression at FRI query scale)")
+    assert mp.size_bytes() < naive

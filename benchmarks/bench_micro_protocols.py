@@ -1,0 +1,74 @@
+"""Micro-benchmarks: hashing, Merkle, FRI, and full protocol proving."""
+
+import numpy as np
+
+from repro.field import extension as fext, gl64
+from repro.fri import FriConfig, PolynomialBatch, fri_prove, open_batches
+from repro.hashing import Challenger, hash_batch, permute
+from repro.merkle import MerkleTree
+from repro.plonk import CircuitBuilder, prove, setup
+from repro.stark import prove as stark_prove
+from repro.workloads import by_name
+
+_RNG = np.random.default_rng(2)
+_STATES = gl64.random((4096, 12), _RNG)
+_LEAF_ROWS = gl64.random((1024, 16), _RNG)
+_CFG = FriConfig(rate_bits=3, cap_height=1, num_queries=6,
+                 proof_of_work_bits=2, final_poly_len=4)
+_SCFG = FriConfig(rate_bits=1, cap_height=1, num_queries=8,
+                  proof_of_work_bits=2, final_poly_len=4)
+
+
+def test_poseidon_4k_batch(benchmark):
+    out = benchmark(permute, _STATES)
+    assert out.shape == _STATES.shape
+
+
+def test_hash_batch_1k_leaves(benchmark):
+    benchmark(hash_batch, _LEAF_ROWS)
+
+
+def test_merkle_tree_1k(benchmark):
+    tree = benchmark(MerkleTree, _LEAF_ROWS, 2)
+    assert tree.cap.shape == (4, 4)
+
+
+def test_fri_prove_256(benchmark):
+    batch = PolynomialBatch.from_coeffs(
+        gl64.random((4, 256), _RNG), _CFG.rate_bits, _CFG.cap_height
+    )
+    openings = open_batches([batch], [fext.make(3, 5)], [[(0, i) for i in range(4)]])
+
+    def run():
+        ch = Challenger()
+        ch.observe_cap(batch.cap)
+        return fri_prove([batch], openings, ch, _CFG)
+
+    proof = benchmark(run)
+    assert proof.size_bytes() > 0
+
+
+def _fib_circuit():
+    b = CircuitBuilder()
+    x0, x1 = b.constant(0), b.constant(1)
+    for _ in range(60):
+        x0, x1 = x1, b.add(x0, x1)
+    pub = b.public_input()
+    b.assert_equal(pub, x0)
+    return b.build(), pub
+
+
+def test_plonk_prove_128_rows(benchmark):
+    from repro.workloads.fibonacci import fibonacci_mod_p
+
+    circuit, pub = _fib_circuit()
+    data = setup(circuit, _CFG)
+    inputs = {pub.index: fibonacci_mod_p(60)}
+    proof = benchmark(prove, data, inputs)
+    assert proof.size_bytes() > 0
+
+
+def test_stark_prove_64_rows(benchmark):
+    air, trace, publics = by_name("Fibonacci").build_air(6)
+    proof = benchmark(stark_prove, air, trace, publics, _SCFG)
+    assert proof.size_bytes() > 0

@@ -1,0 +1,60 @@
+"""Micro-benchmarks: the recursion substrate (gadgets, AIRs, transcripts)."""
+
+import numpy as np
+
+from repro.field import gl64
+from repro.fri import FriConfig
+from repro.hashing import Challenger
+from repro.plonk import CircuitBuilder
+from repro.plonk.gadgets import poseidon_permutation
+from repro.plonk.recursion import (
+    build_sumcheck_verifier_circuit,
+    sumcheck_proof_inputs,
+)
+from repro.stark import PoseidonAir
+from repro.stark import prove as stark_prove
+from repro.stark.poseidon_air import generate_trace, public_values
+from repro.sumcheck import prove as sc_prove
+
+_RNG = np.random.default_rng(12)
+_SCFG = FriConfig(rate_bits=3, cap_height=1, num_queries=6,
+                  proof_of_work_bits=2, final_poly_len=4)
+
+
+def test_poseidon_gadget_build(benchmark):
+    """Constructing the ~5000-gate in-circuit permutation."""
+
+    def build():
+        b = CircuitBuilder()
+        state = [b.add_variable() for _ in range(12)]
+        poseidon_permutation(b, state)
+        return b.build()
+
+    circuit = benchmark(build)
+    assert circuit.n >= 2048
+
+
+def test_sumcheck_verifier_witness(benchmark):
+    """Witness generation for the full verifier-as-circuit."""
+    table = gl64.random(8, _RNG)
+    proof = sc_prove(table, Challenger())
+    circuit, handles = build_sumcheck_verifier_circuit(3)
+    inputs = sumcheck_proof_inputs(handles, proof, table)
+    witness = benchmark(circuit.generate_witness, inputs)
+    assert circuit.check_gates(witness, [])
+
+
+def test_poseidon_air_prove(benchmark):
+    """Starky proof of one full Poseidon permutation (32-row AET)."""
+    state = [int(x) for x in gl64.random(12, _RNG)]
+    air = PoseidonAir(num_perms=1)
+    trace = generate_trace(state, 1)
+    publics = public_values(state, 1)
+    proof = benchmark(stark_prove, air, trace, publics, _SCFG)
+    assert proof.size_bytes() > 0
+
+
+def test_poseidon_air_trace_generation(benchmark):
+    state = [int(x) for x in gl64.random(12, _RNG)]
+    trace = benchmark(generate_trace, state, 4)
+    assert trace.shape == (128, 24)

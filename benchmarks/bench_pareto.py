@@ -1,0 +1,12 @@
+"""Benchmark: full design-space Pareto sweep (extends Figure 10)."""
+
+from repro.experiments.pareto import format_frontier, pareto_frontier, sweep_design_space
+from repro.hw import DEFAULT_CONFIG
+
+
+def test_pareto_sweep(benchmark):
+    points = benchmark(sweep_design_space, "MVM")
+    frontier = pareto_frontier(points)
+    print()
+    print(format_frontier(points, frontier))
+    assert any(p.hw == DEFAULT_CONFIG for p in frontier)

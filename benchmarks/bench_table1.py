@@ -1,0 +1,12 @@
+"""Benchmark: regenerate paper Table 1 (single-thread CPU breakdown)."""
+
+from repro.experiments.tables import format_table1, table1
+
+
+def test_table1(benchmark):
+    rows = benchmark(table1)
+    print()
+    print(format_table1(rows))
+    assert len(rows) == 6
+    for r in rows:
+        assert r["merkle"] > 0.5  # Merkle dominates single-thread time

@@ -1,0 +1,12 @@
+"""Benchmark: regenerate paper Table 2 (area and power breakdown)."""
+
+from repro.experiments.tables import format_table2, table2
+
+
+def test_table2(benchmark):
+    rows = benchmark(table2)
+    print()
+    print(format_table2(rows))
+    totals = next(r for r in rows if r["component"] == "Total")
+    assert abs(totals["area_mm2"] - 57.8) < 0.1
+    assert abs(totals["power_w"] - 96.4) < 0.1

@@ -1,0 +1,13 @@
+"""Benchmark: regenerate paper Table 3 (CPU vs GPU vs UniZK)."""
+
+from repro.experiments.tables import format_table3, table3
+
+
+def test_table3(benchmark):
+    rows = benchmark(table3)
+    print()
+    print(format_table3(rows))
+    avg = sum(r["unizk_speedup"] for r in rows) / len(rows)
+    assert 70 <= avg <= 130  # paper: 97x average
+    for r in rows:
+        assert r["unizk_s"] < r["gpu_s"] < r["cpu_s"]

@@ -1,0 +1,12 @@
+"""Benchmark: regenerate paper Table 4 (memory and VSA utilisation)."""
+
+from repro.experiments.tables import format_table4, table4
+
+
+def test_table4(benchmark):
+    rows = benchmark(table4)
+    print()
+    print(format_table4(rows))
+    for r in rows:
+        assert r["hash_vsa"] > 0.85  # hash compute-bound (paper: 95-97%)
+        assert r["ntt_mem"] > r["ntt_vsa"]  # NTT memory-bound

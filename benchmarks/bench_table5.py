@@ -1,0 +1,12 @@
+"""Benchmark: regenerate paper Table 5 (Starky base + Plonky2 recursion)."""
+
+from repro.experiments.tables import format_table5, table5
+
+
+def test_table5(benchmark):
+    rows = benchmark(table5)
+    print()
+    print(format_table5(rows))
+    assert len(rows) == 6
+    for r in rows:
+        assert 40 <= r["speedup"] <= 350

@@ -1,0 +1,20 @@
+"""Benchmark: regenerate paper Table 6 (UniZK vs PipeZK, incl. 840x)."""
+
+from repro.experiments.tables import format_table6, table6, table6_throughput
+
+
+def test_table6(benchmark):
+    rows = benchmark(table6)
+    print()
+    print(format_table6(rows))
+    for r in rows:
+        assert r["unizk_speedup"] > 4 * r["pipezk_speedup"]
+
+
+def test_table6_batched_throughput(benchmark):
+    thr = benchmark(table6_throughput)
+    print()
+    print(f"UniZK {thr['unizk_blocks_per_s']:.0f} blk/s, "
+          f"PipeZK {thr['pipezk_blocks_per_s']:.1f} blk/s, "
+          f"ratio {thr['throughput_ratio']:.0f}x (paper: 840x)")
+    assert 300 <= thr["throughput_ratio"] <= 1500

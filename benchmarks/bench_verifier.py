@@ -1,0 +1,57 @@
+"""Micro-benchmarks: verification (the paper's premise that verifying
+is cheap relative to proving, Section 1)."""
+
+import numpy as np
+
+from repro.field import gl64
+from repro.fri import FriConfig
+from repro.plonk import CircuitBuilder, prove, setup, verify
+from repro.stark import prove as stark_prove, verify as stark_verify
+from repro.workloads import by_name
+
+_CFG = FriConfig(rate_bits=3, cap_height=1, num_queries=8,
+                 proof_of_work_bits=4, final_poly_len=4)
+_SCFG = FriConfig(rate_bits=1, cap_height=1, num_queries=12,
+                  proof_of_work_bits=4, final_poly_len=4)
+
+
+def _plonk_artifacts():
+    b = CircuitBuilder()
+    x = b.add_variable()
+    acc = x
+    for _ in range(60):
+        acc = b.mul(acc, acc)
+    pub = b.public_input()
+    b.assert_equal(pub, acc)
+    data = setup(b.build(), _CFG)
+    from repro.field import goldilocks as gl
+
+    inputs = {x.index: 3, pub.index: gl.pow_mod(3, 1 << 60)}
+    return data, prove(data, inputs)
+
+
+def test_plonk_verify(benchmark):
+    data, proof = _plonk_artifacts()
+    benchmark(verify, data.verifier_data, proof)
+
+
+def test_stark_verify(benchmark):
+    air, trace, publics = by_name("Fibonacci").build_air(8)
+    proof = stark_prove(air, trace, publics, _SCFG)
+    benchmark(stark_verify, air, proof, _SCFG)
+
+
+def test_prove_verify_asymmetry():
+    """Verification is much cheaper than proving."""
+    import time
+
+    air, trace, publics = by_name("Fibonacci").build_air(8)
+    t0 = time.time()
+    proof = stark_prove(air, trace, publics, _SCFG)
+    t_prove = time.time() - t0
+    t0 = time.time()
+    stark_verify(air, proof, _SCFG)
+    t_verify = time.time() - t0
+    print(f"\nprove {t_prove:.2f}s vs verify {t_verify:.2f}s "
+          f"({t_prove / t_verify:.1f}x asymmetry)")
+    assert t_verify < t_prove

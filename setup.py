@@ -1,0 +1,7 @@
+"""Legacy setup shim so ``pip install -e .`` works without the ``wheel``
+package (the offline environment lacks it; pip then falls back to
+``setup.py develop``).  All real metadata lives in ``pyproject.toml``."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,35 @@
+"""UniZK reproduction: a hash-based ZKP stack and the UniZK accelerator
+model (ASPLOS 2025).
+
+Sub-packages (bottom-up):
+
+``field`` / ``ntt`` / ``hashing`` / ``merkle`` -- cryptographic
+substrates; ``fri`` / ``plonk`` / ``stark`` / ``sumcheck`` -- the
+protocols; ``hw`` / ``mapping`` / ``compiler`` / ``sim`` -- the
+accelerator model; ``baselines`` / ``workloads`` / ``experiments`` --
+the paper's evaluation.
+
+See README.md for a guided tour and DESIGN.md for the system inventory.
+"""
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "field",
+    "ntt",
+    "hashing",
+    "merkle",
+    "fri",
+    "plonk",
+    "stark",
+    "sumcheck",
+    "hw",
+    "mapping",
+    "compiler",
+    "sim",
+    "baselines",
+    "workloads",
+    "experiments",
+    "serialize",
+    "cli",
+]

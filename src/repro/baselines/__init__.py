@@ -1,0 +1,28 @@
+"""Baseline cost models: multi-threaded CPU, A100 GPU, PipeZK/Groth16."""
+
+from .cpu import CpuModel, CpuReport
+from .dedicated import DedicatedChip, DedicatedReport, Top2Chip, Top2Report
+from .gpu import GpuModel, GpuReport
+from .pipezk import (
+    AES128_CONSTRAINTS,
+    SHA256_CONSTRAINTS,
+    Groth16CpuModel,
+    Groth16Workload,
+    PipeZkModel,
+)
+
+__all__ = [
+    "CpuModel",
+    "DedicatedChip",
+    "DedicatedReport",
+    "Top2Chip",
+    "Top2Report",
+    "CpuReport",
+    "GpuModel",
+    "GpuReport",
+    "Groth16Workload",
+    "Groth16CpuModel",
+    "PipeZkModel",
+    "SHA256_CONSTRAINTS",
+    "AES128_CONSTRAINTS",
+]

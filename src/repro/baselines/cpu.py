@@ -1,0 +1,142 @@
+"""CPU baseline cost model (2x Xeon Gold 5218R, 80 threads, ~200 GB/s).
+
+Walks the same computation graph as the UniZK simulator and charges
+each kernel at calibrated per-operation rates.  Calibration anchors:
+
+* single-thread rates reproduce paper Table 1's absolute times and
+  per-kernel shares (Poseidon ~1.4 us/permutation, ~5.6 ns/butterfly,
+  ~4.4 ns/field op, ~0.7 GB/s single-thread layout transposes);
+* per-kernel 80-thread scaling factors reproduce Table 3's multi-thread
+  totals (Plonky2's measured parallel speedup is ~10x, far below the
+  core count -- memory bandwidth, NUMA, and serial sections bite).
+
+Operation *counts* are not calibrated: they come from the identical
+graph the accelerator executes, so CPU-vs-UniZK ratios are structural.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from math import ceil
+from typing import Dict
+
+from ..compiler import ComputationGraph
+from ..compiler.graph import KernelNode
+from ..merkle import merkle_permutation_count
+
+#: Kernel classes used in Table 1's columns.
+CPU_KINDS = ("poly", "ntt", "merkle", "other_hash", "transform")
+
+
+@dataclass(frozen=True)
+class CpuModel:
+    """Calibrated per-kernel CPU rates."""
+
+    threads: int = 80
+    #: single-thread nanoseconds per Poseidon permutation
+    perm_ns: float = 1400.0
+    #: single-thread nanoseconds per NTT butterfly
+    butterfly_ns: float = 5.6
+    #: single-thread nanoseconds per polynomial field operation
+    field_op_ns: float = 4.4
+    #: single-thread layout-transform bandwidth (GB/s)
+    transform_gbps: float = 0.7
+    #: main-memory bandwidth shared by all threads (GB/s)
+    mem_bandwidth_gbps: float = 200.0
+    #: measured multi-thread speedups per kernel class (80 threads)
+    scaling: Dict[str, float] = field(
+        default_factory=lambda: {
+            "merkle": 10.4,
+            "other_hash": 4.0,
+            "ntt": 9.5,
+            "poly": 13.0,
+            "transform": 7.0,
+        }
+    )
+
+    def _speedup(self, kind: str) -> float:
+        if self.threads <= 1:
+            return 1.0
+        return min(float(self.threads), self.scaling.get(kind, 8.0))
+
+    # -- per-node costing ------------------------------------------------------
+
+    def node_seconds(self, node: KernelNode) -> tuple[str, float]:
+        """Return (Table-1 kernel class, seconds) for one graph node."""
+        p = node.params
+        if node.kind == "merkle":
+            perms = merkle_permutation_count(int(p["leaves"]), int(p["width"]))
+            return "merkle", perms * self.perm_ns * 1e-9 / self._speedup("merkle")
+        if node.kind == "hash_misc":
+            # Fiat-Shamir / grinding: sequential, barely parallelisable.
+            return (
+                "other_hash",
+                float(p["perms"]) * self.perm_ns * 1e-9 / self._speedup("other_hash"),
+            )
+        if node.kind in ("ntt", "intt", "lde"):
+            butterflies = _ntt_butterflies(node)
+            return "ntt", butterflies * self.butterfly_ns * 1e-9 / self._speedup("ntt")
+        if node.kind in ("poly_elementwise", "poly_gate", "poly_pp"):
+            ops = _poly_ops(node)
+            return "poly", ops * self.field_op_ns * 1e-9 / self._speedup("poly")
+        if node.kind == "transform":
+            gbps = min(
+                self.transform_gbps * self._speedup("transform"),
+                self.mem_bandwidth_gbps / 2,
+            )
+            return "transform", float(p.get("bytes", 0.0)) / (gbps * 1e9)
+        if node.kind == "query_io":
+            return "transform", float(p["bytes"]) / (self.mem_bandwidth_gbps * 1e9)
+        raise ValueError(f"no CPU model for kind {node.kind!r}")
+
+    def run(self, graph: ComputationGraph) -> "CpuReport":
+        """Cost a whole proof-generation graph."""
+        report = CpuReport(workload=graph.name, threads=self.threads)
+        for node in graph.topological_order():
+            kind, secs = self.node_seconds(node)
+            report.seconds_by_kind[kind] = report.seconds_by_kind.get(kind, 0.0) + secs
+        return report
+
+
+@dataclass
+class CpuReport:
+    """CPU time broken down by Table 1's kernel classes."""
+
+    workload: str
+    threads: int
+    seconds_by_kind: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def total_seconds(self) -> float:
+        """End-to-end proof generation time."""
+        return sum(self.seconds_by_kind.values())
+
+    def fraction(self, kind: str) -> float:
+        """Share of total time for one kernel class."""
+        total = self.total_seconds
+        return self.seconds_by_kind.get(kind, 0.0) / total if total else 0.0
+
+
+def _ntt_butterflies(node: KernelNode) -> float:
+    p = node.params
+    batch = float(p["batch"])
+    log_n = int(p["log_n"])
+    n = 1 << log_n
+    if node.kind == "lde":
+        rate_bits = int(p["rate_bits"])
+        n_out = n << rate_bits
+        return batch * (n / 2 * log_n + n_out / 2 * (log_n + rate_bits))
+    return batch * n / 2 * log_n
+
+
+def _poly_ops(node: KernelNode) -> float:
+    p = node.params
+    if node.kind == "poly_elementwise":
+        return float(p["vector_len"]) * float(p["num_ops"])
+    if node.kind == "poly_gate":
+        return float(p["lde_size"]) * float(p["ops_per_row"])
+    if node.kind == "poly_pp":
+        rows = float(p["rows"])
+        wires = float(p["wires"])
+        return rows * (wires * 6 + 8)
+    raise ValueError(node.kind)

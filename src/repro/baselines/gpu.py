@@ -1,0 +1,116 @@
+"""GPU baseline cost model (A100 running plonky2-gpu).
+
+The CUDA port offloads NTTs, Merkle tree construction, and element-wise
+polynomial kernels; everything else (gate-constraint evaluation over
+custom gates, partial products, Fiat-Shamir, layout glue) stays on the
+host, with PCIe transfers at each offload boundary (paper Section 6,
+"Baselines": "The other kernels are still executed on the host CPU").
+
+Offloaded kernels run at a multiple of the CPU's multi-threaded rate,
+derated by a data-volume efficiency: large working sets (the 2^23-point
+LDE matrices of the big applications) thrash the GPU's caches and force
+staged transfers, which is how the paper's measured GPU speedups end up
+between only 1.2x and 4.6x.  Wide circuits (e.g. MVM's width 400)
+exceed the CUDA kernels' per-row resources and fall back to the host.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from ..compiler import ComputationGraph
+from ..compiler.graph import KernelNode
+from .cpu import CpuModel, CpuReport, _ntt_butterflies, _poly_ops
+from ..merkle import merkle_permutation_count
+
+
+@dataclass(frozen=True)
+class GpuModel:
+    """Calibrated A100 offload model layered over the CPU model."""
+
+    cpu: CpuModel = CpuModel()
+    #: speedup of offloaded kernels over the multi-threaded CPU, before
+    #: the volume derating
+    offload_speedup: float = 5.3
+    #: LDE-domain element count (rows x columns) above which the GPU's
+    #: efficiency starts to degrade
+    sweet_spot_elems: float = 756e6
+    #: circuits wider than this fall back to the host for row kernels
+    max_offload_width: int = 256
+    #: PCIe bandwidth (GB/s)
+    pcie_gbps: float = 25.0
+
+    def _efficiency(self, volume_elems: float) -> float:
+        if volume_elems <= self.sweet_spot_elems:
+            return 1.0
+        return self.sweet_spot_elems / volume_elems
+
+    def run(self, graph: ComputationGraph) -> "GpuReport":
+        """Cost a proof-generation graph with GPU offload."""
+        # Estimate total committed volume to derate the GPU kernels.
+        volume = 0.0
+        for node in graph.topological_order():
+            if node.kind == "merkle":
+                volume += float(node.params["leaves"]) * float(node.params["width"])
+        eff = self._efficiency(volume)
+
+        gpu_seconds = 0.0
+        host_seconds = 0.0
+        transfer_bytes = 0.0
+        for node in graph.topological_order():
+            kind, cpu_secs = self.cpu.node_seconds(node)
+            if self._offloaded(node):
+                gpu_seconds += cpu_secs / (self.offload_speedup * eff)
+                transfer_bytes += _node_bytes(node)
+            else:
+                host_seconds += cpu_secs
+        transfer_seconds = transfer_bytes / (self.pcie_gbps * 1e9)
+        return GpuReport(
+            workload=graph.name,
+            gpu_seconds=gpu_seconds,
+            host_seconds=host_seconds,
+            transfer_seconds=transfer_seconds,
+        )
+
+    def _offloaded(self, node: KernelNode) -> bool:
+        if node.kind in ("ntt", "intt", "lde"):
+            return True
+        if node.kind == "merkle":
+            return float(node.params["width"]) <= self.max_offload_width
+        if node.kind == "poly_elementwise":
+            return True
+        if node.kind == "poly_gate":
+            return float(node.params["width"]) <= self.max_offload_width
+        return False
+
+
+@dataclass
+class GpuReport:
+    """GPU + host + transfer time for one workload."""
+
+    workload: str
+    gpu_seconds: float
+    host_seconds: float
+    transfer_seconds: float
+
+    @property
+    def total_seconds(self) -> float:
+        """End-to-end time (phases serialise across the PCIe boundary)."""
+        return self.gpu_seconds + self.host_seconds + self.transfer_seconds
+
+
+def _node_bytes(node: KernelNode) -> float:
+    """Data crossing PCIe for one offloaded kernel (inputs one way)."""
+    p = node.params
+    if node.kind in ("ntt", "intt"):
+        return float(p["batch"]) * (1 << int(p["log_n"])) * 8
+    if node.kind == "lde":
+        return float(p["batch"]) * (1 << int(p["log_n"])) * 8
+    if node.kind == "merkle":
+        return float(p["leaves"]) * 32  # digests come back
+    if node.kind == "poly_elementwise":
+        return float(p["vector_len"]) * 16
+    if node.kind == "poly_gate":
+        return float(p["lde_size"]) * 16
+    return 0.0

@@ -1,0 +1,156 @@
+"""Command-line interface.
+
+``python -m repro <command>``:
+
+* ``experiments`` -- regenerate all paper tables and figures;
+* ``simulate``    -- run the UniZK simulator on one workload, with
+  optional hardware overrides (the Figure 10 knobs);
+* ``schedule``    -- print the compiler backend's detailed execution
+  schedule for a workload;
+* ``prove``       -- run a functional scaled-down proof of a workload
+  end to end (prove + verify);
+* ``chip``        -- print the area/power budget for a configuration.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from .baselines import CpuModel, GpuModel
+from .compiler import lower, trace_plonky2
+from .hw import DEFAULT_CONFIG, chip_budget
+from .sim import simulate_plonky2
+from .workloads import PAPER_WORKLOADS, by_name
+
+_WORKLOAD_NAMES = [s.name for s in PAPER_WORKLOADS] + ["AES-128"]
+
+
+def _hw_from_args(args) -> "object":
+    overrides = {}
+    if args.vsas is not None:
+        overrides["num_vsas"] = args.vsas
+    if args.scratchpad_mb is not None:
+        overrides["scratchpad_mb"] = args.scratchpad_mb
+    if args.bandwidth_gbps is not None:
+        overrides["mem_bandwidth_gbps"] = args.bandwidth_gbps
+    return DEFAULT_CONFIG.scaled(**overrides) if overrides else DEFAULT_CONFIG
+
+
+def _add_hw_flags(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--vsas", type=int, default=None, help="number of VSAs")
+    p.add_argument("--scratchpad-mb", type=float, default=None, help="scratchpad MB")
+    p.add_argument("--bandwidth-gbps", type=float, default=None, help="HBM GB/s")
+
+
+def cmd_experiments(args) -> int:
+    """Regenerate every table and figure."""
+    from .experiments.runner import run_all
+
+    print(run_all())
+    return 0
+
+
+def cmd_simulate(args) -> int:
+    """Simulate one workload on a (possibly overridden) chip."""
+    spec = by_name(args.workload)
+    hw = _hw_from_args(args)
+    report = simulate_plonky2(spec.plonk, hw)
+    for line in report.summary_lines():
+        print(line)
+    if args.baselines:
+        graph = trace_plonky2(spec.plonk)
+        cpu = CpuModel().run(graph).total_seconds
+        gpu = GpuModel().run(graph).total_seconds
+        print(f"  CPU baseline: {cpu:.2f} s ({cpu / report.total_seconds:.0f}x slower)")
+        print(f"  GPU baseline: {gpu:.2f} s ({gpu / report.total_seconds:.0f}x slower)")
+    return 0
+
+
+def cmd_schedule(args) -> int:
+    """Print the lowered execution schedule."""
+    spec = by_name(args.workload)
+    hw = _hw_from_args(args)
+    sched = lower(trace_plonky2(spec.plonk), hw)
+    print(sched.format(limit=args.limit))
+    print(f"memory-bound fraction: {sched.bound_fraction() * 100:.0f}%")
+    return 0
+
+
+def cmd_prove(args) -> int:
+    """Run a functional scaled-down proof end to end."""
+    from .fri import FriConfig
+    from .plonk import prove, setup, verify
+
+    spec = by_name(args.workload)
+    print(f"{spec.name}: {spec.repro_note}")
+    circuit, inputs, publics = spec.build_circuit(args.scale)
+    print(f"circuit: {circuit.n} rows")
+    config = FriConfig(rate_bits=3, cap_height=1, num_queries=args.queries,
+                       proof_of_work_bits=8, final_poly_len=4)
+    data = setup(circuit, config)
+    t0 = time.time()
+    proof = prove(data, inputs)
+    t_prove = time.time() - t0
+    t0 = time.time()
+    verify(data.verifier_data, proof)
+    t_verify = time.time() - t0
+    print(f"proved in {t_prove:.2f}s, verified in {t_verify:.2f}s, "
+          f"proof {proof.size_bytes()} bytes, public inputs {proof.public_inputs}")
+    return 0
+
+
+def cmd_chip(args) -> int:
+    """Print the area/power budget."""
+    hw = _hw_from_args(args)
+    for name, area, power in chip_budget(hw).as_rows():
+        print(f"{name:28s} {area:6.1f} mm2  {power:5.1f} W")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro", description="UniZK reproduction toolkit"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("experiments", help="regenerate all tables and figures")
+
+    p = sub.add_parser("simulate", help="simulate a workload on UniZK")
+    p.add_argument("--workload", choices=_WORKLOAD_NAMES, default="Factorial")
+    p.add_argument("--baselines", action="store_true", help="also cost CPU/GPU")
+    _add_hw_flags(p)
+
+    p = sub.add_parser("schedule", help="print the lowered execution schedule")
+    p.add_argument("--workload", choices=_WORKLOAD_NAMES, default="Factorial")
+    p.add_argument("--limit", type=int, default=20, help="rows to print")
+    _add_hw_flags(p)
+
+    p = sub.add_parser("prove", help="run a functional proof end to end")
+    p.add_argument("--workload", choices=_WORKLOAD_NAMES, default="Fibonacci")
+    p.add_argument("--scale", type=int, default=20, help="workload size knob")
+    p.add_argument("--queries", type=int, default=12, help="FRI query rounds")
+
+    p = sub.add_parser("chip", help="print the area/power budget")
+    _add_hw_flags(p)
+
+    return parser
+
+
+def main(argv=None) -> int:
+    """CLI entry point."""
+    args = build_parser().parse_args(argv)
+    handler = {
+        "experiments": cmd_experiments,
+        "simulate": cmd_simulate,
+        "schedule": cmd_schedule,
+        "prove": cmd_prove,
+        "chip": cmd_chip,
+    }[args.command]
+    return handler(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,100 @@
+"""Compiler backend: map each graph node to a :class:`KernelCost`.
+
+This is the automated part of the paper's Section 5.5 pipeline: given a
+computation graph and a hardware configuration, dispatch every node to
+its mapping strategy and emit the schedule the simulator executes.
+
+Layout transformations map to the global transpose buffer, which runs
+concurrently with the compute kernels -- their elapsed cost on UniZK is
+zero (paper Section 7.1), though the CPU/GPU baselines pay for them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from ..hw.config import HwConfig
+from ..mapping import (
+    KIND_TRANSFORM,
+    KernelCost,
+    elementwise_cost,
+    gate_eval_cost,
+    lde_cost,
+    merkle_cost,
+    ntt_cost,
+    partial_products_cost,
+    poseidon_cost,
+)
+from .graph import ComputationGraph, KernelNode
+
+
+@dataclass(frozen=True)
+class ScheduledKernel:
+    """One scheduled node: its cost plus bookkeeping for reports."""
+
+    node: KernelNode
+    cost: KernelCost
+
+    @property
+    def stage(self) -> str:
+        """Protocol stage (Figure 7 grouping)."""
+        return self.node.stage
+
+
+def map_node(node: KernelNode, hw: HwConfig) -> KernelCost:
+    """Dispatch one node to its mapping strategy."""
+    p = node.params
+    if node.kind == "intt":
+        return ntt_cost(int(p["log_n"]), int(p["batch"]), hw, name=node.name)
+    if node.kind == "ntt":
+        return ntt_cost(int(p["log_n"]), int(p["batch"]), hw, name=node.name)
+    if node.kind == "lde":
+        return lde_cost(
+            int(p["log_n"]), int(p["rate_bits"]), int(p["batch"]), hw, name=node.name
+        )
+    if node.kind == "merkle":
+        return merkle_cost(int(p["leaves"]), int(p["width"]), hw, name=node.name)
+    if node.kind == "hash_misc":
+        return poseidon_cost(float(p["perms"]), hw, name=node.name)
+    if node.kind == "poly_elementwise":
+        return elementwise_cost(
+            int(p["vector_len"]),
+            int(p["num_ops"]),
+            int(p["num_operands"]),
+            hw,
+            name=node.name,
+        )
+    if node.kind == "poly_gate":
+        return gate_eval_cost(
+            int(p["lde_size"]), int(p["ops_per_row"]), int(p["width"]), hw,
+            name=node.name,
+        )
+    if node.kind == "poly_pp":
+        return partial_products_cost(int(p["rows"]), int(p["wires"]), hw, name=node.name)
+    if node.kind == "transform":
+        # Handled by the transpose buffer in parallel with compute.
+        return KernelCost(
+            name=node.name,
+            kind=KIND_TRANSFORM,
+            compute_cycles=0.0,
+            mem_bytes=0.0,
+            mem_efficiency=1.0,
+            mult_ops=0.0,
+            detail={"hidden_bytes": p.get("bytes", 0.0)},
+        )
+    if node.kind == "query_io":
+        return KernelCost(
+            name=node.name,
+            kind=KIND_TRANSFORM,
+            compute_cycles=0.0,
+            mem_bytes=float(p["bytes"]),
+            mem_efficiency=0.3,
+            mult_ops=0.0,
+        )
+    raise ValueError(f"no mapping for kind {node.kind!r}")
+
+
+def schedule(graph: ComputationGraph, hw: HwConfig) -> List[ScheduledKernel]:
+    """Map every node in (validated) topological order."""
+    return [ScheduledKernel(node=n, cost=map_node(n, hw)) for n in graph.topological_order()]

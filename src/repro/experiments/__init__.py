@@ -1,0 +1,22 @@
+"""Experiment drivers regenerating every table and figure of the paper."""
+
+from . import figures, paper_data, proof_size, tables
+from .figures import fig8, fig9, fig10
+from .tables import table1, table2, table3, table4, table5, table6, table6_throughput
+
+__all__ = [
+    "tables",
+    "figures",
+    "paper_data",
+    "proof_size",
+    "table1",
+    "table2",
+    "table3",
+    "table4",
+    "table5",
+    "table6",
+    "table6_throughput",
+    "fig8",
+    "fig9",
+    "fig10",
+]

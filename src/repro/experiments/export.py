@@ -1,0 +1,100 @@
+"""Export experiment results as CSV files.
+
+``python -m repro.experiments.export [outdir]`` writes one CSV per
+table/figure so the plots can be regenerated with any plotting tool.
+"""
+
+from __future__ import annotations
+
+import csv
+import sys
+from pathlib import Path
+from typing import Iterable, List
+
+from . import figures, tables
+
+
+def _write(path: Path, fieldnames: List[str], rows: Iterable[dict]) -> None:
+    with path.open("w", newline="") as fh:
+        writer = csv.DictWriter(fh, fieldnames=fieldnames)
+        writer.writeheader()
+        for row in rows:
+            writer.writerow({k: row.get(k, "") for k in fieldnames})
+
+
+def export_all(outdir: str | Path = "results") -> List[Path]:
+    """Write every table/figure as CSV; returns the written paths."""
+    out = Path(outdir)
+    out.mkdir(parents=True, exist_ok=True)
+    written: List[Path] = []
+
+    t1 = tables.table1()
+    p = out / "table1_cpu_breakdown.csv"
+    _write(p, ["app", "time_s", "poly", "ntt", "merkle", "other_hash", "transform"], t1)
+    written.append(p)
+
+    t2 = tables.table2()
+    p = out / "table2_area_power.csv"
+    _write(p, ["component", "area_mm2", "power_w"], t2)
+    written.append(p)
+
+    t3 = tables.table3()
+    p = out / "table3_end_to_end.csv"
+    _write(p, ["app", "cpu_s", "gpu_s", "gpu_speedup", "unizk_s", "unizk_speedup"], t3)
+    written.append(p)
+
+    t4 = tables.table4()
+    p = out / "table4_utilisation.csv"
+    _write(
+        p,
+        ["app", "ntt_mem", "ntt_vsa", "poly_mem", "poly_vsa", "hash_mem", "hash_vsa"],
+        t4,
+    )
+    written.append(p)
+
+    t5 = tables.table5()
+    p = out / "table5_starky.csv"
+    _write(p, ["app", "stage", "cpu_s", "unizk_ms", "speedup", "size_kb"], t5)
+    written.append(p)
+
+    t6 = tables.table6()
+    p = out / "table6_pipezk.csv"
+    _write(
+        p,
+        ["app", "groth16_cpu_s", "starky_plonky2_cpu_s", "pipezk_ms", "unizk_ms",
+         "pipezk_speedup", "unizk_speedup"],
+        t6,
+    )
+    written.append(p)
+
+    f8 = figures.fig8()
+    p = out / "fig8_breakdown.csv"
+    _write(p, ["app", "ntt", "poly", "hash"], f8)
+    written.append(p)
+
+    f9 = figures.fig9()
+    p = out / "fig9_kernel_speedups.csv"
+    _write(p, ["app", "ntt", "poly", "hash"], f9)
+    written.append(p)
+
+    sweeps = figures.fig10()
+    rows = []
+    for resource, series in sweeps.items():
+        for r in series:
+            rows.append({"resource": resource, **r})
+    p = out / "fig10_dse.csv"
+    _write(p, ["resource", "scale", "ntt", "poly", "hash"], rows)
+    written.append(p)
+
+    return written
+
+
+def main() -> None:
+    """CLI: write the CSVs and list them."""
+    outdir = sys.argv[1] if len(sys.argv) > 1 else "results"
+    for path in export_all(outdir):
+        print(path)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,126 @@
+"""Regenerate the paper's evaluation figures (Section 7) as data series.
+
+* Figure 8 -- UniZK execution-time breakdown by kernel type;
+* Figure 9 -- per-kernel-type speedup of UniZK over the CPU;
+* Figure 10 -- design-space exploration on MVM: scratchpad size, VSA
+  count, and memory bandwidth each swept around the default, reported
+  per kernel type (normalised to the default configuration).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..baselines import CpuModel
+from ..compiler import trace_plonky2
+from ..hw import DEFAULT_CONFIG
+from ..sim import simulate_plonky2
+from ..workloads import PAPER_WORKLOADS, by_name
+
+#: Mapping between the simulator's kernel classes and the CPU model's.
+_CPU_KIND = {"ntt": ("ntt",), "hash": ("merkle", "other_hash"), "poly": ("poly",)}
+
+
+def fig8() -> List[Dict]:
+    """Execution-time fractions by kernel type on UniZK."""
+    rows = []
+    for spec in PAPER_WORKLOADS:
+        frac = simulate_plonky2(spec.plonk).fraction_by_kind()
+        rows.append(
+            {
+                "app": spec.name,
+                "ntt": frac.get("ntt", 0.0),
+                "poly": frac.get("poly", 0.0),
+                "hash": frac.get("hash", 0.0),
+            }
+        )
+    return rows
+
+
+def format_fig8(rows: List[Dict]) -> str:
+    """Render the Figure 8 breakdown."""
+    out = ["Figure 8: UniZK time breakdown by kernel type"]
+    for r in rows:
+        out.append(
+            f"{r['app']:12s} ntt {r['ntt']*100:5.1f}%  poly {r['poly']*100:5.1f}%  "
+            f"hash {r['hash']*100:5.1f}%"
+        )
+    out.append("(paper: polynomial ops dominate after acceleration)")
+    return "\n".join(out)
+
+
+def fig9() -> List[Dict]:
+    """Per-kernel-type speedup of UniZK over the 80-thread CPU."""
+    cpu = CpuModel()
+    rows = []
+    for spec in PAPER_WORKLOADS:
+        graph = trace_plonky2(spec.plonk)
+        cpu_rep = cpu.run(graph)
+        uni_rep = simulate_plonky2(spec.plonk)
+        uni_secs = uni_rep.seconds_by_kind()
+        row = {"app": spec.name}
+        for kind, cpu_kinds in _CPU_KIND.items():
+            cpu_t = sum(cpu_rep.seconds_by_kind.get(k, 0.0) for k in cpu_kinds)
+            uni_t = uni_secs.get(kind, 0.0)
+            row[kind] = cpu_t / uni_t if uni_t else float("inf")
+        rows.append(row)
+    return rows
+
+
+def format_fig9(rows: List[Dict]) -> str:
+    """Render the Figure 9 per-kernel speedups."""
+    out = ["Figure 9: per-kernel speedup over the CPU"]
+    for r in rows:
+        out.append(
+            f"{r['app']:12s} ntt {r['ntt']:5.0f}x  poly {r['poly']:5.0f}x  "
+            f"hash {r['hash']:5.0f}x"
+        )
+    out.append("(paper ranges: NTT 90-160x, hash 120-191x, poly 20-92x)")
+    return "\n".join(out)
+
+
+#: Figure 10 sweep values, as multiples of the default configuration.
+FIG10_SCALES = (0.25, 0.5, 1.0, 2.0, 4.0)
+
+
+def fig10(workload: str = "MVM") -> Dict[str, List[Dict]]:
+    """DSE on one workload: sweep scratchpad, VSAs, bandwidth.
+
+    Returns, per swept resource, rows of normalised per-kernel
+    performance (default = 1.0; higher is faster).
+    """
+    params = by_name(workload).plonk
+    base = simulate_plonky2(params, DEFAULT_CONFIG).seconds_by_kind()
+
+    def norm(hw) -> Dict:
+        secs = simulate_plonky2(params, hw).seconds_by_kind()
+        return {
+            kind: base[kind] / secs[kind] if secs.get(kind) else 1.0
+            for kind in ("ntt", "poly", "hash")
+        }
+
+    sweeps: Dict[str, List[Dict]] = {"scratchpad": [], "vsas": [], "bandwidth": []}
+    for s in FIG10_SCALES:
+        hw = DEFAULT_CONFIG.scaled(scratchpad_mb=DEFAULT_CONFIG.scratchpad_mb * s)
+        sweeps["scratchpad"].append({"scale": s, **norm(hw)})
+        hw = DEFAULT_CONFIG.scaled(num_vsas=max(1, int(DEFAULT_CONFIG.num_vsas * s)))
+        sweeps["vsas"].append({"scale": s, **norm(hw)})
+        hw = DEFAULT_CONFIG.scaled(
+            mem_bandwidth_gbps=DEFAULT_CONFIG.mem_bandwidth_gbps * s
+        )
+        sweeps["bandwidth"].append({"scale": s, **norm(hw)})
+    return sweeps
+
+
+def format_fig10(sweeps: Dict[str, List[Dict]]) -> str:
+    """Render the Figure 10 sweeps."""
+    out = ["Figure 10: DSE on MVM (normalised performance per kernel type)"]
+    for resource, rows in sweeps.items():
+        out.append(f"  sweep {resource}:")
+        for r in rows:
+            out.append(
+                f"    x{r['scale']:<4g} ntt {r['ntt']:5.2f}  poly {r['poly']:5.2f}  "
+                f"hash {r['hash']:5.2f}"
+            )
+    out.append("(paper: NTT/poly track bandwidth+scratchpad; Merkle tracks VSAs)")
+    return "\n".join(out)

@@ -1,0 +1,84 @@
+"""The paper's reported numbers, transcribed for side-by-side reporting.
+
+Every experiment prints measured-vs-paper; these dictionaries are the
+"paper" side (UniZK, ASPLOS 2025, Tables 1-6).
+"""
+
+from __future__ import annotations
+
+#: Table 1: single-thread CPU breakdown.
+PAPER_TABLE1 = {
+    "Factorial": {"time_s": 580, "poly": 0.134, "ntt": 0.218, "merkle": 0.624,
+                  "other_hash": 0.000, "transform": 0.024},
+    "Fibonacci": {"time_s": 34, "poly": 0.121, "ntt": 0.200, "merkle": 0.658,
+                  "other_hash": 0.001, "transform": 0.020},
+    "ECDSA": {"time_s": 101, "poly": 0.249, "ntt": 0.157, "merkle": 0.572,
+              "other_hash": 0.002, "transform": 0.020},
+    "SHA-256": {"time_s": 673, "poly": 0.115, "ntt": 0.190, "merkle": 0.670,
+                "other_hash": 0.000, "transform": 0.025},
+    "Image Crop": {"time_s": 333, "poly": 0.115, "ntt": 0.171, "merkle": 0.688,
+                   "other_hash": 0.003, "transform": 0.023},
+    "MVM": {"time_s": 512, "poly": 0.137, "ntt": 0.159, "merkle": 0.657,
+            "other_hash": 0.001, "transform": 0.046},
+}
+
+#: Table 2: (area mm2, power W) per component.
+PAPER_TABLE2 = {
+    "32 VSAs": (21.3, 58.0),
+    "8 MB scratchpad": (5.0, 1.0),
+    "Twiddle factor generator": (0.8, 2.6),
+    "Transpose buffer": (0.9, 3.1),
+    "2 HBM PHYs": (29.8, 31.7),
+    "Total": (57.8, 96.4),
+}
+
+#: Table 3: end-to-end times (seconds) and UniZK speedup over CPU.
+PAPER_TABLE3 = {
+    "Factorial": {"cpu_s": 57.561, "gpu_s": 26.673, "unizk_s": 0.828, "speedup": 70},
+    "Fibonacci": {"cpu_s": 3.373, "gpu_s": 0.736, "unizk_s": 0.023, "speedup": 147},
+    "ECDSA": {"cpu_s": 7.463, "gpu_s": 2.063, "unizk_s": 0.065, "speedup": 115},
+    "SHA-256": {"cpu_s": 55.445, "gpu_s": 26.845, "unizk_s": 0.908, "speedup": 61},
+    "Image Crop": {"cpu_s": 23.765, "gpu_s": 16.182, "unizk_s": 0.373, "speedup": 64},
+    "MVM": {"cpu_s": 39.669, "gpu_s": 33.383, "unizk_s": 0.320, "speedup": 124},
+}
+
+#: Table 4: per-kernel-class (memory, VSA) utilisation.
+PAPER_TABLE4 = {
+    "Factorial": {"ntt_mem": 0.476, "ntt_vsa": 0.043, "poly_mem": 0.157,
+                  "poly_vsa": 0.020, "hash_mem": 0.206, "hash_vsa": 0.969},
+    "Fibonacci": {"ntt_mem": 0.555, "ntt_vsa": 0.050, "poly_mem": 0.179,
+                  "poly_vsa": 0.058, "hash_mem": 0.206, "hash_vsa": 0.967},
+    "ECDSA": {"ntt_mem": 0.564, "ntt_vsa": 0.050, "poly_mem": 0.154,
+              "poly_vsa": 0.092, "hash_mem": 0.206, "hash_vsa": 0.961},
+    "SHA-256": {"ntt_mem": 0.474, "ntt_vsa": 0.043, "poly_mem": 0.136,
+                "poly_vsa": 0.019, "hash_mem": 0.207, "hash_vsa": 0.972},
+    "Image Crop": {"ntt_mem": 0.540, "ntt_vsa": 0.048, "poly_mem": 0.135,
+                   "poly_vsa": 0.022, "hash_mem": 0.207, "hash_vsa": 0.971},
+    "MVM": {"ntt_mem": 0.530, "ntt_vsa": 0.048, "poly_mem": 0.245,
+            "poly_vsa": 0.059, "hash_mem": 0.217, "hash_vsa": 0.953},
+}
+
+#: Table 5: Starky base + Plonky2 recursion.
+PAPER_TABLE5 = {
+    ("Factorial", "Base"): {"cpu_s": 2.8, "unizk_ms": 42, "speedup": 67, "size_kb": 261},
+    ("Factorial", "Recursive"): {"cpu_s": 1.7, "unizk_ms": 12, "speedup": 142, "size_kb": 155},
+    ("Fibonacci", "Base"): {"cpu_s": 2.3, "unizk_ms": 26, "speedup": 88, "size_kb": 259},
+    ("Fibonacci", "Recursive"): {"cpu_s": 1.9, "unizk_ms": 12, "speedup": 158, "size_kb": 155},
+    ("SHA-256", "Base"): {"cpu_s": 0.8, "unizk_ms": 3, "speedup": 267, "size_kb": 778},
+    ("SHA-256", "Recursive"): {"cpu_s": 2.0, "unizk_ms": 12, "speedup": 167, "size_kb": 187},
+}
+
+#: Table 6: PipeZK comparison.
+PAPER_TABLE6 = {
+    "SHA-256": {"groth16_cpu_s": 1.5, "sp_cpu_s": 2.0, "pipezk_ms": 102,
+                "unizk_ms": 12.6, "pipezk_speedup": 15, "unizk_speedup": 159},
+    "AES-128": {"groth16_cpu_s": 1.1, "sp_cpu_s": 3.4, "pipezk_ms": 97,
+                "unizk_ms": 27.7, "pipezk_speedup": 12, "unizk_speedup": 123},
+}
+
+#: Figure 9 (approximate, read off the plot): per-kernel speedup ranges.
+PAPER_FIG9_RANGES = {
+    "ntt": (90, 160),
+    "hash": (120, 191),
+    "poly": (20, 92),
+}

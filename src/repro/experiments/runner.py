@@ -1,0 +1,34 @@
+"""Run every experiment and render EXPERIMENTS.md.
+
+``python -m repro.experiments.runner`` regenerates all tables and
+figures and writes the paper-vs-measured record.
+"""
+
+from __future__ import annotations
+
+from . import figures, tables
+
+
+def run_all() -> str:
+    """Execute every experiment; returns the full text report."""
+    sections = [
+        tables.format_table1(tables.table1()),
+        tables.format_table2(tables.table2()),
+        tables.format_table3(tables.table3()),
+        tables.format_table4(tables.table4()),
+        tables.format_table5(tables.table5()),
+        tables.format_table6(tables.table6()),
+        figures.format_fig8(figures.fig8()),
+        figures.format_fig9(figures.fig9()),
+        figures.format_fig10(figures.fig10()),
+    ]
+    return "\n\n".join(sections)
+
+
+def main() -> None:
+    """CLI entry point: print the report."""
+    print(run_all())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,223 @@
+"""Quadratic extension field GF(p^2) = GF(p)[X] / (X^2 - W).
+
+Plonky2 draws verifier challenges (beta, gamma, alpha, zeta, FRI betas)
+from a degree-``D`` extension for soundness; the usual choice is the
+quadratic extension (``D = 2``).  The paper notes (Section 4) that UniZK
+executes extension arithmetic on the base-field units, treating each
+64-bit limb separately -- which is exactly how this module is written:
+an extension element is a length-2 vector of Goldilocks limbs, and all
+operations decompose into base-field adds and multiplies.
+
+Arrays of extension elements have a trailing axis of length 2; all
+functions broadcast over the leading axes.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Union
+
+import numpy as np
+
+from . import gl64, goldilocks as gl
+
+#: Extension degree.
+D = 2
+
+
+@lru_cache(maxsize=1)
+def non_residue() -> int:
+    """Return the smallest quadratic non-residue ``W`` of GF(p).
+
+    ``X**2 - W`` is then irreducible, making GF(p)[X]/(X^2 - W) a field.
+    """
+    for w in range(2, 100):
+        if pow(w, (gl.P - 1) // 2, gl.P) == gl.P - 1:
+            return w
+    raise RuntimeError("no quadratic non-residue below 100 (unreachable)")
+
+
+ExtArray = np.ndarray
+ExtLike = Union[np.ndarray, int]
+
+
+def from_base(a) -> ExtArray:
+    """Embed base-field value(s) into the extension (second limb zero)."""
+    a = np.asarray(a, dtype=np.uint64)
+    out = gl64.zeros(a.shape + (D,))
+    out[..., 0] = a
+    return out
+
+
+def make(c0, c1) -> ExtArray:
+    """Build extension element(s) from the two limbs."""
+    c0 = np.asarray(c0, dtype=np.uint64)
+    c1 = np.asarray(c1, dtype=np.uint64)
+    c0, c1 = np.broadcast_arrays(c0, c1)
+    out = np.empty(c0.shape + (D,), dtype=np.uint64)
+    out[..., 0] = c0
+    out[..., 1] = c1
+    return out
+
+
+def zero(shape=()) -> ExtArray:
+    """Extension zero(s)."""
+    return gl64.zeros(tuple(np.atleast_1d(shape)) + (D,) if shape != () else (D,))
+
+
+def one(shape=()) -> ExtArray:
+    """Extension one(s)."""
+    out = zero(shape)
+    out[..., 0] = np.uint64(1)
+    return out
+
+
+def is_zero(a: ExtArray) -> np.ndarray:
+    """Elementwise zero test (boolean array over the leading axes)."""
+    return (a[..., 0] == 0) & (a[..., 1] == 0)
+
+
+def add(a: ExtArray, b: ExtArray) -> ExtArray:
+    """Extension addition (limb-wise)."""
+    return gl64.add(a, b)
+
+
+def sub(a: ExtArray, b: ExtArray) -> ExtArray:
+    """Extension subtraction (limb-wise)."""
+    return gl64.sub(a, b)
+
+
+def neg(a: ExtArray) -> ExtArray:
+    """Extension negation (limb-wise)."""
+    return gl64.neg(a)
+
+
+def mul(a: ExtArray, b: ExtArray) -> ExtArray:
+    """Extension multiplication.
+
+    ``(a0 + a1 X)(b0 + b1 X) = (a0 b0 + W a1 b1) + (a0 b1 + a1 b0) X``,
+    computed with the Karatsuba trick (3 base multiplies per element).
+    """
+    a0, a1 = a[..., 0], a[..., 1]
+    b0, b1 = b[..., 0], b[..., 1]
+    w = np.uint64(non_residue())
+    t0 = gl64.mul(a0, b0)
+    t1 = gl64.mul(a1, b1)
+    # (a0 + a1)(b0 + b1) - t0 - t1 == a0 b1 + a1 b0
+    cross = gl64.sub(gl64.sub(gl64.mul(gl64.add(a0, a1), gl64.add(b0, b1)), t0), t1)
+    c0 = gl64.add(t0, gl64.mul(t1, w))
+    return make(c0, cross)
+
+
+def scalar_mul(a: ExtArray, s) -> ExtArray:
+    """Multiply extension element(s) by base-field scalar(s)."""
+    s = np.asarray(s, dtype=np.uint64)
+    return make(gl64.mul(a[..., 0], s), gl64.mul(a[..., 1], s))
+
+
+def square(a: ExtArray) -> ExtArray:
+    """Extension squaring."""
+    return mul(a, a)
+
+
+def inv(a: ExtArray) -> ExtArray:
+    """Extension inverse via the norm map.
+
+    ``(a0 + a1 X)^-1 = (a0 - a1 X) / (a0^2 - W a1^2)``.
+    Raises :class:`ZeroDivisionError` if any element is zero.
+    """
+    a0, a1 = a[..., 0], a[..., 1]
+    w = np.uint64(non_residue())
+    norm = gl64.sub(gl64.mul(a0, a0), gl64.mul(w, gl64.mul(a1, a1)))
+    norm_inv = gl64.inv_fast(norm)
+    return make(gl64.mul(a0, norm_inv), gl64.mul(gl64.neg(a1), norm_inv))
+
+
+def div(a: ExtArray, b: ExtArray) -> ExtArray:
+    """Extension division ``a / b``."""
+    return mul(a, inv(b))
+
+
+def pow_scalar(a: ExtArray, e: int) -> ExtArray:
+    """Extension exponentiation by a non-negative Python-int exponent."""
+    if e < 0:
+        raise ValueError("negative exponent; invert first")
+    result = one(a.shape[:-1]) if a.ndim > 1 else one()
+    result = np.broadcast_to(result, a.shape).copy()
+    base = a.copy()
+    while e:
+        if e & 1:
+            result = mul(result, base)
+        base = mul(base, base)
+        e >>= 1
+    return result
+
+
+def frobenius(a: ExtArray) -> ExtArray:
+    """The Frobenius map ``x -> x**p`` (conjugation: negates limb 1)."""
+    return make(a[..., 0], gl64.neg(a[..., 1]))
+
+
+def powers(base: ExtArray, count: int) -> ExtArray:
+    """Return ``[1, base, base**2, ...]`` for a scalar extension ``base``;
+    shape ``(count, 2)``."""
+    out = np.empty((count, D), dtype=np.uint64)
+    if count == 0:
+        return out
+    out[0] = one()
+    filled = 1
+    step = base.reshape(D).copy()
+    while filled < count:
+        take = min(filled, count - filled)
+        out[filled : filled + take] = mul(out[:take], step[None, :])
+        filled += take
+        step = mul(step, step)
+    return out
+
+
+def dot_base(coeffs: np.ndarray, ext_points: ExtArray) -> ExtArray:
+    """Sum ``coeffs[i] * ext_points[i]`` (base coeffs, extension points)."""
+    prods = scalar_mul(ext_points, coeffs)
+    acc = prods[0]
+    for i in range(1, prods.shape[0]):
+        acc = add(acc, prods[i])
+    return acc
+
+
+def eval_poly_base(coeffs: np.ndarray, x: ExtArray) -> ExtArray:
+    """Evaluate a base-field coefficient vector at an extension point.
+
+    Horner's rule with ``scalar * ext + base`` steps; vectorised over
+    blocks to keep the Python loop at ``O(sqrt(n))`` for long inputs.
+    """
+    x = x.reshape(D)
+    n = len(coeffs)
+    if n == 0:
+        return zero()
+    # Split coeffs into blocks of size b; evaluate each block at x with
+    # precomputed powers, then Horner across blocks with x**b.
+    b = max(1, int(np.sqrt(n)))
+    pws = powers(x, b)  # (b, 2)
+    x_b = mul(pws[b - 1], x)
+    acc = zero()
+    coeffs = np.asarray(coeffs, dtype=np.uint64)
+    for start in range(((n - 1) // b) * b, -1, -b):
+        block = coeffs[start : start + b]
+        block_val = dot_base(block, pws[: len(block)])
+        acc = add(mul(acc, x_b), block_val)
+    return acc
+
+
+def eval_poly_ext(coeffs: ExtArray, x: ExtArray) -> ExtArray:
+    """Evaluate an extension coefficient vector (n, 2) at extension ``x``."""
+    x = x.reshape(D)
+    acc = zero()
+    for i in range(coeffs.shape[0] - 1, -1, -1):
+        acc = add(mul(acc, x), coeffs[i])
+    return acc
+
+
+def to_pair(a: ExtArray):
+    """Return a scalar extension element as a ``(int, int)`` pair."""
+    flat = np.asarray(a, dtype=np.uint64).reshape(D)
+    return int(flat[0]), int(flat[1])

@@ -1,0 +1,31 @@
+"""FRI polynomial commitment scheme (commit, batch-open, verify)."""
+
+from .config import PLONKY2_CONFIG, STARKY_CONFIG, TEST_CONFIG, FriConfig
+from .proof import FriProof
+from .prover import (
+    FriOpenings,
+    PolynomialBatch,
+    combine_openings,
+    fold_values,
+    fri_prove,
+    grind,
+    open_batches,
+)
+from .verifier import FriError, fri_verify
+
+__all__ = [
+    "FriConfig",
+    "PLONKY2_CONFIG",
+    "STARKY_CONFIG",
+    "TEST_CONFIG",
+    "FriProof",
+    "PolynomialBatch",
+    "FriOpenings",
+    "open_batches",
+    "combine_openings",
+    "fold_values",
+    "fri_prove",
+    "grind",
+    "fri_verify",
+    "FriError",
+]

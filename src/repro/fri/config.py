@@ -1,0 +1,59 @@
+"""FRI configuration (paper Figure 1 right, Section 2.2).
+
+The two protocols differ only in parameters: Plonky2 uses a blowup
+factor of at least 8 (``rate_bits = 3``) with few queries; Starky uses
+blowup 2 (``rate_bits = 1``) with more queries.  Both target ~100 bits
+of conjectured security via ``queries * rate_bits + proof_of_work_bits``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class FriConfig:
+    """Parameters of the FRI low-degree test."""
+
+    #: log2 of the blowup factor ``k`` (Plonky2: 3, Starky: 1).
+    rate_bits: int = 3
+    #: Merkle cap height used for every commitment.
+    cap_height: int = 2
+    #: Number of query rounds.
+    num_queries: int = 28
+    #: Grinding bits for the proof-of-work step.
+    proof_of_work_bits: int = 8
+    #: Stop folding once the degree bound is at most this many coefficients.
+    final_poly_len: int = 8
+
+    def __post_init__(self) -> None:
+        if self.rate_bits < 1:
+            raise ValueError("rate_bits must be >= 1")
+        if self.final_poly_len < 1 or self.final_poly_len & (self.final_poly_len - 1):
+            raise ValueError("final_poly_len must be a power of two")
+        if self.proof_of_work_bits < 0 or self.proof_of_work_bits > 32:
+            raise ValueError("proof_of_work_bits out of range")
+
+    @property
+    def blowup(self) -> int:
+        """The blowup factor ``k = 2**rate_bits``."""
+        return 1 << self.rate_bits
+
+    def num_fold_rounds(self, degree_bits: int) -> int:
+        """Fold rounds to reduce degree ``2**degree_bits`` to the final size."""
+        final_bits = (self.final_poly_len - 1).bit_length()
+        return max(0, degree_bits - final_bits)
+
+    def conjectured_security_bits(self) -> int:
+        """Conjectured soundness: one ``rate_bits`` per query plus grinding."""
+        return self.num_queries * self.rate_bits + self.proof_of_work_bits
+
+
+#: Plonky2's typical configuration (~100-bit conjectured security).
+PLONKY2_CONFIG = FriConfig(rate_bits=3, cap_height=2, num_queries=28, proof_of_work_bits=16)
+
+#: Starky's typical configuration (blowup 2, more queries).
+STARKY_CONFIG = FriConfig(rate_bits=1, cap_height=2, num_queries=84, proof_of_work_bits=16)
+
+#: Small parameters for fast functional tests (NOT sound).
+TEST_CONFIG = FriConfig(rate_bits=3, cap_height=1, num_queries=8, proof_of_work_bits=4, final_poly_len=4)

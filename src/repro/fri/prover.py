@@ -1,0 +1,275 @@
+"""FRI prover: polynomial batch commitments and batch-opening proofs.
+
+Implements the commit / fold / grind / query pipeline of Figure 1
+(right) in the paper:
+
+1. every polynomial batch is low-degree-extended (``iNTT^NN`` then
+   zero-pad then coset ``NTT``) and Merkle-committed, with leaf ``i``
+   concatenating the values of all batch polynomials at LDE point ``i``
+   (Section 2.2, step 3);
+2. opening at ``zeta`` reduces all claims to one low-degree test on the
+   combined quotient ``sum_k alpha-weighted (F(x) - y) / (x - z_k)``;
+3. the combined values are folded layer by layer (arity 2), each layer
+   Merkle-committed, betas drawn through Fiat-Shamir;
+4. grinding (proof-of-work) and random query indices finish the proof.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from ..field import extension as fext, gl64, goldilocks as gl
+from ..hashing import Challenger
+from ..merkle import MerkleTree
+from ..ntt import coset_intt_ext, intt, lde_coeffs
+from .config import FriConfig
+from .proof import (
+    FriInitialOpening,
+    FriLayerOpening,
+    FriProof,
+    FriQueryRound,
+)
+
+
+@dataclass
+class PolynomialBatch:
+    """A batch of polynomials committed under one Merkle cap.
+
+    ``coeffs`` is (num_polys, n); ``values`` is the (N_lde, num_polys)
+    LDE-value matrix in natural order over the coset ``g * <omega>``
+    (index-major leaf layout, exactly the paper's leaf formation).
+    """
+
+    coeffs: np.ndarray
+    values: np.ndarray
+    tree: MerkleTree
+    rate_bits: int
+
+    @classmethod
+    def from_coeffs(
+        cls, coeffs: np.ndarray, rate_bits: int, cap_height: int
+    ) -> "PolynomialBatch":
+        """Commit polynomials given by coefficient rows (num_polys, n)."""
+        coeffs = np.atleast_2d(np.asarray(coeffs, dtype=np.uint64))
+        ldes = lde_coeffs(coeffs, rate_bits)  # (num_polys, N_lde)
+        values = np.ascontiguousarray(ldes.T)  # (N_lde, num_polys)
+        tree = MerkleTree(values, cap_height=cap_height)
+        return cls(coeffs=coeffs, values=values, tree=tree, rate_bits=rate_bits)
+
+    @classmethod
+    def from_values(
+        cls, subgroup_values: np.ndarray, rate_bits: int, cap_height: int
+    ) -> "PolynomialBatch":
+        """Commit polynomials given by their subgroup evaluations."""
+        vals = np.atleast_2d(np.asarray(subgroup_values, dtype=np.uint64))
+        return cls.from_coeffs(intt(vals), rate_bits, cap_height)
+
+    @property
+    def degree_n(self) -> int:
+        """Original (pre-blowup) domain size."""
+        return self.coeffs.shape[1]
+
+    @property
+    def num_polys(self) -> int:
+        """Number of polynomials in the batch."""
+        return self.coeffs.shape[0]
+
+    @property
+    def cap(self) -> np.ndarray:
+        """The Merkle cap committing this batch."""
+        return self.tree.cap
+
+    def eval_at_ext(self, point: np.ndarray) -> np.ndarray:
+        """Evaluate every polynomial at an extension point: (num_polys, 2)."""
+        return np.stack([fext.eval_poly_base(row, point) for row in self.coeffs])
+
+
+@dataclass
+class FriOpenings:
+    """The opening instance: which columns open at which points.
+
+    ``points[k]`` is an extension point; ``columns[k]`` lists
+    ``(batch_index, poly_index)`` pairs opened there; ``values[k]`` is
+    the matching (len, 2) array of claimed evaluations.
+    """
+
+    points: List[np.ndarray]
+    columns: List[List[Tuple[int, int]]]
+    values: List[np.ndarray]
+
+    def flat_values(self) -> np.ndarray:
+        """All claimed evaluations, concatenated (for transcripts)."""
+        if not self.values:
+            return np.zeros((0, 2), dtype=np.uint64)
+        return np.concatenate([np.atleast_2d(v) for v in self.values])
+
+
+def open_batches(
+    batches: Sequence[PolynomialBatch],
+    points: Sequence[np.ndarray],
+    columns: Sequence[Sequence[Tuple[int, int]]],
+) -> FriOpenings:
+    """Honest prover helper: evaluate the requested openings."""
+    values = []
+    for point, cols in zip(points, columns):
+        vals = np.stack(
+            [fext.eval_poly_base(batches[b].coeffs[c], point) for b, c in cols]
+        )
+        values.append(vals)
+    return FriOpenings(points=list(points), columns=[list(c) for c in columns], values=values)
+
+
+def combine_openings(
+    batches: Sequence[PolynomialBatch],
+    openings: FriOpenings,
+    alpha: np.ndarray,
+) -> np.ndarray:
+    """Build the combined quotient values over the LDE domain.
+
+    Returns an (N_lde, 2) extension array:
+    ``sum_k [ (sum_j a^t F_t(x)) - (sum_j a^t y_t) ] / (x - z_k)``.
+    This is exactly the element-wise polynomial kernel UniZK runs in
+    vector mode before FRI folding.
+    """
+    n_lde = batches[0].values.shape[0]
+    log_lde = n_lde.bit_length() - 1
+    xs = gl64.mul(
+        gl64.powers(gl.primitive_root_of_unity(log_lde), n_lde),
+        np.uint64(gl.coset_shift()),
+    )
+    total = fext.from_base(gl64.zeros(n_lde))
+    alpha_t = fext.one()
+    for point, cols, vals in zip(openings.points, openings.columns, openings.values):
+        num = fext.from_base(gl64.zeros(n_lde))
+        const = fext.zero()
+        for (b, c), y in zip(cols, vals):
+            f_vals = batches[b].values[:, c]
+            num = fext.add(num, fext.scalar_mul(np.broadcast_to(alpha_t, (n_lde, 2)), f_vals))
+            const = fext.add(const, fext.mul(alpha_t, y))
+            alpha_t = fext.mul(alpha_t, alpha.reshape(2))
+        num = fext.sub(num, np.broadcast_to(const, (n_lde, 2)))
+        denom = fext.sub(fext.from_base(xs), np.broadcast_to(point.reshape(2), (n_lde, 2)))
+        total = fext.add(total, fext.mul(num, fext.inv(denom)))
+    return total
+
+
+def fold_values(values: np.ndarray, beta: np.ndarray, shift: int, log_n: int) -> np.ndarray:
+    """One arity-2 FRI fold over the coset ``shift * <omega_N>``.
+
+    ``f'(x^2) = (f(x) + f(-x))/2 + beta * (f(x) - f(-x)) / (2x)``;
+    in natural order, ``-x_i`` lives at index ``i + N/2``.
+    """
+    n = values.shape[0]
+    half = n // 2
+    lo = values[:half]
+    hi = values[half:]
+    inv2 = np.uint64(gl.inverse(2))
+    xs = gl64.mul(
+        gl64.powers(gl.primitive_root_of_unity(log_n), half), np.uint64(shift)
+    )
+    even = fext.scalar_mul(fext.add(lo, hi), inv2)
+    odd = fext.scalar_mul(fext.sub(lo, hi), gl64.mul(inv2, gl64.inv_fast(xs)))
+    return fext.add(even, fext.mul(np.broadcast_to(beta.reshape(2), odd.shape), odd))
+
+
+def _layer_tree(values: np.ndarray, cap_height: int) -> MerkleTree:
+    """Commit a layer: leaf ``i`` packs the pair (v[i], v[i + N/2])."""
+    n = values.shape[0]
+    half = n // 2
+    leaves = np.concatenate([values[:half], values[half:]], axis=1)  # (half, 4)
+    return MerkleTree(leaves, cap_height=min(cap_height, (half.bit_length() - 1)))
+
+
+def grind(challenger: Challenger, pow_bits: int) -> int:
+    """Search a witness whose response has ``pow_bits`` leading zeros."""
+    threshold = 1 << (64 - pow_bits)
+    witness = 0
+    while True:
+        fork = challenger.clone()
+        fork.observe_element(witness)
+        if fork.get_challenge() < threshold:
+            return witness
+        witness += 1
+
+
+def check_pow(challenger: Challenger, witness: int, pow_bits: int) -> bool:
+    """Verifier side of the grinding check."""
+    fork = challenger.clone()
+    fork.observe_element(witness)
+    return fork.get_challenge() < (1 << (64 - pow_bits))
+
+
+def fri_prove(
+    batches: Sequence[PolynomialBatch],
+    openings: FriOpenings,
+    challenger: Challenger,
+    config: FriConfig,
+) -> FriProof:
+    """Produce a batch FRI opening proof.
+
+    The caller must already have observed the batch caps and any
+    protocol messages; this function observes the claimed opening values
+    (mirrored by the verifier) and runs the FRI transcript.
+    """
+    challenger.observe_elements(openings.flat_values())
+    alpha = challenger.get_ext_challenge()
+
+    values = combine_openings(batches, openings, alpha)
+    n = batches[0].degree_n
+    n_lde = values.shape[0]
+    log_lde = n_lde.bit_length() - 1
+
+    # Commit phase.
+    num_rounds = config.num_fold_rounds(n.bit_length() - 1)
+    trees: List[MerkleTree] = []
+    layer_values: List[np.ndarray] = [values]
+    shift = gl.coset_shift()
+    cur_log = log_lde
+    for _ in range(num_rounds):
+        tree = _layer_tree(layer_values[-1], config.cap_height)
+        trees.append(tree)
+        challenger.observe_cap(tree.cap)
+        beta = challenger.get_ext_challenge()
+        folded = fold_values(layer_values[-1], beta, shift, cur_log)
+        layer_values.append(folded)
+        shift = gl.mul(shift, shift)
+        cur_log -= 1
+
+    # Final polynomial (coefficients over the remaining coset).
+    final_values = layer_values[-1]
+    final_coeffs = coset_intt_ext(final_values, shift)
+    final_len = max(1, n >> num_rounds)
+    final_poly = np.ascontiguousarray(final_coeffs[:final_len])
+    challenger.observe_elements(final_poly)
+
+    # Grinding.
+    pow_witness = grind(challenger, config.proof_of_work_bits)
+    challenger.observe_element(pow_witness)
+
+    # Query phase.
+    indices = challenger.get_indices(config.num_queries, n_lde)
+    query_rounds = []
+    for idx in indices:
+        initial = FriInitialOpening(
+            leaves=[b.values[idx].copy() for b in batches],
+            proofs=[b.tree.prove(idx) for b in batches],
+        )
+        layers = []
+        cur = idx
+        for tree, vals in zip(trees, layer_values[:-1]):
+            half = vals.shape[0] // 2
+            pair = cur % half
+            leaf = np.concatenate([vals[pair], vals[pair + half]])
+            layers.append(FriLayerOpening(pair_leaf=leaf, proof=tree.prove(pair)))
+            cur = pair
+        query_rounds.append(FriQueryRound(index=idx, initial=initial, layers=layers))
+
+    return FriProof(
+        commit_caps=[t.cap.copy() for t in trees],
+        final_poly=final_poly,
+        pow_witness=pow_witness,
+        query_rounds=query_rounds,
+    )

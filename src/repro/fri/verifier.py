@@ -1,0 +1,139 @@
+"""FRI verifier: transcript replay, Merkle checks, fold consistency.
+
+Mirrors :mod:`repro.fri.prover` step by step.  Any deviation -- a
+tampered cap, leaf, final polynomial, grinding witness, or a committed
+function that is far from low-degree -- makes verification fail (the
+test-suite injects each of these faults).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from ..field import extension as fext, gl64, goldilocks as gl
+from ..hashing import Challenger
+from ..merkle import verify_proof
+from .config import FriConfig
+from .proof import FriProof
+from .prover import FriOpenings, check_pow
+
+
+class FriError(Exception):
+    """Raised when a FRI proof fails verification."""
+
+
+def _combined_at_index(
+    leaves: Sequence[np.ndarray],
+    openings: FriOpenings,
+    alpha: np.ndarray,
+    x: int,
+) -> np.ndarray:
+    """Recompute the combined quotient value at one domain point."""
+    total = fext.zero()
+    alpha_t = fext.one()
+    for point, cols, vals in zip(openings.points, openings.columns, openings.values):
+        num = fext.zero()
+        const = fext.zero()
+        for (b, c), y in zip(cols, vals):
+            f_val = int(leaves[b][c])
+            num = fext.add(num, fext.scalar_mul(alpha_t, np.uint64(f_val)))
+            const = fext.add(const, fext.mul(alpha_t, y))
+            alpha_t = fext.mul(alpha_t, alpha.reshape(2))
+        num = fext.sub(num, const)
+        denom = fext.sub(fext.from_base(np.uint64(x)), point.reshape(2))
+        total = fext.add(total, fext.mul(num, fext.inv(denom)))
+    return total
+
+
+def fri_verify(
+    batch_caps: Sequence[np.ndarray],
+    openings: FriOpenings,
+    proof: FriProof,
+    challenger: Challenger,
+    config: FriConfig,
+    degree_n: int,
+) -> None:
+    """Verify a batch FRI opening proof; raises :class:`FriError` on failure.
+
+    ``batch_caps`` are the caps of the original commitments (in the same
+    order the prover used); ``degree_n`` is the claimed degree bound
+    (the pre-blowup domain size).
+    """
+    challenger.observe_elements(openings.flat_values())
+    alpha = challenger.get_ext_challenge()
+
+    n_lde = degree_n << config.rate_bits
+    log_lde = n_lde.bit_length() - 1
+    num_rounds = config.num_fold_rounds(degree_n.bit_length() - 1)
+    if len(proof.commit_caps) != num_rounds:
+        raise FriError(f"expected {num_rounds} layer caps, got {len(proof.commit_caps)}")
+
+    betas: List[np.ndarray] = []
+    for cap in proof.commit_caps:
+        challenger.observe_cap(cap)
+        betas.append(challenger.get_ext_challenge())
+
+    final_len = max(1, degree_n >> num_rounds)
+    if proof.final_poly.shape[0] > final_len:
+        raise FriError("final polynomial exceeds the degree bound")
+    challenger.observe_elements(proof.final_poly)
+
+    if not check_pow(challenger, proof.pow_witness, config.proof_of_work_bits):
+        raise FriError("proof-of-work witness is invalid")
+    challenger.observe_element(proof.pow_witness)
+
+    indices = challenger.get_indices(config.num_queries, n_lde)
+    if len(proof.query_rounds) != len(indices):
+        raise FriError("wrong number of query rounds")
+
+    omega = gl.primitive_root_of_unity(log_lde)
+    for idx, qr in zip(indices, proof.query_rounds):
+        if qr.index != idx:
+            raise FriError("query index mismatch with transcript")
+        # Initial openings against every original commitment.
+        if len(qr.initial.leaves) != len(batch_caps):
+            raise FriError("initial opening count mismatch")
+        for leaf, prf, cap in zip(qr.initial.leaves, qr.initial.proofs, batch_caps):
+            if not verify_proof(leaf, idx, prf, cap):
+                raise FriError("initial Merkle proof failed")
+        x = gl.mul(gl.coset_shift(), gl.pow_mod(omega, idx))
+        value = _combined_at_index(qr.initial.leaves, openings, alpha, x)
+
+        # Walk the fold layers.
+        cur = idx
+        cur_size = n_lde
+        shift = gl.coset_shift()
+        cur_log = log_lde
+        if len(qr.layers) != num_rounds:
+            raise FriError("wrong number of layer openings")
+        for layer, beta, cap in zip(qr.layers, betas, proof.commit_caps):
+            half = cur_size // 2
+            pair = cur % half
+            if not verify_proof(layer.pair_leaf, pair, layer.proof, cap):
+                raise FriError("layer Merkle proof failed")
+            lo = layer.pair_leaf[0:2]
+            hi = layer.pair_leaf[2:4]
+            slot = lo if cur < half else hi
+            if not np.array_equal(slot, value.reshape(2)):
+                raise FriError("fold consistency check failed")
+            x_pair = gl.mul(shift, gl.pow_mod(gl.primitive_root_of_unity(cur_log), pair))
+            inv2 = gl.inverse(2)
+            even = fext.scalar_mul(fext.add(lo, hi), np.uint64(inv2))
+            odd = fext.scalar_mul(
+                fext.sub(lo, hi), np.uint64(gl.mul(inv2, gl.inverse(x_pair)))
+            )
+            value = fext.add(even, fext.mul(beta.reshape(2), odd))
+            cur = pair
+            cur_size = half
+            shift = gl.mul(shift, shift)
+            cur_log -= 1
+
+        # Final polynomial check at the residual domain point.
+        x_final = fext.from_base(
+            np.uint64(gl.mul(shift, gl.pow_mod(gl.primitive_root_of_unity(cur_log), cur)))
+        )
+        expected = fext.eval_poly_ext(proof.final_poly, x_final)
+        if not np.array_equal(expected.reshape(2), value.reshape(2)):
+            raise FriError("final polynomial evaluation mismatch")

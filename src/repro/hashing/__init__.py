@@ -1,0 +1,45 @@
+"""Poseidon hashing: permutation (naive + HADES-optimised), sponge,
+and the duplex Fiat-Shamir challenger."""
+
+from .challenger import Challenger
+from .constants import (
+    FULL_ROUNDS,
+    PARTIAL_ROUNDS,
+    SBOX_EXPONENT,
+    WIDTH,
+    mds_matrix,
+    round_constants,
+)
+from .optimized import optimized_params, permute
+from .poseidon import permute_naive
+from .sponge import (
+    CAPACITY,
+    DIGEST_LEN,
+    RATE,
+    hash_batch,
+    hash_no_pad,
+    hash_or_noop,
+    permutation_count,
+    two_to_one,
+)
+
+__all__ = [
+    "Challenger",
+    "WIDTH",
+    "FULL_ROUNDS",
+    "PARTIAL_ROUNDS",
+    "SBOX_EXPONENT",
+    "RATE",
+    "CAPACITY",
+    "DIGEST_LEN",
+    "mds_matrix",
+    "round_constants",
+    "permute",
+    "permute_naive",
+    "optimized_params",
+    "hash_no_pad",
+    "hash_batch",
+    "hash_or_noop",
+    "two_to_one",
+    "permutation_count",
+]

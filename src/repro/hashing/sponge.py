@@ -1,0 +1,100 @@
+"""Poseidon sponge: hashing, Merkle compression, batched variants.
+
+Follows Plonky2's conventions (paper Section 5.3):
+
+* rate 8, capacity 4 (state width 12);
+* *overwrite-mode* absorption ("absorb method"): each 8-element chunk of
+  the input replaces ``state[0:8]`` before a permutation -- this is what
+  lets UniZK stream long Merkle leaves (e.g. 135 elements -> 17
+  permutations) through the VSA;
+* digests are 4 field elements (~256 bits);
+* two-to-one compression for internal Merkle nodes places the children
+  in ``state[0:8]`` and zero-pads, one permutation total.
+
+Everything is batched over a leading axis so Merkle levels hash in one
+vectorised sweep.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..field import gl64
+from ..metrics import GLOBAL as _METRICS
+from . import optimized
+from .constants import WIDTH
+
+#: Sponge rate (elements absorbed/squeezed per permutation).
+RATE = 8
+#: Capacity (untouched lanes guaranteeing collision resistance).
+CAPACITY = WIDTH - RATE
+#: Digest length in field elements.
+DIGEST_LEN = 4
+
+
+def permutation_count(input_len: int) -> int:
+    """Number of Poseidon permutations to hash ``input_len`` elements.
+
+    Used by both the sponge itself and the hardware cost models.
+    """
+    if input_len == 0:
+        return 1
+    return (input_len + RATE - 1) // RATE
+
+
+def hash_no_pad(inputs) -> np.ndarray:
+    """Hash a 1-D sequence of field elements to a 4-element digest."""
+    arr = np.atleast_2d(np.asarray(inputs, dtype=np.uint64))
+    return hash_batch(arr)[0]
+
+
+def hash_batch(inputs: np.ndarray) -> np.ndarray:
+    """Hash a batch of equal-length rows: (B, L) -> (B, DIGEST_LEN).
+
+    Overwrite-mode absorption, one permutation per RATE-element chunk
+    (including a final partial chunk).
+    """
+    inputs = np.asarray(inputs, dtype=np.uint64)
+    if inputs.ndim != 2:
+        raise ValueError("hash_batch expects a 2-D (batch, length) array")
+    batch, length = inputs.shape
+    state = gl64.zeros((batch, WIDTH))
+    if length == 0:
+        _METRICS.sponge_permutations += batch
+        state = optimized.permute(state)
+        return state[:, :DIGEST_LEN].copy()
+    for start in range(0, length, RATE):
+        chunk = inputs[:, start : start + RATE]
+        state[:, : chunk.shape[1]] = chunk
+        _METRICS.sponge_permutations += batch
+        state = optimized.permute(state)
+    return state[:, :DIGEST_LEN].copy()
+
+
+def two_to_one(left: np.ndarray, right: np.ndarray) -> np.ndarray:
+    """Compress two digests into one (internal Merkle nodes).
+
+    Batched: ``left`` and ``right`` are (..., DIGEST_LEN).
+    """
+    left = np.asarray(left, dtype=np.uint64)
+    right = np.asarray(right, dtype=np.uint64)
+    if left.shape != right.shape or left.shape[-1] != DIGEST_LEN:
+        raise ValueError("two_to_one expects matching (..., 4) digests")
+    state = gl64.zeros(left.shape[:-1] + (WIDTH,))
+    state[..., :DIGEST_LEN] = left
+    state[..., DIGEST_LEN : 2 * DIGEST_LEN] = right
+    _METRICS.sponge_permutations += int(np.prod(left.shape[:-1], dtype=np.int64))
+    state = optimized.permute(state)
+    return state[..., :DIGEST_LEN].copy()
+
+
+def hash_or_noop(values: np.ndarray) -> np.ndarray:
+    """Plonky2-style leaf hashing: rows shorter than a digest are padded
+    into the digest directly (no permutation); longer rows are hashed."""
+    values = np.atleast_2d(np.asarray(values, dtype=np.uint64))
+    batch, length = values.shape
+    if length <= DIGEST_LEN:
+        out = gl64.zeros((batch, DIGEST_LEN))
+        out[:, :length] = values
+        return out
+    return hash_batch(values)

@@ -1,0 +1,118 @@
+"""Area/power model reproducing and scaling paper Table 2.
+
+The paper synthesises the RTL in ASAP7 and models SRAM with FN-CACTI;
+neither flow is available here, so per-component unit costs are
+*calibrated to Table 2's totals* and exposed as scaling formulas -- the
+point of this module is that changing the configuration (VSA count,
+scratchpad size, PHY count) changes area and power the way the real
+design would, and the default configuration lands exactly on Table 2.
+
+Calibration (from Table 2 at the default config):
+
+====================  ==========  =========
+component             area (mm2)  power (W)
+====================  ==========  =========
+32 VSAs                 21.3        58.0
+8 MB scratchpad          5.0         1.0
+twiddle generator        0.8         2.6
+transpose buffer         0.9         3.1
+2 HBM PHYs              29.8        31.7
+total                   57.8        96.4
+====================  ==========  =========
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from .config import DEFAULT_CONFIG, HwConfig
+
+#: Unit costs derived from Table 2 at the default configuration.
+_VSA_AREA_MM2 = 21.3 / 32
+_VSA_POWER_W = 58.0 / 32
+_SPAD_AREA_PER_MB = 5.0 / 8
+_SPAD_POWER_PER_MB = 1.0 / 8
+_TWIDDLE_AREA_PER_MUL = 0.8 / 8
+_TWIDDLE_POWER_PER_MUL = 2.6 / 8
+_TRANSPOSE_AREA_PER_KB = 0.9 / 2.0  # 16x16 x 8 B = 2 KB
+_TRANSPOSE_POWER_PER_KB = 3.1 / 2.0
+_PHY_AREA_MM2 = 29.8 / 2
+_PHY_POWER_W = 31.7 / 2
+#: Bandwidth served by one HBM2e PHY (GB/s).
+_PHY_BANDWIDTH_GBPS = 500.0
+
+
+@dataclass(frozen=True)
+class ComponentCost:
+    """Area and power of one chip component."""
+
+    name: str
+    area_mm2: float
+    power_w: float
+
+
+@dataclass(frozen=True)
+class ChipBudget:
+    """Full area/power breakdown (paper Table 2)."""
+
+    components: List[ComponentCost]
+
+    @property
+    def total_area_mm2(self) -> float:
+        """Total die area."""
+        return sum(c.area_mm2 for c in self.components)
+
+    @property
+    def total_power_w(self) -> float:
+        """Total power."""
+        return sum(c.power_w for c in self.components)
+
+    def as_rows(self) -> List[tuple[str, float, float]]:
+        """(name, area, power) rows plus the total, for table printing."""
+        rows = [(c.name, c.area_mm2, c.power_w) for c in self.components]
+        rows.append(("Total", self.total_area_mm2, self.total_power_w))
+        return rows
+
+
+def num_phys(config: HwConfig) -> int:
+    """HBM PHYs needed to supply the configured bandwidth."""
+    return max(1, -(-int(config.mem_bandwidth_gbps) // int(_PHY_BANDWIDTH_GBPS)))
+
+
+def chip_budget(config: HwConfig = DEFAULT_CONFIG) -> ChipBudget:
+    """Compute the area/power breakdown for a configuration.
+
+    VSA cost scales with PE count (relative to the default 12x12);
+    scratchpad with capacity; transpose buffer with its footprint;
+    PHY count with bandwidth.
+    """
+    pe_scale = (config.vsa_rows * config.vsa_cols) / 144
+    vsas = ComponentCost(
+        name=f"{config.num_vsas} VSAs",
+        area_mm2=_VSA_AREA_MM2 * config.num_vsas * pe_scale,
+        power_w=_VSA_POWER_W * config.num_vsas * pe_scale,
+    )
+    spad = ComponentCost(
+        name=f"{config.scratchpad_mb:g} MB scratchpad",
+        area_mm2=_SPAD_AREA_PER_MB * config.scratchpad_mb,
+        power_w=_SPAD_POWER_PER_MB * config.scratchpad_mb,
+    )
+    twiddle = ComponentCost(
+        name="Twiddle factor generator",
+        area_mm2=_TWIDDLE_AREA_PER_MUL * config.twiddle_multipliers,
+        power_w=_TWIDDLE_POWER_PER_MUL * config.twiddle_multipliers,
+    )
+    transpose_kb = config.transpose_dim * config.transpose_dim * 8 / 1024
+    transpose = ComponentCost(
+        name="Transpose buffer",
+        area_mm2=_TRANSPOSE_AREA_PER_KB * transpose_kb,
+        power_w=_TRANSPOSE_POWER_PER_KB * transpose_kb,
+    )
+    phys = num_phys(config)
+    phy = ComponentCost(
+        name=f"{phys} HBM PHYs",
+        area_mm2=_PHY_AREA_MM2 * phys,
+        power_w=_PHY_POWER_W * phys,
+    )
+    return ChipBudget(components=[vsas, spad, twiddle, transpose, phy])

@@ -1,0 +1,46 @@
+"""On-the-fly twiddle factor generator (paper Section 4).
+
+Inter-dimension twiddles of the decomposed NTT are generated on chip
+from a handful of modular multipliers and seed buffers instead of being
+stored -- the factors along a row are a geometric sequence
+``w^(k1 * j2)``, so one multiplier per output stream suffices.
+
+Functionally this is :func:`repro.field.gl64.powers` seeded per row; we
+wrap it with cycle accounting and validate against the decomposition's
+reference twiddle matrix.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..field import gl64, goldilocks as gl
+
+
+class TwiddleGenerator:
+    """Geometric-sequence generator with throughput accounting."""
+
+    def __init__(self, num_multipliers: int = 8) -> None:
+        if num_multipliers < 1:
+            raise ValueError("need at least one multiplier")
+        self.num_multipliers = num_multipliers
+        self.factors_generated = 0
+
+    def row(self, base: int, count: int) -> np.ndarray:
+        """Generate ``[1, base, base^2, ...]`` (one row of twiddles)."""
+        self.factors_generated += count
+        return gl64.powers(base, count)
+
+    def inter_dim_block(self, log_n: int, rows: int, cols: int) -> np.ndarray:
+        """All ``w_N^(k1 j2)`` factors for one decomposition boundary."""
+        omega = gl.primitive_root_of_unity(log_n)
+        out = np.empty((rows, cols), dtype=np.uint64)
+        row_base = 1
+        for k in range(rows):
+            out[k] = self.row(row_base, cols)
+            row_base = gl.mul(row_base, omega)
+        return out
+
+    def cycles_for(self, count: int) -> int:
+        """Cycles to generate ``count`` factors (1 per multiplier/cycle)."""
+        return -(-count // self.num_multipliers)

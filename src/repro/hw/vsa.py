@@ -1,0 +1,149 @@
+"""Vector-systolic array (VSA) structural model (paper Figure 3b).
+
+Each VSA is a 12x12 grid of PEs; a PE holds one 64-bit Goldilocks
+modular multiplier, two modular adder/subtractors, and a 64x64-bit
+register file.  Data enters/leaves at the boundary; PEs talk only to
+neighbours (right/down systolic links, plus a few *reverse* bottom-up
+links in designated columns that the Poseidon partial-round mapping
+needs).  A *vector mode* turns each column into an independent vector
+unit for element-wise polynomial kernels.
+
+This module emulates the two execution modes functionally with cycle
+accounting; the per-kernel mappings in :mod:`repro.mapping` build on it
+and are validated against the reference implementations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Tuple
+
+import numpy as np
+
+from ..field import gl64
+
+
+@dataclass(frozen=True)
+class PeSpec:
+    """Resources inside one processing element."""
+
+    multipliers: int = 1
+    adders: int = 2
+    register_words: int = 64
+
+    @property
+    def mul_throughput(self) -> int:
+        """Modular multiplies issued per cycle."""
+        return self.multipliers
+
+
+@dataclass(frozen=True)
+class VsaSpec:
+    """Geometry and link structure of one VSA."""
+
+    rows: int = 12
+    cols: int = 12
+    pe: PeSpec = field(default_factory=PeSpec)
+    #: Columns equipped with bottom-up reverse links (paper: "a limited
+    #: amount of new links"; the partial-round scheme needs them in the
+    #: second column of each 3-column region, i.e. every 3rd column).
+    reverse_link_cols: Tuple[int, ...] = (1, 4, 7, 10)
+
+    @property
+    def num_pes(self) -> int:
+        """PEs in the array."""
+        return self.rows * self.cols
+
+    def has_reverse_link(self, col: int) -> bool:
+        """Whether column ``col`` carries a bottom-up link."""
+        return col in self.reverse_link_cols
+
+
+@dataclass
+class SystolicResult:
+    """Output of an emulated systolic pass."""
+
+    values: np.ndarray
+    cycles: int
+    pe_mul_ops: int
+
+
+class Vsa:
+    """Functional emulator for the VSA's execution modes."""
+
+    def __init__(self, spec: VsaSpec | None = None) -> None:
+        self.spec = spec or VsaSpec()
+
+    # -- systolic (weight-stationary) mode -----------------------------------
+
+    def matmul_weight_stationary(
+        self, weights: np.ndarray, inputs: np.ndarray
+    ) -> SystolicResult:
+        """Row-vector times matrix, streamed through the array.
+
+        ``weights`` (rows x cols) is pre-loaded (weight-stationary, one
+        weight per PE); ``inputs`` is (T, rows) -- one state per cycle.
+        Each PE multiplies its stationary weight with the value arriving
+        on its horizontal link and accumulates into the partial sum
+        moving down its column, exactly the classic systolic schedule.
+        Emulated wavefront by wavefront so the link discipline is real.
+        """
+        rows, cols = self.spec.rows, self.spec.cols
+        if weights.shape != (rows, cols):
+            raise ValueError(f"weights must be {rows}x{cols}")
+        inputs = np.atleast_2d(np.asarray(inputs, dtype=np.uint64))
+        t = inputs.shape[0]
+        if inputs.shape[1] != rows:
+            raise ValueError("input width must equal the row count")
+        out = gl64.zeros((t, cols))
+        # Wavefront emulation: input element i of state s reaches column j
+        # at cycle s + i + j; the column-j accumulator collects rows in
+        # order.  Numerically this is sum_i in[s,i] * W[i,j].
+        for j in range(cols):
+            acc = gl64.zeros(t)
+            for i in range(rows):
+                acc = gl64.add(acc, gl64.mul(inputs[:, i], weights[i, j]))
+            out[:, j] = acc
+        fill_latency = rows + cols  # skew in + skew out
+        cycles = t + fill_latency
+        return SystolicResult(values=out, cycles=cycles, pe_mul_ops=t * rows * cols)
+
+    # -- vector mode -------------------------------------------------------------
+
+    def vector_mode(
+        self,
+        fn: Callable[[List[np.ndarray]], np.ndarray],
+        operands: List[np.ndarray],
+        ops_per_element: int = 1,
+    ) -> SystolicResult:
+        """Element-wise kernel across the array's column vector units.
+
+        ``operands`` are equal-length vectors; ``fn`` combines them
+        element-wise.  Work is split across ``cols`` vector units, each
+        column's PEs chaining multiplier and adders (Section 5.4's
+        chained operations).  Per-cycle throughput: one element per PE
+        per op.
+        """
+        n = operands[0].shape[0]
+        for op in operands:
+            if op.shape[0] != n:
+                raise ValueError("vector-mode operands must be equal length")
+        values = fn(operands)
+        total_ops = n * ops_per_element
+        throughput = self.spec.num_pes  # one op per PE per cycle
+        cycles = -(-total_ops // throughput)
+        return SystolicResult(values=values, cycles=cycles, pe_mul_ops=total_ops)
+
+    # -- reverse links -----------------------------------------------------------
+
+    def reverse_broadcast(self, col: int, value, num_rows: int | None = None):
+        """Carry a value bottom-up along a reverse-link column.
+
+        Used by the Poseidon partial round to distribute the S-boxed
+        ``state[0]`` to all rows and to accumulate the ``v`` dot product
+        upward (Figure 5b).  Raises if the column has no reverse link.
+        """
+        if not self.spec.has_reverse_link(col):
+            raise ValueError(f"column {col} has no reverse link")
+        rows = num_rows or self.spec.rows
+        return [value] * rows

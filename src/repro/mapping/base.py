@@ -1,0 +1,69 @@
+"""Common cost abstraction for kernel mappings.
+
+Every mapping strategy reduces to a :class:`KernelCost`: how many
+cycles the mapped kernel needs on the VSAs (compute bound), how many
+DRAM bytes it moves and at what efficiency (memory bound), and how many
+modular multiplications it performs (for utilisation accounting).
+
+The double-buffered scratchpad overlaps transfers with compute, so a
+kernel's elapsed time is ``max(compute_cycles, memory_cycles)`` -- the
+same first-order model a cycle-accurate simulator converges to for
+streaming kernels, and the mechanism behind every number in the paper's
+Tables 3-4 and Figures 8-10.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..hw.config import HwConfig
+
+#: Kernel classes used in the paper's breakdowns.
+KIND_NTT = "ntt"
+KIND_HASH = "hash"
+KIND_POLY = "poly"
+KIND_TRANSFORM = "transform"
+ALL_KINDS = (KIND_NTT, KIND_HASH, KIND_POLY, KIND_TRANSFORM)
+
+
+@dataclass(frozen=True)
+class KernelCost:
+    """Resource demand of one mapped kernel instance."""
+
+    name: str
+    kind: str
+    #: Cycles the VSAs are busy if memory were infinitely fast.
+    compute_cycles: float
+    #: Total DRAM traffic in bytes (reads + writes).
+    mem_bytes: float
+    #: Achievable fraction of peak bandwidth for this access pattern.
+    mem_efficiency: float
+    #: Total 64-bit modular multiplications (for VSA utilisation).
+    mult_ops: float
+    #: Extra metadata for reports.
+    detail: dict = field(default_factory=dict)
+
+    def memory_cycles(self, hw: HwConfig) -> float:
+        """Cycles the DRAM needs at the kernel's effective bandwidth."""
+        if self.mem_bytes <= 0:
+            return 0.0
+        eff = max(1e-6, min(1.0, self.mem_efficiency))
+        return self.mem_bytes / (hw.bytes_per_cycle * eff)
+
+    def elapsed_cycles(self, hw: HwConfig) -> float:
+        """Elapsed cycles with double-buffered compute/memory overlap."""
+        return max(self.compute_cycles, self.memory_cycles(hw), 1.0)
+
+    def memory_utilization(self, hw: HwConfig) -> float:
+        """Achieved / peak DRAM bandwidth while this kernel runs."""
+        elapsed = self.elapsed_cycles(hw)
+        return min(1.0, self.mem_bytes / (elapsed * hw.bytes_per_cycle))
+
+    def vsa_utilization(self, hw: HwConfig) -> float:
+        """Fraction of PE multiplier slots doing useful work."""
+        elapsed = self.elapsed_cycles(hw)
+        return min(1.0, self.mult_ops / (elapsed * hw.total_pes))
+
+    def is_memory_bound(self, hw: HwConfig) -> bool:
+        """Whether DRAM, not the VSAs, limits this kernel."""
+        return self.memory_cycles(hw) > self.compute_cycles

@@ -1,0 +1,239 @@
+"""PE-grid schedules for the mapped kernels (compiler backend output).
+
+These are the static per-PE instruction schedules a UniZK compiler
+backend emits, executed on the cycle-stepped
+:class:`repro.hw.microcode.GridEmulator` and validated against the
+reference mathematics in the tests:
+
+* :func:`run_matvec` -- the weight-stationary systolic matrix-vector
+  product behind every Poseidon MDS multiply (Figure 5a's second
+  stage; Section 4's "standard matrix multiplications");
+* :func:`run_sbox_pipeline` -- the pipelined ``x^7`` scalar chain of
+  the partial round's first PE column (Figure 5b), initiation
+  interval 2 (the down link carries the partial and the original ``x``
+  in alternate slots);
+* :func:`run_reverse_dot` -- the bottom-up dot-product accumulation
+  over the reverse links (Figure 5b's ``v`` column);
+* :func:`run_vector_mac` -- vector mode: each column as an independent
+  vector unit running fused multiply-adds.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from ..field import goldilocks as gl
+from ..hw.microcode import (
+    IN_BOTTOM,
+    IN_LEFT,
+    IN_TOP,
+    NOP,
+    GridEmulator,
+    Instr,
+    imm,
+    reg,
+)
+
+Programs = Dict[Tuple[int, int], list]
+
+
+def _pad(program: list, start: int) -> list:
+    """Prefix a per-cycle program with idle cycles."""
+    return [NOP] * start + program
+
+
+# ---------------------------------------------------------------------------
+# Weight-stationary systolic matvec
+# ---------------------------------------------------------------------------
+
+
+def run_matvec(weights: np.ndarray, states: np.ndarray) -> Tuple[np.ndarray, int]:
+    """Stream row-vector x matrix products through an ``n x n`` grid.
+
+    PE ``(i, j)`` holds ``W[i][j]`` stationary in register 0; state
+    element ``i`` of state ``s`` enters row ``i`` at cycle ``s + i``
+    (the classic input skew).  Each active PE fires one
+    ``mac(in_left, W, in_top)`` down its column and forwards the state
+    element right -- exactly one multiplier and one adder-slot per
+    cycle.  Column ``j`` finishes state ``s`` at the bottom row on
+    cycle ``s + (n - 1) + j``.
+
+    Returns ``(outputs, cycles)`` with
+    ``out[s][j] = sum_i states[s][i] * W[i][j]``.
+    """
+    n = weights.shape[0]
+    t_count = states.shape[0]
+    emu = GridEmulator(rows=n, cols=n, register_words=max(64, t_count + 2))
+    for i in range(n):
+        for j in range(n):
+            emu.regs[(i, j)][0] = int(weights[i, j])
+    total = t_count + 2 * n + 1
+    programs: Programs = {}
+    for i in range(n):
+        for j in range(n):
+            prog = []
+            for cycle in range(total):
+                s = cycle - i - j
+                if 0 <= s < t_count:
+                    compute = Instr(
+                        "mac",
+                        IN_LEFT,
+                        reg(0),
+                        IN_TOP,
+                        dst_reg=(1 + s) if i == n - 1 else None,
+                        out_down=True,
+                    )
+                    prog.append((compute, Instr("mov", IN_LEFT, out_right=True)))
+                else:
+                    prog.append(NOP)
+            programs[(i, j)] = prog
+    feeds = {
+        i: [0] * i + [int(states[s, i]) for s in range(t_count)] for i in range(n)
+    }
+    cycles = emu.run(programs, left_inputs=feeds, num_cycles=total)
+    out = np.zeros((t_count, n), dtype=np.uint64)
+    for j in range(n):
+        for s in range(t_count):
+            out[s, j] = emu.regs[(n - 1, j)][1 + s]
+    return out, cycles
+
+
+# ---------------------------------------------------------------------------
+# S-box pipeline (partial round, first PE column of Figure 5b)
+# ---------------------------------------------------------------------------
+
+
+def run_sbox_pipeline(values: List[int], post_constant: int = 0) -> Tuple[List[int], int]:
+    """Pipelined ``x^7 + post_constant`` on a 5-PE column.
+
+    Chain: ``a = x^2``, ``b = a*x``, ``c = b^2``, ``t = c*x``,
+    ``t + const`` -- four multiplies plus a constant add, one PE each
+    (the paper's "row of 4 PEs" plus the fused constant adder).
+
+    The single down link per PE carries two values per element (the
+    running partial and the original ``x`` needed again at stages 2 and
+    4), so the pipeline runs at initiation interval 2: even slot of
+    element ``s`` at row ``r`` (cycle ``2s + r``) transports/stashes
+    ``x``, the odd slot (cycle ``2s + r + 1``) computes.
+
+    Returns ``(outputs, cycles)``.
+    """
+    t_count = len(values)
+    rows = 5
+    emu = GridEmulator(rows=rows, cols=1, register_words=max(64, t_count + 12))
+    total = 2 * t_count + rows + 2
+    programs: Programs = {}
+
+    computes = {
+        0: Instr("mul", reg(2), reg(2), out_down=True),  # a = x^2
+        1: Instr("mul", IN_TOP, reg(2), out_down=True),  # b = a * x
+        2: Instr("mul", IN_TOP, IN_TOP, out_down=True),  # c = b^2
+        3: Instr("mul", IN_TOP, reg(2), out_down=True),  # t = c * x
+    }
+    for r in range(4):
+        prog = [NOP] * total
+        for s in range(t_count):
+            transport_cycle = 2 * s + r
+            compute_cycle = transport_cycle + 1
+            prog[transport_cycle] = (
+                Instr("mov", IN_TOP, out_down=True),  # forward x downward
+                Instr("mov", IN_TOP, dst_reg=2),  # stash x locally
+            )
+            prog[compute_cycle] = computes[r]
+        programs[(r, 0)] = prog
+    # Row 4: the partial arrives on cycle 2s + 5; add the constant.
+    prog4 = [NOP] * total
+    for s in range(t_count):
+        prog4[2 * s + 5] = Instr("add", IN_TOP, imm(post_constant), dst_reg=10 + s)
+    programs[(4, 0)] = prog4
+
+    # Feed x_s at the top on cycle 2s (row 0's transport slot).
+    feed = [0] * total
+    for s, v in enumerate(values):
+        feed[2 * s] = int(v) % gl.P
+    cycles = emu.run(programs, top_inputs={0: feed}, num_cycles=total)
+    outputs = [emu.regs[(4, 0)][10 + s] for s in range(t_count)]
+    return outputs, cycles
+
+
+# ---------------------------------------------------------------------------
+# Reverse-link dot-product accumulation (Figure 5b's `v` column)
+# ---------------------------------------------------------------------------
+
+
+def run_reverse_dot(state: List[int], coeffs: List[int]) -> Tuple[int, int]:
+    """Accumulate ``sum_r state[r] * coeffs[r]`` bottom-up via up links.
+
+    Row ``r`` holds ``coeffs[r]`` in register 0 and ``state[r]`` in
+    register 1; starting from the bottom row, each PE fires one
+    ``mac(state, coeff, in_bottom)`` upward; the total exits at the top
+    boundary after ``n`` cycles.  Returns ``(dot_value, cycles)``.
+    """
+    n = len(state)
+    emu = GridEmulator(rows=n, cols=1, reverse_link_cols=(0,))
+    for r in range(n):
+        emu.regs[(r, 0)][0] = int(coeffs[r]) % gl.P
+        emu.regs[(r, 0)][1] = int(state[r]) % gl.P
+    programs: Programs = {}
+    for r in range(n):
+        fire_cycle = n - 1 - r  # bottom row first
+        programs[(r, 0)] = _pad(
+            [Instr("mac", reg(1), reg(0), IN_BOTTOM, out_up=True)], fire_cycle
+        )
+    cycles = emu.run(programs, num_cycles=n + 1)
+    if not emu.top_outputs:
+        raise RuntimeError("dot product never reached the top boundary")
+    _, _, value = emu.top_outputs[-1]
+    return value, cycles
+
+
+# ---------------------------------------------------------------------------
+# Vector mode: one column as a vector unit
+# ---------------------------------------------------------------------------
+
+
+def run_vector_mac(
+    xs: List[int], ys: List[int], zs: List[int]
+) -> Tuple[List[int], int]:
+    """Element-wise ``x*y + z`` across a 12-PE column in vector mode.
+
+    Elements strip-mine across rows (element ``e`` to lane ``e % 12``);
+    each lane streams its operands from the left boundary over three
+    cycles (x, y, z) and fires a fused ``mac`` on the third -- the
+    chained-operation pattern of Section 5.4.
+
+    Returns ``(outputs, cycles)``.
+    """
+    n = len(xs)
+    if not (len(ys) == len(zs) == n):
+        raise ValueError("operand vectors must have equal length")
+    rows = 12
+    per_lane = -(-n // rows) if n else 0
+    emu = GridEmulator(rows=rows, cols=1, register_words=max(64, per_lane + 12))
+    programs: Programs = {}
+    feeds: Dict[int, List[int]] = {}
+    for r in range(rows):
+        lane_elems = [e for e in range(n) if e % rows == r]
+        prog = []
+        stream: List[int] = []
+        for k, e in enumerate(lane_elems):
+            stream.extend([int(xs[e]), int(ys[e]), int(zs[e])])
+            prog.append(Instr("mov", IN_LEFT, dst_reg=0))
+            prog.append(Instr("mov", IN_LEFT, dst_reg=1))
+            prog.append(Instr("mac", reg(0), reg(1), IN_LEFT, dst_reg=10 + k))
+        if prog:
+            programs[(r, 0)] = prog
+            feeds[r] = stream
+    if not programs:
+        return [], 0
+    total = max(len(p) for p in programs.values())
+    cycles = emu.run(programs, left_inputs=feeds, num_cycles=total)
+    out = [0] * n
+    counts = [0] * rows
+    for e in range(n):
+        r = e % rows
+        out[e] = emu.regs[(r, 0)][10 + counts[r]]
+        counts[r] += 1
+    return out, cycles

@@ -1,0 +1,16 @@
+"""Merkle commitments with Plonky2-style caps and batched multiproofs."""
+
+from . import multiproof
+from .multiproof import MerkleMultiProof, prove_multi, verify_multi
+from .tree import MerkleProof, MerkleTree, merkle_permutation_count, verify_proof
+
+__all__ = [
+    "MerkleTree",
+    "MerkleProof",
+    "verify_proof",
+    "merkle_permutation_count",
+    "multiproof",
+    "MerkleMultiProof",
+    "prove_multi",
+    "verify_multi",
+]

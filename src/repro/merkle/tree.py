@@ -1,0 +1,111 @@
+"""Merkle tree with Plonky2-style caps (paper Section 5.3).
+
+Leaves are rows of field elements (one row per LDE-domain point,
+concatenating the values of all committed polynomials at that point).
+Leaf digests come from the Poseidon sponge; internal nodes use
+two-to-one compression.  Instead of a single root, the tree can be
+truncated at a *cap* of ``2**cap_height`` digests, trading commitment
+size for shorter authentication paths -- exactly as Plonky2 does.
+
+The tree stores its levels contiguously in level order, matching the
+memory layout UniZK relies on for long sequential DRAM accesses while
+climbing levels (Section 5.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from ..field import gl64
+from ..hashing import sponge
+
+
+@dataclass(frozen=True)
+class MerkleProof:
+    """Authentication path from a leaf to the cap."""
+
+    siblings: np.ndarray  # (path_len, DIGEST_LEN)
+
+    def __len__(self) -> int:
+        return len(self.siblings)
+
+
+class MerkleTree:
+    """Merkle tree over a (num_leaves, leaf_width) matrix of elements."""
+
+    def __init__(self, leaves: np.ndarray, cap_height: int = 0) -> None:
+        leaves = np.atleast_2d(np.asarray(leaves, dtype=np.uint64))
+        num_leaves = leaves.shape[0]
+        if num_leaves == 0 or num_leaves & (num_leaves - 1):
+            raise ValueError("leaf count must be a non-zero power of two")
+        depth = num_leaves.bit_length() - 1
+        if not 0 <= cap_height <= depth:
+            raise ValueError(f"cap_height must be in [0, {depth}]")
+        self.leaves = leaves
+        self.cap_height = cap_height
+        #: levels[0] = leaf digests; levels[-1] = the cap.
+        self.levels: List[np.ndarray] = [sponge.hash_or_noop(leaves)]
+        while self.levels[-1].shape[0] > (1 << cap_height):
+            prev = self.levels[-1]
+            self.levels.append(sponge.two_to_one(prev[0::2], prev[1::2]))
+
+    @property
+    def cap(self) -> np.ndarray:
+        """The commitment: ``2**cap_height`` digests, shape (c, 4)."""
+        return self.levels[-1]
+
+    @property
+    def root(self) -> np.ndarray:
+        """The single root digest (requires ``cap_height == 0``)."""
+        if self.cap_height != 0:
+            raise ValueError("tree has a cap, not a single root")
+        return self.levels[-1][0]
+
+    def num_leaves(self) -> int:
+        """Number of leaves."""
+        return self.leaves.shape[0]
+
+    def prove(self, index: int) -> MerkleProof:
+        """Return the authentication path for leaf ``index``."""
+        if not 0 <= index < self.num_leaves():
+            raise IndexError("leaf index out of range")
+        sibs = []
+        for level in self.levels[:-1]:
+            sibs.append(level[index ^ 1])
+            index >>= 1
+        if sibs:
+            return MerkleProof(siblings=np.stack(sibs))
+        return MerkleProof(siblings=np.zeros((0, sponge.DIGEST_LEN), dtype=np.uint64))
+
+
+def verify_proof(
+    leaf_data: np.ndarray,
+    index: int,
+    proof: MerkleProof,
+    cap: np.ndarray,
+) -> bool:
+    """Check an authentication path against a cap.
+
+    ``leaf_data`` is the raw leaf row (the verifier re-hashes it).
+    """
+    digest = sponge.hash_or_noop(np.atleast_2d(np.asarray(leaf_data, dtype=np.uint64)))[0]
+    for sibling in proof.siblings:
+        if index & 1:
+            digest = sponge.two_to_one(sibling, digest)
+        else:
+            digest = sponge.two_to_one(digest, sibling)
+        index >>= 1
+    cap = np.atleast_2d(np.asarray(cap, dtype=np.uint64))
+    if index >= cap.shape[0]:
+        return False
+    return bool(np.array_equal(digest, cap[index]))
+
+
+def merkle_permutation_count(num_leaves: int, leaf_width: int, cap_height: int = 0) -> int:
+    """Poseidon permutations needed to build a tree (for cost models)."""
+    per_leaf = sponge.permutation_count(leaf_width) if leaf_width > sponge.DIGEST_LEN else 0
+    internal = max(0, num_leaves - (1 << cap_height))
+    return num_leaves * per_leaf + internal

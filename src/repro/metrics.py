@@ -1,0 +1,81 @@
+"""Operation counters instrumenting the functional stack.
+
+The performance models cost proofs from *predicted* operation counts
+(permutations per Merkle tree, butterflies per NTT).  These counters
+measure what the functional provers actually execute, so the
+test-suite can cross-validate prediction against reality at matched
+parameters -- the reproduction's analogue of validating the simulator
+against RTL.
+
+Usage::
+
+    with counting() as c:
+        prove(...)
+    print(c.sponge_permutations, c.ntt_butterflies)
+
+Counting is always on (one integer add per call -- negligible); the
+context manager just snapshots deltas.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Counters:
+    """Running operation totals."""
+
+    #: Poseidon permutations issued by the sponge (Merkle trees, leaf
+    #: hashing, two-to-one compression).
+    sponge_permutations: int = 0
+    #: Poseidon permutations issued by the duplex challenger
+    #: (Fiat-Shamir, grinding).
+    challenger_permutations: int = 0
+    #: NTT butterflies executed (forward + inverse, all variants).
+    ntt_butterflies: int = 0
+    #: NTT transforms executed (count of (batch, size) calls).
+    ntt_transforms: int = 0
+
+    def snapshot(self) -> "Counters":
+        """Copy the current totals."""
+        return Counters(
+            sponge_permutations=self.sponge_permutations,
+            challenger_permutations=self.challenger_permutations,
+            ntt_butterflies=self.ntt_butterflies,
+            ntt_transforms=self.ntt_transforms,
+        )
+
+    def delta(self, since: "Counters") -> "Counters":
+        """Totals accumulated since a snapshot."""
+        return Counters(
+            sponge_permutations=self.sponge_permutations - since.sponge_permutations,
+            challenger_permutations=(
+                self.challenger_permutations - since.challenger_permutations
+            ),
+            ntt_butterflies=self.ntt_butterflies - since.ntt_butterflies,
+            ntt_transforms=self.ntt_transforms - since.ntt_transforms,
+        )
+
+    @property
+    def total_permutations(self) -> int:
+        """All Poseidon permutations."""
+        return self.sponge_permutations + self.challenger_permutations
+
+
+#: The global counter instance the instrumented modules update.
+GLOBAL = Counters()
+
+
+@contextmanager
+def counting():
+    """Yield a live view of the operations executed inside the block."""
+    start = GLOBAL.snapshot()
+    holder = Counters()
+
+    class _View:
+        def __getattr__(self, name):
+            return getattr(GLOBAL.delta(start), name)
+
+    yield _View()

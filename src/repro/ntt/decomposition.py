@@ -1,0 +1,100 @@
+"""Multi-dimensional NTT decomposition (SAM-style).
+
+UniZK supports *variable-length* NTTs on *fixed-size* hardware by
+decomposing a size-``N`` transform into ``k`` dimensions of small
+fixed-size-``n`` transforms with element-wise inter-dimension twiddle
+multiplications (paper Section 5.1, Figure 4b).  This module implements
+the decomposition exactly -- the classic Bailey/four-step factorisation,
+generalised to any dimension list -- so it can be validated against the
+direct transform and drive the NTT mapping's cycle model.
+
+For ``N = R * C`` (``R`` the first processed dimension):
+
+``X[k2*R + k1] = sum_j2 w_C^(j2 k2) * [ w_N^(j2 k1) *
+                 sum_j1 x[j1*C + j2] * w_R^(j1 k1) ]``
+
+i.e. column NTTs of size ``R``, inter-dimension twiddles ``w_N^(j2 k1)``
+(generated on the fly by the hardware's twiddle factor generator), then
+row NTTs of size ``C`` with a transposed output layout -- which is where
+UniZK's global transpose buffer earns its area.
+"""
+
+from __future__ import annotations
+
+from math import prod
+from typing import Sequence
+
+import numpy as np
+
+from ..field import gl64, goldilocks as gl
+from .transforms import ntt
+
+
+def inter_dim_twiddles(log_n: int, rows: int, cols: int) -> np.ndarray:
+    """The (rows x cols) matrix of twiddles ``w_N^(j2*k1)``.
+
+    ``rows`` indexes ``k1`` (output of the first-dimension NTT) and
+    ``cols`` indexes ``j2`` (position along the remaining dimensions).
+    """
+    omega = gl.primitive_root_of_unity(log_n)
+    row_bases = gl64.powers(omega, rows)  # w^k1
+    out = np.empty((rows, cols), dtype=np.uint64)
+    for k in range(rows):
+        out[k] = gl64.powers(int(row_bases[k]), cols)
+    return out
+
+
+def ntt_multidim(a: np.ndarray, dims: Sequence[int]) -> np.ndarray:
+    """Compute a size-``prod(dims)`` NTT via multi-dimensional decomposition.
+
+    ``a`` is a 1-D coefficient vector.  Returns the NTT in natural order
+    (identical to :func:`repro.ntt.ntt.ntt`), so correctness can be
+    asserted directly.  Implemented by recursive two-way splits
+    ``dims[0] x prod(dims[1:])``.
+    """
+    dims = list(dims)
+    n = a.shape[-1]
+    if prod(dims) != n:
+        raise ValueError(f"dims {dims} do not factor size {n}")
+    for d in dims:
+        if d & (d - 1):
+            raise ValueError("all decomposed dimensions must be powers of two")
+    return _ntt_split(np.array(a, dtype=np.uint64, copy=True), dims)
+
+
+def _ntt_split(a: np.ndarray, dims: Sequence[int]) -> np.ndarray:
+    n = a.shape[-1]
+    if len(dims) == 1:
+        return ntt(a)
+    r = dims[0]
+    c = n // r
+    log_n = n.bit_length() - 1
+    # Step 1: column NTTs of size r over stride-c sub-sequences.
+    mat = a.reshape(r, c)  # mat[j1, j2] = x[j1*c + j2]
+    cols_first = ntt(np.ascontiguousarray(mat.T))  # (c, r): NTT over j1
+    # Step 2: inter-dimension twiddles w_N^(j2 * k1).
+    tw = inter_dim_twiddles(log_n, r, c)  # (r, c) indexed [k1, j2]
+    twisted = gl64.mul(cols_first, tw.T)  # (c, r) indexed [j2, k1]
+    # Step 3: remaining dimensions over j2 for each k1, recursively.
+    inner = np.ascontiguousarray(twisted.T)  # (r, c) indexed [k1, j2]
+    rows_done = np.stack([_ntt_split(inner[k1], dims[1:]) for k1 in range(r)])
+    # Output index k = k2 * r + k1  ->  transpose (r, c) -> (c, r).
+    return np.ascontiguousarray(rows_done.T).reshape(n)
+
+
+def decompose_size(log_n: int, log_tile: int) -> list[int]:
+    """Split ``2**log_n`` into dimensions of at most ``2**log_tile``.
+
+    This mirrors the hardware mapping: UniZK's half-row MDC pipelines
+    handle fixed ``n = 2**5`` tiles, so e.g. a size-512 NTT becomes
+    ``[8, 8, 8]`` with an 8x8 array (the paper's Figure 4b example).
+    """
+    if log_n <= 0:
+        raise ValueError("log_n must be positive")
+    dims = []
+    remaining = log_n
+    while remaining > 0:
+        take = min(log_tile, remaining)
+        dims.append(1 << take)
+        remaining -= take
+    return dims

@@ -1,0 +1,273 @@
+"""Polynomial algebra over the Goldilocks field.
+
+The miscellaneous polynomial computations of Plonky2/Starky (paper
+Table 1's third-largest time consumer, and UniZK's post-acceleration
+bottleneck per Figure 8): addition, multiplication (schoolbook or
+NTT-based), evaluation at base/extension points, synthetic division,
+vanishing polynomials, and Lagrange interpolation over subgroups.
+
+Coefficients are NumPy ``uint64`` arrays, lowest degree first.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+import numpy as np
+
+from ..field import extension as fext, gl64, goldilocks as gl
+from . import transforms as _ntt
+
+#: Below this size, multiplication uses schoolbook instead of NTT.
+_NTT_MUL_THRESHOLD = 64
+
+
+class Polynomial:
+    """An immutable dense polynomial with Goldilocks coefficients."""
+
+    __slots__ = ("coeffs",)
+
+    def __init__(self, coeffs) -> None:
+        arr = np.atleast_1d(np.asarray(coeffs, dtype=np.uint64))
+        if arr.ndim != 1:
+            raise ValueError("Polynomial coefficients must be 1-D")
+        self.coeffs = _trim(arr)
+
+    # -- constructors ----------------------------------------------------
+
+    @classmethod
+    def zero(cls) -> "Polynomial":
+        """The zero polynomial."""
+        return cls(np.zeros(1, dtype=np.uint64))
+
+    @classmethod
+    def constant(cls, c: int) -> "Polynomial":
+        """The constant polynomial ``c``."""
+        return cls(np.array([c % gl.P], dtype=np.uint64))
+
+    @classmethod
+    def x_pow(cls, k: int, scale: int = 1) -> "Polynomial":
+        """The monomial ``scale * X**k``."""
+        coeffs = np.zeros(k + 1, dtype=np.uint64)
+        coeffs[k] = scale % gl.P
+        return cls(coeffs)
+
+    @classmethod
+    def from_evals_subgroup(cls, values) -> "Polynomial":
+        """Interpolate evaluations over the size-``len(values)`` subgroup."""
+        return cls(_ntt.intt(np.asarray(values, dtype=np.uint64)))
+
+    @classmethod
+    def vanishing(cls, log_n: int) -> "Polynomial":
+        """``Z_H(X) = X**(2**log_n) - 1``, vanishing on the subgroup ``H``."""
+        n = 1 << log_n
+        coeffs = np.zeros(n + 1, dtype=np.uint64)
+        coeffs[0] = gl.P - 1
+        coeffs[n] = 1
+        return cls(coeffs)
+
+    # -- basic properties ------------------------------------------------
+
+    def degree(self) -> int:
+        """Degree; the zero polynomial reports degree 0 by convention."""
+        return len(self.coeffs) - 1
+
+    def is_zero(self) -> bool:
+        """Whether this is the zero polynomial."""
+        return len(self.coeffs) == 1 and self.coeffs[0] == 0
+
+    def __len__(self) -> int:
+        return len(self.coeffs)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Polynomial):
+            return NotImplemented
+        return np.array_equal(self.coeffs, other.coeffs)
+
+    def __hash__(self) -> int:
+        return hash(self.coeffs.tobytes())
+
+    def __repr__(self) -> str:
+        show = self.coeffs[:8].tolist()
+        ell = "..." if len(self.coeffs) > 8 else ""
+        return f"Polynomial(deg={self.degree()}, coeffs={show}{ell})"
+
+    # -- arithmetic --------------------------------------------------------
+
+    def __add__(self, other: "PolyLike") -> "Polynomial":
+        other = _coerce(other)
+        a, b = _pad_pair(self.coeffs, other.coeffs)
+        return Polynomial(gl64.add(a, b))
+
+    __radd__ = __add__
+
+    def __sub__(self, other: "PolyLike") -> "Polynomial":
+        other = _coerce(other)
+        a, b = _pad_pair(self.coeffs, other.coeffs)
+        return Polynomial(gl64.sub(a, b))
+
+    def __rsub__(self, other: "PolyLike") -> "Polynomial":
+        return _coerce(other) - self
+
+    def __neg__(self) -> "Polynomial":
+        return Polynomial(gl64.neg(self.coeffs))
+
+    def __mul__(self, other: "PolyLike") -> "Polynomial":
+        other = _coerce(other)
+        if self.is_zero() or other.is_zero():
+            return Polynomial.zero()
+        out_len = len(self.coeffs) + len(other.coeffs) - 1
+        if out_len <= _NTT_MUL_THRESHOLD:
+            return Polynomial(_schoolbook_mul(self.coeffs, other.coeffs))
+        size = 1 << (out_len - 1).bit_length()
+        a = np.zeros(size, dtype=np.uint64)
+        b = np.zeros(size, dtype=np.uint64)
+        a[: len(self.coeffs)] = self.coeffs
+        b[: len(other.coeffs)] = other.coeffs
+        prod = _ntt.intt(gl64.mul(_ntt.ntt(a), _ntt.ntt(b)))
+        return Polynomial(prod[:out_len])
+
+    __rmul__ = __mul__
+
+    def scale(self, s: int) -> "Polynomial":
+        """Multiply every coefficient by the scalar ``s``."""
+        return Polynomial(gl64.mul(self.coeffs, np.uint64(s % gl.P)))
+
+    def shift_args(self, s: int) -> "Polynomial":
+        """Return ``q(X) = p(s * X)`` (coefficient ``i`` scaled by ``s**i``).
+
+        This is the coset trick: evaluating ``p`` on ``s * <omega>`` equals
+        evaluating ``p(s X)`` on ``<omega>``.
+        """
+        scales = gl64.powers(s, len(self.coeffs))
+        return Polynomial(gl64.mul(self.coeffs, scales))
+
+    # -- evaluation --------------------------------------------------------
+
+    def eval(self, x: int) -> int:
+        """Evaluate at a base-field point (Horner, Python ints)."""
+        acc = 0
+        for c in reversed(self.coeffs.tolist()):
+            acc = (acc * x + int(c)) % gl.P
+        return acc
+
+    def eval_ext(self, x: np.ndarray) -> np.ndarray:
+        """Evaluate at an extension-field point (shape (2,))."""
+        return fext.eval_poly_base(self.coeffs, x)
+
+    def eval_batch(self, xs) -> np.ndarray:
+        """Evaluate at many base-field points (vectorised Horner)."""
+        xs = np.asarray(xs, dtype=np.uint64)
+        acc = gl64.zeros(xs.shape)
+        for c in self.coeffs[::-1]:
+            acc = gl64.add(gl64.mul(acc, xs), c)
+        return acc
+
+    def evals_on_subgroup(self, log_n: int | None = None) -> np.ndarray:
+        """Evaluate on the subgroup of size ``2**log_n`` (default: smallest
+        power of two covering the degree)."""
+        if log_n is None:
+            log_n = max(1, (len(self.coeffs) - 1).bit_length())
+        n = 1 << log_n
+        if n < len(self.coeffs):
+            raise ValueError("subgroup smaller than coefficient count")
+        padded = np.zeros(n, dtype=np.uint64)
+        padded[: len(self.coeffs)] = self.coeffs
+        return _ntt.ntt(padded)
+
+    # -- division ----------------------------------------------------------
+
+    def divide_by_linear(self, z: int) -> tuple["Polynomial", int]:
+        """Synthetic division by ``(X - z)``: returns ``(quotient, remainder)``.
+
+        The remainder equals ``self.eval(z)`` (used by FRI openings:
+        ``(p(X) - p(z)) / (X - z)`` is a polynomial iff the claimed value
+        is correct).
+        """
+        coeffs = self.coeffs.tolist()
+        out = [0] * (len(coeffs) - 1)
+        acc = 0
+        for i in range(len(coeffs) - 1, 0, -1):
+            acc = (acc * z + coeffs[i]) % gl.P
+            out[i - 1] = acc
+        rem = (acc * z + coeffs[0]) % gl.P
+        if not out:
+            out = [0]
+        return Polynomial(np.array(out, dtype=np.uint64)), rem
+
+    def divmod_vanishing(self, log_n: int) -> tuple["Polynomial", "Polynomial"]:
+        """Divide by ``Z_H = X**n - 1``: quotient and remainder.
+
+        Exact (zero remainder) iff ``self`` vanishes on the subgroup --
+        the core check of the Plonk/STARK quotient construction.  Uses
+        ``X**n = 1 + Z_H * X**0`` folding, O(len) field ops.
+        """
+        n = 1 << log_n
+        coeffs = self.coeffs.copy()
+        if len(coeffs) <= n:
+            return Polynomial.zero(), Polynomial(coeffs)
+        quot = np.zeros(len(coeffs) - n, dtype=np.uint64)
+        # Repeatedly reduce the top coefficient: c*X^(n+k) = c*X^k*(Z_H) + c*X^k
+        work = coeffs.tolist()
+        for i in range(len(work) - 1, n - 1, -1):
+            c = work[i]
+            if c:
+                quot[i - n] = c
+                work[i - n] = (work[i - n] + c) % gl.P
+                work[i] = 0
+        return Polynomial(quot), Polynomial(np.array(work[:n], dtype=np.uint64))
+
+
+PolyLike = Union[Polynomial, int]
+
+
+def _coerce(value: PolyLike) -> Polynomial:
+    if isinstance(value, Polynomial):
+        return value
+    if isinstance(value, (int, np.integer)):
+        return Polynomial.constant(int(value))
+    raise TypeError(f"cannot treat {type(value).__name__} as a polynomial")
+
+
+def _trim(coeffs: np.ndarray) -> np.ndarray:
+    nz = np.nonzero(coeffs)[0]
+    if nz.size == 0:
+        return np.zeros(1, dtype=np.uint64)
+    return np.ascontiguousarray(coeffs[: int(nz[-1]) + 1])
+
+
+def _pad_pair(a: np.ndarray, b: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    n = max(len(a), len(b))
+    if len(a) < n:
+        a = np.concatenate([a, np.zeros(n - len(a), dtype=np.uint64)])
+    if len(b) < n:
+        b = np.concatenate([b, np.zeros(n - len(b), dtype=np.uint64)])
+    return a, b
+
+
+def _schoolbook_mul(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    out = np.zeros(len(a) + len(b) - 1, dtype=np.uint64)
+    for i, c in enumerate(a):
+        if c:
+            out[i : i + len(b)] = gl64.add(out[i : i + len(b)], gl64.mul(b, c))
+    return out
+
+
+def barycentric_eval(values: np.ndarray, log_n: int, x: int) -> int:
+    """Evaluate the interpolant of subgroup evaluations at ``x`` directly.
+
+    Uses the barycentric formula on the subgroup ``H`` of size ``n``:
+    ``p(x) = (x**n - 1)/n * sum_i  v_i * w^i / (x - w^i)``.
+    ``x`` must lie outside ``H``.
+    """
+    n = 1 << log_n
+    if len(values) != n:
+        raise ValueError("value count must equal subgroup size")
+    omega_pows = gl64.powers(gl.primitive_root_of_unity(log_n), n)
+    denom = gl64.sub(np.uint64(x % gl.P), omega_pows)
+    if bool((denom == 0).any()):
+        raise ValueError("barycentric point lies inside the subgroup")
+    terms = gl64.mul(gl64.mul(values, omega_pows), gl64.inv_fast(denom))
+    total = int(gl64.sum_array(terms))
+    zh = gl.sub(gl.pow_mod(x, n), 1)
+    return gl.mul(gl.mul(zh, gl.inverse(n)), total)

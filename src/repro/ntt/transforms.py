@@ -1,0 +1,244 @@
+"""Number theoretic transforms over the Goldilocks field.
+
+Implements every variant the UniZK paper needs (Section 5.1):
+
+* forward/inverse transforms with **natural (N)** or **bit-reversed (R)**
+  input/output orders -- ``NN``, ``NR``, ``RN`` -- because FRI's LDE step
+  uses ``NTT^NR`` while the value->coefficient conversion uses
+  ``iNTT^NN``;
+* **coset** (i)NTTs, used by low-degree extension and quotient-polynomial
+  evaluation, where the evaluation domain is ``g * <omega>``;
+* batched transforms over the last axis, mirroring how the hardware
+  streams many polynomials through its MDC pipelines.
+
+Internally everything is the classic iterative radix-2 Cooley-Tukey pair:
+DIF (natural in, bit-reversed out) and DIT (bit-reversed in, natural
+out), each vectorised with NumPy over batch *and* butterfly axes.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+import numpy as np
+
+from ..field import gl64, goldilocks as gl
+from ..metrics import GLOBAL as _METRICS
+
+
+@lru_cache(maxsize=None)
+def bit_reverse_indices(log_n: int) -> np.ndarray:
+    """Return the bit-reversal permutation for size ``2**log_n``."""
+    n = 1 << log_n
+    idx = np.arange(n, dtype=np.uint64)
+    rev = np.zeros(n, dtype=np.uint64)
+    for b in range(log_n):
+        rev |= ((idx >> np.uint64(b)) & np.uint64(1)) << np.uint64(log_n - 1 - b)
+    return rev.astype(np.int64)
+
+
+def bit_reverse(a: np.ndarray) -> np.ndarray:
+    """Permute the last axis of ``a`` into bit-reversed order."""
+    n = a.shape[-1]
+    log_n = _checked_log2(n)
+    return np.ascontiguousarray(a[..., bit_reverse_indices(log_n)])
+
+
+def _checked_log2(n: int) -> int:
+    log_n = n.bit_length() - 1
+    if n <= 0 or (1 << log_n) != n:
+        raise ValueError(f"transform size must be a power of two, got {n}")
+    if log_n > gl.TWO_ADICITY:
+        raise ValueError(f"size 2**{log_n} exceeds the field's 2-adicity")
+    return log_n
+
+
+@lru_cache(maxsize=None)
+def _omega_powers(log_n: int, inverse: bool) -> np.ndarray:
+    """Powers ``omega**0 .. omega**(n/2 - 1)`` of the size-``2**log_n`` root."""
+    omega = gl.primitive_root_of_unity(log_n)
+    if inverse:
+        omega = gl.inverse(omega)
+    return gl64.powers(omega, max(1, 1 << (log_n - 1)))
+
+
+def _count_transform(a: np.ndarray, log_n: int) -> None:
+    batch = int(a.size >> log_n)
+    _METRICS.ntt_transforms += batch
+    _METRICS.ntt_butterflies += batch * (1 << max(0, log_n - 1)) * log_n
+
+
+def _dif_in_place(a: np.ndarray, log_n: int, inverse: bool) -> np.ndarray:
+    """Decimation-in-frequency: natural input -> bit-reversed output."""
+    n = 1 << log_n
+    _count_transform(a, log_n)
+    tw_all = _omega_powers(log_n, inverse)
+    m = n
+    while m >= 2:
+        mh = m // 2
+        tw = tw_all[:: n // m][:mh]
+        v = a.reshape(a.shape[:-1] + (n // m, m))
+        u = v[..., :mh].copy()
+        w = v[..., mh:].copy()
+        v[..., :mh] = gl64.add(u, w)
+        v[..., mh:] = gl64.mul(gl64.sub(u, w), tw)
+        m = mh
+    return a
+
+
+def _dit_in_place(a: np.ndarray, log_n: int, inverse: bool) -> np.ndarray:
+    """Decimation-in-time: bit-reversed input -> natural output."""
+    n = 1 << log_n
+    _count_transform(a, log_n)
+    tw_all = _omega_powers(log_n, inverse)
+    m = 2
+    while m <= n:
+        mh = m // 2
+        tw = tw_all[:: n // m][:mh]
+        v = a.reshape(a.shape[:-1] + (n // m, m))
+        u = v[..., :mh].copy()
+        w = gl64.mul(v[..., mh:], tw)
+        v[..., :mh] = gl64.add(u, w)
+        v[..., mh:] = gl64.sub(u, w)
+        m *= 2
+    return a
+
+
+def _prepare(a) -> np.ndarray:
+    out = np.array(a, dtype=np.uint64, copy=True)
+    _checked_log2(out.shape[-1])
+    return out
+
+
+def ntt(a) -> np.ndarray:
+    """Forward NTT, natural input and output (``NTT^NN``)."""
+    out = _prepare(a)
+    log_n = _checked_log2(out.shape[-1])
+    _dif_in_place(out, log_n, inverse=False)
+    return bit_reverse(out)
+
+
+def ntt_nr(a) -> np.ndarray:
+    """Forward NTT, natural input, bit-reversed output (``NTT^NR``).
+
+    This is the LDE-phase transform in FRI (paper Figure 1, step 2):
+    skipping the final reorder keeps memory writes sequential per
+    decomposed dimension.
+    """
+    out = _prepare(a)
+    log_n = _checked_log2(out.shape[-1])
+    return _dif_in_place(out, log_n, inverse=False)
+
+
+def ntt_rn(a) -> np.ndarray:
+    """Forward NTT, bit-reversed input, natural output (``NTT^RN``)."""
+    out = _prepare(a)
+    log_n = _checked_log2(out.shape[-1])
+    return _dit_in_place(out, log_n, inverse=False)
+
+
+def intt(a) -> np.ndarray:
+    """Inverse NTT, natural input and output (``iNTT^NN``).
+
+    This is FRI's value->coefficient conversion (paper Figure 1, step 1).
+    """
+    out = _prepare(a)
+    log_n = _checked_log2(out.shape[-1])
+    _dif_in_place(out, log_n, inverse=True)
+    out = bit_reverse(out)
+    n_inv = np.uint64(gl.inverse(out.shape[-1]))
+    return gl64.mul(out, n_inv)
+
+
+def intt_nr(a) -> np.ndarray:
+    """Inverse NTT, natural input, bit-reversed output (``iNTT^NR``)."""
+    out = _prepare(a)
+    log_n = _checked_log2(out.shape[-1])
+    _dif_in_place(out, log_n, inverse=True)
+    n_inv = np.uint64(gl.inverse(out.shape[-1]))
+    return gl64.mul(out, n_inv)
+
+
+def intt_rn(a) -> np.ndarray:
+    """Inverse NTT, bit-reversed input, natural output (``iNTT^RN``)."""
+    out = _prepare(a)
+    log_n = _checked_log2(out.shape[-1])
+    _dit_in_place(out, log_n, inverse=True)
+    n_inv = np.uint64(gl.inverse(out.shape[-1]))
+    return gl64.mul(out, n_inv)
+
+
+def coset_ntt(a, shift: int | None = None) -> np.ndarray:
+    """Evaluate coefficients on the coset ``shift * <omega>`` (natural order).
+
+    Scales coefficient ``i`` by ``shift**i`` before the plain NTT -- the
+    pre-NTT constant multiplication the paper fuses into the first (DIT)
+    pipeline stage.
+    """
+    out = _prepare(a)
+    shift = gl.coset_shift() if shift is None else shift
+    scale = gl64.powers(shift, out.shape[-1])
+    return ntt(gl64.mul(out, scale))
+
+
+def coset_ntt_nr(a, shift: int | None = None) -> np.ndarray:
+    """Coset NTT with bit-reversed output (the FRI LDE transform)."""
+    out = _prepare(a)
+    shift = gl.coset_shift() if shift is None else shift
+    scale = gl64.powers(shift, out.shape[-1])
+    return ntt_nr(gl64.mul(out, scale))
+
+
+def coset_intt(a, shift: int | None = None) -> np.ndarray:
+    """Recover coefficients from evaluations on ``shift * <omega>``.
+
+    Post-multiplies by ``shift**-i`` -- the paper's ``N^-1 g^-i`` twiddle,
+    fused into the idle last-round PEs of the DIF pipeline.
+    """
+    out = intt(a)
+    shift = gl.coset_shift() if shift is None else shift
+    scale = gl64.powers(gl.inverse(shift), out.shape[-1])
+    return gl64.mul(out, scale)
+
+
+def lde(values, rate_bits: int, shift: int | None = None) -> np.ndarray:
+    """Low-degree extension of subgroup evaluations onto a larger coset.
+
+    ``iNTT^NN`` -> zero-pad coefficients by ``2**rate_bits`` (the blowup
+    factor ``k``; Plonky2 uses ``k = 8``, Starky ``k = 2``) ->
+    ``coset-NTT``.  Natural output order.
+    """
+    coeffs = intt(values)
+    return lde_coeffs(coeffs, rate_bits, shift)
+
+
+def lde_coeffs(coeffs, rate_bits: int, shift: int | None = None) -> np.ndarray:
+    """LDE starting from coefficients: zero-pad then coset-NTT."""
+    coeffs = _prepare(coeffs)
+    n = coeffs.shape[-1]
+    padded = gl64.zeros(coeffs.shape[:-1] + (n << rate_bits,))
+    padded[..., :n] = coeffs
+    return coset_ntt(padded, shift)
+
+
+def ntt_ext(a: np.ndarray) -> np.ndarray:
+    """Forward NTT of extension-field values: shape (..., n, 2).
+
+    The extension is a 2-dimensional vector space over the base field and
+    the NTT is GF(p)-linear, so transforming each limb independently is
+    exact -- this is also how UniZK executes extension arithmetic on
+    base-field PEs.
+    """
+    return np.stack([ntt(a[..., 0]), ntt(a[..., 1])], axis=-1)
+
+
+def intt_ext(a: np.ndarray) -> np.ndarray:
+    """Inverse NTT of extension-field values: shape (..., n, 2)."""
+    return np.stack([intt(a[..., 0]), intt(a[..., 1])], axis=-1)
+
+
+def coset_intt_ext(a: np.ndarray, shift: int | None = None) -> np.ndarray:
+    """Coset inverse NTT of extension-field values."""
+    return np.stack(
+        [coset_intt(a[..., 0], shift), coset_intt(a[..., 1], shift)], axis=-1
+    )

@@ -1,0 +1,279 @@
+"""Plonk circuits: gates, copy constraints, witness generation.
+
+Follows the paper's Figure 1 exactly: a circuit is a matrix ``Q`` of
+selector columns ``(q_L, q_R, q_M, q_O, q_C)`` -- one row per gate --
+and a witness matrix ``W`` of wire columns ``(w_a, w_b, w_c)``.  Every
+row must satisfy the gate constraint
+
+    ``q_L*a + q_R*b + q_M*a*b + q_O*c + q_C + PI(row) = 0``
+
+and wires carrying the same variable are tied together by copy
+constraints, encoded as a permutation over the ``3n`` wire positions
+(the ``id``/``sigma`` matrices of Figure 1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..field import goldilocks as gl
+
+#: Number of wire columns (a, b, c).
+NUM_WIRES = 3
+
+
+@dataclass(frozen=True)
+class Variable:
+    """A handle to a circuit value (an index into the witness)."""
+
+    index: int
+
+
+@dataclass
+class Gate:
+    """One circuit row: selector values plus the wired variables."""
+
+    q_l: int
+    q_r: int
+    q_m: int
+    q_o: int
+    q_c: int
+    a: Variable
+    b: Variable
+    c: Variable
+
+
+@dataclass
+class Circuit:
+    """A built (frozen) circuit ready for proving.
+
+    ``selectors`` is (5, n); ``wire_vars`` is (3, n) of variable indices;
+    ``sigma`` maps each of the ``3n`` wire positions (column-major:
+    position = col * n + row) to its successor under the copy-constraint
+    permutation; ``public_input_rows`` lists the rows whose ``a`` wire is
+    a public input.
+    """
+
+    num_vars: int
+    selectors: np.ndarray
+    wire_vars: np.ndarray
+    sigma: np.ndarray
+    public_input_rows: List[int]
+    generators: List[Tuple[Callable, Tuple[int, ...], int]]
+
+    @property
+    def n(self) -> int:
+        """Number of rows (a power of two)."""
+        return self.selectors.shape[1]
+
+    @property
+    def log_n(self) -> int:
+        """log2 of the row count."""
+        return self.n.bit_length() - 1
+
+    def generate_witness(self, inputs: Dict[int, int]) -> np.ndarray:
+        """Compute all variable values from the provided input assignments.
+
+        Generators run in insertion order (each computes one variable
+        from earlier ones), mirroring Plonky2's witness generation.
+        Returns the full value vector, indexed by variable.
+        """
+        values: List[Optional[int]] = [None] * self.num_vars
+        for idx, val in inputs.items():
+            values[idx] = val % gl.P
+        for fn, arg_vars, out_var in self.generators:
+            args = []
+            for v in arg_vars:
+                if values[v] is None:
+                    raise ValueError(f"variable {v} needed before it is set")
+                args.append(values[v])
+            values[out_var] = fn(*args) % gl.P
+        missing = [i for i, v in enumerate(values) if v is None]
+        if missing:
+            raise ValueError(f"witness incomplete: variables {missing[:5]} unset")
+        return np.array(values, dtype=np.uint64)
+
+    def wire_values(self, witness: np.ndarray) -> np.ndarray:
+        """Assemble the (3, n) wire-value matrix ``W`` from the witness."""
+        return witness[self.wire_vars]
+
+    def check_gates(self, witness: np.ndarray, public_inputs: Sequence[int]) -> bool:
+        """Directly check every gate constraint (test/debug helper)."""
+        w = self.wire_values(witness).tolist()
+        q = self.selectors.tolist()
+        pi_terms = [0] * self.n
+        for row, val in zip(self.public_input_rows, public_inputs):
+            pi_terms[row] = (-val) % gl.P
+        for i in range(self.n):
+            total = (
+                q[0][i] * w[0][i]
+                + q[1][i] * w[1][i]
+                + q[2][i] * w[0][i] * w[1][i]
+                + q[3][i] * w[2][i]
+                + q[4][i]
+                + pi_terms[i]
+            ) % gl.P
+            if total != 0:
+                return False
+        return True
+
+
+class CircuitBuilder:
+    """Incrementally build a Plonk circuit.
+
+    The builder records, alongside each gate, a witness *generator* so
+    that :meth:`Circuit.generate_witness` can derive every internal value
+    from the declared inputs -- the prover-side "fill W" step of
+    Figure 1.
+    """
+
+    def __init__(self) -> None:
+        self._gates: List[Gate] = []
+        self._num_vars = 0
+        self._generators: List[Tuple[Callable, Tuple[int, ...], int]] = []
+        self._public_input_rows: List[int] = []
+        self._constants: Dict[int, Variable] = {}
+        self._zero: Optional[Variable] = None
+
+    # -- variables ---------------------------------------------------------
+
+    def add_variable(self) -> Variable:
+        """Declare a fresh variable (an input: set it when proving)."""
+        v = Variable(self._num_vars)
+        self._num_vars += 1
+        return v
+
+    def add_virtual(self, fn: Callable, args: Sequence[Variable]) -> Variable:
+        """Declare a derived variable computed by ``fn`` from ``args``."""
+        v = Variable(self._num_vars)
+        self._num_vars += 1
+        self._generators.append((fn, tuple(a.index for a in args), v.index))
+        return v
+
+    def _zero_var(self) -> Variable:
+        if self._zero is None:
+            self._zero = self.constant(0)
+        return self._zero
+
+    # -- gates ---------------------------------------------------------------
+
+    def add_gate(
+        self,
+        q_l: int,
+        q_r: int,
+        q_m: int,
+        q_o: int,
+        q_c: int,
+        a: Variable,
+        b: Variable,
+        c: Variable,
+    ) -> int:
+        """Append a raw gate row; returns its row index."""
+        self._gates.append(
+            Gate(q_l % gl.P, q_r % gl.P, q_m % gl.P, q_o % gl.P, q_c % gl.P, a, b, c)
+        )
+        return len(self._gates) - 1
+
+    def constant(self, value: int) -> Variable:
+        """A variable pinned to a constant: ``c = value``."""
+        value %= gl.P
+        if value in self._constants:
+            return self._constants[value]
+        out = self.add_virtual(lambda v=value: v, [])
+        dummy = out  # a/b unused; wire them to out to avoid free wires
+        self.add_gate(0, 0, 0, gl.P - 1, value, dummy, dummy, out)
+        self._constants[value] = out
+        return out
+
+    def add(self, x: Variable, y: Variable) -> Variable:
+        """Gate computing ``out = x + y``."""
+        out = self.add_virtual(gl.add, [x, y])
+        self.add_gate(1, 1, 0, gl.P - 1, 0, x, y, out)
+        return out
+
+    def sub(self, x: Variable, y: Variable) -> Variable:
+        """Gate computing ``out = x - y``."""
+        out = self.add_virtual(gl.sub, [x, y])
+        self.add_gate(1, gl.P - 1, 0, gl.P - 1, 0, x, y, out)
+        return out
+
+    def mul(self, x: Variable, y: Variable) -> Variable:
+        """Gate computing ``out = x * y`` (the paper's ``x2 * x3`` gate)."""
+        out = self.add_virtual(gl.mul, [x, y])
+        self.add_gate(0, 0, 1, gl.P - 1, 0, x, y, out)
+        return out
+
+    def mul_add(self, x: Variable, y: Variable, z: Variable) -> Variable:
+        """Two gates computing ``out = x * y + z``."""
+        prod = self.mul(x, y)
+        return self.add(prod, z)
+
+    def assert_equal(self, x: Variable, y: Variable) -> None:
+        """Copy-constrain two variables to be equal (same colour in W)."""
+        zero = self._zero_var()
+        # Gate: x - y = 0, with c wired to a zero constant.
+        self.add_gate(1, gl.P - 1, 0, gl.P - 1, 0, x, y, zero)
+
+    def assert_constant(self, x: Variable, value: int) -> None:
+        """Constrain ``x == value`` (the paper's ``x_6 = 99`` output row)."""
+        zero = self._zero_var()
+        self.add_gate(1, 0, 0, 0, (-value) % gl.P, x, zero, zero)
+
+    def public_input(self) -> Variable:
+        """Declare a public input (enforced via the PI polynomial)."""
+        v = self.add_variable()
+        zero = self._zero_var()
+        row = self.add_gate(1, 0, 0, 0, 0, v, zero, zero)
+        self._public_input_rows.append(row)
+        return v
+
+    # -- building --------------------------------------------------------------
+
+    def build(self, min_rows: int = 4) -> Circuit:
+        """Freeze into a :class:`Circuit`, padding rows to a power of two."""
+        zero = self._zero_var()  # ensure a zero exists for padding gates
+        n_gates = len(self._gates)
+        n = max(min_rows, 1 << max(2, (n_gates - 1).bit_length() if n_gates else 2))
+        while n < n_gates:
+            n <<= 1
+        selectors = np.zeros((5, n), dtype=np.uint64)
+        wire_vars = np.zeros((NUM_WIRES, n), dtype=np.int64)
+        for i, g in enumerate(self._gates):
+            selectors[:, i] = (g.q_l, g.q_r, g.q_m, g.q_o, g.q_c)
+            wire_vars[:, i] = (g.a.index, g.b.index, g.c.index)
+        # Padding rows: all-zero selectors, wires tied to the zero constant.
+        for i in range(n_gates, n):
+            wire_vars[:, i] = (zero.index, zero.index, zero.index)
+
+        sigma = _build_sigma(wire_vars, n)
+        return Circuit(
+            num_vars=self._num_vars,
+            selectors=selectors,
+            wire_vars=wire_vars,
+            sigma=sigma,
+            public_input_rows=list(self._public_input_rows),
+            generators=list(self._generators),
+        )
+
+
+def _build_sigma(wire_vars: np.ndarray, n: int) -> np.ndarray:
+    """Cycle-link all positions holding the same variable.
+
+    Position numbering is column-major (``pos = col * n + row``).  The
+    permutation cyclically shifts each variable's position list, which is
+    the standard Plonk encoding of "these cells are equal".
+    """
+    positions: Dict[int, List[int]] = {}
+    for col in range(NUM_WIRES):
+        for row in range(n):
+            var = int(wire_vars[col, row])
+            positions.setdefault(var, []).append(col * n + row)
+    sigma = np.arange(NUM_WIRES * n, dtype=np.int64)
+    for pos_list in positions.values():
+        if len(pos_list) > 1:
+            for i, pos in enumerate(pos_list):
+                sigma[pos] = pos_list[(i + 1) % len(pos_list)]
+    return sigma

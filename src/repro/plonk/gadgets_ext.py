@@ -1,0 +1,157 @@
+"""Extension-field and FRI-arithmetic circuit gadgets.
+
+The FRI verifier's non-hash work is extension-field arithmetic: fold
+consistency checks, domain-point reconstruction from query-index bits,
+and the final-polynomial evaluation.  These gadgets provide it
+in-circuit, completing (with :mod:`repro.plonk.gadgets`'s Merkle/
+Poseidon gadgets and :mod:`repro.plonk.recursion`'s transcript) the
+toolkit a recursive FRI verifier composes.
+
+An extension element in-circuit is an :class:`ExtVar` -- a pair of
+base-field variables, mirroring how UniZK executes GF(p^2) on
+base-field PEs (paper Section 4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from ..field import extension as fext, goldilocks as gl
+from .circuit import CircuitBuilder, Variable
+from .gadgets import select
+
+
+@dataclass(frozen=True)
+class ExtVar:
+    """An extension-field element as two circuit variables."""
+
+    c0: Variable
+    c1: Variable
+
+
+def ext_input(builder: CircuitBuilder) -> ExtVar:
+    """Declare an extension-field input."""
+    return ExtVar(builder.add_variable(), builder.add_variable())
+
+
+def ext_constant(builder: CircuitBuilder, value) -> ExtVar:
+    """An extension constant (accepts an (2,) array or int pair)."""
+    pair = fext.to_pair(value) if hasattr(value, "reshape") else tuple(value)
+    return ExtVar(builder.constant(pair[0]), builder.constant(pair[1]))
+
+
+def ext_from_base(builder: CircuitBuilder, v: Variable) -> ExtVar:
+    """Embed a base-field variable."""
+    return ExtVar(v, builder.constant(0))
+
+
+def ext_add(builder: CircuitBuilder, a: ExtVar, b: ExtVar) -> ExtVar:
+    """Limb-wise addition."""
+    return ExtVar(builder.add(a.c0, b.c0), builder.add(a.c1, b.c1))
+
+
+def ext_sub(builder: CircuitBuilder, a: ExtVar, b: ExtVar) -> ExtVar:
+    """Limb-wise subtraction."""
+    return ExtVar(builder.sub(a.c0, b.c0), builder.sub(a.c1, b.c1))
+
+
+def ext_mul(builder: CircuitBuilder, a: ExtVar, b: ExtVar) -> ExtVar:
+    """Karatsuba extension multiply: 3 base multiplies + linear gates."""
+    w = builder.constant(fext.non_residue())
+    t0 = builder.mul(a.c0, b.c0)
+    t1 = builder.mul(a.c1, b.c1)
+    sa = builder.add(a.c0, a.c1)
+    sb = builder.add(b.c0, b.c1)
+    cross = builder.sub(builder.sub(builder.mul(sa, sb), t0), t1)
+    c0 = builder.add(t0, builder.mul(t1, w))
+    return ExtVar(c0, cross)
+
+
+def ext_scalar_mul(builder: CircuitBuilder, a: ExtVar, s: int) -> ExtVar:
+    """Multiply by a base-field constant."""
+    sc = builder.constant(s % gl.P)
+    return ExtVar(builder.mul(a.c0, sc), builder.mul(a.c1, sc))
+
+
+def ext_assert_equal(builder: CircuitBuilder, a: ExtVar, b: ExtVar) -> None:
+    """Copy-constrain two extension values."""
+    builder.assert_equal(a.c0, b.c0)
+    builder.assert_equal(a.c1, b.c1)
+
+
+def ext_select(builder: CircuitBuilder, bit: Variable, a: ExtVar, b: ExtVar) -> ExtVar:
+    """``bit ? a : b`` limb-wise."""
+    return ExtVar(select(builder, bit, a.c0, b.c0), select(builder, bit, a.c1, b.c1))
+
+
+# ---------------------------------------------------------------------------
+# FRI arithmetic
+# ---------------------------------------------------------------------------
+
+
+def domain_point_from_bits(
+    builder: CircuitBuilder,
+    bits: Sequence[Variable],
+    log_n: int,
+    shift: int | None = None,
+    inverse: bool = False,
+) -> Variable:
+    """Reconstruct ``shift * omega^index`` from index bits, in-circuit.
+
+    ``x = shift * prod_k (bit_k ? omega^(2^k) : 1)`` -- the verifier-side
+    computation of the query's evaluation point (``inverse=True`` builds
+    ``x^-1`` with inverted factors, as the fold formula needs).
+    """
+    if len(bits) != log_n:
+        raise ValueError("one bit per domain-size bit")
+    omega = gl.primitive_root_of_unity(log_n)
+    if inverse:
+        omega = gl.inverse(omega)
+    shift_val = gl.coset_shift() if shift is None else shift
+    if inverse:
+        shift_val = gl.inverse(shift_val)
+    acc = builder.constant(shift_val % gl.P)
+    one = builder.constant(1)
+    factor = omega
+    for bit in bits:
+        chosen = select(builder, bit, builder.constant(factor), one)
+        acc = builder.mul(acc, chosen)
+        factor = gl.mul(factor, factor)
+    return acc
+
+
+def fri_fold_check(
+    builder: CircuitBuilder,
+    lo: ExtVar,
+    hi: ExtVar,
+    beta: ExtVar,
+    x_inv: Variable,
+    expected: ExtVar,
+) -> None:
+    """Constrain one arity-2 FRI fold step.
+
+    ``expected == (lo + hi)/2 + beta * (lo - hi) * x_inv / 2`` where
+    ``x_inv`` is the (in-circuit) inverse of the pair's domain point --
+    the exact consistency check of the native verifier's layer walk.
+    """
+    half = gl.inverse(2)
+    even = ext_scalar_mul(builder, ext_add(builder, lo, hi), half)
+    diff = ext_scalar_mul(builder, ext_sub(builder, lo, hi), half)
+    x_inv_ext = ext_from_base(builder, x_inv)
+    odd = ext_mul(builder, diff, x_inv_ext)
+    folded = ext_add(builder, even, ext_mul(builder, beta, odd))
+    ext_assert_equal(builder, folded, expected)
+
+
+def ext_eval_poly(
+    builder: CircuitBuilder, coeffs: List[ExtVar], x: ExtVar
+) -> ExtVar:
+    """Horner evaluation of an extension polynomial at an extension point
+    (the final-polynomial check of the FRI verifier)."""
+    if not coeffs:
+        return ext_constant(builder, (0, 0))
+    acc = coeffs[-1]
+    for c in coeffs[-2::-1]:
+        acc = ext_add(builder, ext_mul(builder, acc, x), c)
+    return acc

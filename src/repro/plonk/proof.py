@@ -1,0 +1,69 @@
+"""Plonk proof container and setup artifacts."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from ..fri import FriConfig, FriOpenings, FriProof, PolynomialBatch
+from ..fri.proof import DIGEST_BYTES, ELEM_BYTES
+from .circuit import Circuit
+
+
+@dataclass
+class CircuitData:
+    """Setup output: the circuit plus its preprocessed commitment.
+
+    The preprocessed batch commits the 5 selector and 3 sigma
+    polynomials; its cap acts as the circuit digest both parties bind to.
+    """
+
+    circuit: Circuit
+    preprocessed: PolynomialBatch
+    config: FriConfig
+
+    @property
+    def verifier_data(self) -> "VerifierData":
+        """The subset of setup data the verifier needs."""
+        return VerifierData(
+            preprocessed_cap=self.preprocessed.cap.copy(),
+            n=self.circuit.n,
+            num_public_inputs=len(self.circuit.public_input_rows),
+            public_input_rows=list(self.circuit.public_input_rows),
+            config=self.config,
+        )
+
+
+@dataclass
+class VerifierData:
+    """Everything the verifier must know about a circuit."""
+
+    preprocessed_cap: np.ndarray
+    n: int
+    num_public_inputs: int
+    public_input_rows: List[int]
+    config: FriConfig
+
+
+@dataclass
+class PlonkProof:
+    """A complete Plonk proof with FRI openings."""
+
+    wires_cap: np.ndarray
+    z_cap: np.ndarray
+    quotient_cap: np.ndarray
+    public_inputs: List[int]
+    openings: FriOpenings
+    fri_proof: FriProof
+
+    def size_bytes(self) -> int:
+        """Serialized proof size (caps + openings + FRI proof)."""
+        total = 0
+        for cap in (self.wires_cap, self.z_cap, self.quotient_cap):
+            total += cap.shape[0] * DIGEST_BYTES
+        total += len(self.public_inputs) * ELEM_BYTES
+        total += int(self.openings.flat_values().size) * ELEM_BYTES
+        total += self.fri_proof.size_bytes()
+        return total

@@ -1,0 +1,226 @@
+"""Plonk prover (paper Figure 1, left-to-right).
+
+Pipeline -- each stage is one of the kernels UniZK accelerates:
+
+1. wires commitment: ``iNTT`` + LDE ``NTT`` + Merkle tree (Figure 7's
+   *Wires Commitment* node);
+2. Fiat-Shamir ``beta``/``gamma`` + permutation accumulator ``Z`` via the
+   chunked partial-product kernel;
+3. ``alpha`` + quotient construction: vanishing-divided constraint blend
+   evaluated on the LDE coset (element-wise polynomial ops);
+4. ``zeta`` + batch FRI opening proof.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from ..field import extension as fext, gl64, goldilocks as gl
+from ..fri import FriConfig, FriOpenings, PolynomialBatch, fri_prove, open_batches
+from ..hashing import Challenger
+from ..ntt import coset_intt, lde
+from .circuit import Circuit
+from .permutation import compute_z, coset_representatives, id_values, sigma_values
+from .proof import CircuitData, PlonkProof
+
+#: Quotient chunks per extension limb (degree bound 4n after division).
+QUOTIENT_CHUNKS = 4
+
+
+def setup(circuit: Circuit, config: FriConfig) -> CircuitData:
+    """Preprocess a circuit: commit selectors and sigma polynomials."""
+    pre_rows = np.concatenate([circuit.selectors, sigma_values(circuit)])
+    preprocessed = PolynomialBatch.from_values(
+        pre_rows, config.rate_bits, config.cap_height
+    )
+    return CircuitData(circuit=circuit, preprocessed=preprocessed, config=config)
+
+
+def _public_input_values(circuit: Circuit, witness: np.ndarray) -> list[int]:
+    wires = circuit.wire_values(witness)
+    return [int(wires[0, row]) for row in circuit.public_input_rows]
+
+
+def _pi_poly_on_lde(
+    circuit: Circuit, public_values: list[int], rate_bits: int
+) -> np.ndarray:
+    """LDE values of the public-input polynomial ``-sum v_k L_rowk(x)``."""
+    subgroup = np.zeros(circuit.n, dtype=np.uint64)
+    for row, val in zip(circuit.public_input_rows, public_values):
+        subgroup[row] = gl.neg(val)
+    return lde(subgroup, rate_bits)
+
+
+def _coset_vanishing(n: int, rate_bits: int) -> tuple[np.ndarray, np.ndarray]:
+    """``Z_H`` values and inverses on the LDE coset (period-``blowup``)."""
+    blowup = 1 << rate_bits
+    n_lde = n * blowup
+    g_pow_n = gl.pow_mod(gl.coset_shift(), n)
+    omega_lde = gl.primitive_root_of_unity(n_lde.bit_length() - 1)
+    # x^n on the coset cycles with period `blowup`.
+    cycle = gl64.mul(
+        gl64.powers(gl.pow_mod(omega_lde, n), blowup), np.uint64(g_pow_n)
+    )
+    zh_cycle = gl64.sub(cycle, np.uint64(1))
+    zh = np.tile(zh_cycle, n)
+    return zh, gl64.inv_fast(zh)
+
+
+def _lagrange_first_on_lde(n: int, rate_bits: int) -> np.ndarray:
+    """``L_1(x) = (x^n - 1) / (n (x - 1))`` on the LDE coset."""
+    n_lde = n << rate_bits
+    xs = gl64.mul(
+        gl64.powers(gl.primitive_root_of_unity(n_lde.bit_length() - 1), n_lde),
+        np.uint64(gl.coset_shift()),
+    )
+    zh, _ = _coset_vanishing(n, rate_bits)
+    denom = gl64.mul(gl64.sub(xs, np.uint64(1)), np.uint64(n))
+    return gl64.mul(zh, gl64.inv_fast(denom))
+
+
+#: Salt columns appended to the wires commitment when blinding.
+ZK_SALT_COLUMNS = 2
+
+
+def prove(
+    data: CircuitData,
+    inputs: Dict[int, int],
+    challenger: Challenger | None = None,
+    blinding_seed: int | None = None,
+) -> PlonkProof:
+    """Generate a Plonk proof for the given input assignment.
+
+    ``inputs`` maps variable indices (from ``Variable.index``) to values;
+    every non-derived variable must be present.
+
+    ``blinding_seed`` enables zero-knowledge salting (Plonky2's
+    ``blinding`` flag): random salt columns join the wires commitment so
+    the Merkle cap is hiding -- two proofs of the same witness with
+    different seeds share no commitment material.  (Full zero knowledge
+    additionally pads unused trace rows with randomness; the salt
+    columns are the commitment-hiding half, and the verifier needs no
+    changes because salts ride the leaves without entering any
+    constraint.)  ``None`` keeps the prover deterministic.
+    """
+    circuit = data.circuit
+    config = data.config
+    n = circuit.n
+    rate_bits = config.rate_bits
+    challenger = challenger or Challenger()
+
+    witness = circuit.generate_witness(inputs)
+    wires = circuit.wire_values(witness)  # (3, n)
+    public_values = _public_input_values(circuit, witness)
+
+    # Step 1: wires commitment (optionally salted for zero knowledge).
+    committed_wires = wires
+    if blinding_seed is not None:
+        salt_rng = np.random.default_rng(blinding_seed)
+        salts = gl64.random((ZK_SALT_COLUMNS, n), salt_rng)
+        committed_wires = np.concatenate([wires, salts])
+    wires_batch = PolynomialBatch.from_values(
+        committed_wires, rate_bits, config.cap_height
+    )
+    challenger.observe_cap(data.preprocessed.cap)
+    challenger.observe_elements(np.array(public_values, dtype=np.uint64))
+    challenger.observe_cap(wires_batch.cap)
+
+    # Step 2: permutation accumulator.
+    beta = challenger.get_challenge()
+    gamma = challenger.get_challenge()
+    ids = id_values(n)
+    sigmas = sigma_values(circuit)
+    z, _, _ = compute_z(wires, ids, sigmas, beta, gamma)
+    z_batch = PolynomialBatch.from_values(z, rate_bits, config.cap_height)
+    challenger.observe_cap(z_batch.cap)
+
+    # Step 3: quotient polynomial on the LDE coset.
+    alpha = challenger.get_ext_challenge()
+    n_lde = n << rate_bits
+    blowup = 1 << rate_bits
+    xs = gl64.mul(
+        gl64.powers(gl.primitive_root_of_unity(n_lde.bit_length() - 1), n_lde),
+        np.uint64(gl.coset_shift()),
+    )
+
+    sel = data.preprocessed.values[:, 0:5].T  # (5, N_lde)
+    sig = data.preprocessed.values[:, 5:8].T  # (3, N_lde)
+    w = wires_batch.values.T  # (3, N_lde)
+    z_lde = z_batch.values[:, 0]
+    z_next = np.roll(z_lde, -blowup)
+    pi_lde = _pi_poly_on_lde(circuit, public_values, rate_bits)
+
+    gate = gl64.add(
+        gl64.add(
+            gl64.add(gl64.mul(sel[0], w[0]), gl64.mul(sel[1], w[1])),
+            gl64.mul(sel[2], gl64.mul(w[0], w[1])),
+        ),
+        gl64.add(gl64.add(gl64.mul(sel[3], w[2]), sel[4]), pi_lde),
+    )
+
+    ks = [np.uint64(k) for k in coset_representatives()]
+    beta_u = np.uint64(beta)
+    gamma_u = np.uint64(gamma)
+    f_vals = gl64.ones(n_lde)
+    g_vals = gl64.ones(n_lde)
+    for j in range(3):
+        f_vals = gl64.mul(
+            f_vals,
+            gl64.add(gl64.add(w[j], gl64.mul(xs, gl64.mul(ks[j], beta_u))), gamma_u),
+        )
+        g_vals = gl64.mul(
+            g_vals, gl64.add(gl64.add(w[j], gl64.mul(sig[j], beta_u)), gamma_u)
+        )
+    copy1 = gl64.sub(gl64.mul(z_lde, f_vals), gl64.mul(z_next, g_vals))
+    l1 = _lagrange_first_on_lde(n, rate_bits)
+    copy2 = gl64.mul(l1, gl64.sub(z_lde, np.uint64(1)))
+
+    alpha_sq = fext.mul(alpha, alpha)
+    combined = fext.from_base(gate)
+    combined = fext.add(
+        combined, fext.scalar_mul(np.broadcast_to(alpha, (n_lde, 2)), copy1)
+    )
+    combined = fext.add(
+        combined, fext.scalar_mul(np.broadcast_to(alpha_sq, (n_lde, 2)), copy2)
+    )
+
+    _, zh_inv = _coset_vanishing(n, rate_bits)
+    t_vals = fext.scalar_mul(combined, zh_inv)  # (N_lde, 2)
+
+    # Split into 2 limbs x QUOTIENT_CHUNKS degree-n chunks.
+    chunk_rows = []
+    for limb in range(2):
+        coeffs = coset_intt(t_vals[:, limb])
+        for k in range(QUOTIENT_CHUNKS):
+            chunk_rows.append(coeffs[k * n : (k + 1) * n])
+    quotient_batch = PolynomialBatch.from_coeffs(
+        np.stack(chunk_rows), rate_bits, config.cap_height
+    )
+    challenger.observe_cap(quotient_batch.cap)
+
+    # Step 4: openings and FRI.
+    zeta = challenger.get_ext_challenge()
+    omega = gl.primitive_root_of_unity(circuit.log_n)
+    zeta_next = fext.scalar_mul(zeta, np.uint64(omega))
+
+    batches = [data.preprocessed, wires_batch, z_batch, quotient_batch]
+    columns_zeta = (
+        [(0, c) for c in range(8)]
+        + [(1, c) for c in range(3)]
+        + [(2, 0)]
+        + [(3, c) for c in range(2 * QUOTIENT_CHUNKS)]
+    )
+    columns_next = [(2, 0)]
+    openings = open_batches(batches, [zeta, zeta_next], [columns_zeta, columns_next])
+
+    fri_proof = fri_prove(batches, openings, challenger, config)
+    return PlonkProof(
+        wires_cap=wires_batch.cap.copy(),
+        z_cap=z_batch.cap.copy(),
+        quotient_cap=quotient_batch.cap.copy(),
+        public_inputs=public_values,
+        openings=openings,
+        fri_proof=fri_proof,
+    )

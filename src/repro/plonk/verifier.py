@@ -1,0 +1,150 @@
+"""Plonk verifier: transcript replay and the opening identity at zeta.
+
+The verifier re-derives every challenge, evaluates the gate/copy
+constraint blend from the *opened* polynomial values at ``zeta``, checks
+it against ``Z_H(zeta) * t(zeta)``, and then verifies the batch FRI
+proof that ties the opened values to the commitments.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..field import extension as fext, goldilocks as gl
+from ..fri import fri_verify
+from ..fri.verifier import FriError
+from ..hashing import Challenger
+from .permutation import coset_representatives
+from .proof import PlonkProof, VerifierData
+from .prover import QUOTIENT_CHUNKS
+
+
+class PlonkError(Exception):
+    """Raised when a Plonk proof fails verification."""
+
+
+def _ext_pow(base: np.ndarray, e: int) -> np.ndarray:
+    return fext.pow_scalar(base.reshape(2), e)
+
+
+def verify(
+    vdata: VerifierData, proof: PlonkProof, challenger: Challenger | None = None
+) -> None:
+    """Verify a Plonk proof; raises :class:`PlonkError` on any failure."""
+    n = vdata.n
+    config = vdata.config
+    challenger = challenger or Challenger()
+
+    if len(proof.public_inputs) != vdata.num_public_inputs:
+        raise PlonkError("wrong number of public inputs")
+
+    challenger.observe_cap(vdata.preprocessed_cap)
+    challenger.observe_elements(np.array(proof.public_inputs, dtype=np.uint64))
+    challenger.observe_cap(proof.wires_cap)
+    beta = challenger.get_challenge()
+    gamma = challenger.get_challenge()
+    challenger.observe_cap(proof.z_cap)
+    alpha = challenger.get_ext_challenge()
+    challenger.observe_cap(proof.quotient_cap)
+    zeta = challenger.get_ext_challenge()
+
+    # --- structural checks on the opening set -------------------------------
+    omega = gl.primitive_root_of_unity(n.bit_length() - 1)
+    zeta_next = fext.scalar_mul(zeta, np.uint64(omega))
+    expected_cols_zeta = (
+        [(0, c) for c in range(8)]
+        + [(1, c) for c in range(3)]
+        + [(2, 0)]
+        + [(3, c) for c in range(2 * QUOTIENT_CHUNKS)]
+    )
+    op = proof.openings
+    if len(op.points) != 2:
+        raise PlonkError("malformed opening set (points)")
+    if not (
+        np.array_equal(op.points[0].reshape(2), zeta.reshape(2))
+        and np.array_equal(op.points[1].reshape(2), zeta_next.reshape(2))
+    ):
+        raise PlonkError("openings are not at the transcript's zeta")
+    if op.columns[0] != expected_cols_zeta or op.columns[1] != [(2, 0)]:
+        raise PlonkError("malformed opening set (columns)")
+
+    vals0 = np.atleast_2d(op.values[0])
+    sel = [vals0[i] for i in range(5)]
+    sig = [vals0[5 + i] for i in range(3)]
+    wire = [vals0[8 + i] for i in range(3)]
+    z_zeta = vals0[11]
+    t_chunks = [vals0[12 + i] for i in range(2 * QUOTIENT_CHUNKS)]
+    z_next = np.atleast_2d(op.values[1])[0]
+
+    # --- the polynomial identity at zeta -------------------------------------
+    zeta_n = _ext_pow(zeta, n)
+    zh = fext.sub(zeta_n, fext.one())
+    if bool(fext.is_zero(zh)):
+        raise PlonkError("zeta landed inside the subgroup (reject)")
+
+    # Gate constraint with the public-input polynomial.
+    gate = fext.add(
+        fext.add(fext.mul(sel[0], wire[0]), fext.mul(sel[1], wire[1])),
+        fext.add(
+            fext.mul(sel[2], fext.mul(wire[0], wire[1])),
+            fext.add(fext.mul(sel[3], wire[2]), sel[4]),
+        ),
+    )
+    pi_eval = fext.zero()
+    n_inv = gl.inverse(n)
+    for row, value in zip(vdata.public_input_rows, proof.public_inputs):
+        omega_row = gl.pow_mod(omega, row)
+        denom = fext.sub(zeta.reshape(2), fext.from_base(np.uint64(omega_row)))
+        lag = fext.mul(
+            fext.scalar_mul(zh, np.uint64(gl.mul(omega_row, n_inv))), fext.inv(denom)
+        )
+        pi_eval = fext.sub(pi_eval, fext.scalar_mul(lag, np.uint64(value)))
+    gate = fext.add(gate, pi_eval)
+
+    # Copy constraints.
+    ks = coset_representatives()
+    f_eval = fext.one()
+    g_eval = fext.one()
+    beta_u = np.uint64(beta)
+    gamma_e = fext.from_base(np.uint64(gamma))
+    for j in range(3):
+        id_j = fext.scalar_mul(zeta.reshape(2), np.uint64(gl.mul(ks[j], beta)))
+        f_eval = fext.mul(f_eval, fext.add(fext.add(wire[j], id_j), gamma_e))
+        sig_j = fext.scalar_mul(sig[j], beta_u)
+        g_eval = fext.mul(g_eval, fext.add(fext.add(wire[j], sig_j), gamma_e))
+    copy1 = fext.sub(fext.mul(z_zeta, f_eval), fext.mul(z_next, g_eval))
+
+    l1_denom = fext.scalar_mul(fext.sub(zeta.reshape(2), fext.one()), np.uint64(n))
+    l1 = fext.mul(zh, fext.inv(l1_denom))
+    copy2 = fext.mul(l1, fext.sub(z_zeta, fext.one()))
+
+    lhs = fext.add(
+        gate,
+        fext.add(
+            fext.mul(alpha, copy1), fext.mul(fext.mul(alpha, alpha), copy2)
+        ),
+    )
+
+    # Reassemble t(zeta) from limb chunks.
+    phi = fext.make(0, 1)  # the extension basis element X
+    t_eval = fext.zero()
+    for limb in range(2):
+        limb_val = fext.zero()
+        for k in range(QUOTIENT_CHUNKS - 1, -1, -1):
+            limb_val = fext.add(
+                fext.mul(limb_val, zeta_n), t_chunks[limb * QUOTIENT_CHUNKS + k]
+            )
+        if limb == 1:
+            limb_val = fext.mul(limb_val, phi)
+        t_eval = fext.add(t_eval, limb_val)
+    rhs = fext.mul(zh, t_eval)
+
+    if not np.array_equal(lhs.reshape(2), rhs.reshape(2)):
+        raise PlonkError("constraint identity fails at zeta")
+
+    # --- FRI opening proof ----------------------------------------------------
+    caps = [vdata.preprocessed_cap, proof.wires_cap, proof.z_cap, proof.quotient_cap]
+    try:
+        fri_verify(caps, op, proof.fri_proof, challenger, config, n)
+    except FriError as exc:
+        raise PlonkError(f"FRI verification failed: {exc}") from exc

@@ -1,0 +1,252 @@
+"""Binary serialization for proofs.
+
+A compact little-endian format so proofs can actually be shipped
+between a prover and verifier process: 8-byte field elements, 4-byte
+length prefixes for variable-size structures.  The serialized sizes
+validate the structural ``size_bytes()`` accounting used by the
+Table 5 / Table 6 proof-size reproduction (the codec adds only small
+length-prefix overhead).
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import List
+
+import numpy as np
+
+from .fri.proof import (
+    FriInitialOpening,
+    FriLayerOpening,
+    FriProof,
+    FriQueryRound,
+)
+from .fri.prover import FriOpenings
+from .merkle.tree import MerkleProof
+from .plonk.proof import PlonkProof
+from .stark.proof import StarkProof
+
+
+class ByteWriter:
+    """Append-only little-endian byte sink."""
+
+    def __init__(self) -> None:
+        self._chunks: List[bytes] = []
+
+    def u32(self, v: int) -> None:
+        """Write an unsigned 32-bit length/count."""
+        self._chunks.append(struct.pack("<I", v))
+
+    def u64(self, v: int) -> None:
+        """Write an unsigned 64-bit value (field element, witness)."""
+        self._chunks.append(struct.pack("<Q", int(v)))
+
+    def elems(self, arr) -> None:
+        """Write a field-element array with its shape header."""
+        arr = np.ascontiguousarray(np.asarray(arr, dtype=np.uint64))
+        self.u32(arr.size)
+        self.u32(arr.ndim)
+        for d in arr.shape:
+            self.u32(d)
+        self._chunks.append(arr.tobytes())
+
+    def getvalue(self) -> bytes:
+        """Concatenate everything written so far."""
+        return b"".join(self._chunks)
+
+
+class ByteReader:
+    """Sequential reader matching :class:`ByteWriter`."""
+
+    def __init__(self, data: bytes) -> None:
+        self._data = data
+        self._pos = 0
+
+    def _take(self, n: int) -> bytes:
+        if self._pos + n > len(self._data):
+            raise ValueError("truncated proof bytes")
+        out = self._data[self._pos : self._pos + n]
+        self._pos += n
+        return out
+
+    def u32(self) -> int:
+        """Read an unsigned 32-bit length/count."""
+        return struct.unpack("<I", self._take(4))[0]
+
+    def u64(self) -> int:
+        """Read an unsigned 64-bit value."""
+        return struct.unpack("<Q", self._take(8))[0]
+
+    def elems(self) -> np.ndarray:
+        """Read a field-element array written by :meth:`ByteWriter.elems`."""
+        size = self.u32()
+        ndim = self.u32()
+        shape = tuple(self.u32() for _ in range(ndim))
+        raw = self._take(size * 8)
+        return np.frombuffer(raw, dtype=np.uint64).reshape(shape).copy()
+
+    def done(self) -> bool:
+        """Whether every byte has been consumed."""
+        return self._pos == len(self._data)
+
+
+# -- FRI -----------------------------------------------------------------------
+
+
+def _write_merkle_proof(w: ByteWriter, proof: MerkleProof) -> None:
+    w.elems(proof.siblings)
+
+
+def _read_merkle_proof(r: ByteReader) -> MerkleProof:
+    sib = r.elems()
+    return MerkleProof(siblings=sib.reshape(-1, 4))
+
+
+def write_fri_proof(w: ByteWriter, proof: FriProof) -> None:
+    """Append a FRI proof."""
+    w.u32(len(proof.commit_caps))
+    for cap in proof.commit_caps:
+        w.elems(cap)
+    w.elems(proof.final_poly)
+    w.u64(proof.pow_witness)
+    w.u32(len(proof.query_rounds))
+    for qr in proof.query_rounds:
+        w.u64(qr.index)
+        w.u32(len(qr.initial.leaves))
+        for leaf, prf in zip(qr.initial.leaves, qr.initial.proofs):
+            w.elems(leaf)
+            _write_merkle_proof(w, prf)
+        w.u32(len(qr.layers))
+        for layer in qr.layers:
+            w.elems(layer.pair_leaf)
+            _write_merkle_proof(w, layer.proof)
+
+
+def read_fri_proof(r: ByteReader) -> FriProof:
+    """Read a FRI proof."""
+    caps = [r.elems() for _ in range(r.u32())]
+    final_poly = r.elems()
+    pow_witness = r.u64()
+    rounds = []
+    for _ in range(r.u32()):
+        index = r.u64()
+        leaves, proofs = [], []
+        for _ in range(r.u32()):
+            leaves.append(r.elems())
+            proofs.append(_read_merkle_proof(r))
+        layers = []
+        for _ in range(r.u32()):
+            pair_leaf = r.elems()
+            layers.append(FriLayerOpening(pair_leaf=pair_leaf, proof=_read_merkle_proof(r)))
+        rounds.append(
+            FriQueryRound(
+                index=index,
+                initial=FriInitialOpening(leaves=leaves, proofs=proofs),
+                layers=layers,
+            )
+        )
+    return FriProof(
+        commit_caps=caps,
+        final_poly=final_poly,
+        pow_witness=pow_witness,
+        query_rounds=rounds,
+    )
+
+
+def write_openings(w: ByteWriter, op: FriOpenings) -> None:
+    """Append an opening set (points, columns, values)."""
+    w.u32(len(op.points))
+    for point, cols, vals in zip(op.points, op.columns, op.values):
+        w.elems(point)
+        w.u32(len(cols))
+        for b, c in cols:
+            w.u32(b)
+            w.u32(c)
+        w.elems(np.atleast_2d(vals))
+
+
+def read_openings(r: ByteReader) -> FriOpenings:
+    """Read an opening set."""
+    points, columns, values = [], [], []
+    for _ in range(r.u32()):
+        points.append(r.elems().reshape(2))
+        cols = [(r.u32(), r.u32()) for _ in range(r.u32())]
+        columns.append(cols)
+        values.append(r.elems())
+    return FriOpenings(points=points, columns=columns, values=values)
+
+
+# -- Plonk ---------------------------------------------------------------------
+
+
+def plonk_proof_to_bytes(proof: PlonkProof) -> bytes:
+    """Serialize a Plonk proof."""
+    w = ByteWriter()
+    w.elems(proof.wires_cap)
+    w.elems(proof.z_cap)
+    w.elems(proof.quotient_cap)
+    w.u32(len(proof.public_inputs))
+    for v in proof.public_inputs:
+        w.u64(v)
+    write_openings(w, proof.openings)
+    write_fri_proof(w, proof.fri_proof)
+    return w.getvalue()
+
+
+def plonk_proof_from_bytes(data: bytes) -> PlonkProof:
+    """Deserialize a Plonk proof."""
+    r = ByteReader(data)
+    wires_cap = r.elems()
+    z_cap = r.elems()
+    quotient_cap = r.elems()
+    publics = [r.u64() for _ in range(r.u32())]
+    openings = read_openings(r)
+    fri_proof = read_fri_proof(r)
+    if not r.done():
+        raise ValueError("trailing bytes after Plonk proof")
+    return PlonkProof(
+        wires_cap=wires_cap,
+        z_cap=z_cap,
+        quotient_cap=quotient_cap,
+        public_inputs=publics,
+        openings=openings,
+        fri_proof=fri_proof,
+    )
+
+
+# -- STARK ---------------------------------------------------------------------
+
+
+def stark_proof_to_bytes(proof: StarkProof) -> bytes:
+    """Serialize a STARK proof."""
+    w = ByteWriter()
+    w.elems(proof.trace_cap)
+    w.elems(proof.quotient_cap)
+    w.u32(proof.degree_bits)
+    w.u32(len(proof.public_inputs))
+    for v in proof.public_inputs:
+        w.u64(v)
+    write_openings(w, proof.openings)
+    write_fri_proof(w, proof.fri_proof)
+    return w.getvalue()
+
+
+def stark_proof_from_bytes(data: bytes) -> StarkProof:
+    """Deserialize a STARK proof."""
+    r = ByteReader(data)
+    trace_cap = r.elems()
+    quotient_cap = r.elems()
+    degree_bits = r.u32()
+    publics = [r.u64() for _ in range(r.u32())]
+    openings = read_openings(r)
+    fri_proof = read_fri_proof(r)
+    if not r.done():
+        raise ValueError("trailing bytes after STARK proof")
+    return StarkProof(
+        trace_cap=trace_cap,
+        quotient_cap=quotient_cap,
+        public_inputs=publics,
+        degree_bits=degree_bits,
+        openings=openings,
+        fri_proof=fri_proof,
+    )

@@ -1,0 +1,23 @@
+"""Performance simulator, reports, and Chrome-trace export."""
+
+from .simulator import (
+    simulate_graph,
+    simulate_plonky2,
+    simulate_starky,
+    simulate_starky_plonky2,
+    sweep,
+)
+from .stats import KernelRecord, SimReport
+from .tracing import schedule_to_trace_events, write_trace
+
+__all__ = [
+    "simulate_graph",
+    "simulate_plonky2",
+    "simulate_starky",
+    "simulate_starky_plonky2",
+    "sweep",
+    "SimReport",
+    "KernelRecord",
+    "schedule_to_trace_events",
+    "write_trace",
+]

@@ -1,0 +1,32 @@
+"""STARK proof container."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from ..fri import FriOpenings, FriProof
+from ..fri.proof import DIGEST_BYTES, ELEM_BYTES
+
+
+@dataclass
+class StarkProof:
+    """A complete Starky-style proof with FRI openings."""
+
+    trace_cap: np.ndarray
+    quotient_cap: np.ndarray
+    public_inputs: List[int]
+    degree_bits: int
+    openings: FriOpenings
+    fri_proof: FriProof
+
+    def size_bytes(self) -> int:
+        """Serialized proof size."""
+        total = self.trace_cap.shape[0] * DIGEST_BYTES
+        total += self.quotient_cap.shape[0] * DIGEST_BYTES
+        total += len(self.public_inputs) * ELEM_BYTES
+        total += int(self.openings.flat_values().size) * ELEM_BYTES
+        total += self.fri_proof.size_bytes()
+        return total

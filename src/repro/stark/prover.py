@@ -1,0 +1,155 @@
+"""Starky-style STARK prover.
+
+Same FRI machinery as Plonk but with AET arithmetisation (paper
+Section 2.2): commit the trace columns, blend all transition and
+boundary constraints with ``alpha`` powers, divide each by its vanishing
+divisor on the LDE coset, commit the composition quotient, and open
+everything at ``zeta`` / ``zeta * omega``.
+
+Starky runs with blowup 2 (``rate_bits = 1``), which is what makes its
+base proofs so much cheaper than Plonky2's (Table 5) at the cost of
+larger proofs.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..field import extension as fext, gl64, goldilocks as gl
+from ..fri import FriConfig, PolynomialBatch, fri_prove, open_batches
+from ..hashing import Challenger
+from ..ntt import coset_intt
+from .air import Air, BaseVecAlgebra
+from .proof import StarkProof
+
+
+def _coset_points(n_lde: int) -> np.ndarray:
+    return gl64.mul(
+        gl64.powers(gl.primitive_root_of_unity(n_lde.bit_length() - 1), n_lde),
+        np.uint64(gl.coset_shift()),
+    )
+
+
+def _zh_inverse(n: int, rate_bits: int) -> np.ndarray:
+    blowup = 1 << rate_bits
+    n_lde = n * blowup
+    omega_lde = gl.primitive_root_of_unity(n_lde.bit_length() - 1)
+    cycle = gl64.mul(
+        gl64.powers(gl.pow_mod(omega_lde, n), blowup),
+        np.uint64(gl.pow_mod(gl.coset_shift(), n)),
+    )
+    zh_cycle = gl64.sub(cycle, np.uint64(1))
+    return gl64.inv_fast(np.tile(zh_cycle, n))
+
+
+def quotient_chunk_count(air: Air) -> int:
+    """Number of degree-n quotient chunks per extension limb."""
+    return max(1, air.constraint_degree - 1)
+
+
+def prove(
+    air: Air,
+    trace: np.ndarray,
+    public_inputs: Sequence[int],
+    config: FriConfig,
+    challenger: Challenger | None = None,
+) -> StarkProof:
+    """Prove that ``trace`` satisfies ``air`` with the given public values.
+
+    ``trace`` is (n, width) with ``n`` a power of two.
+    """
+    trace = np.asarray(trace, dtype=np.uint64)
+    n, width = trace.shape
+    if n & (n - 1):
+        raise ValueError("trace length must be a power of two")
+    if width != air.width:
+        raise ValueError("trace width does not match the AIR")
+    chunks = quotient_chunk_count(air)
+    if chunks > (1 << config.rate_bits):
+        raise ValueError(
+            "constraint degree too high for the blowup factor "
+            f"(need {chunks} chunks, blowup {1 << config.rate_bits})"
+        )
+    challenger = challenger or Challenger()
+    rate_bits = config.rate_bits
+    blowup = 1 << rate_bits
+    n_lde = n * blowup
+
+    # Commit the trace.
+    trace_batch = PolynomialBatch.from_values(trace.T, rate_bits, config.cap_height)
+    challenger.observe_elements(np.asarray(public_inputs, dtype=np.uint64))
+    challenger.observe_cap(trace_batch.cap)
+    alpha = challenger.get_ext_challenge()
+
+    # Constraint evaluations on the LDE coset.
+    xs = _coset_points(n_lde)
+    locals_ = [trace_batch.values[:, c] for c in range(width)]
+    nexts = [np.roll(col, -blowup) for col in locals_]
+    alg = BaseVecAlgebra(n_lde)
+    # Public constant columns (periodic-style): LDE without commitment.
+    const_cols = air.constant_columns(n)
+    if const_cols.shape[0]:
+        from ..ntt import lde
+
+        const_ldes = lde(const_cols, rate_bits)
+        consts = [const_ldes[k] for k in range(const_cols.shape[0])]
+    else:
+        consts = []
+    transition_vals = air.eval_transition_with_constants(locals_, nexts, consts, alg)
+
+    omega = gl.primitive_root_of_unity(n.bit_length() - 1)
+    last_point = gl.pow_mod(omega, n - 1)
+    zh_inv = _zh_inverse(n, rate_bits)
+    # Transition divisor: Z_H(x) / (x - w^(n-1)).
+    transition_div_inv = gl64.mul(zh_inv, gl64.sub(xs, np.uint64(last_point)))
+
+    combined = fext.from_base(gl64.zeros(n_lde))
+    alpha_t = fext.one()
+    for con in transition_vals:
+        term = gl64.mul(np.broadcast_to(con, (n_lde,)), transition_div_inv)
+        combined = fext.add(
+            combined, fext.scalar_mul(np.broadcast_to(alpha_t, (n_lde, 2)), term)
+        )
+        alpha_t = fext.mul(alpha_t, alpha.reshape(2))
+    for bc in air.boundary_constraints(public_inputs):
+        point = gl.pow_mod(omega, bc.row)
+        numer = gl64.sub(locals_[bc.column], np.uint64(bc.value % gl.P))
+        div_inv = gl64.inv_fast(gl64.sub(xs, np.uint64(point)))
+        term = gl64.mul(numer, div_inv)
+        combined = fext.add(
+            combined, fext.scalar_mul(np.broadcast_to(alpha_t, (n_lde, 2)), term)
+        )
+        alpha_t = fext.mul(alpha_t, alpha.reshape(2))
+
+    # Commit the composition quotient (2 limbs x `chunks` degree-n chunks).
+    chunk_rows = []
+    for limb in range(2):
+        coeffs = coset_intt(combined[:, limb])
+        for k in range(chunks):
+            chunk_rows.append(coeffs[k * n : (k + 1) * n])
+    quotient_batch = PolynomialBatch.from_coeffs(
+        np.stack(chunk_rows), rate_bits, config.cap_height
+    )
+    challenger.observe_cap(quotient_batch.cap)
+
+    # Openings at zeta and zeta * omega.
+    zeta = challenger.get_ext_challenge()
+    zeta_next = fext.scalar_mul(zeta, np.uint64(omega))
+    batches = [trace_batch, quotient_batch]
+    cols_zeta = [(0, c) for c in range(width)] + [
+        (1, c) for c in range(2 * chunks)
+    ]
+    cols_next = [(0, c) for c in range(width)]
+    openings = open_batches(batches, [zeta, zeta_next], [cols_zeta, cols_next])
+    fri_proof = fri_prove(batches, openings, challenger, config)
+
+    return StarkProof(
+        trace_cap=trace_batch.cap.copy(),
+        quotient_cap=quotient_batch.cap.copy(),
+        public_inputs=[int(v) % gl.P for v in public_inputs],
+        degree_bits=n.bit_length() - 1,
+        openings=openings,
+        fri_proof=fri_proof,
+    )

@@ -1,0 +1,116 @@
+"""STARK verifier: transcript replay, constraint identity at zeta, FRI."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..field import extension as fext, goldilocks as gl
+from ..fri import fri_verify
+from ..fri.verifier import FriError
+from ..hashing import Challenger
+from .air import Air, ExtAlgebra
+from .proof import StarkProof
+from .prover import quotient_chunk_count
+
+
+class StarkError(Exception):
+    """Raised when a STARK proof fails verification."""
+
+
+def verify(
+    air: Air,
+    proof: StarkProof,
+    config,
+    challenger: Challenger | None = None,
+) -> None:
+    """Verify a STARK proof; raises :class:`StarkError` on any failure."""
+    challenger = challenger or Challenger()
+    n = 1 << proof.degree_bits
+    width = air.width
+    chunks = quotient_chunk_count(air)
+
+    challenger.observe_elements(np.asarray(proof.public_inputs, dtype=np.uint64))
+    challenger.observe_cap(proof.trace_cap)
+    alpha = challenger.get_ext_challenge()
+    challenger.observe_cap(proof.quotient_cap)
+    zeta = challenger.get_ext_challenge()
+
+    omega = gl.primitive_root_of_unity(proof.degree_bits)
+    zeta_next = fext.scalar_mul(zeta, np.uint64(omega))
+
+    op = proof.openings
+    expected_cols_zeta = [(0, c) for c in range(width)] + [
+        (1, c) for c in range(2 * chunks)
+    ]
+    expected_cols_next = [(0, c) for c in range(width)]
+    if len(op.points) != 2:
+        raise StarkError("malformed opening set (points)")
+    if not (
+        np.array_equal(op.points[0].reshape(2), zeta.reshape(2))
+        and np.array_equal(op.points[1].reshape(2), zeta_next.reshape(2))
+    ):
+        raise StarkError("openings are not at the transcript's zeta")
+    if op.columns[0] != expected_cols_zeta or op.columns[1] != expected_cols_next:
+        raise StarkError("malformed opening set (columns)")
+
+    vals0 = np.atleast_2d(op.values[0])
+    local = [vals0[c] for c in range(width)]
+    t_chunks = [vals0[width + i] for i in range(2 * chunks)]
+    next_row = [np.atleast_2d(op.values[1])[c] for c in range(width)]
+
+    zeta_n = fext.pow_scalar(zeta.reshape(2), n)
+    zh = fext.sub(zeta_n, fext.one())
+    if bool(fext.is_zero(zh)):
+        raise StarkError("zeta landed inside the subgroup (reject)")
+
+    # Recompute the composition value at zeta.
+    alg = ExtAlgebra()
+    last_point = gl.pow_mod(omega, n - 1)
+    # transition divisor inverse at zeta: (zeta - w^(n-1)) / Z_H(zeta)
+    trans_div_inv = fext.mul(
+        fext.sub(zeta.reshape(2), fext.from_base(np.uint64(last_point))),
+        fext.inv(zh),
+    )
+    # Public constant columns: the verifier evaluates their interpolants
+    # at zeta itself (they are public data, never committed).
+    const_cols = air.constant_columns(n)
+    consts = []
+    if const_cols.shape[0]:
+        from ..ntt import intt
+
+        coeffs = intt(const_cols)
+        consts = [
+            fext.eval_poly_base(coeffs[k], zeta.reshape(2))
+            for k in range(const_cols.shape[0])
+        ]
+    total = fext.zero()
+    alpha_t = fext.one()
+    for con in air.eval_transition_with_constants(local, next_row, consts, alg):
+        total = fext.add(total, fext.mul(alpha_t, fext.mul(con, trans_div_inv)))
+        alpha_t = fext.mul(alpha_t, alpha.reshape(2))
+    for bc in air.boundary_constraints(proof.public_inputs):
+        point = gl.pow_mod(omega, bc.row)
+        numer = fext.sub(local[bc.column], fext.from_base(np.uint64(bc.value % gl.P)))
+        div_inv = fext.inv(fext.sub(zeta.reshape(2), fext.from_base(np.uint64(point))))
+        total = fext.add(total, fext.mul(alpha_t, fext.mul(numer, div_inv)))
+        alpha_t = fext.mul(alpha_t, alpha.reshape(2))
+
+    # Reassemble the committed composition at zeta.
+    phi = fext.make(0, 1)
+    t_eval = fext.zero()
+    for limb in range(2):
+        limb_val = fext.zero()
+        for k in range(chunks - 1, -1, -1):
+            limb_val = fext.add(fext.mul(limb_val, zeta_n), t_chunks[limb * chunks + k])
+        if limb == 1:
+            limb_val = fext.mul(limb_val, phi)
+        t_eval = fext.add(t_eval, limb_val)
+
+    if not np.array_equal(total.reshape(2), t_eval.reshape(2)):
+        raise StarkError("constraint identity fails at zeta")
+
+    caps = [proof.trace_cap, proof.quotient_cap]
+    try:
+        fri_verify(caps, op, proof.fri_proof, challenger, config, n)
+    except FriError as exc:
+        raise StarkError(f"FRI verification failed: {exc}") from exc

@@ -1,0 +1,19 @@
+"""Sum-check protocol (the paper's generality extension, Algorithm 2)."""
+
+from .protocol import (
+    SumcheckError,
+    SumcheckProof,
+    fold_table,
+    multilinear_eval,
+    prove,
+    verify,
+)
+
+__all__ = [
+    "SumcheckProof",
+    "SumcheckError",
+    "prove",
+    "verify",
+    "fold_table",
+    "multilinear_eval",
+]

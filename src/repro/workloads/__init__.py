@@ -1,0 +1,45 @@
+"""Evaluation workloads (paper Section 6): paper-scale parameters plus
+functional scaled-down circuits and AETs."""
+
+from . import aes128, ecdsa, factorial, fibonacci, image_crop, mvm, sha256
+from .base import WorkloadSpec
+
+#: The six Plonky2 applications of Tables 1, 3, 4 and Figures 8-9.
+PAPER_WORKLOADS = [
+    factorial.SPEC,
+    fibonacci.SPEC,
+    ecdsa.SPEC,
+    sha256.SPEC,
+    image_crop.SPEC,
+    mvm.SPEC,
+]
+
+#: Applications with Starky variants (Table 5).
+STARKY_WORKLOADS = [factorial.SPEC, fibonacci.SPEC, sha256.SPEC]
+
+#: Applications for the PipeZK comparison (Table 6).
+PIPEZK_WORKLOADS = [sha256.SPEC, aes128.SPEC]
+
+
+def by_name(name: str) -> WorkloadSpec:
+    """Look up a workload spec by its display name."""
+    for spec in PAPER_WORKLOADS + [aes128.SPEC]:
+        if spec.name == name:
+            return spec
+    raise KeyError(f"unknown workload {name!r}")
+
+
+__all__ = [
+    "WorkloadSpec",
+    "PAPER_WORKLOADS",
+    "STARKY_WORKLOADS",
+    "PIPEZK_WORKLOADS",
+    "by_name",
+    "factorial",
+    "fibonacci",
+    "ecdsa",
+    "sha256",
+    "image_crop",
+    "mvm",
+    "aes128",
+]

@@ -1,0 +1,51 @@
+"""Workload definitions: paper-scale parameters + functional circuits.
+
+Each of the paper's six applications (Section 6, "Applications") is a
+:class:`WorkloadSpec` with two faces:
+
+* **paper-scale parameters** (:class:`repro.compiler.PlonkParams` /
+  :class:`repro.compiler.StarkParams`) consumed by the performance
+  models -- degree and width chosen to reproduce the paper's measured
+  CPU times (Tables 1 and 3);
+* a **functional builder** that constructs a scaled-down but *real*
+  circuit (or AET) our Plonk/STARK provers prove and verify end to end
+  in the tests and examples.
+
+Where the original gadget is out of scope (secp256k1 arithmetic, SHA-256
+bit decomposition, PNG decoding), the builder substitutes a circuit with
+the same computational *shape*; each substitution is documented in the
+spec's ``repro_note`` and in DESIGN.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Tuple
+
+import numpy as np
+
+from ..compiler import PlonkParams, StarkParams
+from ..plonk import Circuit
+from ..stark import Air
+
+#: (circuit, inputs dict, expected public values)
+CircuitBuild = Tuple[Circuit, Dict[int, int], list]
+#: (air, trace, public values)
+AirBuild = Tuple[Air, np.ndarray, list]
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """One evaluation application."""
+
+    name: str
+    #: Paper-scale Plonky2 parameters (Tables 1, 3, 4; Figures 8-10).
+    plonk: PlonkParams
+    #: Builds a functional scaled-down circuit; ``scale`` controls size.
+    build_circuit: Callable[[int], CircuitBuild]
+    #: Paper-scale Starky parameters (Tables 5, 6), when applicable.
+    stark: Optional[StarkParams] = None
+    #: Builds a functional scaled-down AET, when applicable.
+    build_air: Optional[Callable[[int], AirBuild]] = None
+    #: What the paper used vs what we build (substitution record).
+    repro_note: str = ""

@@ -1,0 +1,71 @@
+"""Dedicated-units ablation tests (the paper's Section 3 claims)."""
+
+import pytest
+
+from repro.baselines import CpuModel, DedicatedChip, Top2Chip
+from repro.compiler import PlonkParams, trace_plonky2
+from repro.mapping.base import KIND_HASH, KIND_NTT, KIND_POLY
+from repro.sim import simulate_plonky2
+from repro.workloads import PAPER_WORKLOADS
+
+PARAMS = PlonkParams(name="t", degree_bits=16, width=135)
+
+
+class TestTop2Chip:
+    def test_amdahl_cap(self):
+        """Top-2-only acceleration stays below 7x end to end."""
+        cpu = CpuModel()
+        for spec in PAPER_WORKLOADS:
+            graph = trace_plonky2(spec.plonk)
+            speedup = cpu.run(graph).total_seconds / Top2Chip().run(graph).total_seconds
+            assert 2.0 <= speedup < 7.0
+
+    def test_host_dominates(self):
+        graph = trace_plonky2(PARAMS)
+        rep = Top2Chip().run(graph)
+        assert rep.host_seconds > rep.accel_seconds
+        assert rep.transfer_seconds > 0
+
+    def test_much_slower_than_unified(self):
+        graph = trace_plonky2(PARAMS)
+        unified = simulate_plonky2(PARAMS).total_seconds
+        assert Top2Chip().run(graph).total_seconds > 5 * unified
+
+
+class TestDedicatedChip:
+    def test_equal_area_is_slower(self):
+        for spec in PAPER_WORKLOADS:
+            graph = trace_plonky2(spec.plonk)
+            unified = simulate_plonky2(spec.plonk).total_seconds
+            dedicated = DedicatedChip().run(graph).total_seconds()
+            assert dedicated > unified
+
+    def test_memory_bound_kernels_unaffected(self):
+        # NTT is memory-bound: shrinking its unit barely moves its time.
+        graph = trace_plonky2(PARAMS)
+        small_ntt = DedicatedChip(shares={KIND_NTT: 0.05, KIND_HASH: 0.6, KIND_POLY: 0.35})
+        big_ntt = DedicatedChip(shares={KIND_NTT: 0.5, KIND_HASH: 0.4, KIND_POLY: 0.1})
+        small = small_ntt.run(graph).cycles_by_kind[KIND_NTT]
+        big = big_ntt.run(graph).cycles_by_kind[KIND_NTT]
+        assert small == pytest.approx(big, rel=0.01)
+
+    def test_hash_unit_share_matters(self):
+        # Hash is compute-bound: halving its unit ~doubles hash time.
+        graph = trace_plonky2(PARAMS)
+        full = DedicatedChip(shares={KIND_NTT: 0.2, KIND_HASH: 0.6, KIND_POLY: 0.2})
+        half = DedicatedChip(shares={KIND_NTT: 0.2, KIND_HASH: 0.3, KIND_POLY: 0.5})
+        t_full = full.run(graph).cycles_by_kind[KIND_HASH]
+        t_half = half.run(graph).cycles_by_kind[KIND_HASH]
+        assert t_half == pytest.approx(2 * t_full, rel=0.05)
+
+    def test_unprovisioned_kind_rejected(self):
+        graph = trace_plonky2(PARAMS)
+        chip = DedicatedChip(shares={KIND_NTT: 0.5, KIND_HASH: 0.5, KIND_POLY: 0.0})
+        with pytest.raises(ValueError):
+            chip.run(graph)
+
+    def test_low_average_utilisation(self):
+        """Static partitioning leaves most multipliers idle on average."""
+        graph = trace_plonky2(PARAMS)
+        rep = DedicatedChip().run(graph)
+        assert rep.average_logic_utilization < 0.35

@@ -1,0 +1,31 @@
+"""CSV export tests."""
+
+import csv
+
+from repro.experiments.export import export_all
+
+
+class TestExport:
+    def test_writes_all_files(self, tmp_path):
+        paths = export_all(tmp_path)
+        assert len(paths) == 9
+        for p in paths:
+            assert p.exists() and p.stat().st_size > 0
+
+    def test_table3_content(self, tmp_path):
+        paths = {p.name: p for p in export_all(tmp_path)}
+        with paths["table3_end_to_end.csv"].open() as fh:
+            rows = list(csv.DictReader(fh))
+        assert len(rows) == 6
+        assert {r["app"] for r in rows} == {
+            "Factorial", "Fibonacci", "ECDSA", "SHA-256", "Image Crop", "MVM",
+        }
+        for r in rows:
+            assert float(r["unizk_s"]) < float(r["cpu_s"])
+
+    def test_fig10_content(self, tmp_path):
+        paths = {p.name: p for p in export_all(tmp_path)}
+        with paths["fig10_dse.csv"].open() as fh:
+            rows = list(csv.DictReader(fh))
+        resources = {r["resource"] for r in rows}
+        assert resources == {"scratchpad", "vsas", "bandwidth"}

@@ -1,0 +1,202 @@
+"""Extension-field and FRI-arithmetic gadget tests."""
+
+import numpy as np
+import pytest
+
+from repro.field import extension as fext, gl64, goldilocks as gl
+from repro.plonk import CircuitBuilder, check_copy_constraints
+from repro.plonk.gadgets import assert_boolean
+from repro.plonk.gadgets_ext import (
+    ExtVar,
+    domain_point_from_bits,
+    ext_add,
+    ext_assert_equal,
+    ext_constant,
+    ext_eval_poly,
+    ext_from_base,
+    ext_input,
+    ext_mul,
+    ext_scalar_mul,
+    ext_select,
+    ext_sub,
+    fri_fold_check,
+)
+
+
+def _run(circuit, inputs):
+    w = circuit.generate_witness(inputs)
+    return w, circuit.check_gates(w, []) and check_copy_constraints(circuit, w)
+
+
+def _feed(inputs, var: ExtVar, value):
+    pair = fext.to_pair(value)
+    inputs[var.c0.index] = pair[0]
+    inputs[var.c1.index] = pair[1]
+
+
+class TestExtArithmetic:
+    def test_mul_matches_native(self, rng):
+        b = CircuitBuilder()
+        av, bv = ext_input(b), ext_input(b)
+        out = ext_mul(b, av, bv)
+        c = b.build()
+        a = fext.make(int(gl64.random((), rng)), int(gl64.random((), rng)))
+        x = fext.make(int(gl64.random((), rng)), int(gl64.random((), rng)))
+        inputs = {}
+        _feed(inputs, av, a)
+        _feed(inputs, bv, x)
+        w, ok = _run(c, inputs)
+        assert ok
+        native = fext.to_pair(fext.mul(a, x))
+        assert (int(w[out.c0.index]), int(w[out.c1.index])) == native
+
+    def test_add_sub(self, rng):
+        b = CircuitBuilder()
+        av, bv = ext_input(b), ext_input(b)
+        s = ext_add(b, av, bv)
+        d = ext_sub(b, av, bv)
+        c = b.build()
+        a = fext.make(5, 7)
+        x = fext.make(11, 13)
+        inputs = {}
+        _feed(inputs, av, a)
+        _feed(inputs, bv, x)
+        w, ok = _run(c, inputs)
+        assert ok
+        assert (int(w[s.c0.index]), int(w[s.c1.index])) == fext.to_pair(fext.add(a, x))
+        assert (int(w[d.c0.index]), int(w[d.c1.index])) == fext.to_pair(fext.sub(a, x))
+
+    def test_scalar_mul_and_from_base(self):
+        b = CircuitBuilder()
+        av = ext_input(b)
+        out = ext_scalar_mul(b, av, 9)
+        base = b.add_variable()
+        emb = ext_from_base(b, base)
+        c = b.build()
+        inputs = {base.index: 4}
+        _feed(inputs, av, fext.make(3, 5))
+        w, ok = _run(c, inputs)
+        assert ok
+        assert (int(w[out.c0.index]), int(w[out.c1.index])) == (27, 45)
+        assert (int(w[emb.c0.index]), int(w[emb.c1.index])) == (4, 0)
+
+    def test_ext_select(self):
+        b = CircuitBuilder()
+        bit = b.add_variable()
+        assert_boolean(b, bit)
+        av = ext_constant(b, (1, 2))
+        bv = ext_constant(b, (3, 4))
+        out = ext_select(b, bit, av, bv)
+        c = b.build()
+        w, ok = _run(c, {bit.index: 1})
+        assert ok and (int(w[out.c0.index]), int(w[out.c1.index])) == (1, 2)
+        w, ok = _run(c, {bit.index: 0})
+        assert ok and (int(w[out.c0.index]), int(w[out.c1.index])) == (3, 4)
+
+    def test_assert_equal_rejects_mismatch(self):
+        b = CircuitBuilder()
+        av, bv = ext_input(b), ext_input(b)
+        ext_assert_equal(b, av, bv)
+        c = b.build()
+        inputs = {}
+        _feed(inputs, av, fext.make(1, 2))
+        _feed(inputs, bv, fext.make(1, 3))
+        _, ok = _run(c, inputs)
+        assert not ok
+
+    def test_eval_poly(self, rng):
+        b = CircuitBuilder()
+        coeff_vars = [ext_input(b) for _ in range(4)]
+        xv = ext_input(b)
+        out = ext_eval_poly(b, coeff_vars, xv)
+        c = b.build()
+        coeffs = np.stack([gl64.random(2, rng) for _ in range(4)])
+        x = fext.make(1234, 5678)
+        inputs = {}
+        for var, val in zip(coeff_vars, coeffs):
+            _feed(inputs, var, val)
+        _feed(inputs, xv, x)
+        w, ok = _run(c, inputs)
+        assert ok
+        native = fext.to_pair(fext.eval_poly_ext(coeffs, x))
+        assert (int(w[out.c0.index]), int(w[out.c1.index])) == native
+
+
+class TestDomainPoint:
+    @pytest.mark.parametrize("index", [0, 1, 5, 7])
+    def test_forward(self, index):
+        log_n = 3
+        b = CircuitBuilder()
+        bits = [b.add_variable() for _ in range(log_n)]
+        for bit in bits:
+            assert_boolean(b, bit)
+        x = domain_point_from_bits(b, bits, log_n)
+        c = b.build()
+        inputs = {bits[i].index: (index >> i) & 1 for i in range(log_n)}
+        w, ok = _run(c, inputs)
+        assert ok
+        omega = gl.primitive_root_of_unity(log_n)
+        assert int(w[x.index]) == gl.mul(gl.coset_shift(), gl.pow_mod(omega, index))
+
+    def test_inverse(self):
+        log_n = 4
+        index = 11
+        b = CircuitBuilder()
+        bits = [b.add_variable() for _ in range(log_n)]
+        x = domain_point_from_bits(b, bits, log_n)
+        x_inv = domain_point_from_bits(b, bits, log_n, inverse=True)
+        prod = b.mul(x, x_inv)
+        c = b.build()
+        inputs = {bits[i].index: (index >> i) & 1 for i in range(log_n)}
+        w, ok = _run(c, inputs)
+        assert ok
+        assert int(w[prod.index]) == 1
+
+    def test_bit_count_validation(self):
+        b = CircuitBuilder()
+        with pytest.raises(ValueError):
+            domain_point_from_bits(b, [b.add_variable()], 3)
+
+
+class TestFriFoldGadget:
+    def test_matches_native_fold(self, rng):
+        """The gadget accepts exactly the values the native verifier
+        computes during its layer walk."""
+        from repro.fri.prover import fold_values
+        from repro.ntt import lde_coeffs
+
+        log_n = 4
+        coeffs = gl64.random(8, rng)
+        values = fext.from_base(lde_coeffs(coeffs, 1))  # domain size 16
+        beta = fext.make(77, 88)
+        folded = fold_values(values, beta, gl.coset_shift(), log_n)
+        idx = 5  # pair (5, 13); folded index 5
+        lo, hi = values[idx], values[idx + 8]
+        x = gl.mul(gl.coset_shift(), gl.pow_mod(gl.primitive_root_of_unity(log_n), idx))
+
+        b = CircuitBuilder()
+        lo_v, hi_v, beta_v, exp_v = (ext_input(b) for _ in range(4))
+        x_inv_v = b.add_variable()
+        fri_fold_check(b, lo_v, hi_v, beta_v, x_inv_v, exp_v)
+        c = b.build()
+        inputs = {x_inv_v.index: gl.inverse(x)}
+        _feed(inputs, lo_v, lo)
+        _feed(inputs, hi_v, hi)
+        _feed(inputs, beta_v, beta)
+        _feed(inputs, exp_v, folded[idx])
+        _, ok = _run(c, inputs)
+        assert ok
+
+    def test_rejects_wrong_fold(self, rng):
+        b = CircuitBuilder()
+        lo_v, hi_v, beta_v, exp_v = (ext_input(b) for _ in range(4))
+        x_inv_v = b.add_variable()
+        fri_fold_check(b, lo_v, hi_v, beta_v, x_inv_v, exp_v)
+        c = b.build()
+        inputs = {x_inv_v.index: gl.inverse(5)}
+        _feed(inputs, lo_v, fext.make(1, 2))
+        _feed(inputs, hi_v, fext.make(3, 4))
+        _feed(inputs, beta_v, fext.make(5, 6))
+        _feed(inputs, exp_v, fext.make(7, 8))  # wrong
+        _, ok = _run(c, inputs)
+        assert not ok

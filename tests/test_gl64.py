@@ -1,0 +1,164 @@
+"""Vectorised Goldilocks kernels versus the scalar reference."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.field import gl64, goldilocks as gl
+
+elements = st.integers(min_value=0, max_value=gl.P - 1)
+
+#: Values near every reduction boundary.
+EDGE_VALUES = [
+    0, 1, 2, gl.P - 1, gl.P - 2, gl.EPSILON, gl.EPSILON + 1,
+    1 << 32, (1 << 32) - 1, gl.P >> 1, (gl.P >> 1) + 1, 0xDEADBEEF,
+]
+
+
+class TestEdgeCases:
+    @pytest.mark.parametrize("a", EDGE_VALUES)
+    @pytest.mark.parametrize("b", EDGE_VALUES)
+    def test_mul_edges(self, a, b):
+        assert int(gl64.mul(np.uint64(a), np.uint64(b))) == gl.mul(a, b)
+
+    @pytest.mark.parametrize("a", EDGE_VALUES)
+    @pytest.mark.parametrize("b", EDGE_VALUES)
+    def test_add_sub_edges(self, a, b):
+        assert int(gl64.add(np.uint64(a), np.uint64(b))) == gl.add(a, b)
+        assert int(gl64.sub(np.uint64(a), np.uint64(b))) == gl.sub(a, b)
+
+    def test_zero_dim_shapes(self):
+        out = gl64.mul(np.uint64(3), np.uint64(5))
+        assert out.shape == ()
+        assert int(out) == 15
+
+
+class TestAgainstScalar:
+    @given(st.lists(st.tuples(elements, elements), min_size=1, max_size=50))
+    @settings(max_examples=30, deadline=None)
+    def test_mul_batch(self, pairs):
+        a = np.array([p[0] for p in pairs], dtype=np.uint64)
+        b = np.array([p[1] for p in pairs], dtype=np.uint64)
+        out = gl64.mul(a, b)
+        assert [int(x) for x in out] == [gl.mul(x, y) for x, y in pairs]
+
+    @given(st.lists(st.tuples(elements, elements), min_size=1, max_size=50))
+    @settings(max_examples=30, deadline=None)
+    def test_add_sub_batch(self, pairs):
+        a = np.array([p[0] for p in pairs], dtype=np.uint64)
+        b = np.array([p[1] for p in pairs], dtype=np.uint64)
+        assert [int(x) for x in gl64.add(a, b)] == [gl.add(x, y) for x, y in pairs]
+        assert [int(x) for x in gl64.sub(a, b)] == [gl.sub(x, y) for x, y in pairs]
+
+    @given(elements)
+    @settings(max_examples=30, deadline=None)
+    def test_pow7(self, a):
+        assert int(gl64.pow7(np.uint64(a))) == gl.pow_mod(a, 7)
+
+    @given(elements, st.integers(min_value=0, max_value=1 << 20))
+    @settings(max_examples=30, deadline=None)
+    def test_pow_scalar(self, a, e):
+        assert int(gl64.pow_scalar(np.uint64(a), e)) == gl.pow_mod(a, e)
+
+
+class TestInversion:
+    def test_inv_matches(self, rng):
+        a = gl64.random(64, rng)
+        a[a == 0] = np.uint64(1)
+        out = gl64.inv(a)
+        assert all(int(x) == 1 for x in gl64.mul(a, out))
+
+    def test_inv_fast_matches_inv(self, rng):
+        a = gl64.random(64, rng)
+        a[a == 0] = np.uint64(1)
+        assert np.array_equal(gl64.inv(a), gl64.inv_fast(a))
+
+    def test_inv_zero_raises(self):
+        with pytest.raises(ZeroDivisionError):
+            gl64.inv(np.array([1, 0, 2], dtype=np.uint64))
+        with pytest.raises(ZeroDivisionError):
+            gl64.inv_fast(np.array([0], dtype=np.uint64))
+
+    def test_inv_empty(self):
+        out = gl64.inv(np.zeros(0, dtype=np.uint64))
+        assert out.size == 0
+
+    def test_inv_preserves_shape(self, rng):
+        a = gl64.random((3, 5), rng)
+        a[a == 0] = np.uint64(1)
+        assert gl64.inv(a).shape == (3, 5)
+
+
+class TestHelpers:
+    def test_powers(self):
+        base = 123456789
+        out = gl64.powers(base, 33)
+        assert [int(x) for x in out] == [gl.pow_mod(base, i) for i in range(33)]
+
+    def test_powers_empty_and_one(self):
+        assert gl64.powers(5, 0).size == 0
+        assert [int(x) for x in gl64.powers(5, 1)] == [1]
+
+    def test_geometric(self):
+        out = gl64.geometric(3, 7, 5)
+        assert [int(x) for x in out] == [gl.mul(7, gl.pow_mod(3, i)) for i in range(5)]
+
+    def test_sum_array(self, rng):
+        a = gl64.random(100, rng)
+        assert int(gl64.sum_array(a)) == sum(int(x) for x in a) % gl.P
+
+    def test_sum_array_empty(self):
+        assert int(gl64.sum_array(np.zeros(0, dtype=np.uint64))) == 0
+
+    def test_sum_along_axis(self, rng):
+        a = gl64.random((4, 7), rng)
+        out = gl64.sum_along_axis(a, axis=1)
+        for i in range(4):
+            assert int(out[i]) == sum(int(x) for x in a[i]) % gl.P
+        out0 = gl64.sum_along_axis(a, axis=0)
+        for j in range(7):
+            assert int(out0[j]) == sum(int(a[i, j]) for i in range(4)) % gl.P
+
+    def test_dot(self, rng):
+        a = gl64.random(31, rng)
+        b = gl64.random(31, rng)
+        expect = sum(int(x) * int(y) for x, y in zip(a, b)) % gl.P
+        assert int(gl64.dot(a, b)) == expect
+
+    def test_dot_shape_mismatch(self, rng):
+        with pytest.raises(ValueError):
+            gl64.dot(gl64.random(3, rng), gl64.random(4, rng))
+
+    def test_mul_add(self, rng):
+        a, b, c = (gl64.random(10, rng) for _ in range(3))
+        out = gl64.mul_add(a, b, c)
+        for x, y, z, r in zip(a, b, c, out):
+            assert int(r) == gl.add(gl.mul(int(x), int(y)), int(z))
+
+    def test_asarray_canonicalises(self):
+        out = gl64.asarray([gl.P, gl.P + 5])
+        assert [int(x) for x in out] == [0, 5]
+
+    def test_matvec_matches_reference(self, rng):
+        from repro.field import matrix as fm
+
+        m = gl64.random((4, 6), rng)
+        v = gl64.random(6, rng)
+        out = gl64.matvec(m, v)
+        assert [int(x) for x in out] == fm.matvec(m, v)
+
+    def test_matvec_batch(self, rng):
+        m = gl64.random((4, 6), rng)
+        vs = gl64.random((3, 6), rng)
+        out = gl64.matvec(m, vs)
+        for i in range(3):
+            assert np.array_equal(out[i], gl64.matvec(m, vs[i]))
+
+    def test_matvec_mismatch(self, rng):
+        with pytest.raises(ValueError):
+            gl64.matvec(gl64.random((4, 6), rng), gl64.random(5, rng))
+
+    def test_random_is_canonical(self, rng):
+        a = gl64.random(1000, rng)
+        assert bool((a < np.uint64(gl.P)).all())

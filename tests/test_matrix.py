@@ -1,0 +1,108 @@
+"""Field matrix algebra tests (the Poseidon MDS machinery)."""
+
+import numpy as np
+import pytest
+
+from repro.field import gl64, goldilocks as gl, matrix as fm
+
+
+class TestBasics:
+    def test_identity(self):
+        i3 = fm.identity(3)
+        assert np.array_equal(fm.matmul(i3, i3), i3)
+
+    def test_matmul_matches_int_math(self, rng):
+        a = gl64.random((3, 4), rng)
+        b = gl64.random((4, 5), rng)
+        out = fm.matmul(a, b)
+        for i in range(3):
+            for j in range(5):
+                expect = sum(int(a[i, k]) * int(b[k, j]) for k in range(4)) % gl.P
+                assert int(out[i, j]) == expect
+
+    def test_matmul_mismatch(self, rng):
+        with pytest.raises(ValueError):
+            fm.matmul(gl64.random((3, 4), rng), gl64.random((3, 4), rng))
+
+    def test_matvec(self, rng):
+        a = gl64.random((3, 3), rng)
+        v = [1, 2, 3]
+        out = fm.matvec(a, v)
+        for i in range(3):
+            assert out[i] == sum(int(a[i, k]) * v[k] for k in range(3)) % gl.P
+
+    def test_transpose(self, rng):
+        a = gl64.random((2, 5), rng)
+        assert np.array_equal(fm.transpose(a), a.T)
+
+    def test_as_matrix_canonicalises(self):
+        m = fm.as_matrix([[gl.P + 1, 2], [3, 4]])
+        assert int(m[0, 0]) == 1
+
+
+class TestInverse:
+    def test_inverse_roundtrip(self, rng):
+        for n in (1, 2, 5, 12):
+            a = gl64.random((n, n), rng)
+            try:
+                inv = fm.inverse(a)
+            except ValueError:
+                continue  # singular random matrix (negligible probability)
+            assert np.array_equal(fm.matmul(a, inv), fm.identity(n))
+            assert np.array_equal(fm.matmul(inv, a), fm.identity(n))
+
+    def test_singular_raises(self):
+        a = fm.as_matrix([[1, 2], [2, 4]])
+        with pytest.raises(ValueError):
+            fm.inverse(a)
+
+    def test_non_square_raises(self, rng):
+        with pytest.raises(ValueError):
+            fm.inverse(gl64.random((2, 3), rng))
+
+    def test_determinant_singular(self):
+        assert fm.determinant(fm.as_matrix([[1, 2], [2, 4]])) == 0
+
+    def test_determinant_2x2(self):
+        a = fm.as_matrix([[1, 2], [3, 4]])
+        assert fm.determinant(a) == gl.sub(4, 6)
+
+    def test_determinant_identity(self):
+        assert fm.determinant(fm.identity(7)) == 1
+
+    def test_determinant_multiplicative(self, rng):
+        a = gl64.random((4, 4), rng)
+        b = gl64.random((4, 4), rng)
+        assert fm.determinant(fm.matmul(a, b)) == gl.mul(
+            fm.determinant(a), fm.determinant(b)
+        )
+
+
+class TestCauchyMds:
+    def test_shape_and_invertibility(self):
+        m = fm.cauchy_mds(12)
+        assert m.shape == (12, 12)
+        assert fm.determinant(m) != 0
+
+    def test_entries_formula(self):
+        m = fm.cauchy_mds(4)
+        for i in range(4):
+            for j in range(4):
+                assert int(m[i, j]) == gl.inverse(i + 4 + j)
+
+    def test_mds_property_small_minors(self):
+        assert fm.is_mds_upto(fm.cauchy_mds(6))
+
+    def test_non_mds_detected(self):
+        assert not fm.is_mds_upto(fm.identity(4))  # zeros off-diagonal
+
+    def test_all_submatrices_nonsingular_small(self):
+        # Exhaustive 2x2 and 3x3 minor check for a small Cauchy matrix.
+        import itertools
+
+        m = fm.cauchy_mds(5)
+        for size in (2, 3):
+            for rows in itertools.combinations(range(5), size):
+                for cols in itertools.combinations(range(5), size):
+                    sub = m[np.ix_(rows, cols)]
+                    assert fm.determinant(sub) != 0

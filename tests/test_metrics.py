@@ -1,0 +1,64 @@
+"""Operation-counter infrastructure tests."""
+
+import numpy as np
+
+from repro.field import gl64
+from repro.hashing import Challenger, hash_batch, two_to_one
+from repro.merkle import MerkleTree
+from repro.metrics import GLOBAL, Counters, counting
+from repro.ntt import ntt
+
+
+class TestCounters:
+    def test_snapshot_delta(self):
+        c = Counters(sponge_permutations=5, ntt_butterflies=10)
+        snap = c.snapshot()
+        c.sponge_permutations += 3
+        d = c.delta(snap)
+        assert d.sponge_permutations == 3 and d.ntt_butterflies == 0
+
+    def test_total_permutations(self):
+        c = Counters(sponge_permutations=2, challenger_permutations=3)
+        assert c.total_permutations == 5
+
+    def test_counting_scopes_are_deltas(self, rng):
+        data = gl64.random((4, 10), rng)
+        hash_batch(data)  # outside: must not leak into the scope
+        with counting() as c:
+            hash_batch(data)
+            assert c.sponge_permutations == 8  # 4 rows x 2 chunks
+
+    def test_nested_scopes(self, rng):
+        with counting() as outer:
+            ntt(gl64.random(16, rng))
+            with counting() as inner:
+                ntt(gl64.random(16, rng))
+                assert inner.ntt_transforms == 1
+            assert outer.ntt_transforms == 2
+
+    def test_two_to_one_counts_batch(self, rng):
+        with counting() as c:
+            two_to_one(gl64.random((7, 4), rng), gl64.random((7, 4), rng))
+            assert c.sponge_permutations == 7
+
+    def test_challenger_isolated_from_sponge(self):
+        with counting() as c:
+            ch = Challenger()
+            ch.observe_element(1)
+            ch.get_challenge()
+            assert c.challenger_permutations >= 1
+            assert c.sponge_permutations == 0
+
+    def test_merkle_counts_scale_with_width(self, rng):
+        with counting() as c:
+            MerkleTree(gl64.random((8, 4), rng))
+            narrow = c.sponge_permutations
+        with counting() as c:
+            MerkleTree(gl64.random((8, 100), rng))
+            wide = c.sponge_permutations
+        assert wide > narrow
+
+    def test_global_monotone(self, rng):
+        before = GLOBAL.total_permutations
+        hash_batch(gl64.random((2, 5), rng))
+        assert GLOBAL.total_permutations > before

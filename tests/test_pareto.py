@@ -1,0 +1,76 @@
+"""Pareto design-space exploration tests."""
+
+import pytest
+
+from repro.experiments.pareto import (
+    DesignPoint,
+    format_frontier,
+    pareto_frontier,
+    sweep_design_space,
+)
+from repro.hw import DEFAULT_CONFIG
+
+
+@pytest.fixture(scope="module")
+def small_sweep():
+    return sweep_design_space(
+        workload="MVM", vsa_grid=(16, 32, 64), spad_grid=(4.0, 8.0), bw_grid=(500.0, 1000.0)
+    )
+
+
+class TestSweep:
+    def test_grid_size(self, small_sweep):
+        assert len(small_sweep) == 3 * 2 * 2
+
+    def test_all_points_positive(self, small_sweep):
+        for p in small_sweep:
+            assert p.seconds > 0 and p.area_mm2 > 0 and p.power_w > 0
+
+    def test_labels_unique(self, small_sweep):
+        labels = [p.label for p in small_sweep]
+        assert len(set(labels)) == len(labels)
+
+
+class TestFrontier:
+    def test_frontier_is_subset_and_sorted(self, small_sweep):
+        frontier = pareto_frontier(small_sweep)
+        assert 0 < len(frontier) <= len(small_sweep)
+        areas = [p.area_mm2 for p in frontier]
+        assert areas == sorted(areas)
+
+    def test_frontier_is_undominated(self, small_sweep):
+        frontier = pareto_frontier(small_sweep)
+        for f in frontier:
+            for q in small_sweep:
+                assert not (q.seconds < f.seconds and q.area_mm2 < f.area_mm2)
+
+    def test_frontier_monotone_in_time(self, small_sweep):
+        # Sorted by area, times must strictly decrease along the frontier.
+        frontier = pareto_frontier(small_sweep)
+        times = [p.seconds for p in frontier]
+        assert all(a > b for a, b in zip(times, times[1:]))
+
+    def test_default_config_on_full_frontier(self):
+        points = sweep_design_space("MVM")
+        frontier = pareto_frontier(points)
+        assert any(p.hw == DEFAULT_CONFIG for p in frontier)
+
+    def test_format(self, small_sweep):
+        out = format_frontier(small_sweep, pareto_frontier(small_sweep))
+        assert "frontier" in out
+
+
+class TestDominance:
+    def test_simple_dominance(self):
+        a = DesignPoint(hw=DEFAULT_CONFIG, seconds=1.0, area_mm2=10.0, power_w=1.0)
+        b = DesignPoint(
+            hw=DEFAULT_CONFIG.scaled(num_vsas=16), seconds=2.0, area_mm2=20.0, power_w=1.0
+        )
+        assert pareto_frontier([a, b]) == [a]
+
+    def test_incomparable_points_both_kept(self):
+        a = DesignPoint(hw=DEFAULT_CONFIG, seconds=1.0, area_mm2=20.0, power_w=1.0)
+        b = DesignPoint(
+            hw=DEFAULT_CONFIG.scaled(num_vsas=16), seconds=2.0, area_mm2=10.0, power_w=1.0
+        )
+        assert len(pareto_frontier([a, b])) == 2

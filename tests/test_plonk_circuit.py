@@ -1,0 +1,158 @@
+"""Circuit builder and witness generation tests."""
+
+import numpy as np
+import pytest
+
+from repro.field import goldilocks as gl
+from repro.plonk import CircuitBuilder, check_copy_constraints
+
+
+class TestGates:
+    def test_add_gate(self):
+        b = CircuitBuilder()
+        x, y = b.add_variable(), b.add_variable()
+        out = b.add(x, y)
+        c = b.build()
+        w = c.generate_witness({x.index: 3, y.index: 4})
+        assert int(w[out.index]) == 7
+        assert c.check_gates(w, [])
+
+    def test_mul_gate(self):
+        b = CircuitBuilder()
+        x, y = b.add_variable(), b.add_variable()
+        out = b.mul(x, y)
+        c = b.build()
+        w = c.generate_witness({x.index: gl.P - 1, y.index: 2})
+        assert int(w[out.index]) == gl.P - 2
+        assert c.check_gates(w, [])
+
+    def test_sub_gate(self):
+        b = CircuitBuilder()
+        x, y = b.add_variable(), b.add_variable()
+        out = b.sub(x, y)
+        c = b.build()
+        w = c.generate_witness({x.index: 3, y.index: 10})
+        assert int(w[out.index]) == gl.sub(3, 10)
+        assert c.check_gates(w, [])
+
+    def test_mul_add(self):
+        b = CircuitBuilder()
+        x, y, z = (b.add_variable() for _ in range(3))
+        out = b.mul_add(x, y, z)
+        c = b.build()
+        w = c.generate_witness({x.index: 3, y.index: 4, z.index: 5})
+        assert int(w[out.index]) == 17
+        assert c.check_gates(w, [])
+
+    def test_constant_dedup(self):
+        b = CircuitBuilder()
+        c1 = b.constant(42)
+        c2 = b.constant(42)
+        assert c1.index == c2.index
+
+    def test_assert_constant_holds(self):
+        b = CircuitBuilder()
+        x = b.add_variable()
+        b.assert_constant(x, 99)
+        c = b.build()
+        w = c.generate_witness({x.index: 99})
+        assert c.check_gates(w, [])
+        w_bad = c.generate_witness({x.index: 98})
+        assert not c.check_gates(w_bad, [])
+
+    def test_assert_equal_copy_constraint(self):
+        b = CircuitBuilder()
+        x, y = b.add_variable(), b.add_variable()
+        b.assert_equal(x, y)
+        c = b.build()
+        w = c.generate_witness({x.index: 5, y.index: 5})
+        assert c.check_gates(w, [])
+        assert check_copy_constraints(c, w)
+
+
+class TestBuild:
+    def test_rows_power_of_two(self):
+        b = CircuitBuilder()
+        x = b.add_variable()
+        for _ in range(5):
+            x = b.add(x, x)
+        c = b.build()
+        assert c.n & (c.n - 1) == 0
+        assert c.n >= 5
+
+    def test_padding_rows_satisfied(self):
+        b = CircuitBuilder()
+        x, y = b.add_variable(), b.add_variable()
+        b.mul(x, y)
+        c = b.build(min_rows=16)
+        assert c.n == 16
+        w = c.generate_witness({x.index: 2, y.index: 3})
+        assert c.check_gates(w, [])
+        assert check_copy_constraints(c, w)
+
+    def test_log_n(self):
+        b = CircuitBuilder()
+        x = b.add_variable()
+        b.add(x, x)
+        c = b.build(min_rows=8)
+        assert 1 << c.log_n == c.n
+
+    def test_selectors_shape(self):
+        b = CircuitBuilder()
+        x = b.add_variable()
+        b.add(x, x)
+        c = b.build()
+        assert c.selectors.shape == (5, c.n)
+        assert c.wire_vars.shape == (3, c.n)
+
+
+class TestWitnessGeneration:
+    def test_missing_input_raises(self):
+        b = CircuitBuilder()
+        x, y = b.add_variable(), b.add_variable()
+        b.add(x, y)
+        c = b.build()
+        with pytest.raises(ValueError):
+            c.generate_witness({x.index: 1})
+
+    def test_generators_chain(self):
+        b = CircuitBuilder()
+        x = b.add_variable()
+        y = b.mul(x, x)
+        z = b.mul(y, y)
+        c = b.build()
+        w = c.generate_witness({x.index: 3})
+        assert int(w[z.index]) == 81
+
+    def test_values_reduced_mod_p(self):
+        b = CircuitBuilder()
+        x = b.add_variable()
+        b.add(x, x)
+        c = b.build()
+        w = c.generate_witness({x.index: gl.P + 5})
+        assert int(w[x.index]) == 5
+
+    def test_wire_values_shape(self):
+        b = CircuitBuilder()
+        x = b.add_variable()
+        b.add(x, x)
+        c = b.build()
+        w = c.generate_witness({x.index: 1})
+        assert c.wire_values(w).shape == (3, c.n)
+
+
+class TestPublicInputs:
+    def test_public_input_rows_recorded(self):
+        b = CircuitBuilder()
+        p1 = b.public_input()
+        p2 = b.public_input()
+        c = b.build()
+        assert len(c.public_input_rows) == 2
+
+    def test_gate_check_uses_pi(self):
+        b = CircuitBuilder()
+        p = b.public_input()
+        c = b.build()
+        w = c.generate_witness({p.index: 7})
+        assert c.check_gates(w, [7])
+        assert not c.check_gates(w, [8])

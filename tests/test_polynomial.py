@@ -1,0 +1,186 @@
+"""Polynomial algebra tests (ring axioms, division, evaluation)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.field import extension as ext, gl64, goldilocks as gl
+from repro.ntt import Polynomial, barycentric_eval, ntt
+
+coeff_lists = st.lists(
+    st.integers(min_value=0, max_value=gl.P - 1), min_size=1, max_size=20
+)
+
+
+class TestBasics:
+    def test_zero(self):
+        z = Polynomial.zero()
+        assert z.is_zero() and z.degree() == 0
+
+    def test_trim(self):
+        p = Polynomial([1, 2, 0, 0])
+        assert len(p.coeffs) == 2
+
+    def test_constant(self):
+        assert Polynomial.constant(5).eval(123) == 5
+
+    def test_x_pow(self):
+        p = Polynomial.x_pow(3, 2)
+        assert p.eval(10) == 2000
+
+    def test_equality_and_hash(self):
+        assert Polynomial([1, 2]) == Polynomial([1, 2, 0])
+        assert hash(Polynomial([1, 2])) == hash(Polynomial([1, 2, 0]))
+        assert Polynomial([1]) != Polynomial([2])
+
+    def test_repr(self):
+        assert "deg=1" in repr(Polynomial([1, 2]))
+
+    def test_2d_rejected(self):
+        with pytest.raises(ValueError):
+            Polynomial(np.zeros((2, 2), dtype=np.uint64))
+
+
+class TestRingAxioms:
+    @given(coeff_lists, coeff_lists)
+    @settings(max_examples=25, deadline=None)
+    def test_add_commutative(self, a, b):
+        assert Polynomial(a) + Polynomial(b) == Polynomial(b) + Polynomial(a)
+
+    @given(coeff_lists, coeff_lists)
+    @settings(max_examples=25, deadline=None)
+    def test_mul_commutative(self, a, b):
+        assert Polynomial(a) * Polynomial(b) == Polynomial(b) * Polynomial(a)
+
+    @given(coeff_lists, coeff_lists, coeff_lists)
+    @settings(max_examples=20, deadline=None)
+    def test_distributive(self, a, b, c):
+        pa, pb, pc = Polynomial(a), Polynomial(b), Polynomial(c)
+        assert pa * (pb + pc) == pa * pb + pa * pc
+
+    @given(coeff_lists)
+    @settings(max_examples=25, deadline=None)
+    def test_sub_self_is_zero(self, a):
+        assert (Polynomial(a) - Polynomial(a)).is_zero()
+
+    @given(coeff_lists, st.integers(min_value=0, max_value=gl.P - 1))
+    @settings(max_examples=25, deadline=None)
+    def test_eval_homomorphism(self, a, x):
+        p = Polynomial(a)
+        q = Polynomial([3, 1])
+        assert (p * q).eval(x) == gl.mul(p.eval(x), q.eval(x))
+        assert (p + q).eval(x) == gl.add(p.eval(x), q.eval(x))
+
+
+class TestMultiplication:
+    def test_schoolbook_small(self):
+        assert (Polynomial([1, 2, 3]) * Polynomial([4, 5])).coeffs.tolist() == [
+            4, 13, 22, 15,
+        ]
+
+    def test_ntt_path_matches_schoolbook(self, rng):
+        # Force both code paths and compare.
+        a = Polynomial(gl64.random(40, rng))
+        b = Polynomial(gl64.random(50, rng))
+        prod = a * b  # out_len 89 > threshold -> NTT path
+        x = 987654321
+        assert prod.eval(x) == gl.mul(a.eval(x), b.eval(x))
+        assert prod.degree() == a.degree() + b.degree()
+
+    def test_mul_by_zero(self, rng):
+        a = Polynomial(gl64.random(10, rng))
+        assert (a * Polynomial.zero()).is_zero()
+
+    def test_mul_by_int(self):
+        assert (Polynomial([1, 2]) * 3).coeffs.tolist() == [3, 6]
+        assert (3 * Polynomial([1, 2])).coeffs.tolist() == [3, 6]
+
+    def test_scale(self):
+        assert Polynomial([1, 2]).scale(4).coeffs.tolist() == [4, 8]
+
+    def test_shift_args(self):
+        p = Polynomial([1, 1, 1])
+        q = p.shift_args(3)
+        for x in (0, 1, 5):
+            assert q.eval(x) == p.eval(gl.mul(3, x))
+
+
+class TestDivision:
+    def test_divide_by_linear_remainder_is_eval(self, rng):
+        p = Polynomial(gl64.random(30, rng))
+        z = 424242
+        q, r = p.divide_by_linear(z)
+        assert r == p.eval(z)
+        assert q * Polynomial([gl.neg(z), 1]) + r == p
+
+    def test_exact_linear_division(self):
+        root = 77
+        p = Polynomial([gl.neg(root), 1]) * Polynomial([1, 2, 3])
+        q, r = p.divide_by_linear(root)
+        assert r == 0
+        assert q == Polynomial([1, 2, 3])
+
+    def test_divmod_vanishing_roundtrip(self, rng):
+        p = Polynomial(gl64.random(70, rng))
+        q, r = p.divmod_vanishing(4)
+        assert q * Polynomial.vanishing(4) + r == p
+        assert r.degree() < 16
+
+    def test_divmod_vanishing_exact_for_vanishing_multiple(self, rng):
+        base = Polynomial(gl64.random(10, rng))
+        p = base * Polynomial.vanishing(3)
+        q, r = p.divmod_vanishing(3)
+        assert r.is_zero()
+        assert q == base
+
+    def test_divmod_small_poly(self):
+        p = Polynomial([1, 2])
+        q, r = p.divmod_vanishing(3)
+        assert q.is_zero() and r == p
+
+
+class TestInterpolationAndEval:
+    def test_from_evals_roundtrip(self, rng):
+        coeffs = gl64.random(16, rng)
+        values = ntt(coeffs)
+        assert Polynomial.from_evals_subgroup(values) == Polynomial(coeffs)
+
+    def test_evals_on_subgroup(self, rng):
+        p = Polynomial(gl64.random(10, rng))
+        vals = p.evals_on_subgroup(4)
+        w = gl.primitive_root_of_unity(4)
+        for k in (0, 7, 15):
+            assert int(vals[k]) == p.eval(gl.pow_mod(w, k))
+
+    def test_evals_too_small_subgroup(self, rng):
+        p = Polynomial(gl64.random(10, rng))
+        with pytest.raises(ValueError):
+            p.evals_on_subgroup(2)
+
+    def test_eval_batch(self, rng):
+        p = Polynomial(gl64.random(12, rng))
+        xs = gl64.random(7, rng)
+        out = p.eval_batch(xs)
+        assert [int(v) for v in out] == [p.eval(int(x)) for x in xs]
+
+    def test_eval_ext_consistent_with_base(self, rng):
+        p = Polynomial(gl64.random(9, rng))
+        x = 13371337
+        assert ext.to_pair(p.eval_ext(ext.from_base(np.uint64(x)))) == (p.eval(x), 0)
+
+    def test_barycentric_matches_direct(self, rng):
+        coeffs = gl64.random(32, rng)
+        p = Polynomial(coeffs)
+        vals = ntt(coeffs)
+        for x in (999983, 5, 123456789):
+            assert barycentric_eval(vals, 5, x) == p.eval(x)
+
+    def test_barycentric_rejects_domain_point(self, rng):
+        vals = ntt(gl64.random(8, rng))
+        with pytest.raises(ValueError):
+            barycentric_eval(vals, 3, 1)  # 1 is in every subgroup
+
+    def test_barycentric_size_mismatch(self, rng):
+        with pytest.raises(ValueError):
+            barycentric_eval(gl64.random(8, rng), 4, 3)

@@ -1,0 +1,148 @@
+"""Poseidon permutation tests: naive, optimised, scalar fast path."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.field import gl64, goldilocks as gl, matrix as fm
+from repro.hashing import constants as pc
+from repro.hashing import optimized, poseidon
+
+state_strategy = st.lists(
+    st.integers(min_value=0, max_value=gl.P - 1), min_size=12, max_size=12
+)
+
+
+class TestConstants:
+    def test_shapes(self):
+        full_rc, partial_rc = pc.round_constants()
+        assert full_rc.shape == (8, 12)
+        assert partial_rc.shape == (22, 12)
+
+    def test_deterministic(self):
+        a, b = pc.round_constants(), pc.round_constants()
+        assert np.array_equal(a[0], b[0]) and np.array_equal(a[1], b[1])
+
+    def test_constants_canonical(self):
+        full_rc, partial_rc = pc.round_constants()
+        assert bool((full_rc < np.uint64(gl.P)).all())
+        assert bool((partial_rc < np.uint64(gl.P)).all())
+
+    def test_constants_distinct(self):
+        full_rc, partial_rc = pc.round_constants()
+        allc = np.concatenate([full_rc.reshape(-1), partial_rc.reshape(-1)])
+        assert len(set(int(x) for x in allc)) == allc.size
+
+    def test_mds_is_cauchy(self):
+        assert np.array_equal(pc.mds_matrix(), fm.cauchy_mds(12))
+
+    def test_sbox_exponent_coprime(self):
+        import math
+
+        assert math.gcd(pc.SBOX_EXPONENT, gl.P - 1) == 1
+
+
+class TestPermutation:
+    def test_naive_equals_optimized_batch(self, rng):
+        s = gl64.random((7, 12), rng)
+        assert np.array_equal(poseidon.permute_naive(s), optimized.permute(s))
+
+    @given(state_strategy)
+    @settings(max_examples=10, deadline=None)
+    def test_naive_equals_optimized_property(self, state):
+        s = np.array(state, dtype=np.uint64)
+        assert np.array_equal(poseidon.permute_naive(s), optimized.permute(s))
+
+    def test_scalar_path_matches_batch_path(self, rng):
+        # One state takes the Python-int path; stacking it forces NumPy.
+        s = gl64.random(12, rng)
+        scalar_out = optimized.permute(s)
+        batch_out = optimized.permute(np.tile(s, (8, 1)))[0]
+        assert np.array_equal(scalar_out, batch_out)
+
+    def test_permute_scalar_direct(self, rng):
+        s = [int(x) for x in gl64.random(12, rng)]
+        out = optimized.permute_scalar(s)
+        ref = poseidon.permute_naive(np.array(s, dtype=np.uint64))
+        assert out == [int(x) for x in ref]
+
+    def test_wrong_width_rejected(self, rng):
+        with pytest.raises(ValueError):
+            optimized.permute(gl64.random(11, rng))
+        with pytest.raises(ValueError):
+            poseidon.permute_naive(gl64.random((2, 13), rng))
+
+    def test_diffusion(self):
+        # Flipping one input lane changes every output lane.
+        s0 = gl64.zeros(12)
+        s1 = s0.copy()
+        s1[5] = np.uint64(1)
+        o0, o1 = optimized.permute(s0), optimized.permute(s1)
+        assert bool((o0 != o1).all())
+
+    def test_not_identity(self, rng):
+        s = gl64.random(12, rng)
+        assert not np.array_equal(optimized.permute(s), s)
+
+    def test_deterministic(self, rng):
+        s = gl64.random(12, rng)
+        assert np.array_equal(optimized.permute(s), optimized.permute(s))
+
+
+class TestHadesDerivation:
+    def test_sparse_round_count(self):
+        params = optimized.optimized_params()
+        assert len(params.rounds) == pc.PARTIAL_ROUNDS
+
+    def test_pre_matrix_is_lane0_preserving(self):
+        pre = optimized.optimized_params().pre_matrix
+        assert int(pre[0, 0]) == 1
+        assert not pre[0, 1:].any()
+        assert not pre[1:, 0].any()
+
+    def test_sparse_structure_nonzero(self):
+        for rnd in optimized.optimized_params().rounds:
+            assert rnd.m00 != 0
+            assert all(int(v) != 0 for v in rnd.row)
+            assert all(int(v) != 0 for v in rnd.col_hat)
+
+    def test_sparse_rounds_differ(self):
+        rounds = optimized.optimized_params().rounds
+        assert rounds[0].m00 != rounds[1].m00 or not np.array_equal(
+            rounds[0].row, rounds[1].row
+        )
+
+    def test_factorisation_identity(self):
+        # M' @ M'' must reconstruct the peeled matrix chain: verify the
+        # first peel directly against the MDS matrix.
+        mds = pc.mds_matrix()
+        params = optimized.optimized_params()
+        # Walk the recursion forward: M_k -> check last round's factors.
+        m_k = mds.copy()
+        for _ in range(pc.PARTIAL_ROUNDS, 1, -1):
+            hat = m_k[1:, 1:].copy()
+            m_prime = np.zeros((12, 12), dtype=np.uint64)
+            m_prime[0, 0] = 1
+            m_prime[1:, 1:] = hat
+            m_k = fm.matmul(mds, m_prime)
+        # m_k is now M_1; its lane-0-preserving factor is the pre-matrix.
+        assert np.array_equal(params.pre_matrix[1:, 1:], m_k[1:, 1:])
+
+    def test_full_round_matches_reference_formula(self, rng):
+        full_rc, _ = pc.round_constants()
+        s = gl64.random((3, 12), rng)
+        out = poseidon.full_round(s, full_rc[0])
+        expect = gl64.pow7(gl64.add(s, full_rc[0]))
+        expect = poseidon.apply_mds(expect)
+        assert np.array_equal(out, expect)
+
+    def test_apply_mds_row_vector_convention(self, rng):
+        s = gl64.random(12, rng)
+        out = poseidon.apply_mds(s[None, :])[0]
+        mds = pc.mds_matrix()
+        expect = [
+            sum(int(s[i]) * int(mds[i, j]) for i in range(12)) % gl.P
+            for j in range(12)
+        ]
+        assert [int(x) for x in out] == expect

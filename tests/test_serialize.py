@@ -1,0 +1,127 @@
+"""Proof serialization: round trips, verification after transport,
+corruption detection."""
+
+import numpy as np
+import pytest
+
+from repro.field import gl64
+from repro.fri import FriConfig
+from repro.plonk import CircuitBuilder, prove, setup, verify
+from repro.serialize import (
+    ByteReader,
+    ByteWriter,
+    plonk_proof_from_bytes,
+    plonk_proof_to_bytes,
+    stark_proof_from_bytes,
+    stark_proof_to_bytes,
+)
+from repro.stark import prove as stark_prove, verify as stark_verify
+from repro.workloads import by_name
+
+_CFG = FriConfig(rate_bits=3, cap_height=1, num_queries=5,
+                 proof_of_work_bits=2, final_poly_len=4)
+_SCFG = FriConfig(rate_bits=1, cap_height=1, num_queries=8,
+                  proof_of_work_bits=2, final_poly_len=4)
+
+
+@pytest.fixture(scope="module")
+def plonk_setup():
+    b = CircuitBuilder()
+    x = b.add_variable()
+    pub = b.public_input()
+    b.assert_equal(pub, b.mul(x, x))
+    data = setup(b.build(), _CFG)
+    proof = prove(data, {x.index: 7, pub.index: 49})
+    return data, proof
+
+
+@pytest.fixture(scope="module")
+def stark_setup():
+    air, trace, publics = by_name("Fibonacci").build_air(5)
+    proof = stark_prove(air, trace, publics, _SCFG)
+    return air, proof
+
+
+class TestPrimitives:
+    def test_u64_roundtrip(self):
+        w = ByteWriter()
+        w.u64(2**63 + 5)
+        w.u32(17)
+        r = ByteReader(w.getvalue())
+        assert r.u64() == 2**63 + 5
+        assert r.u32() == 17
+        assert r.done()
+
+    def test_elems_roundtrip_shapes(self, rng):
+        for shape in [(5,), (3, 4), (2,), (0,)]:
+            arr = gl64.random(shape, rng)
+            w = ByteWriter()
+            w.elems(arr)
+            out = ByteReader(w.getvalue()).elems()
+            assert out.shape == arr.shape
+            assert np.array_equal(out, arr)
+
+    def test_truncated_raises(self):
+        w = ByteWriter()
+        w.u64(1)
+        data = w.getvalue()[:-2]
+        with pytest.raises(ValueError):
+            ByteReader(data).u64()
+
+
+class TestPlonkRoundTrip:
+    def test_roundtrip_verifies(self, plonk_setup):
+        data, proof = plonk_setup
+        blob = plonk_proof_to_bytes(proof)
+        restored = plonk_proof_from_bytes(blob)
+        verify(data.verifier_data, restored)
+
+    def test_roundtrip_fields_equal(self, plonk_setup):
+        _, proof = plonk_setup
+        restored = plonk_proof_from_bytes(plonk_proof_to_bytes(proof))
+        assert np.array_equal(restored.wires_cap, proof.wires_cap)
+        assert restored.public_inputs == proof.public_inputs
+        assert restored.fri_proof.pow_witness == proof.fri_proof.pow_witness
+        assert len(restored.fri_proof.query_rounds) == len(proof.fri_proof.query_rounds)
+
+    def test_serialized_size_near_accounting(self, plonk_setup):
+        _, proof = plonk_setup
+        blob = plonk_proof_to_bytes(proof)
+        accounted = proof.size_bytes()
+        # Codec overhead is length prefixes only: within 35%.
+        assert accounted <= len(blob) <= accounted * 1.35
+
+    def test_trailing_garbage_rejected(self, plonk_setup):
+        _, proof = plonk_setup
+        blob = plonk_proof_to_bytes(proof) + b"\x00"
+        with pytest.raises(ValueError):
+            plonk_proof_from_bytes(blob)
+
+    def test_corrupted_payload_fails_verification(self, plonk_setup):
+        data, proof = plonk_setup
+        blob = bytearray(plonk_proof_to_bytes(proof))
+        blob[len(blob) // 2] ^= 0xFF
+        from repro.plonk import PlonkError
+
+        try:
+            restored = plonk_proof_from_bytes(bytes(blob))
+        except ValueError:
+            return  # structural corruption detected at decode time
+        with pytest.raises(PlonkError):
+            verify(data.verifier_data, restored)
+
+
+class TestStarkRoundTrip:
+    def test_roundtrip_verifies(self, stark_setup):
+        air, proof = stark_setup
+        restored = stark_proof_from_bytes(stark_proof_to_bytes(proof))
+        stark_verify(air, restored, _SCFG)
+
+    def test_degree_bits_preserved(self, stark_setup):
+        _, proof = stark_setup
+        restored = stark_proof_from_bytes(stark_proof_to_bytes(proof))
+        assert restored.degree_bits == proof.degree_bits
+
+    def test_deterministic_bytes(self, stark_setup):
+        _, proof = stark_setup
+        assert stark_proof_to_bytes(proof) == stark_proof_to_bytes(proof)

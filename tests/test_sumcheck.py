@@ -1,0 +1,105 @@
+"""Sum-check protocol tests (paper Algorithm 2)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.field import gl64, goldilocks as gl
+from repro.hashing import Challenger
+from repro.sumcheck import (
+    SumcheckError,
+    fold_table,
+    multilinear_eval,
+    prove,
+    verify,
+)
+
+
+class TestMultilinearExtension:
+    def test_agrees_on_hypercube(self, rng):
+        table = gl64.random(8, rng)
+        for idx in range(8):
+            point = [(idx >> (2 - b)) & 1 for b in range(3)]
+            assert multilinear_eval(table, point) == int(table[idx])
+
+    def test_multilinearity(self, rng):
+        # Linear in each variable: f(r) = (1-r) f(0) + r f(1).
+        table = gl64.random(16, rng)
+        r = 123456
+        rest = [5, 6, 7]
+        f0 = multilinear_eval(table, [0] + rest)
+        f1 = multilinear_eval(table, [1] + rest)
+        fr = multilinear_eval(table, [r] + rest)
+        assert fr == gl.add(gl.mul(gl.sub(1, r), f0), gl.mul(r, f1))
+
+    def test_size_mismatch(self, rng):
+        with pytest.raises(ValueError):
+            multilinear_eval(gl64.random(8, rng), [1, 2])
+
+    def test_fold_table_is_one_variable_bind(self, rng):
+        table = gl64.random(8, rng)
+        r = 99
+        folded = fold_table(table, r)
+        for idx in range(4):
+            bits = [(idx >> (1 - b)) & 1 for b in range(2)]
+            assert int(folded[idx]) == multilinear_eval(table, [r] + bits)
+
+
+class TestProtocol:
+    @pytest.mark.parametrize("log_n", [1, 3, 6])
+    def test_honest_roundtrip(self, log_n, rng):
+        table = gl64.random(1 << log_n, rng)
+        proof = prove(table, Challenger())
+        point = verify(proof, log_n, Challenger())
+        assert multilinear_eval(table, point) == proof.final_value
+
+    def test_claimed_sum_is_table_sum(self, rng):
+        table = gl64.random(32, rng)
+        proof = prove(table, Challenger())
+        assert proof.claimed_sum == int(gl64.sum_array(table))
+
+    def test_round_sums_consistent(self, rng):
+        table = gl64.random(16, rng)
+        proof = prove(table, Challenger())
+        y0, y1 = proof.round_values[0]
+        assert gl.add(y0, y1) == proof.claimed_sum
+
+    def test_tampered_round_rejected(self, rng):
+        table = gl64.random(16, rng)
+        proof = prove(table, Challenger())
+        proof.round_values[2] = (proof.round_values[2][0] ^ 1, proof.round_values[2][1])
+        with pytest.raises(SumcheckError):
+            verify(proof, 4, Challenger())
+
+    def test_tampered_claim_rejected(self, rng):
+        table = gl64.random(16, rng)
+        proof = prove(table, Challenger())
+        proof.claimed_sum ^= 1
+        with pytest.raises(SumcheckError):
+            verify(proof, 4, Challenger())
+
+    def test_tampered_final_value_rejected(self, rng):
+        table = gl64.random(16, rng)
+        proof = prove(table, Challenger())
+        proof.final_value ^= 1
+        with pytest.raises(SumcheckError):
+            verify(proof, 4, Challenger())
+
+    def test_wrong_round_count_rejected(self, rng):
+        table = gl64.random(16, rng)
+        proof = prove(table, Challenger())
+        with pytest.raises(SumcheckError):
+            verify(proof, 5, Challenger())
+
+    def test_non_power_of_two_rejected(self, rng):
+        with pytest.raises(ValueError):
+            prove(gl64.random(12, rng), Challenger())
+
+    @given(st.lists(st.integers(min_value=0, max_value=gl.P - 1), min_size=4, max_size=4))
+    @settings(max_examples=10, deadline=None)
+    def test_roundtrip_property(self, vals):
+        table = np.array(vals, dtype=np.uint64)
+        proof = prove(table, Challenger())
+        point = verify(proof, 2, Challenger())
+        assert multilinear_eval(table, point) == proof.final_value

@@ -1,0 +1,48 @@
+"""Chrome-trace export tests."""
+
+import json
+
+import pytest
+
+from repro.compiler import PlonkParams, lower, trace_plonky2
+from repro.hw import DEFAULT_CONFIG
+from repro.sim.tracing import schedule_to_trace_events, write_trace
+
+PARAMS = PlonkParams(name="trace-test", degree_bits=12, width=50)
+
+
+@pytest.fixture(scope="module")
+def sched():
+    return lower(trace_plonky2(PARAMS), DEFAULT_CONFIG)
+
+
+class TestTraceEvents:
+    def test_every_kernel_has_an_event(self, sched):
+        events = schedule_to_trace_events(sched)
+        complete = [e for e in events if e["ph"] == "X"]
+        assert len(complete) == len(sched.kernels)
+
+    def test_events_cover_the_timeline(self, sched):
+        events = [e for e in schedule_to_trace_events(sched) if e["ph"] == "X"]
+        end = max(e["ts"] + e["dur"] for e in events)
+        assert end >= sched.total_cycles - 1
+
+    def test_counter_monotone(self, sched):
+        counters = [
+            e["args"]["bytes"]
+            for e in schedule_to_trace_events(sched)
+            if e["ph"] == "C"
+        ]
+        assert counters == sorted(counters)
+        assert counters[-1] == pytest.approx(sched.total_dma_bytes)
+
+    def test_metadata_tracks(self, sched):
+        events = schedule_to_trace_events(sched)
+        names = [e["args"]["name"] for e in events if e["ph"] == "M" and e["name"] == "thread_name"]
+        assert "ntt kernels" in names and "hash kernels" in names
+
+    def test_write_trace_file(self, sched, tmp_path):
+        path = write_trace(sched, tmp_path / "trace.json")
+        payload = json.loads(path.read_text())
+        assert payload["otherData"]["workload"] == sched.workload
+        assert len(payload["traceEvents"]) > len(sched.kernels)
