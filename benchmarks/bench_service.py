@@ -1,0 +1,145 @@
+"""Proving-service throughput/latency benchmark (BENCH_service.json).
+
+Measures jobs/sec and p50/p99 latency on the Fibonacci STARK workload:
+
+* worker counts {1, 2, 4} with batching and caching disabled -- the
+  raw multiprocess scaling curve.  This scales with the host's core
+  count (recorded as ``cpu_count``): on a single-core container it is
+  flat by construction, on a 4-core host it approaches 4x.
+* at 4 workers, the same job mix with batching and/or caching enabled
+  -- the service-level amortisations (duplicate coalescing, the
+  content-addressed result cache) that speed things up regardless of
+  core count.
+
+The headline ``speedup_4workers_vs_1`` compares the full service
+(4 workers, batching + caching) against the 1-worker no-amortisation
+baseline serving identical traffic.
+
+Run from the repo root::
+
+    PYTHONPATH=src python benchmarks/bench_service.py
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import platform
+import time
+
+from repro.service import ProvingService
+
+#: 24 jobs cycling three proof sizes: each scale appears 8x.  Real
+#: proving traffic is duplicate-heavy (same circuit, many requests);
+#: the plain runs prove every job independently while the batching /
+#: caching runs get to exploit the duplication.
+SCALES = [6, 7, 8] * 8
+OUT = pathlib.Path(__file__).resolve().parent.parent / "BENCH_service.json"
+
+
+def _percentile(values, fraction):
+    ordered = sorted(values)
+    index = min(len(ordered) - 1, int(round(fraction * (len(ordered) - 1))))
+    return ordered[index]
+
+
+def run_once(workers: int, *, batching: bool, caching: bool) -> dict:
+    """One benchmark run; returns its stats row."""
+    service = ProvingService(
+        workers=workers,
+        enable_batching=batching,
+        enable_cache=caching,
+        batch_window_s=0.05 if batching else 0.0,
+        jitter_seed=0,
+    )
+    ids = []
+    with service:
+        t0 = time.monotonic()
+        for scale in SCALES:
+            ids.append(
+                service.submit(workload="Fibonacci", kind="stark", scale=scale)
+            )
+        for job_id in ids:
+            service.result(job_id, timeout_s=600)
+        wall_s = time.monotonic() - t0
+        latencies = []
+        cache_hits = 0
+        for job_id in ids:
+            stats = service.job(job_id)
+            latencies.append(
+                (stats["queue_wait_s"] or 0.0) + (stats["run_time_s"] or 0.0)
+            )
+            cache_hits += bool(stats["cache_hit"])
+        totals = service.stats()
+    return {
+        "workers": workers,
+        "batching": batching,
+        "caching": caching,
+        "jobs": len(ids),
+        "wall_s": round(wall_s, 4),
+        "jobs_per_s": round(len(ids) / wall_s, 3),
+        "p50_latency_s": round(_percentile(latencies, 0.50), 4),
+        "p99_latency_s": round(_percentile(latencies, 0.99), 4),
+        "cache_hits": cache_hits,
+        "batches_dispatched": totals["batches_dispatched"],
+        "worker_restarts": totals["worker_restarts"],
+    }
+
+
+def main() -> dict:
+    """Run every configuration and write ``BENCH_service.json``."""
+    runs = []
+    for workers in (1, 2, 4):
+        row = run_once(workers, batching=False, caching=False)
+        print(
+            f"workers={workers} plain: {row['jobs_per_s']:.2f} jobs/s  "
+            f"p50 {row['p50_latency_s']:.2f}s  p99 {row['p99_latency_s']:.2f}s"
+        )
+        runs.append(row)
+    for workers, batching, caching in (
+        (4, True, False), (4, False, True), (4, True, True), (1, True, True),
+    ):
+        row = run_once(workers, batching=batching, caching=caching)
+        print(
+            f"workers={workers} batching={batching} caching={caching}: "
+            f"{row['jobs_per_s']:.2f} jobs/s  p50 {row['p50_latency_s']:.2f}s  "
+            f"cache_hits {row['cache_hits']}  batches {row['batches_dispatched']}"
+        )
+        runs.append(row)
+
+    def pick(workers, batching, caching):
+        return next(
+            r for r in runs
+            if (r["workers"], r["batching"], r["caching"])
+            == (workers, batching, caching)
+        )
+
+    baseline = pick(1, False, False)
+    speedup_service = pick(4, True, True)["jobs_per_s"] / baseline["jobs_per_s"]
+    speedup_plain = pick(4, False, False)["jobs_per_s"] / baseline["jobs_per_s"]
+    report = {
+        "workload": "Fibonacci",
+        "kind": "stark",
+        "scales": SCALES,
+        "platform": platform.platform(),
+        "python": platform.python_version(),
+        "cpu_count": os.cpu_count(),
+        "runs": runs,
+        # Full service (4 workers + batching + caching) vs the 1-worker
+        # no-amortisation baseline on identical traffic.
+        "speedup_4workers_vs_1": round(speedup_service, 3),
+        # Raw process scaling only; bounded by cpu_count.
+        "speedup_plain_4workers_vs_1": round(speedup_plain, 3),
+    }
+    OUT.write_text(json.dumps(report, indent=2) + "\n")
+    print(
+        f"speedup 4 workers (full service) vs 1-worker baseline: "
+        f"{speedup_service:.2f}x  (plain process scaling {speedup_plain:.2f}x "
+        f"on {os.cpu_count()} cores)  ->  {OUT}"
+    )
+    return report
+
+
+if __name__ == "__main__":
+    main()

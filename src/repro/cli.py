@@ -9,12 +9,17 @@
   schedule for a workload;
 * ``prove``       -- run a functional scaled-down proof of a workload
   end to end (prove + verify);
-* ``chip``        -- print the area/power budget for a configuration.
+* ``chip``        -- print the area/power budget for a configuration;
+* ``serve``       -- run the proving service (job queue + worker pool);
+* ``submit``      -- submit a job to a running service, optionally wait
+  for and verify the proof;
+* ``status``      -- query a running service for job or service stats.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
 
@@ -25,6 +30,21 @@ from .sim import simulate_plonky2
 from .workloads import PAPER_WORKLOADS, by_name
 
 _WORKLOAD_NAMES = [s.name for s in PAPER_WORKLOADS] + ["AES-128"]
+
+
+class CliError(Exception):
+    """User-facing CLI failure: printed as one line, exit status 2."""
+
+
+def _resolve_workload(name: str):
+    """Look up a workload, raising a clean one-line error when unknown."""
+    try:
+        return by_name(name)
+    except KeyError:
+        raise CliError(
+            f"unknown workload {name!r} "
+            f"(choose from: {', '.join(_WORKLOAD_NAMES)})"
+        ) from None
 
 
 def _hw_from_args(args) -> "object":
@@ -54,7 +74,7 @@ def cmd_experiments(args) -> int:
 
 def cmd_simulate(args) -> int:
     """Simulate one workload on a (possibly overridden) chip."""
-    spec = by_name(args.workload)
+    spec = _resolve_workload(args.workload)
     hw = _hw_from_args(args)
     report = simulate_plonky2(spec.plonk, hw)
     for line in report.summary_lines():
@@ -70,7 +90,7 @@ def cmd_simulate(args) -> int:
 
 def cmd_schedule(args) -> int:
     """Print the lowered execution schedule."""
-    spec = by_name(args.workload)
+    spec = _resolve_workload(args.workload)
     hw = _hw_from_args(args)
     sched = lower(trace_plonky2(spec.plonk), hw)
     print(sched.format(limit=args.limit))
@@ -83,7 +103,7 @@ def cmd_prove(args) -> int:
     from .fri import FriConfig
     from .plonk import prove, setup, verify
 
-    spec = by_name(args.workload)
+    spec = _resolve_workload(args.workload)
     print(f"{spec.name}: {spec.repro_note}")
     circuit, inputs, publics = spec.build_circuit(args.scale)
     print(f"circuit: {circuit.n} rows")
@@ -109,6 +129,103 @@ def cmd_chip(args) -> int:
     return 0
 
 
+def cmd_serve(args) -> int:
+    """Run the proving service until shutdown (or ``--max-jobs``)."""
+    from .service import ProvingService, serve_forever
+
+    service = ProvingService(
+        workers=args.workers,
+        enable_batching=not args.no_batch,
+        enable_cache=not args.no_cache,
+        batch_window_s=args.batch_window,
+        max_batch=args.max_batch,
+        default_timeout_s=args.job_timeout,
+        max_retries=args.retries,
+        fault_injection=args.fault_injection,
+    )
+    service.start()
+    print(
+        f"proving service on {args.host}:{args.port} "
+        f"({args.workers} workers, batching {'off' if args.no_batch else 'on'}, "
+        f"cache {'off' if args.no_cache else 'on'})",
+        flush=True,
+    )
+    try:
+        serve_forever(
+            service, host=args.host, port=args.port, max_jobs=args.max_jobs
+        )
+    except KeyboardInterrupt:
+        pass
+    finally:
+        service.close(drain=True)
+    stats = service.stats()
+    print(
+        f"served {stats['completed']} jobs "
+        f"({stats['failed']} failed, {stats['retried']} retried, "
+        f"{stats['cache']['hits']} cache hits)"
+    )
+    return 0
+
+
+def _spec_from_args(args) -> dict:
+    if args.kind in ("stark", "plonk", "simulate"):
+        _resolve_workload(args.workload)  # fail fast, before connecting
+    return {"workload": args.workload, "kind": args.kind, "scale": args.scale}
+
+
+def cmd_submit(args) -> int:
+    """Submit a job to a running service; optionally wait and verify."""
+    from .service import ServiceClient, ServiceError, verify_result
+
+    spec = _spec_from_args(args)
+    try:
+        with ServiceClient(args.host, args.port) as client:
+            response = client.submit(
+                spec,
+                priority=args.priority,
+                wait=args.wait or args.verify,
+                wait_s=args.wait_timeout,
+            )
+    except OSError as exc:
+        raise CliError(f"cannot reach service at {args.host}:{args.port} ({exc})")
+    except ServiceError as exc:
+        raise CliError(f"submit rejected: {exc}")
+    job = response.get("job", {})
+    print(f"job {response['job_id']}: {job.get('state', 'submitted')}")
+    if job:
+        print(json.dumps({k: v for k, v in job.items() if k != "id"}, indent=2))
+    envelope = response.get("envelope")
+    if envelope is not None:
+        print(f"result envelope: {len(envelope)} bytes")
+        if args.out:
+            with open(args.out, "wb") as fh:
+                fh.write(envelope)
+            print(f"wrote {args.out}")
+        if args.verify:
+            verify_result(spec, envelope)
+            print("proof verified OK")
+    return 0
+
+
+def cmd_status(args) -> int:
+    """Query a running service for job or service stats."""
+    from .service import ServiceClient, ServiceError
+
+    try:
+        with ServiceClient(args.host, args.port) as client:
+            if args.shutdown:
+                client.shutdown()
+                print("shutdown requested")
+                return 0
+            status = client.status(args.job)
+    except OSError as exc:
+        raise CliError(f"cannot reach service at {args.host}:{args.port} ({exc})")
+    except ServiceError as exc:
+        raise CliError(f"status rejected: {exc}")
+    print(json.dumps(status, indent=2))
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Build the CLI argument parser."""
     parser = argparse.ArgumentParser(
@@ -119,22 +236,60 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_parser("experiments", help="regenerate all tables and figures")
 
     p = sub.add_parser("simulate", help="simulate a workload on UniZK")
-    p.add_argument("--workload", choices=_WORKLOAD_NAMES, default="Factorial")
+    p.add_argument("--workload", default="Factorial", metavar="NAME")
     p.add_argument("--baselines", action="store_true", help="also cost CPU/GPU")
     _add_hw_flags(p)
 
     p = sub.add_parser("schedule", help="print the lowered execution schedule")
-    p.add_argument("--workload", choices=_WORKLOAD_NAMES, default="Factorial")
+    p.add_argument("--workload", default="Factorial", metavar="NAME")
     p.add_argument("--limit", type=int, default=20, help="rows to print")
     _add_hw_flags(p)
 
     p = sub.add_parser("prove", help="run a functional proof end to end")
-    p.add_argument("--workload", choices=_WORKLOAD_NAMES, default="Fibonacci")
+    p.add_argument("--workload", default="Fibonacci", metavar="NAME")
     p.add_argument("--scale", type=int, default=20, help="workload size knob")
     p.add_argument("--queries", type=int, default=12, help="FRI query rounds")
 
     p = sub.add_parser("chip", help="print the area/power budget")
     _add_hw_flags(p)
+
+    p = sub.add_parser("serve", help="run the proving service")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8347)
+    p.add_argument("--workers", type=int, default=2, help="worker processes")
+    p.add_argument("--no-batch", action="store_true", help="disable batching")
+    p.add_argument("--no-cache", action="store_true", help="disable result cache")
+    p.add_argument("--batch-window", type=float, default=0.05,
+                   help="seconds to wait for batchable peers")
+    p.add_argument("--max-batch", type=int, default=8, help="max jobs per batch")
+    p.add_argument("--job-timeout", type=float, default=120.0,
+                   help="per-job timeout seconds")
+    p.add_argument("--retries", type=int, default=2, help="max retries per job")
+    p.add_argument("--max-jobs", type=int, default=None,
+                   help="exit after serving this many jobs (smoke tests)")
+    p.add_argument("--fault-injection", action="store_true",
+                   help="accept sleep/crash debug job kinds")
+
+    p = sub.add_parser("submit", help="submit a job to a running service")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8347)
+    p.add_argument("--workload", default="Fibonacci", metavar="NAME")
+    p.add_argument("--kind", choices=["stark", "plonk", "simulate"],
+                   default="stark")
+    p.add_argument("--scale", type=int, default=8, help="workload size knob")
+    p.add_argument("--priority", type=int, default=0, help="lower runs first")
+    p.add_argument("--wait", action="store_true", help="block for the result")
+    p.add_argument("--wait-timeout", type=float, default=300.0)
+    p.add_argument("--verify", action="store_true",
+                   help="wait for the proof and verify it locally")
+    p.add_argument("--out", default=None, help="write the result envelope here")
+
+    p = sub.add_parser("status", help="query a running service")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8347)
+    p.add_argument("--job", default=None, help="job id (omit for service stats)")
+    p.add_argument("--shutdown", action="store_true",
+                   help="ask the service to drain and exit")
 
     return parser
 
@@ -148,8 +303,15 @@ def main(argv=None) -> int:
         "schedule": cmd_schedule,
         "prove": cmd_prove,
         "chip": cmd_chip,
+        "serve": cmd_serve,
+        "submit": cmd_submit,
+        "status": cmd_status,
     }[args.command]
-    return handler(args)
+    try:
+        return handler(args)
+    except CliError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

@@ -15,12 +15,25 @@ Usage::
 
 Counting is always on (one integer add per call -- negligible); the
 context manager just snapshots deltas.
+
+Concurrency
+-----------
+
+``GLOBAL`` is *context-local*: every thread (and every asyncio task)
+accumulates into its own :class:`Counters` instance, so two proofs
+running concurrently -- e.g. the proving service's request handlers --
+never corrupt each other's totals.  Worker *processes* each carry
+their own counters by construction; the service ships each job's
+deltas back as a dict (:meth:`Counters.as_dict`) and merges them into
+the coordinator's context with :func:`merge_counts`, the
+"per-process, merged-on-return" model.
 """
 
 from __future__ import annotations
 
 from contextlib import contextmanager
-from dataclasses import dataclass, field
+from contextvars import ContextVar
+from dataclasses import dataclass, fields
 
 
 @dataclass
@@ -40,23 +53,31 @@ class Counters:
 
     def snapshot(self) -> "Counters":
         """Copy the current totals."""
-        return Counters(
-            sponge_permutations=self.sponge_permutations,
-            challenger_permutations=self.challenger_permutations,
-            ntt_butterflies=self.ntt_butterflies,
-            ntt_transforms=self.ntt_transforms,
-        )
+        return Counters(**{f.name: getattr(self, f.name) for f in fields(self)})
 
     def delta(self, since: "Counters") -> "Counters":
         """Totals accumulated since a snapshot."""
         return Counters(
-            sponge_permutations=self.sponge_permutations - since.sponge_permutations,
-            challenger_permutations=(
-                self.challenger_permutations - since.challenger_permutations
-            ),
-            ntt_butterflies=self.ntt_butterflies - since.ntt_butterflies,
-            ntt_transforms=self.ntt_transforms - since.ntt_transforms,
+            **{
+                f.name: getattr(self, f.name) - getattr(since, f.name)
+                for f in fields(self)
+            }
         )
+
+    def merge(self, other: "Counters") -> None:
+        """Add another counter set's totals into this one (in place)."""
+        for f in fields(self):
+            setattr(self, f.name, getattr(self, f.name) + getattr(other, f.name))
+
+    def as_dict(self) -> dict:
+        """Plain-int dict form, safe to ship across process boundaries."""
+        return {f.name: int(getattr(self, f.name)) for f in fields(self)}
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "Counters":
+        """Inverse of :meth:`as_dict`; unknown keys are ignored."""
+        names = {f.name for f in fields(cls)}
+        return cls(**{k: int(v) for k, v in d.items() if k in names})
 
     @property
     def total_permutations(self) -> int:
@@ -64,18 +85,55 @@ class Counters:
         return self.sponge_permutations + self.challenger_permutations
 
 
-#: The global counter instance the instrumented modules update.
-GLOBAL = Counters()
+_CURRENT: ContextVar[Counters] = ContextVar("repro_counters")
+
+
+def _current() -> Counters:
+    """The context's live counter set, created lazily per thread/task."""
+    c = _CURRENT.get(None)
+    if c is None:
+        c = Counters()
+        _CURRENT.set(c)
+    return c
+
+
+class _ContextCounters:
+    """Attribute proxy onto the context-local :class:`Counters`.
+
+    Instrumented modules do ``GLOBAL.ntt_butterflies += n``; routing the
+    attribute access through the context variable gives every thread its
+    own accumulator without touching any call site.
+    """
+
+    __slots__ = ()
+
+    def __getattr__(self, name):
+        return getattr(_current(), name)
+
+    def __setattr__(self, name, value):
+        setattr(_current(), name, value)
+
+
+#: The counter instance the instrumented modules update (context-local).
+GLOBAL = _ContextCounters()
 
 
 @contextmanager
 def counting():
     """Yield a live view of the operations executed inside the block."""
     start = GLOBAL.snapshot()
-    holder = Counters()
 
     class _View:
         def __getattr__(self, name):
             return getattr(GLOBAL.delta(start), name)
 
     yield _View()
+
+
+def merge_counts(d: dict) -> None:
+    """Fold a worker's :meth:`Counters.as_dict` deltas into this context.
+
+    Used by the proving service to account operations executed in worker
+    processes against the coordinator's counters.
+    """
+    _current().merge(Counters.from_dict(d))

@@ -231,6 +231,13 @@ def stark_proof_to_bytes(proof: StarkProof) -> bytes:
     return w.getvalue()
 
 
+def stark_proof_digest(proof: StarkProof) -> str:
+    """Hex digest of the canonical serialized form (content address)."""
+    import hashlib
+
+    return hashlib.sha256(stark_proof_to_bytes(proof)).hexdigest()
+
+
 def stark_proof_from_bytes(data: bytes) -> StarkProof:
     """Deserialize a STARK proof."""
     r = ByteReader(data)
@@ -250,3 +257,52 @@ def stark_proof_from_bytes(data: bytes) -> StarkProof:
         openings=openings,
         fri_proof=fri_proof,
     )
+
+
+# -- Result envelopes ----------------------------------------------------------
+#
+# The proving service ships job results (proofs, simulation reports)
+# between processes and over sockets.  The envelope is a tiny typed
+# framing on top of the proof codecs: magic, version, a kind tag, the
+# workload name, and the payload bytes, so a reader can dispatch to the
+# right ``*_from_bytes`` without out-of-band context.
+
+ENVELOPE_MAGIC = b"UZKR"
+ENVELOPE_VERSION = 1
+
+#: Payload kinds an envelope may carry.
+ENVELOPE_KINDS = ("stark-proof", "plonk-proof", "sim-report", "debug")
+
+
+def write_result_envelope(kind: str, workload: str, payload: bytes) -> bytes:
+    """Frame a result payload with its kind tag and workload name."""
+    if kind not in ENVELOPE_KINDS:
+        raise ValueError(f"unknown envelope kind {kind!r}")
+    w = ByteWriter()
+    w._chunks.append(ENVELOPE_MAGIC)
+    w.u32(ENVELOPE_VERSION)
+    for text in (kind, workload):
+        raw = text.encode("utf-8")
+        w.u32(len(raw))
+        w._chunks.append(raw)
+    w.u32(len(payload))
+    w._chunks.append(payload)
+    return w.getvalue()
+
+
+def read_result_envelope(data: bytes) -> tuple:
+    """Read an envelope; returns ``(kind, workload, payload)``."""
+    r = ByteReader(data)
+    if r._take(4) != ENVELOPE_MAGIC:
+        raise ValueError("not a result envelope (bad magic)")
+    version = r.u32()
+    if version != ENVELOPE_VERSION:
+        raise ValueError(f"unsupported envelope version {version}")
+    kind = r._take(r.u32()).decode("utf-8")
+    workload = r._take(r.u32()).decode("utf-8")
+    payload = r._take(r.u32())
+    if not r.done():
+        raise ValueError("trailing bytes after result envelope")
+    if kind not in ENVELOPE_KINDS:
+        raise ValueError(f"unknown envelope kind {kind!r}")
+    return kind, workload, payload

@@ -1,0 +1,51 @@
+"""Proving service: async job queue, worker pool, batching, caching.
+
+The software half of the paper's throughput story: UniZK removes the
+per-proof bottleneck in hardware; this subsystem turns the repository's
+provers and simulator into a long-running concurrent service a fleet of
+clients can hit -- priority queueing, multiprocess workers, request
+batching (the service-level analogue of the batched NTT/Merkle
+kernels), a content-addressed result cache, and bounded-retry fault
+handling.
+
+Entry points: ``python -m repro serve`` / ``submit`` / ``status`` on
+the CLI, or :class:`ProvingService` in process::
+
+    with ProvingService(workers=4) as svc:
+        job_id = svc.submit(workload="Fibonacci", kind="stark", scale=8)
+        proof_envelope = svc.result(job_id).envelope
+"""
+
+from .batching import Batch, coalesce, singletons
+from .cache import ProofCache
+from .client import ServiceClient, ServiceError, wait_for_server
+from .executor import execute, fri_config_for, validate_spec, verify_result
+from .jobs import Job, JobFailed, JobResult, JobSpec, JobState
+from .net import ServiceServer, serve_forever
+from .pool import WorkerPool
+from .queue import PriorityJobQueue
+from .server import ProvingService
+
+__all__ = [
+    "ProvingService",
+    "ServiceServer",
+    "serve_forever",
+    "ServiceClient",
+    "ServiceError",
+    "wait_for_server",
+    "Job",
+    "JobSpec",
+    "JobState",
+    "JobResult",
+    "JobFailed",
+    "PriorityJobQueue",
+    "ProofCache",
+    "WorkerPool",
+    "Batch",
+    "coalesce",
+    "singletons",
+    "execute",
+    "verify_result",
+    "validate_spec",
+    "fri_config_for",
+]

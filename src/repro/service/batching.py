@@ -1,0 +1,84 @@
+"""Request batching: coalesce compatible jobs into one worker dispatch.
+
+Two levels of amortisation, mirroring the paper's batched NTT/Merkle
+kernels at the service level:
+
+* jobs with the **same cache key** are duplicates of one request -- the
+  work runs once and the result fans out to every rider;
+* jobs with the same **compat key** (workload + kind + FRI config) but
+  different scales ride in one worker dispatch, sharing the prover's
+  per-shape precomputation (`repro.stark.prover` caches coset points
+  and vanishing inverses) and the per-task IPC overhead.
+
+The functions here are pure: the scheduler feeds them the jobs it
+popped this tick and dispatches the returned batches.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+from .jobs import Job
+
+_batch_ids = itertools.count(1)
+
+
+@dataclass
+class Batch:
+    """One worker dispatch: unique specs plus the job ids riding each."""
+
+    id: int
+    compat_key: str
+    #: One entry per *unique* spec (deduplicated by cache key).
+    specs: List[dict] = field(default_factory=list)
+    #: ``riders[i]`` lists the job ids whose result is ``specs[i]``'s.
+    riders: List[List[str]] = field(default_factory=list)
+
+    @property
+    def num_jobs(self) -> int:
+        """Total jobs riding in this batch."""
+        return sum(len(r) for r in self.riders)
+
+
+def coalesce(jobs: Sequence[Job], max_batch: int = 8) -> List[Batch]:
+    """Group jobs into batches of compatible, deduplicated work.
+
+    ``max_batch`` bounds the number of *jobs* per batch so one giant
+    burst cannot monopolise a worker.
+    """
+    by_compat: Dict[str, List[Job]] = {}
+    for job in jobs:
+        by_compat.setdefault(job.spec.compat_key, []).append(job)
+
+    batches: List[Batch] = []
+    for compat_key, group in by_compat.items():
+        batch = None
+        index_of: Dict[str, int] = {}
+        for job in group:
+            if batch is None or batch.num_jobs >= max_batch:
+                batch = Batch(id=next(_batch_ids), compat_key=compat_key)
+                index_of = {}
+                batches.append(batch)
+            ck = job.spec.cache_key
+            if ck in index_of:
+                batch.riders[index_of[ck]].append(job.id)
+            else:
+                index_of[ck] = len(batch.specs)
+                batch.specs.append(job.spec.to_dict())
+                batch.riders.append([job.id])
+    return batches
+
+
+def singletons(jobs: Sequence[Job]) -> List[Batch]:
+    """Batching disabled: one batch per job, no dedup, no sharing."""
+    return [
+        Batch(
+            id=next(_batch_ids),
+            compat_key=job.spec.compat_key,
+            specs=[job.spec.to_dict()],
+            riders=[[job.id]],
+        )
+        for job in jobs
+    ]

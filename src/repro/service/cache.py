@@ -1,0 +1,84 @@
+"""Content-addressed LRU result cache.
+
+Proof generation here is deterministic (fixed transcripts, no
+blinding by default), so a :class:`~repro.service.jobs.JobSpec`'s
+``cache_key`` fully determines the serialized proof bytes.  The cache
+maps that key to the result envelope; a hit returns the *byte-identical*
+proof a fresh prove would produce, for free.
+
+Eviction is least-recently-used, bounded both by entry count and by
+total payload bytes (proofs are tens of kilobytes each).
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Dict, Optional
+
+
+class ProofCache:
+    """Thread-safe LRU byte cache with hit/miss/eviction metrics."""
+
+    def __init__(self, max_entries: int = 256, max_bytes: int = 64 << 20) -> None:
+        if max_entries < 1:
+            raise ValueError("max_entries must be >= 1")
+        self._max_entries = max_entries
+        self._max_bytes = max_bytes
+        self._data: "OrderedDict[str, bytes]" = OrderedDict()
+        self._bytes = 0
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+        self._lock = threading.Lock()
+
+    def get(self, key: str) -> Optional[bytes]:
+        """Look up a result envelope; refreshes recency on hit."""
+        with self._lock:
+            value = self._data.get(key)
+            if value is None:
+                self._misses += 1
+                return None
+            self._data.move_to_end(key)
+            self._hits += 1
+            return value
+
+    def put(self, key: str, value: bytes) -> None:
+        """Insert (or refresh) an envelope, evicting LRU entries to fit."""
+        with self._lock:
+            old = self._data.pop(key, None)
+            if old is not None:
+                self._bytes -= len(old)
+            self._data[key] = value
+            self._bytes += len(value)
+            while len(self._data) > self._max_entries or (
+                self._bytes > self._max_bytes and len(self._data) > 1
+            ):
+                _, evicted = self._data.popitem(last=False)
+                self._bytes -= len(evicted)
+                self._evictions += 1
+
+    def __contains__(self, key: str) -> bool:
+        with self._lock:
+            return key in self._data
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._data)
+
+    def clear(self) -> None:
+        """Drop every entry (metrics are kept)."""
+        with self._lock:
+            self._data.clear()
+            self._bytes = 0
+
+    def stats(self) -> Dict[str, int]:
+        """Hit/miss/eviction counters and current occupancy."""
+        with self._lock:
+            return {
+                "hits": self._hits,
+                "misses": self._misses,
+                "evictions": self._evictions,
+                "entries": len(self._data),
+                "bytes": self._bytes,
+            }

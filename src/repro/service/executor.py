@@ -1,0 +1,161 @@
+"""Job execution: the code that runs inside a worker process.
+
+Maps a :class:`~repro.service.jobs.JobSpec` (as a plain dict, the wire
+form) onto the existing proving paths:
+
+* ``stark``    -- ``spec.build_air(scale)`` then :func:`repro.stark.prove`;
+* ``plonk``    -- ``spec.build_circuit(scale)`` then Plonk setup/prove;
+* ``simulate`` -- :func:`repro.sim.simulate_plonky2` performance model;
+* ``sleep`` / ``crash`` -- fault-injection kinds for tests/benchmarks.
+
+Results are framed as serialize.py envelopes so they cross the process
+boundary (and the client socket) exactly the way a real prover/verifier
+deployment would ship proofs.  :func:`verify_result` closes the loop on
+the client side.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from typing import Any, Dict
+
+from ..fri import FriConfig
+from ..metrics import counting
+from ..serialize import (
+    read_result_envelope,
+    stark_proof_from_bytes,
+    stark_proof_to_bytes,
+    plonk_proof_from_bytes,
+    plonk_proof_to_bytes,
+    write_result_envelope,
+)
+from .jobs import FAULT_KINDS, JobSpec
+
+#: Small, fast parameters (NOT sound) per proving kind; overridable
+#: through ``JobSpec.config``.
+DEFAULT_CONFIGS = {
+    "stark": dict(
+        rate_bits=1, cap_height=1, num_queries=10, proof_of_work_bits=3,
+        final_poly_len=4,
+    ),
+    "plonk": dict(
+        rate_bits=3, cap_height=1, num_queries=8, proof_of_work_bits=4,
+        final_poly_len=4,
+    ),
+}
+
+
+def fri_config_for(spec: JobSpec) -> FriConfig:
+    """The FRI parameters a spec resolves to (defaults + overrides)."""
+    base = dict(DEFAULT_CONFIGS.get(spec.kind, DEFAULT_CONFIGS["stark"]))
+    base.update(spec.config)
+    return FriConfig(**base)
+
+
+def validate_spec(spec: JobSpec, fault_injection: bool = False) -> None:
+    """Reject specs the executor cannot run (fail fast at submit time)."""
+    if spec.kind in FAULT_KINDS:
+        if not fault_injection:
+            raise ValueError(
+                f"fault-injection kind {spec.kind!r} requires fault_injection=True"
+            )
+        return
+    from ..workloads import by_name
+
+    spec_obj = by_name(spec.workload)  # raises KeyError on unknown workload
+    if spec.kind == "stark" and spec_obj.build_air is None:
+        raise ValueError(f"workload {spec.workload!r} has no AET builder")
+    fri_config_for(spec)  # raises on bad config overrides
+
+
+def execute(spec_dict: Dict[str, Any]) -> Dict[str, Any]:
+    """Run one job spec; returns envelope bytes plus measured stats."""
+    spec = JobSpec.from_dict(spec_dict)
+    t0 = time.monotonic()
+    with counting() as c:
+        envelope = _run(spec)
+    return {
+        "envelope": envelope,
+        "counters": c.as_dict(),
+        "wall_s": time.monotonic() - t0,
+    }
+
+
+def _run(spec: JobSpec) -> bytes:
+    if spec.kind == "sleep":
+        time.sleep(float(spec.params.get("seconds", 0.1)))
+        return write_result_envelope("debug", spec.workload, b"slept")
+    if spec.kind == "crash":
+        os._exit(17)  # simulate a hard worker death (segfault/OOM-kill)
+
+    from ..workloads import by_name
+
+    workload = by_name(spec.workload)
+
+    if spec.kind == "stark":
+        from ..stark import prove
+
+        air, trace, publics = workload.build_air(spec.scale)
+        proof = prove(air, trace, publics, fri_config_for(spec))
+        return write_result_envelope(
+            "stark-proof", spec.workload, stark_proof_to_bytes(proof)
+        )
+
+    if spec.kind == "plonk":
+        from ..plonk import prove, setup
+
+        circuit, inputs, _ = workload.build_circuit(spec.scale)
+        data = setup(circuit, fri_config_for(spec))
+        proof = prove(data, inputs)
+        return write_result_envelope(
+            "plonk-proof", spec.workload, plonk_proof_to_bytes(proof)
+        )
+
+    if spec.kind == "simulate":
+        from ..hw import DEFAULT_CONFIG
+        from ..sim import simulate_plonky2
+
+        report = simulate_plonky2(workload.plonk, DEFAULT_CONFIG)
+        payload = json.dumps(report.to_dict(), sort_keys=True).encode()
+        return write_result_envelope("sim-report", spec.workload, payload)
+
+    raise ValueError(f"unknown job kind {spec.kind!r}")
+
+
+def verify_result(spec_dict: Dict[str, Any], envelope: bytes) -> bool:
+    """Re-derive the workload and verify a service-returned envelope.
+
+    Raises the underlying verifier error on an invalid proof; returns
+    True on success (sim reports / debug payloads just check framing).
+    """
+    spec = JobSpec.from_dict(spec_dict)
+    kind, workload_name, payload = read_result_envelope(envelope)
+    if workload_name != spec.workload:
+        raise ValueError(
+            f"envelope is for {workload_name!r}, expected {spec.workload!r}"
+        )
+
+    if kind == "stark-proof":
+        from ..stark import verify
+        from ..workloads import by_name
+
+        air, _, _ = by_name(spec.workload).build_air(spec.scale)
+        verify(air, stark_proof_from_bytes(payload), fri_config_for(spec))
+        return True
+
+    if kind == "plonk-proof":
+        from ..plonk import setup, verify
+        from ..workloads import by_name
+
+        circuit, _, _ = by_name(spec.workload).build_circuit(spec.scale)
+        data = setup(circuit, fri_config_for(spec))
+        verify(data.verifier_data, plonk_proof_from_bytes(payload))
+        return True
+
+    if kind == "sim-report":
+        json.loads(payload.decode())
+        return True
+
+    return True  # debug payloads: envelope framing already validated

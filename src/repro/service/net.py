@@ -1,0 +1,144 @@
+"""Socket front-end: newline-delimited JSON over local TCP.
+
+One request object per line, one response object per line.  Ops:
+
+* ``{"op": "ping"}``
+* ``{"op": "submit", "spec": {...}, "priority": 0, "wait": true,
+  "timeout_s": ..., "max_retries": ...}`` -- submit a job; with
+  ``wait`` the response includes the result envelope (hex).
+* ``{"op": "status", "job_id": "..."}`` -- one job's stats
+  (service stats when ``job_id`` is omitted).
+* ``{"op": "result", "job_id": "...", "wait_s": ...}`` -- block for a
+  result envelope.
+* ``{"op": "stats"}`` -- service-level stats.
+* ``{"op": "shutdown"}`` -- drain and stop the serve loop.
+
+Binary payloads (proof envelopes) are hex-encoded: the framing stays
+line-oriented and debuggable with ``nc``.
+"""
+
+from __future__ import annotations
+
+import json
+import socketserver
+import threading
+from typing import Any, Dict, Optional
+
+from .jobs import JobFailed
+from .server import ProvingService
+
+
+class _Handler(socketserver.StreamRequestHandler):
+    def handle(self) -> None:
+        for raw in self.rfile:
+            line = raw.strip()
+            if not line:
+                continue
+            try:
+                request = json.loads(line.decode("utf-8"))
+                response = self.server.dispatch(request)  # type: ignore[attr-defined]
+            except Exception as exc:  # noqa: BLE001 - report to the client
+                response = {"ok": False, "error": f"{type(exc).__name__}: {exc}"}
+            self.wfile.write((json.dumps(response) + "\n").encode("utf-8"))
+            self.wfile.flush()
+            if response.get("bye"):
+                break
+
+
+class ServiceServer(socketserver.ThreadingTCPServer):
+    """TCP server wrapping a :class:`ProvingService`.
+
+    ``max_jobs`` makes the server exit after that many submitted jobs
+    have reached a terminal state -- used by smoke tests and CI so a
+    foreground ``repro serve`` terminates by itself.
+    """
+
+    allow_reuse_address = True
+    daemon_threads = True
+
+    def __init__(
+        self,
+        service: ProvingService,
+        host: str = "127.0.0.1",
+        port: int = 8347,
+        max_jobs: Optional[int] = None,
+    ) -> None:
+        super().__init__((host, port), _Handler)
+        self.service = service
+        self.max_jobs = max_jobs
+        self._jobs_seen = 0
+        self._lock = threading.Lock()
+
+    # -- request dispatch ------------------------------------------------
+
+    def dispatch(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        """Route one request object to the matching service call."""
+        op = request.get("op")
+        if op == "ping":
+            return {"ok": True, "pong": True}
+        if op == "submit":
+            return self._submit(request)
+        if op == "status":
+            job_id = request.get("job_id")
+            if job_id:
+                return {"ok": True, "job": self.service.job(job_id)}
+            return {"ok": True, "stats": self.service.stats()}
+        if op == "result":
+            return self._result(request["job_id"], request.get("wait_s"))
+        if op == "stats":
+            return {"ok": True, "stats": self.service.stats()}
+        if op == "shutdown":
+            threading.Thread(target=self.shutdown, daemon=True).start()
+            return {"ok": True, "bye": True}
+        return {"ok": False, "error": f"unknown op {op!r}"}
+
+    def _submit(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        job_id = self.service.submit(
+            request["spec"],
+            priority=int(request.get("priority", 0)),
+            timeout_s=request.get("timeout_s"),
+            max_retries=request.get("max_retries"),
+        )
+        response: Dict[str, Any] = {"ok": True, "job_id": job_id}
+        if request.get("wait"):
+            response.update(self._result(job_id, request.get("wait_s")))
+            response["job_id"] = job_id
+        self._count_job()
+        return response
+
+    def _result(self, job_id: str, wait_s: Optional[float]) -> Dict[str, Any]:
+        try:
+            result = self.service.result(job_id, timeout_s=wait_s)
+        except JobFailed:
+            return {"ok": False, "job": self.service.job(job_id)}
+        return {
+            "ok": True,
+            "job": self.service.job(job_id),
+            "envelope_hex": result.envelope.hex(),
+        }
+
+    def _count_job(self) -> None:
+        if self.max_jobs is None:
+            return
+        with self._lock:
+            self._jobs_seen += 1
+            if self._jobs_seen >= self.max_jobs:
+                threading.Thread(target=self._drain_and_stop, daemon=True).start()
+
+    def _drain_and_stop(self) -> None:
+        self.service.drain(timeout_s=60.0)
+        self.shutdown()
+
+
+def serve_forever(
+    service: ProvingService,
+    host: str = "127.0.0.1",
+    port: int = 8347,
+    max_jobs: Optional[int] = None,
+    ready_event: Optional[threading.Event] = None,
+) -> None:
+    """Run the accept loop until shutdown (blocking)."""
+    with ServiceServer(service, host=host, port=port, max_jobs=max_jobs) as server:
+        if ready_event is not None:
+            ready_event.set()
+        server.serve_forever(poll_interval=0.1)

@@ -1,0 +1,381 @@
+"""The proving service: scheduler, retries, timeouts, drain.
+
+``ProvingService`` ties the pieces together:
+
+* :class:`~repro.service.queue.PriorityJobQueue` orders submitted jobs
+  (priority + backoff/batching delays);
+* :class:`~repro.service.cache.ProofCache` short-circuits duplicate
+  requests with byte-identical results;
+* :mod:`~repro.service.batching` coalesces compatible pending jobs into
+  one worker dispatch;
+* :class:`~repro.service.pool.WorkerPool` runs batches in worker
+  processes and reports crashes/timeouts.
+
+A single scheduler thread owns all state transitions, so there is one
+lock and no lost-update window: results, casualties, and dispatch all
+happen on its tick.  Jobs are never lost -- a worker death or timeout
+requeues every rider (bounded retries with exponential backoff and
+jitter) or fails it explicitly.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+import threading
+import time
+from typing import Any, Dict, List, Optional, Union
+
+from ..metrics import merge_counts
+from . import batching
+from .cache import ProofCache
+from .executor import validate_spec
+from .jobs import Job, JobFailed, JobResult, JobSpec, JobState
+from .pool import WorkerPool
+from .queue import PriorityJobQueue
+
+_TICK_S = 0.005
+
+
+class ProvingService:
+    """Long-running concurrent proof-generation service."""
+
+    def __init__(
+        self,
+        workers: int = 2,
+        *,
+        enable_batching: bool = True,
+        enable_cache: bool = True,
+        batch_window_s: float = 0.05,
+        max_batch: int = 8,
+        cache_entries: int = 256,
+        cache_bytes: int = 64 << 20,
+        default_timeout_s: float = 120.0,
+        max_retries: int = 2,
+        backoff_base_s: float = 0.1,
+        backoff_cap_s: float = 2.0,
+        fault_injection: bool = False,
+        start_method: str = "fork",
+        jitter_seed: Optional[int] = None,
+    ) -> None:
+        self.enable_batching = enable_batching
+        self.enable_cache = enable_cache
+        self.batch_window_s = batch_window_s if enable_batching else 0.0
+        self.max_batch = max_batch
+        self.default_timeout_s = default_timeout_s
+        self.default_max_retries = max_retries
+        self.backoff_base_s = backoff_base_s
+        self.backoff_cap_s = backoff_cap_s
+        self.fault_injection = fault_injection
+
+        self.cache = ProofCache(max_entries=cache_entries, max_bytes=cache_bytes)
+        self.queue = PriorityJobQueue()
+        self.pool = WorkerPool(num_workers=workers, start_method=start_method)
+
+        self._jobs: Dict[str, Job] = {}
+        self._inflight: Dict[int, batching.Batch] = {}
+        self._lock = threading.RLock()
+        self._job_seq = itertools.count(1)
+        self._rng = random.Random(jitter_seed)
+        self._stop = threading.Event()
+        self._scheduler: Optional[threading.Thread] = None
+
+        self.totals: Dict[str, Any] = {
+            "submitted": 0, "completed": 0, "failed": 0, "cancelled": 0,
+            "retried": 0, "timeouts": 0, "worker_crashes": 0,
+            "batches_dispatched": 0, "jobs_dispatched": 0,
+            "cache_completions": 0, "counters": {},
+        }
+
+    # -- lifecycle -------------------------------------------------------
+
+    def start(self) -> "ProvingService":
+        """Spawn workers and the scheduler thread."""
+        if self._scheduler is not None:
+            return self
+        self.pool.start()
+        self._stop.clear()
+        self._scheduler = threading.Thread(
+            target=self._run_scheduler, name="proving-scheduler", daemon=True
+        )
+        self._scheduler.start()
+        return self
+
+    def close(self, drain: bool = True, timeout_s: float = 60.0) -> None:
+        """Shut down: optionally drain outstanding work, then stop workers."""
+        if drain and self._scheduler is not None:
+            self.drain(timeout_s=timeout_s)
+        self._stop.set()
+        if self._scheduler is not None:
+            self._scheduler.join(timeout_s)
+            self._scheduler = None
+        self.pool.stop()
+
+    def __enter__(self) -> "ProvingService":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- client surface --------------------------------------------------
+
+    def submit(
+        self,
+        spec: Union[JobSpec, Dict[str, Any], None] = None,
+        *,
+        priority: int = 0,
+        timeout_s: Optional[float] = None,
+        max_retries: Optional[int] = None,
+        **spec_kwargs,
+    ) -> str:
+        """Submit a job; returns its id immediately.
+
+        Raises ``KeyError`` for an unknown workload and ``ValueError``
+        for an invalid spec (both before the job enters the queue).
+        """
+        if spec is None:
+            spec = JobSpec(**spec_kwargs)
+        elif isinstance(spec, dict):
+            spec = JobSpec.from_dict(spec)
+        validate_spec(spec, fault_injection=self.fault_injection)
+
+        job = Job(
+            id=f"j-{next(self._job_seq):06d}",
+            spec=spec,
+            priority=priority,
+            timeout_s=self.default_timeout_s if timeout_s is None else timeout_s,
+            max_retries=(
+                self.default_max_retries if max_retries is None else max_retries
+            ),
+        )
+        with self._lock:
+            self._jobs[job.id] = job
+            self.totals["submitted"] += 1
+            cached = self.cache.get(spec.cache_key) if self.enable_cache else None
+            if cached is not None:
+                self._complete(job, cached, cache_hit=True)
+            else:
+                self.queue.push(job.id, priority=priority, delay_s=self.batch_window_s)
+        return job.id
+
+    def job(self, job_id: str) -> Dict[str, Any]:
+        """Snapshot of one job's structured stats."""
+        with self._lock:
+            return self._jobs[job_id].stats()
+
+    def result(self, job_id: str, timeout_s: Optional[float] = None) -> JobResult:
+        """Block until a job finishes; raises :class:`JobFailed` if it
+        did not end in ``DONE``."""
+        job = self._jobs[job_id]
+        if not job.done_event.wait(timeout_s):
+            raise TimeoutError(f"job {job_id} still {job.state.value}")
+        if job.state is not JobState.DONE:
+            raise JobFailed(job)
+        assert job.result is not None
+        return job.result
+
+    def cancel(self, job_id: str) -> bool:
+        """Cancel a still-pending job (running jobs cannot be preempted)."""
+        with self._lock:
+            job = self._jobs[job_id]
+            if job.state is not JobState.PENDING:
+                return False
+            self.queue.cancel(job_id)
+            job.state = JobState.CANCELLED
+            job.finished_at = time.monotonic()
+            self.totals["cancelled"] += 1
+            job.done_event.set()
+            return True
+
+    def drain(self, timeout_s: Optional[float] = None) -> bool:
+        """Wait until every submitted job reached a terminal state."""
+        deadline = None if timeout_s is None else time.monotonic() + timeout_s
+        while True:
+            with self._lock:
+                busy = any(not j.state.terminal for j in self._jobs.values())
+            if not busy:
+                return True
+            if deadline is not None and time.monotonic() > deadline:
+                return False
+            time.sleep(_TICK_S)
+
+    def stats(self) -> Dict[str, Any]:
+        """Service-level stats: totals, queue depth, cache, workers."""
+        with self._lock:
+            by_state: Dict[str, int] = {}
+            for j in self._jobs.values():
+                by_state[j.state.value] = by_state.get(j.state.value, 0) + 1
+            return {
+                **{k: (dict(v) if isinstance(v, dict) else v)
+                   for k, v in self.totals.items()},
+                "jobs_by_state": by_state,
+                "queue_depth": len(self.queue),
+                "inflight_batches": len(self._inflight),
+                "cache": self.cache.stats(),
+                "workers": len(self.pool.workers),
+                "worker_restarts": self.pool.restarts,
+            }
+
+    # -- scheduler -------------------------------------------------------
+
+    def _run_scheduler(self) -> None:
+        while not self._stop.is_set():
+            did_work = self._tick()
+            if not did_work:
+                time.sleep(_TICK_S)
+
+    def _tick(self) -> bool:
+        did_work = False
+        # 1. Completed batches.
+        while True:
+            try:
+                msg = self.pool.result_q.get_nowait()
+            except Exception:
+                break
+            self._handle_result(msg)
+            did_work = True
+        # 2. Dead / timed-out workers.
+        for casualty in self.pool.check_health():
+            self._handle_casualty(casualty)
+            did_work = True
+        # 3. Dispatch ready work to idle workers.
+        did_work |= self._dispatch()
+        return did_work
+
+    def _dispatch(self) -> bool:
+        idle = self.pool.idle_workers()
+        if not idle:
+            return False
+        with self._lock:
+            ready_ids = self.queue.pop_ready(max_n=len(idle) * self.max_batch)
+            ready: List[Job] = []
+            for job_id in ready_ids:
+                job = self._jobs[job_id]
+                if job.state is not JobState.PENDING:
+                    continue  # cancelled while queued
+                cached = (
+                    self.cache.get(job.spec.cache_key)
+                    if self.enable_cache else None
+                )
+                if cached is not None:
+                    self._complete(job, cached, cache_hit=True)
+                else:
+                    ready.append(job)
+            if not ready:
+                return False
+            batches = (
+                batching.coalesce(ready, max_batch=self.max_batch)
+                if self.enable_batching
+                else batching.singletons(ready)
+            )
+            for batch in batches[len(idle):]:
+                # More compat groups than free workers: requeue for the
+                # next tick, keeping priority.
+                for rider_ids in batch.riders:
+                    for job_id in rider_ids:
+                        self.queue.push(
+                            job_id, priority=self._jobs[job_id].priority
+                        )
+            now = time.monotonic()
+            for worker, batch in zip(idle, batches):
+                timeout = 0.0
+                for rider_ids in batch.riders:
+                    for job_id in rider_ids:
+                        job = self._jobs[job_id]
+                        job.state = JobState.RUNNING
+                        job.attempts += 1
+                        if job.started_at is None:
+                            job.started_at = now
+                        job.batch_size = batch.num_jobs
+                        timeout = max(timeout, job.timeout_s)
+                self._inflight[batch.id] = batch
+                self.totals["batches_dispatched"] += 1
+                self.totals["jobs_dispatched"] += batch.num_jobs
+                self.pool.assign(worker, batch.id, batch.specs, timeout)
+        return True
+
+    def _handle_result(self, msg: Dict[str, Any]) -> None:
+        with self._lock:
+            self.pool.mark_idle(msg["worker_id"])
+            batch = self._inflight.pop(msg["batch_id"], None)
+            if batch is None:
+                return  # stale result from a worker we already gave up on
+            for spec_dict, rider_ids, res in zip(
+                batch.specs, batch.riders, msg["results"]
+            ):
+                if res.get("ok"):
+                    key = JobSpec.from_dict(spec_dict).cache_key
+                    if self.enable_cache:
+                        self.cache.put(key, res["envelope"])
+                    merge_counts(res.get("counters", {}))
+                    self._merge_totals(res.get("counters", {}))
+                    for job_id in rider_ids:
+                        job = self._jobs[job_id]
+                        if job.state is JobState.RUNNING:
+                            self._complete(
+                                job, res["envelope"],
+                                cache_hit=False,
+                                counters=res.get("counters", {}),
+                            )
+                else:
+                    for job_id in rider_ids:
+                        self._fail_or_retry(
+                            self._jobs[job_id], res.get("error", "unknown error")
+                        )
+
+    def _handle_casualty(self, casualty) -> None:
+        with self._lock:
+            batch = self._inflight.pop(casualty.batch_id, None)
+            if batch is None:
+                return
+            key = "timeouts" if casualty.reason == "timeout" else "worker_crashes"
+            self.totals[key] += 1
+            for rider_ids in batch.riders:
+                for job_id in rider_ids:
+                    job = self._jobs[job_id]
+                    if job.state is JobState.RUNNING:
+                        self._fail_or_retry(job, f"worker {casualty.reason}")
+
+    # -- state transitions (caller holds the lock) -----------------------
+
+    def _complete(
+        self,
+        job: Job,
+        envelope: bytes,
+        *,
+        cache_hit: bool,
+        counters: Optional[Dict[str, int]] = None,
+    ) -> None:
+        job.state = JobState.DONE
+        job.finished_at = time.monotonic()
+        if job.started_at is None:
+            job.started_at = job.finished_at  # cache hit: zero queue wait
+        job.result = JobResult(
+            envelope=envelope, cache_hit=cache_hit, counters=counters or {}
+        )
+        self.totals["completed"] += 1
+        if cache_hit:
+            self.totals["cache_completions"] += 1
+        job.done_event.set()
+
+    def _fail_or_retry(self, job: Job, error: str) -> None:
+        job.error = error
+        if job.attempts <= job.max_retries:
+            backoff = min(
+                self.backoff_cap_s,
+                self.backoff_base_s * (2 ** (job.attempts - 1)),
+            )
+            delay = backoff * (1.0 + 0.25 * self._rng.random())
+            job.state = JobState.PENDING
+            self.totals["retried"] += 1
+            self.queue.push(job.id, priority=job.priority, delay_s=delay)
+        else:
+            job.state = JobState.FAILED
+            job.finished_at = time.monotonic()
+            self.totals["failed"] += 1
+            job.done_event.set()
+
+    def _merge_totals(self, counters: Dict[str, int]) -> None:
+        agg = self.totals["counters"]
+        for k, v in counters.items():
+            agg[k] = agg.get(k, 0) + int(v)

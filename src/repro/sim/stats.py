@@ -86,6 +86,23 @@ class SimReport:
             out[key] = out.get(key, 0.0) + r.elapsed_cycles
         return out
 
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-safe summary (used by the proving service and exports)."""
+        return {
+            "workload": self.workload,
+            "total_cycles": float(self.total_cycles),
+            "total_seconds": float(self.total_seconds),
+            "num_kernels": len(self.records),
+            "cycles_by_kind": {k: float(v) for k, v in self.cycles_by_kind().items()},
+            "fraction_by_kind": {
+                k: float(v) for k, v in self.fraction_by_kind().items()
+            },
+            "utilization_by_kind": {
+                k: {m: float(v) for m, v in u.items()}
+                for k, u in self.utilization_by_kind().items()
+            },
+        }
+
     def summary_lines(self) -> List[str]:
         """Human-readable report."""
         lines = [f"workload {self.workload}: {self.total_seconds * 1e3:.2f} ms "

@@ -4,7 +4,7 @@ from . import poseidon_air
 from .air import Air, BaseVecAlgebra, BoundaryConstraint, ExtAlgebra
 from .poseidon_air import PoseidonAir
 from .proof import StarkProof
-from .prover import prove, quotient_chunk_count
+from .prover import prove, prove_batch, quotient_chunk_count
 from .verifier import StarkError, verify
 
 __all__ = [
@@ -16,6 +16,7 @@ __all__ = [
     "PoseidonAir",
     "poseidon_air",
     "prove",
+    "prove_batch",
     "verify",
     "StarkError",
     "quotient_chunk_count",

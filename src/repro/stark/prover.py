@@ -13,7 +13,8 @@ larger proofs.
 
 from __future__ import annotations
 
-from typing import Sequence
+from functools import lru_cache
+from typing import List, Sequence, Tuple
 
 import numpy as np
 
@@ -25,13 +26,24 @@ from .air import Air, BaseVecAlgebra
 from .proof import StarkProof
 
 
+# The coset evaluation points and vanishing-polynomial inverses depend
+# only on (n, rate_bits), so a service proving many traces of the same
+# shape -- the batched-amortisation the paper gets from fused NTT/Merkle
+# kernels -- computes them once.  Cached arrays are frozen read-only;
+# every consumer allocates fresh outputs.
+
+
+@lru_cache(maxsize=16)
 def _coset_points(n_lde: int) -> np.ndarray:
-    return gl64.mul(
+    out = gl64.mul(
         gl64.powers(gl.primitive_root_of_unity(n_lde.bit_length() - 1), n_lde),
         np.uint64(gl.coset_shift()),
     )
+    out.flags.writeable = False
+    return out
 
 
+@lru_cache(maxsize=16)
 def _zh_inverse(n: int, rate_bits: int) -> np.ndarray:
     blowup = 1 << rate_bits
     n_lde = n * blowup
@@ -41,7 +53,9 @@ def _zh_inverse(n: int, rate_bits: int) -> np.ndarray:
         np.uint64(gl.pow_mod(gl.coset_shift(), n)),
     )
     zh_cycle = gl64.sub(cycle, np.uint64(1))
-    return gl64.inv_fast(np.tile(zh_cycle, n))
+    out = gl64.inv_fast(np.tile(zh_cycle, n))
+    out.flags.writeable = False
+    return out
 
 
 def quotient_chunk_count(air: Air) -> int:
@@ -153,3 +167,18 @@ def prove(
         openings=openings,
         fri_proof=fri_proof,
     )
+
+
+def prove_batch(
+    air: Air,
+    jobs: Sequence[Tuple[np.ndarray, Sequence[int]]],
+    config: FriConfig,
+) -> List[StarkProof]:
+    """Prove several ``(trace, public_inputs)`` instances of one AIR.
+
+    Each proof uses a fresh transcript (they verify independently), but
+    the per-shape precomputation -- coset points and vanishing-polynomial
+    inverses -- is shared across the batch, the service-level analogue of
+    the paper's batched-NTT/Merkle amortisation.
+    """
+    return [prove(air, trace, publics, config) for trace, publics in jobs]

@@ -1,0 +1,75 @@
+"""CLI error-path tests: clean one-line failures, nonzero exit codes."""
+
+from repro.cli import main
+
+
+class TestUnknownWorkload:
+    def _check(self, capsys, argv):
+        assert main(argv) == 2
+        captured = capsys.readouterr()
+        lines = captured.err.strip().splitlines()
+        assert len(lines) == 1, f"expected one-line error, got: {captured.err!r}"
+        assert "unknown workload" in lines[0]
+        assert "Traceback" not in captured.err + captured.out
+
+    def test_prove(self, capsys):
+        self._check(capsys, ["prove", "--workload", "NoSuchWorkload"])
+
+    def test_simulate(self, capsys):
+        self._check(capsys, ["simulate", "--workload", "NoSuchWorkload"])
+
+    def test_schedule(self, capsys):
+        self._check(capsys, ["schedule", "--workload", "NoSuchWorkload"])
+
+    def test_submit_fails_before_connecting(self, capsys):
+        # Validation happens client-side: no server is running here.
+        self._check(capsys, ["submit", "--workload", "NoSuchWorkload"])
+
+    def test_error_names_the_workload_and_choices(self, capsys):
+        main(["prove", "--workload", "Mystery"])
+        err = capsys.readouterr().err
+        assert "'Mystery'" in err and "Fibonacci" in err
+
+
+class TestServiceUnreachable:
+    def test_submit_without_server_is_clean(self, capsys):
+        assert main(["submit", "--workload", "Fibonacci",
+                     "--port", "1"]) == 2
+        err = capsys.readouterr().err
+        assert "cannot reach service" in err
+        assert "Traceback" not in err
+
+    def test_status_without_server_is_clean(self, capsys):
+        assert main(["status", "--port", "1"]) == 2
+        assert "cannot reach service" in capsys.readouterr().err
+
+
+class TestServiceRejections:
+    def test_status_unknown_job_is_clean(self, capsys):
+        import threading
+
+        from repro.service import ProvingService, serve_forever, wait_for_server
+
+        port = 8473
+        service = ProvingService(workers=1)
+        ready = threading.Event()
+        thread = threading.Thread(
+            target=serve_forever,
+            args=(service,),
+            kwargs={"port": port, "ready_event": ready},
+            daemon=True,
+        )
+        thread.start()
+        assert ready.wait(10)
+        assert wait_for_server("127.0.0.1", port, timeout_s=10)
+        try:
+            assert main(["status", "--port", str(port),
+                         "--job", "j-999999"]) == 2
+            captured = capsys.readouterr()
+            lines = captured.err.strip().splitlines()
+            assert len(lines) == 1
+            assert "j-999999" in lines[0]
+            assert "Traceback" not in captured.err + captured.out
+        finally:
+            assert main(["status", "--port", str(port), "--shutdown"]) == 0
+            thread.join(10)

@@ -90,6 +90,7 @@ class TestCli:
         out = capsys.readouterr().out
         assert "proved in" in out
 
-    def test_unknown_workload_rejected(self):
-        with pytest.raises(SystemExit):
-            main(["simulate", "--workload", "nonsense"])
+    def test_unknown_workload_rejected(self, capsys):
+        assert main(["simulate", "--workload", "nonsense"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown workload" in err and len(err.strip().splitlines()) == 1

@@ -125,3 +125,38 @@ class TestStarkRoundTrip:
     def test_deterministic_bytes(self, stark_setup):
         _, proof = stark_setup
         assert stark_proof_to_bytes(proof) == stark_proof_to_bytes(proof)
+
+
+class TestResultEnvelope:
+    def test_roundtrip(self):
+        from repro.serialize import read_result_envelope, write_result_envelope
+
+        blob = write_result_envelope("stark-proof", "Fibonacci", b"\x01\x02\x03")
+        kind, workload, payload = read_result_envelope(blob)
+        assert (kind, workload, payload) == ("stark-proof", "Fibonacci", b"\x01\x02\x03")
+
+    def test_bad_magic_rejected(self):
+        from repro.serialize import read_result_envelope
+
+        with pytest.raises(ValueError, match="magic"):
+            read_result_envelope(b"NOPE" + b"\x00" * 16)
+
+    def test_unknown_kind_rejected(self):
+        from repro.serialize import write_result_envelope
+
+        with pytest.raises(ValueError, match="kind"):
+            write_result_envelope("banana", "Fibonacci", b"")
+
+    def test_trailing_bytes_rejected(self):
+        from repro.serialize import read_result_envelope, write_result_envelope
+
+        blob = write_result_envelope("debug", "x", b"payload")
+        with pytest.raises(ValueError, match="trailing"):
+            read_result_envelope(blob + b"\x00")
+
+    def test_stark_proof_digest_stable(self, stark_setup):
+        from repro.serialize import stark_proof_digest
+
+        _, proof = stark_setup
+        assert stark_proof_digest(proof) == stark_proof_digest(proof)
+        assert len(stark_proof_digest(proof)) == 64

@@ -1,0 +1,287 @@
+"""Proving-service tests: queue, cache, batching, end-to-end round trips."""
+
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.metrics import counting
+from repro.serialize import read_result_envelope, stark_proof_from_bytes
+from repro.service import (
+    JobSpec,
+    PriorityJobQueue,
+    ProofCache,
+    ProvingService,
+    ServiceClient,
+    coalesce,
+    serve_forever,
+    verify_result,
+    wait_for_server,
+)
+from repro.service.jobs import Job
+from repro.stark import verify as stark_verify
+from repro.workloads.fibonacci import build_air
+
+
+FIB = {"workload": "Fibonacci", "kind": "stark", "scale": 6}
+
+
+def _service(**kw):
+    kw.setdefault("workers", 2)
+    kw.setdefault("batch_window_s", 0.0)
+    kw.setdefault("jitter_seed", 0)
+    return ProvingService(**kw)
+
+
+class TestPriorityJobQueue:
+    def test_priority_order(self):
+        q = PriorityJobQueue()
+        q.push("low", priority=5)
+        q.push("high", priority=0)
+        q.push("mid", priority=3)
+        assert q.pop_ready(max_n=3) == ["high", "mid", "low"]
+
+    def test_fifo_within_priority(self):
+        q = PriorityJobQueue()
+        for name in ("a", "b", "c"):
+            q.push(name, priority=1)
+        assert q.pop_ready(max_n=3) == ["a", "b", "c"]
+
+    def test_delay_hides_entry(self):
+        q = PriorityJobQueue()
+        q.push("later", delay_s=0.15)
+        q.push("now")
+        assert q.pop_ready(max_n=2) == ["now"]
+        assert not q.empty()
+        time.sleep(0.2)
+        assert q.pop_ready(max_n=2) == ["later"]
+
+    def test_cancel_skips(self):
+        q = PriorityJobQueue()
+        q.push("a")
+        q.push("b")
+        q.cancel("a")
+        assert q.pop_ready(max_n=2) == ["b"]
+        assert q.empty()
+
+
+class TestProofCache:
+    def test_hit_miss_metrics(self):
+        c = ProofCache(max_entries=4)
+        assert c.get("k") is None
+        c.put("k", b"v")
+        assert c.get("k") == b"v"
+        s = c.stats()
+        assert s["hits"] == 1 and s["misses"] == 1 and s["entries"] == 1
+
+    def test_lru_eviction_order(self):
+        c = ProofCache(max_entries=2)
+        c.put("a", b"1")
+        c.put("b", b"2")
+        c.get("a")  # refresh: b is now LRU
+        c.put("c", b"3")
+        assert "a" in c and "c" in c and "b" not in c
+        assert c.stats()["evictions"] == 1
+
+    def test_byte_budget_evicts(self):
+        c = ProofCache(max_entries=100, max_bytes=10)
+        c.put("a", b"x" * 8)
+        c.put("b", b"y" * 8)
+        assert "a" not in c and "b" in c
+
+
+class TestBatching:
+    def _job(self, jid, **spec):
+        base = dict(FIB)
+        base.update(spec)
+        return Job(id=jid, spec=JobSpec(**base))
+
+    def test_duplicates_coalesce_into_one_spec(self):
+        jobs = [self._job("a"), self._job("b"), self._job("c")]
+        batches = coalesce(jobs)
+        assert len(batches) == 1
+        assert len(batches[0].specs) == 1
+        assert batches[0].riders == [["a", "b", "c"]]
+        assert batches[0].num_jobs == 3
+
+    def test_same_config_different_scale_share_batch(self):
+        jobs = [self._job("a", scale=5), self._job("b", scale=6)]
+        batches = coalesce(jobs)
+        assert len(batches) == 1 and len(batches[0].specs) == 2
+
+    def test_incompatible_configs_split(self):
+        jobs = [self._job("a"), self._job("b", config={"num_queries": 4})]
+        assert len(coalesce(jobs)) == 2
+
+    def test_max_batch_bounds_jobs(self):
+        jobs = [self._job(f"j{i}") for i in range(5)]
+        batches = coalesce(jobs, max_batch=2)
+        assert len(batches) == 3
+        assert all(b.num_jobs <= 2 for b in batches)
+
+
+class TestSpec:
+    def test_cache_key_is_canonical(self):
+        a = JobSpec("Fibonacci", config={"num_queries": 4, "rate_bits": 1})
+        b = JobSpec("Fibonacci", config={"rate_bits": 1, "num_queries": 4})
+        assert a.cache_key == b.cache_key
+
+    def test_scale_changes_cache_key_not_compat_key(self):
+        a = JobSpec("Fibonacci", scale=5)
+        b = JobSpec("Fibonacci", scale=6)
+        assert a.cache_key != b.cache_key
+        assert a.compat_key == b.compat_key
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            JobSpec("Fibonacci", kind="quantum")
+
+
+class TestServiceEndToEnd:
+    def test_proof_round_trips_and_verifies(self):
+        with _service() as svc:
+            jid = svc.submit(**FIB)
+            result = svc.result(jid, timeout_s=60)
+            kind, workload, payload = read_result_envelope(result.envelope)
+            assert kind == "stark-proof" and workload == "Fibonacci"
+            air, _, _ = build_air(FIB["scale"])
+            from repro.service import fri_config_for
+
+            stark_verify(
+                air, stark_proof_from_bytes(payload),
+                fri_config_for(JobSpec(**FIB)),
+            )
+            assert verify_result(FIB, result.envelope)
+            stats = svc.job(jid)
+            assert stats["state"] == "done"
+            assert stats["queue_wait_s"] >= 0
+            assert stats["run_time_s"] > 0
+            assert stats["counters"]["sponge_permutations"] > 0
+
+    def test_cache_hit_is_byte_identical(self):
+        with _service(workers=1) as svc:
+            first = svc.result(svc.submit(**FIB), timeout_s=60)
+            second_id = svc.submit(**FIB)
+            second = svc.result(second_id, timeout_s=10)
+            assert not first.cache_hit and second.cache_hit
+            assert second.envelope == first.envelope
+            assert svc.job(second_id)["cache_hit"]
+            assert svc.stats()["cache"]["hits"] == 1
+
+    def test_cache_disabled_reproves(self):
+        with _service(workers=1, enable_cache=False) as svc:
+            a = svc.result(svc.submit(**FIB), timeout_s=60)
+            b = svc.result(svc.submit(**FIB), timeout_s=60)
+            assert not a.cache_hit and not b.cache_hit
+            assert a.envelope == b.envelope  # determinism, not caching
+            assert svc.stats()["cache"]["hits"] == 0
+
+    def test_concurrent_duplicates_batch(self):
+        # Submit before start(): all four are queued when the scheduler
+        # wakes, so coalescing is deterministic.
+        svc = _service(workers=1)
+        ids = [svc.submit(**FIB) for _ in range(4)]
+        svc.start()
+        try:
+            envelopes = {svc.result(j, timeout_s=60).envelope for j in ids}
+            assert len(envelopes) == 1
+            stats = [svc.job(j) for j in ids]
+            assert all(s["batch_size"] == 4 for s in stats)
+            assert svc.stats()["batches_dispatched"] == 1
+        finally:
+            svc.close()
+
+    def test_batching_disabled_runs_solo(self):
+        svc = _service(workers=1, enable_batching=False, enable_cache=False)
+        ids = [svc.submit(**FIB) for _ in range(2)]
+        svc.start()
+        try:
+            for j in ids:
+                svc.result(j, timeout_s=60)
+            assert svc.stats()["batches_dispatched"] == 2
+        finally:
+            svc.close()
+
+    def test_unknown_workload_rejected_at_submit(self):
+        with _service() as svc:
+            with pytest.raises(KeyError):
+                svc.submit(workload="NoSuchWorkload", kind="stark")
+
+    def test_fault_kinds_need_opt_in(self):
+        with _service() as svc:
+            with pytest.raises(ValueError):
+                svc.submit(workload="x", kind="sleep")
+
+    def test_cancel_pending_job(self):
+        svc = _service(workers=1)  # not started: jobs stay pending
+        jid = svc.submit(**FIB)
+        assert svc.cancel(jid)
+        assert svc.job(jid)["state"] == "cancelled"
+        svc.close(drain=False)
+
+    def test_simulate_kind_returns_report(self):
+        with _service(workers=1) as svc:
+            jid = svc.submit(workload="Factorial", kind="simulate")
+            result = svc.result(jid, timeout_s=60)
+            kind, _, payload = read_result_envelope(result.envelope)
+            assert kind == "sim-report"
+            import json
+
+            report = json.loads(payload.decode())
+            assert report["total_seconds"] > 0
+
+
+class TestSocketRoundTrip:
+    def test_submit_status_stats_shutdown(self):
+        svc = _service(workers=1).start()
+        ready = threading.Event()
+        thread = threading.Thread(
+            target=serve_forever,
+            args=(svc,),
+            kwargs={"port": 8471, "ready_event": ready},
+            daemon=True,
+        )
+        thread.start()
+        assert ready.wait(5) and wait_for_server("127.0.0.1", 8471)
+        try:
+            with ServiceClient("127.0.0.1", 8471) as client:
+                response = client.submit(FIB, wait=True, wait_s=60)
+                assert response["job"]["state"] == "done"
+                assert verify_result(FIB, response["envelope"])
+                job_stats = client.status(response["job_id"])
+                assert job_stats["state"] == "done"
+                assert client.stats()["completed"] == 1
+                client.shutdown()
+            thread.join(5)
+            assert not thread.is_alive()
+        finally:
+            svc.close()
+
+
+class TestCountersUnderConcurrency:
+    def test_threads_do_not_corrupt_each_other(self, rng):
+        from repro.field import gl64
+        from repro.hashing import hash_batch
+
+        data = gl64.random((4, 10), rng)
+
+        def measured(_):
+            with counting() as c:
+                hash_batch(data)
+                time.sleep(0.01)  # overlap the scopes
+                return c.sponge_permutations
+
+        with ThreadPoolExecutor(max_workers=4) as pool:
+            seen = list(pool.map(measured, range(4)))
+        # 4 rows x 2 chunks each; a shared mutable counter would leak
+        # other threads' increments into the delta.
+        assert seen == [8, 8, 8, 8]
+
+    def test_worker_counters_merged_on_return(self):
+        with _service(workers=1) as svc:
+            jid = svc.submit(**FIB)
+            svc.result(jid, timeout_s=60)
+            totals = svc.stats()["counters"]
+            assert totals["sponge_permutations"] > 0
+            assert totals["ntt_butterflies"] > 0
