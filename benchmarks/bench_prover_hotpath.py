@@ -1,0 +1,188 @@
+"""Prover hot-path benchmark (BENCH_prover.json).
+
+Measures the zero-copy data plane against the allocating implementation
+it replaced, at two levels:
+
+* **kernels** -- the paper's three dominant primitives (Section 5):
+  Goldilocks mul/add, the batched NTT, the fused Poseidon permutation
+  and a Merkle level sweep;
+* **end-to-end** -- full STARK proofs of the Fibonacci and MVM AETs at
+  scales 6-10 (``FriConfig(rate_bits=1, cap_height=1, num_queries=10,
+  proof_of_work_bits=3, final_poly_len=4)``), with the per-shape
+  :class:`repro.stark.ProverPlan` warm, the way the proving service
+  runs them.
+
+Every end-to-end row also checks that the proof digest and the
+operation counters are *unchanged* from the pre-data-plane baseline:
+the optimisation is only allowed to change how the work is executed,
+never what is proved.
+
+Baselines below were recorded at commit f1e91fc (the PR-1 tree) on the
+same container this benchmark runs in.
+
+Usage: PYTHONPATH=src python benchmarks/bench_prover_hotpath.py
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import platform
+import time
+
+import numpy as np
+
+from repro import metrics
+from repro.field import gl64, goldilocks as gl
+from repro.fri.config import FriConfig
+from repro.hashing import optimized
+from repro.merkle import MerkleTree
+from repro.ntt import ntt
+from repro.serialize import stark_proof_digest
+from repro.stark import plan_for, prove
+from repro.workloads import fibonacci, mvm
+
+OUT = pathlib.Path(__file__).resolve().parent.parent / "BENCH_prover.json"
+
+CONFIG = FriConfig(
+    rate_bits=1, cap_height=1, num_queries=10, proof_of_work_bits=3, final_poly_len=4
+)
+SCALES = [6, 7, 8, 9, 10]
+WORKLOADS = [("Fibonacci", fibonacci.SPEC), ("MVM", mvm.SPEC)]
+
+#: Pre-PR kernel timings (seconds), commit f1e91fc.
+BASELINE_KERNELS = {
+    "gl_mul_64k_s": 0.003631,
+    "gl_add_64k_s": 0.000951,
+    "ntt_4x4096_s": 0.007516,
+    "poseidon_permute_256_s": 0.036914,
+    "merkle_512x4_s": 0.110970,
+}
+
+#: Pre-PR end-to-end prove times, digests and counters, commit f1e91fc.
+BASELINE_PROVE = {
+    "Fibonacci/6": {"prove_s": 0.2593, "digest": "111c298a5fab5dd1368bbf070f5c9379ad28c1e1f2a671244cdeeb7d12d2dd22", "counters": {"ntt_butterflies": 3096, "sponge_permutations": 364, "ntt_transforms": 10}},
+    "Fibonacci/7": {"prove_s": 0.3624, "digest": "0a9858e29ac1cb76a188161e15e4a85d94fef9a16778a67bf888752b37d0a265", "counters": {"ntt_butterflies": 7064, "sponge_permutations": 746, "ntt_transforms": 10}},
+    "Fibonacci/8": {"prove_s": 0.5187, "digest": "4f56af646ae33fc2b9520a64c08a58aee87a56b5e358241c2e08a67a6c7fb11e", "counters": {"ntt_butterflies": 15896, "sponge_permutations": 1512, "ntt_transforms": 10}},
+    "Fibonacci/9": {"prove_s": 0.8416, "digest": "db93683921fc03165f2e4070e54d159c3f4eb6b86dbddd9139754015624543b2", "counters": {"ntt_butterflies": 35352, "sponge_permutations": 3046, "ntt_transforms": 10}},
+    "Fibonacci/10": {"prove_s": 1.3212, "digest": "0a6eb61bd793fb53839afa236f56de7316c875152653f35338f512750aadb4dc", "counters": {"ntt_butterflies": 77848, "sponge_permutations": 6116, "ntt_transforms": 10}},
+    "MVM/6": {"prove_s": 0.2324, "digest": "367b685b336e5cdffe3277dc0ec7a7e0dd9a71e75f17319147706082b5af0632", "counters": {"ntt_butterflies": 3736, "sponge_permutations": 364, "ntt_transforms": 12}},
+    "MVM/7": {"prove_s": 0.3364, "digest": "97ca9d1928f8a5bc668e6a9031980fd2f7213b24fd9775d1a5466012676f629a", "counters": {"ntt_butterflies": 8536, "sponge_permutations": 746, "ntt_transforms": 12}},
+    "MVM/8": {"prove_s": 0.5130, "digest": "b4ebc0c110d81e76dae475e10b0056b0ac7ba2b8c0f3dd936638fe9a45916292", "counters": {"ntt_butterflies": 19224, "sponge_permutations": 1512, "ntt_transforms": 12}},
+    "MVM/9": {"prove_s": 0.8039, "digest": "a6a6f68429044b1dcfa320c104f8ec01af6cc20024274de6bf665e9fc1333774", "counters": {"ntt_butterflies": 42776, "sponge_permutations": 3046, "ntt_transforms": 12}},
+    "MVM/10": {"prove_s": 1.4269, "digest": "16ce961be32980f7e5accaec9010fdc8b43375e2ffee44f9a91244ef0e1d989d", "counters": {"ntt_butterflies": 94232, "sponge_permutations": 6116, "ntt_transforms": 12}},
+}
+
+
+def _best_of(fn, repeats=5):
+    fn()  # warm caches / workspaces
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def bench_kernels() -> dict:
+    rng = np.random.default_rng(42)
+    a = rng.integers(0, gl.P, size=65536, dtype=np.uint64)
+    b = rng.integers(0, gl.P, size=65536, dtype=np.uint64)
+    rows = rng.integers(0, gl.P, size=(4, 4096), dtype=np.uint64)
+    states = rng.integers(0, gl.P, size=(256, 12), dtype=np.uint64)
+    leaves = rng.integers(0, gl.P, size=(512, 4), dtype=np.uint64)
+    ws = gl64.Workspace()
+    out = np.empty_like(a)
+    buf = states.copy()
+
+    def permute():
+        np.copyto(buf, states)
+        optimized.permute_into(buf, ws)
+
+    results = {
+        "gl_mul_64k_s": _best_of(lambda: gl64.mul_into(a, b, out, ws), 20),
+        "gl_add_64k_s": _best_of(lambda: gl64.add_into(a, b, out, ws), 20),
+        "ntt_4x4096_s": _best_of(lambda: ntt(rows, ws=ws), 10),
+        "poseidon_permute_256_s": _best_of(permute, 10),
+        "merkle_512x4_s": _best_of(lambda: MerkleTree(leaves, cap_height=1, ws=ws), 5),
+    }
+    out_rows = {}
+    for name, now in results.items():
+        base = BASELINE_KERNELS[name]
+        out_rows[name] = {
+            "baseline_s": round(base, 6),
+            "now_s": round(now, 6),
+            "speedup": round(base / now, 2),
+        }
+        print(f"{name:26s} {base*1e3:8.3f} ms -> {now*1e3:8.3f} ms  (x{base/now:.2f})")
+    return out_rows
+
+
+def bench_prove() -> dict:
+    rows = {}
+    for name, spec in WORKLOADS:
+        for scale in SCALES:
+            air, trace, publics = spec.build_air(scale)
+            plan = plan_for(trace.shape[0], CONFIG.rate_bits)
+            prove(air, trace, publics, CONFIG, plan=plan)  # warm
+            best, digest, counters = float("inf"), None, None
+            for _ in range(3):
+                with metrics.counting() as c:
+                    t0 = time.perf_counter()
+                    proof = prove(air, trace, publics, CONFIG, plan=plan)
+                    dt = time.perf_counter() - t0
+                best = min(best, dt)
+                digest = stark_proof_digest(proof)
+                counters = c.as_dict()
+            key = f"{name}/{scale}"
+            base = BASELINE_PROVE[key]
+            digest_ok = digest == base["digest"]
+            counters_ok = all(counters.get(k) == v for k, v in base["counters"].items())
+            rows[key] = {
+                "baseline_s": base["prove_s"],
+                "now_s": round(best, 4),
+                "speedup": round(base["prove_s"] / best, 2),
+                "digest": digest,
+                "digest_unchanged": digest_ok,
+                "counters": {k: counters.get(k) for k in base["counters"]},
+                "counters_unchanged": counters_ok,
+            }
+            status = "ok" if digest_ok and counters_ok else "MISMATCH"
+            print(
+                f"{key:14s} {base['prove_s']:7.4f} s -> {best:7.4f} s  "
+                f"(x{base['prove_s']/best:.2f})  [{status}]"
+            )
+    return rows
+
+
+def main() -> dict:
+    print("== kernels ==")
+    kernels = bench_kernels()
+    print("== end-to-end STARK prove ==")
+    proofs = bench_prove()
+    target = proofs["Fibonacci/8"]
+    report = {
+        "baseline_commit": "f1e91fc",
+        "config": {
+            "rate_bits": 1, "cap_height": 1, "num_queries": 10,
+            "proof_of_work_bits": 3, "final_poly_len": 4,
+        },
+        "platform": platform.platform(),
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "kernels": kernels,
+        "prove": proofs,
+        "headline_speedup_fibonacci_scale8": target["speedup"],
+        "all_digests_unchanged": all(r["digest_unchanged"] for r in proofs.values()),
+        "all_counters_unchanged": all(r["counters_unchanged"] for r in proofs.values()),
+    }
+    OUT.write_text(json.dumps(report, indent=1) + "\n")
+    print(f"\nheadline (Fibonacci scale 8): x{target['speedup']:.2f}")
+    print(f"wrote {OUT}")
+    return report
+
+
+if __name__ == "__main__":
+    report = main()
+    assert report["all_digests_unchanged"], "proof digests drifted"
+    assert report["all_counters_unchanged"], "operation counters drifted"

@@ -121,7 +121,11 @@ def main() -> dict:
     report = {
         "workload": "Fibonacci",
         "kind": "stark",
-        "scales": SCALES,
+        # The job mix, recorded once: each scale appears repeats_per_scale
+        # times (the submission order cycles through the scales).
+        "scales": sorted(set(SCALES)),
+        "repeats_per_scale": len(SCALES) // len(set(SCALES)),
+        "jobs_submitted": len(SCALES),
         "platform": platform.platform(),
         "python": platform.python_version(),
         "cpu_count": os.cpu_count(),

@@ -1,0 +1,60 @@
+"""Perf-counter regression gate (CI).
+
+Runs one tiny Fibonacci STARK and asserts the operation counters --
+NTT butterflies and Poseidon permutations -- match golden values
+recorded on the pre-data-plane prover.  Kernel rewrites may change
+*how* the work is executed (in place, fused, batched) but never *how
+much* work the protocol does; a drift here means a rewrite silently
+changed the algorithm, not just the implementation.
+
+Usage: PYTHONPATH=src python benchmarks/check_perf_counters.py
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro import metrics
+from repro.fri.config import FriConfig
+from repro.serialize import stark_proof_digest
+from repro.stark import prove
+from repro.workloads import fibonacci
+
+CONFIG = FriConfig(
+    rate_bits=1, cap_height=1, num_queries=10, proof_of_work_bits=3, final_poly_len=4
+)
+SCALE = 6
+
+#: Recorded at commit f1e91fc (pre-zero-copy prover), Fibonacci scale 6.
+GOLDEN = {
+    "ntt_butterflies": 3096,
+    "sponge_permutations": 364,
+    "ntt_transforms": 10,
+}
+GOLDEN_DIGEST = "111c298a5fab5dd1368bbf070f5c9379ad28c1e1f2a671244cdeeb7d12d2dd22"
+
+
+def main() -> int:
+    air, trace, publics = fibonacci.SPEC.build_air(SCALE)
+    with metrics.counting() as counts:
+        proof = prove(air, trace, publics, CONFIG)
+    got = counts.as_dict()
+    failures = []
+    for name, want in GOLDEN.items():
+        if got.get(name) != want:
+            failures.append(f"{name}: expected {want}, got {got.get(name)}")
+    digest = stark_proof_digest(proof)
+    if digest != GOLDEN_DIGEST:
+        failures.append(f"proof digest drifted: {digest}")
+    if failures:
+        print("PERF-COUNTER REGRESSION:")
+        for line in failures:
+            print(f"  {line}")
+        return 1
+    print(f"perf counters OK: {', '.join(f'{k}={v}' for k, v in GOLDEN.items())}")
+    print(f"proof digest OK: {digest}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -160,52 +160,91 @@ def frobenius(a: ExtArray) -> ExtArray:
 
 def powers(base: ExtArray, count: int) -> ExtArray:
     """Return ``[1, base, base**2, ...]`` for a scalar extension ``base``;
-    shape ``(count, 2)``."""
+    shape ``(count, 2)``.
+
+    Doubling construction; the scalar step stays in Python ints (the 0-d
+    NumPy path is far slower) while the block multiply is vectorised.
+    """
     out = np.empty((count, D), dtype=np.uint64)
     if count == 0:
         return out
     out[0] = one()
     filled = 1
-    step = base.reshape(D).copy()
+    flat = np.asarray(base, dtype=np.uint64).reshape(D)
+    s0, s1 = int(flat[0]), int(flat[1])
+    w, p = non_residue(), gl.P
     while filled < count:
         take = min(filled, count - filled)
-        out[filled : filled + take] = mul(out[:take], step[None, :])
+        a0, a1 = out[:take, 0], out[:take, 1]
+        dst = out[filled : filled + take]
+        t0 = gl64.mul(a0, np.uint64(s0))
+        t1 = gl64.mul(a1, np.uint64(s1))
+        dst[:, 0] = gl64.add(t0, gl64.mul(t1, np.uint64(w)))
+        dst[:, 1] = gl64.add(gl64.mul(a0, np.uint64(s1)), gl64.mul(a1, np.uint64(s0)))
         filled += take
-        step = mul(step, step)
+        s0, s1 = (s0 * s0 + w * s1 * s1) % p, (2 * s0 * s1) % p
     return out
+
+
+@lru_cache(maxsize=64)
+def _powers_cached(x0: int, x1: int, count: int) -> ExtArray:
+    """Read-only cached power table for a scalar extension point.
+
+    Opening a proof evaluates many polynomial rows at the same handful
+    of points (zeta, zeta * omega); the table is built once per point.
+    """
+    arr = powers(np.array([x0, x1], dtype=np.uint64), count)
+    arr.flags.writeable = False
+    return arr
+
+
+def powers_cached(base: ExtArray, count: int) -> ExtArray:
+    """Cached, read-only version of :func:`powers` for scalar points."""
+    flat = np.asarray(base, dtype=np.uint64).reshape(D)
+    return _powers_cached(int(flat[0]), int(flat[1]), count)
 
 
 def dot_base(coeffs: np.ndarray, ext_points: ExtArray) -> ExtArray:
     """Sum ``coeffs[i] * ext_points[i]`` (base coeffs, extension points)."""
-    prods = scalar_mul(ext_points, coeffs)
-    acc = prods[0]
-    for i in range(1, prods.shape[0]):
-        acc = add(acc, prods[i])
-    return acc
+    coeffs = np.asarray(coeffs, dtype=np.uint64)
+    return make(
+        gl64.sum_array(gl64.mul(coeffs, ext_points[:, 0])),
+        gl64.sum_array(gl64.mul(coeffs, ext_points[:, 1])),
+    )
 
 
-def eval_poly_base(coeffs: np.ndarray, x: ExtArray) -> ExtArray:
+def eval_poly_base(coeffs: np.ndarray, x: ExtArray, pws: ExtArray | None = None) -> ExtArray:
     """Evaluate a base-field coefficient vector at an extension point.
 
-    Horner's rule with ``scalar * ext + base`` steps; vectorised over
-    blocks to keep the Python loop at ``O(sqrt(n))`` for long inputs.
+    A full power table of ``x`` (built in ``O(log n)`` vectorised
+    doubling steps, or passed in precomputed) turns the evaluation into
+    two base-field dot products -- a handful of kernel launches instead
+    of a Horner chain of tiny sequential ops.
     """
-    x = x.reshape(D)
     n = len(coeffs)
     if n == 0:
         return zero()
-    # Split coeffs into blocks of size b; evaluate each block at x with
-    # precomputed powers, then Horner across blocks with x**b.
-    b = max(1, int(np.sqrt(n)))
-    pws = powers(x, b)  # (b, 2)
-    x_b = mul(pws[b - 1], x)
-    acc = zero()
-    coeffs = np.asarray(coeffs, dtype=np.uint64)
-    for start in range(((n - 1) // b) * b, -1, -b):
-        block = coeffs[start : start + b]
-        block_val = dot_base(block, pws[: len(block)])
-        acc = add(mul(acc, x_b), block_val)
-    return acc
+    if pws is None:
+        pws = powers_cached(x, n)
+    return dot_base(coeffs, pws[:n])
+
+
+def eval_polys_base(coeffs: np.ndarray, x: ExtArray, pws: ExtArray | None = None) -> ExtArray:
+    """Evaluate base-coefficient rows (k, n) at one extension point.
+
+    Returns (k, 2); one vectorised multiply + modular reduction per limb
+    for the whole batch.
+    """
+    coeffs = np.atleast_2d(np.asarray(coeffs, dtype=np.uint64))
+    n = coeffs.shape[1]
+    if n == 0:
+        return zero(coeffs.shape[0])
+    if pws is None:
+        pws = powers_cached(x, n)
+    return make(
+        gl64.sum_along_axis(gl64.mul(coeffs, pws[:n, 0]), axis=-1),
+        gl64.sum_along_axis(gl64.mul(coeffs, pws[:n, 1]), axis=-1),
+    )
 
 
 def eval_poly_ext(coeffs: ExtArray, x: ExtArray) -> ExtArray:

@@ -17,6 +17,7 @@ Implements the commit / fold / grind / query pipeline of Figure 1
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 from typing import List, Sequence, Tuple
 
 import numpy as np
@@ -50,22 +51,36 @@ class PolynomialBatch:
 
     @classmethod
     def from_coeffs(
-        cls, coeffs: np.ndarray, rate_bits: int, cap_height: int
+        cls,
+        coeffs: np.ndarray,
+        rate_bits: int,
+        cap_height: int,
+        ws: gl64.Workspace | None = None,
+        slot: str | None = None,
     ) -> "PolynomialBatch":
-        """Commit polynomials given by coefficient rows (num_polys, n)."""
+        """Commit polynomials given by coefficient rows (num_polys, n).
+
+        ``ws``/``slot`` let a prover plan pin the LDE scratch and Merkle
+        arena in its reusable workspace.
+        """
         coeffs = np.atleast_2d(np.asarray(coeffs, dtype=np.uint64))
-        ldes = lde_coeffs(coeffs, rate_bits)  # (num_polys, N_lde)
+        ldes = lde_coeffs(coeffs, rate_bits, ws=ws)  # (num_polys, N_lde)
         values = np.ascontiguousarray(ldes.T)  # (N_lde, num_polys)
-        tree = MerkleTree(values, cap_height=cap_height)
+        tree = MerkleTree(values, cap_height=cap_height, ws=ws, arena_slot=slot)
         return cls(coeffs=coeffs, values=values, tree=tree, rate_bits=rate_bits)
 
     @classmethod
     def from_values(
-        cls, subgroup_values: np.ndarray, rate_bits: int, cap_height: int
+        cls,
+        subgroup_values: np.ndarray,
+        rate_bits: int,
+        cap_height: int,
+        ws: gl64.Workspace | None = None,
+        slot: str | None = None,
     ) -> "PolynomialBatch":
         """Commit polynomials given by their subgroup evaluations."""
         vals = np.atleast_2d(np.asarray(subgroup_values, dtype=np.uint64))
-        return cls.from_coeffs(intt(vals), rate_bits, cap_height)
+        return cls.from_coeffs(intt(vals, ws=ws), rate_bits, cap_height, ws=ws, slot=slot)
 
     @property
     def degree_n(self) -> int:
@@ -84,7 +99,7 @@ class PolynomialBatch:
 
     def eval_at_ext(self, point: np.ndarray) -> np.ndarray:
         """Evaluate every polynomial at an extension point: (num_polys, 2)."""
-        return np.stack([fext.eval_poly_base(row, point) for row in self.coeffs])
+        return fext.eval_polys_base(self.coeffs, point)
 
 
 @dataclass
@@ -115,11 +130,41 @@ def open_batches(
     """Honest prover helper: evaluate the requested openings."""
     values = []
     for point, cols in zip(points, columns):
-        vals = np.stack(
-            [fext.eval_poly_base(batches[b].coeffs[c], point) for b, c in cols]
-        )
+        rows = [batches[b].coeffs[c] for b, c in cols]
+        if len({len(r) for r in rows}) == 1:
+            vals = fext.eval_polys_base(np.stack(rows), point)
+        else:  # mixed-degree batches: evaluate per row off one power table
+            vals = np.stack([fext.eval_poly_base(r, point) for r in rows])
         values.append(vals)
     return FriOpenings(points=list(points), columns=[list(c) for c in columns], values=values)
+
+
+@lru_cache(maxsize=32)
+def lde_points(log_n: int, shift: int | None = None) -> np.ndarray:
+    """Read-only cached coset points ``shift * omega^i`` (natural order).
+
+    Shared by :func:`combine_openings`, the fold weights and the STARK
+    prover's boundary/vanishing tables, so each domain is generated once
+    per process instead of once per proof.
+    """
+    shift = gl.coset_shift() if shift is None else shift
+    xs = gl64.mul(
+        gl64.powers(gl.primitive_root_of_unity(log_n), 1 << log_n), np.uint64(shift)
+    )
+    xs.flags.writeable = False
+    return xs
+
+
+@lru_cache(maxsize=64)
+def _fold_weights(log_n: int, shift: int) -> np.ndarray:
+    """Read-only cached ``1 / (2 x_i)`` over half a size-``2^log_n``
+    fold domain (``-x_i`` covers the other half)."""
+    half = 1 << (log_n - 1)
+    inv2 = np.uint64(gl.inverse(2))
+    xs = gl64.mul(gl64.powers(gl.primitive_root_of_unity(log_n), half), np.uint64(shift))
+    weights = gl64.mul(inv2, gl64.inv_fast(xs))
+    weights.flags.writeable = False
+    return weights
 
 
 def combine_openings(
@@ -136,10 +181,7 @@ def combine_openings(
     """
     n_lde = batches[0].values.shape[0]
     log_lde = n_lde.bit_length() - 1
-    xs = gl64.mul(
-        gl64.powers(gl.primitive_root_of_unity(log_lde), n_lde),
-        np.uint64(gl.coset_shift()),
-    )
+    xs = lde_points(log_lde)
     total = fext.from_base(gl64.zeros(n_lde))
     alpha_t = fext.one()
     for point, cols, vals in zip(openings.points, openings.columns, openings.values):
@@ -167,20 +209,24 @@ def fold_values(values: np.ndarray, beta: np.ndarray, shift: int, log_n: int) ->
     lo = values[:half]
     hi = values[half:]
     inv2 = np.uint64(gl.inverse(2))
-    xs = gl64.mul(
-        gl64.powers(gl.primitive_root_of_unity(log_n), half), np.uint64(shift)
-    )
     even = fext.scalar_mul(fext.add(lo, hi), inv2)
-    odd = fext.scalar_mul(fext.sub(lo, hi), gl64.mul(inv2, gl64.inv_fast(xs)))
+    odd = fext.scalar_mul(fext.sub(lo, hi), _fold_weights(log_n, int(shift)))
     return fext.add(even, fext.mul(np.broadcast_to(beta.reshape(2), odd.shape), odd))
 
 
-def _layer_tree(values: np.ndarray, cap_height: int) -> MerkleTree:
+def _layer_tree(
+    values: np.ndarray,
+    cap_height: int,
+    ws: gl64.Workspace | None = None,
+    slot: str | None = None,
+) -> MerkleTree:
     """Commit a layer: leaf ``i`` packs the pair (v[i], v[i + N/2])."""
     n = values.shape[0]
     half = n // 2
     leaves = np.concatenate([values[:half], values[half:]], axis=1)  # (half, 4)
-    return MerkleTree(leaves, cap_height=min(cap_height, (half.bit_length() - 1)))
+    return MerkleTree(
+        leaves, cap_height=min(cap_height, (half.bit_length() - 1)), ws=ws, arena_slot=slot
+    )
 
 
 def grind(challenger: Challenger, pow_bits: int) -> int:
@@ -207,6 +253,7 @@ def fri_prove(
     openings: FriOpenings,
     challenger: Challenger,
     config: FriConfig,
+    ws: gl64.Workspace | None = None,
 ) -> FriProof:
     """Produce a batch FRI opening proof.
 
@@ -228,8 +275,8 @@ def fri_prove(
     layer_values: List[np.ndarray] = [values]
     shift = gl.coset_shift()
     cur_log = log_lde
-    for _ in range(num_rounds):
-        tree = _layer_tree(layer_values[-1], config.cap_height)
+    for i in range(num_rounds):
+        tree = _layer_tree(layer_values[-1], config.cap_height, ws, f"fri{i}")
         trees.append(tree)
         challenger.observe_cap(tree.cap)
         beta = challenger.get_ext_challenge()

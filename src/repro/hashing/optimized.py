@@ -192,18 +192,22 @@ def sparse_round_apply(states: np.ndarray, rnd: SparseRound) -> np.ndarray:
 
 @lru_cache(maxsize=1)
 def _scalar_tables():
-    """Python-int copies of all round tensors for the scalar fast path."""
+    """Python-int copies of all round tensors for the scalar fast path.
+
+    Matrices are stored transposed (column-major tuples) so the row
+    vector x matrix products index them directly.
+    """
     params = optimized_params()
     full_rc, _ = round_constants()
-    mds = [[int(v) for v in row] for row in mds_matrix().tolist()]
-    pre = [[int(v) for v in row] for row in params.pre_matrix.tolist()]
-    full = [[int(v) for v in row] for row in full_rc.tolist()]
-    pre_c = [int(v) for v in params.pre_constants]
+    mds_t = tuple(tuple(int(v) for v in col) for col in zip(*mds_matrix().tolist()))
+    pre_t = tuple(tuple(int(v) for v in col) for col in zip(*params.pre_matrix.tolist()))
+    full = [tuple(int(v) for v in row) for row in full_rc.tolist()]
+    pre_c = tuple(int(v) for v in params.pre_constants)
     rounds = [
-        (r.m00, [int(v) for v in r.row], [int(v) for v in r.col_hat], r.post_constant)
+        (r.m00, tuple(int(v) for v in r.row), tuple(int(v) for v in r.col_hat), r.post_constant)
         for r in params.rounds
     ]
-    return mds, pre, full, pre_c, rounds
+    return mds_t, pre_t, full, pre_c, rounds
 
 
 def permute_scalar(state: list[int]) -> list[int]:
@@ -214,19 +218,19 @@ def permute_scalar(state: list[int]) -> list[int]:
     faster for batch size 1).
     """
     p = gl.P
-    mds, pre, full, pre_c, rounds = _scalar_tables()
+    mds_t, pre_t, full, pre_c, rounds = _scalar_tables()
+    rng = range(WIDTH)
 
     def full_rounds(s, lo, hi):
         for r in range(lo, hi):
             rc = full[r]
-            s = [(v + c) % p for v, c in zip(s, rc)]
-            s = [pow(v, 7, p) for v in s]
-            s = [sum(s[i] * col[i] for i in range(WIDTH)) % p for col in zip(*mds)]
+            s = [pow((v + c) % p, 7, p) for v, c in zip(s, rc)]
+            s = [sum(s[i] * col[i] for i in rng) % p for col in mds_t]
         return s
 
     state = full_rounds(list(state), 0, HALF_FULL)
     state = [(v + c) % p for v, c in zip(state, pre_c)]
-    state = [sum(state[i] * col[i] for i in range(WIDTH)) % p for col in zip(*pre)]
+    state = [sum(state[i] * col[i] for i in rng) % p for col in pre_t]
     for m00, row, col_hat, post in rounds:
         lane0 = (pow(state[0], 7, p) + post) % p
         out0 = (lane0 * m00 + sum(state[i + 1] * col_hat[i] for i in range(WIDTH - 1))) % p
@@ -234,34 +238,145 @@ def permute_scalar(state: list[int]) -> list[int]:
     return full_rounds(state, HALF_FULL, FULL_ROUNDS)
 
 
-#: Batches at or below this size take the scalar path.
-_SCALAR_BATCH_LIMIT = 4
+#: Batches at or below this size take the scalar path (measured
+#: crossover: the vectorised permutation is launch-bound below ~10).
+_SCALAR_BATCH_LIMIT = 8
+
+
+@lru_cache(maxsize=1)
+def _fused_tables():
+    """Round tensors re-packed for the zero-copy batched permutation.
+
+    * ``full_post[r]``: the constant vector applied *after* round ``r``'s
+      MDS multiply -- round ``r+1``'s pre-S-box constants (or the
+      partial block's pre-constants after the last leading full round).
+      Fusing the adds into the matmul kernel removes the separate
+      add-constants pass of the naive round structure; the arithmetic is
+      identical because ``(state @ M) + rc`` is exactly the next round's
+      input.
+    * ``sparse_vec[k]``: the 23-wide constant vector
+      ``[col_hat | m00 | row]`` of sparse round ``k``, letting one
+      vectorised multiply cover the ``v``-dot, the ``m00`` product and
+      the ``u``-column update of Figure 5b in a single kernel launch.
+    """
+    params = optimized_params()
+    full_rc, _ = round_constants()
+    mds = np.ascontiguousarray(mds_matrix())
+    rc = [np.ascontiguousarray(full_rc[r]) for r in range(FULL_ROUNDS)]
+    full_post: list[np.ndarray | None] = []
+    for r in range(FULL_ROUNDS):
+        if r == HALF_FULL - 1:
+            full_post.append(np.ascontiguousarray(params.pre_constants))
+        elif r + 1 < FULL_ROUNDS and r + 1 != HALF_FULL:
+            full_post.append(rc[r + 1])
+        else:
+            full_post.append(None)
+    sparse_vec = np.empty((PARTIAL_ROUNDS, 2 * WIDTH - 1), dtype=np.uint64)
+    sparse_post = np.empty(PARTIAL_ROUNDS, dtype=np.uint64)
+    for k, rnd in enumerate(params.rounds):
+        sparse_vec[k, : WIDTH - 1] = rnd.col_hat
+        sparse_vec[k, WIDTH - 1] = np.uint64(rnd.m00)
+        sparse_vec[k, WIDTH:] = rnd.row
+        sparse_post[k] = np.uint64(rnd.post_constant)
+    for arr in (mds, sparse_vec, sparse_post, *rc, *(p for p in full_post if p is not None)):
+        arr.flags.writeable = False
+    pre_matrix = np.ascontiguousarray(params.pre_matrix)
+    pre_matrix.flags.writeable = False
+    return mds, pre_matrix, rc, full_post, sparse_vec, sparse_post
+
+
+def _matmul_into(
+    states: np.ndarray,
+    matrix: np.ndarray,
+    post: np.ndarray | None,
+    ws: gl64.Workspace,
+) -> None:
+    """``states <- states @ matrix (+ post)`` in place, batched.
+
+    One broadcast multiply into a scratch tensor, then a pairwise tree
+    reduction written back into ``states`` (the same associativity the
+    old ``apply_mds`` + ``sum_along_axis`` pair used, so results are
+    bit-identical); the optional constant add rides the final reduction
+    step instead of costing its own pass.
+    """
+    b = states.shape[0]
+    prods = ws.temp((b, WIDTH, WIDTH), "pm:prods")
+    gl64.mul_into(states[:, :, None], matrix, prods, ws)
+    r6 = ws.temp((b, 6, WIDTH), "pm:r6")
+    gl64.add_into(prods[:, :6, :], prods[:, 6:, :], r6, ws)
+    r3 = ws.temp((b, 3, WIDTH), "pm:r3")
+    gl64.add_into(r6[:, :3, :], r6[:, 3:, :], r3, ws)
+    gl64.add_into(r3[:, 0, :], r3[:, 1, :], states, ws)
+    gl64.add_into(states, r3[:, 2, :], states, ws)
+    if post is not None:
+        gl64.add_into(states, post, states, ws)
+
+
+def _sparse_round_into(
+    states: np.ndarray, vec: np.ndarray, post: np.uint64, ws: gl64.Workspace
+) -> None:
+    """One optimised partial round, in place on a (B, 12) state buffer."""
+    b = states.shape[0]
+    lane = ws.temp((b,), "sp:lane")
+    gl64.pow7_into(states[:, 0], lane, ws)
+    gl64.add_into(lane, post, lane, ws)
+    buf = ws.temp((b, 2 * WIDTH - 1), "sp:buf")
+    np.copyto(buf[:, : WIDTH - 1], states[:, 1:])
+    buf[:, WIDTH - 1] = lane
+    buf[:, WIDTH:] = lane[:, None]
+    prod = ws.temp((b, 2 * WIDTH - 1), "sp:prod")
+    gl64.mul_into(buf, vec, prod, ws)
+    # out lane 0 = lane*m00 + rest . col_hat: tree-sum of prod[:, :12].
+    s6 = ws.temp((b, 6), "sp:s6")
+    gl64.add_into(prod[:, :6], prod[:, 6:WIDTH], s6, ws)
+    s3 = ws.temp((b, 3), "sp:s3")
+    gl64.add_into(s6[:, :3], s6[:, 3:], s3, ws)
+    gl64.add_into(s3[:, 0], s3[:, 1], lane, ws)
+    gl64.add_into(lane, s3[:, 2], lane, ws)
+    # out lanes 1..11 = lane0 * row + rest.
+    gl64.add_into(prod[:, WIDTH:], states[:, 1:], states[:, 1:], ws)
+    states[:, 0] = lane
+
+
+def permute_into(states: np.ndarray, ws: gl64.Workspace | None = None) -> np.ndarray:
+    """The Poseidon permutation, in place on a writable (..., 12) buffer.
+
+    This is the zero-copy engine behind :func:`permute` and the fused
+    Merkle level sweep: full-round constants are pre-fused into the MDS
+    matmul, the 22 sparse partial rounds run off the packed
+    ``[col_hat | m00 | row]`` vectors, and every intermediate lives in
+    the workspace arena.  Small batches dispatch to the Python-int
+    scalar path (extensionally equal).
+    """
+    if states.shape[-1] != WIDTH:
+        raise ValueError(f"state width must be {WIDTH}, got {states.shape[-1]}")
+    flat = states.reshape(-1, WIDTH)
+    if flat.shape[0] <= _SCALAR_BATCH_LIMIT:
+        for i in range(flat.shape[0]):
+            flat[i] = permute_scalar([int(v) for v in flat[i]])
+        return states
+    ws = ws or gl64.default_workspace()
+    mds, pre_matrix, rc, full_post, sparse_vec, sparse_post = _fused_tables()
+    gl64.add_into(flat, rc[0], flat, ws)
+    for r in range(HALF_FULL):
+        gl64.pow7_into(flat, flat, ws)
+        _matmul_into(flat, mds, full_post[r], ws)
+    _matmul_into(flat, pre_matrix, None, ws)
+    for k in range(PARTIAL_ROUNDS):
+        _sparse_round_into(flat, sparse_vec[k], sparse_post[k], ws)
+    gl64.add_into(flat, rc[HALF_FULL], flat, ws)
+    for r in range(HALF_FULL, FULL_ROUNDS):
+        gl64.pow7_into(flat, flat, ws)
+        _matmul_into(flat, mds, full_post[r], ws)
+    return states
 
 
 def permute(states: np.ndarray) -> np.ndarray:
     """The Poseidon permutation, optimised form (default for the sponge).
 
     Extensionally equal to :func:`repro.hashing.poseidon.permute_naive`;
-    ~6x fewer multiplications in the partial block.  Small batches are
-    dispatched to the Python-int scalar path.
+    ~6x fewer multiplications in the partial block.  Allocates a fresh
+    output; the hot paths call :func:`permute_into` on a reused buffer.
     """
-    states = np.asarray(states, dtype=np.uint64)
-    if states.shape[-1] != WIDTH:
-        raise ValueError(f"state width must be {WIDTH}, got {states.shape[-1]}")
-    if states.size <= _SCALAR_BATCH_LIMIT * WIDTH:
-        flat = states.reshape(-1, WIDTH)
-        rows = [permute_scalar([int(v) for v in row]) for row in flat]
-        return np.array(rows, dtype=np.uint64).reshape(states.shape)
-    params = optimized_params()
-    full_rc, _ = round_constants()
-    for r in range(HALF_FULL):
-        states = full_round(states, full_rc[r])
-    states = gl64.add(states, params.pre_constants)
-    from .poseidon import apply_mds  # local import to avoid cycle at module load
-
-    states = apply_mds(states, params.pre_matrix)
-    for rnd in params.rounds:
-        states = sparse_round_apply(states, rnd)
-    for r in range(HALF_FULL, FULL_ROUNDS):
-        states = full_round(states, full_rc[r])
-    return states
+    states = np.array(states, dtype=np.uint64, copy=True)
+    return permute_into(states)

@@ -12,7 +12,9 @@ Follows Plonky2's conventions (paper Section 5.3):
   in ``state[0:8]`` and zero-pads, one permutation total.
 
 Everything is batched over a leading axis so Merkle levels hash in one
-vectorised sweep.
+vectorised sweep.  The ``*_into`` variants drive the whole sweep through
+:func:`repro.hashing.optimized.permute_into` on workspace-owned state
+buffers, so a full Merkle build allocates nothing per level.
 """
 
 from __future__ import annotations
@@ -42,33 +44,51 @@ def permutation_count(input_len: int) -> int:
     return (input_len + RATE - 1) // RATE
 
 
+def _state_buf(batch: int, ws: gl64.Workspace) -> np.ndarray:
+    state = ws.temp((batch, WIDTH), "sponge:state")
+    state.fill(0)
+    return state
+
+
 def hash_no_pad(inputs) -> np.ndarray:
     """Hash a 1-D sequence of field elements to a 4-element digest."""
     arr = np.atleast_2d(np.asarray(inputs, dtype=np.uint64))
     return hash_batch(arr)[0]
 
 
-def hash_batch(inputs: np.ndarray) -> np.ndarray:
+def hash_batch(inputs: np.ndarray, ws: gl64.Workspace | None = None) -> np.ndarray:
     """Hash a batch of equal-length rows: (B, L) -> (B, DIGEST_LEN).
 
     Overwrite-mode absorption, one permutation per RATE-element chunk
     (including a final partial chunk).
     """
-    inputs = np.asarray(inputs, dtype=np.uint64)
+    inputs = gl64.asarray(inputs, trusted=True)  # canonical by construction
     if inputs.ndim != 2:
         raise ValueError("hash_batch expects a 2-D (batch, length) array")
+    out = np.empty((inputs.shape[0], DIGEST_LEN), dtype=np.uint64)
+    return hash_batch_into(inputs, out, ws)
+
+
+def hash_batch_into(
+    inputs: np.ndarray, out: np.ndarray, ws: gl64.Workspace | None = None
+) -> np.ndarray:
+    """:func:`hash_batch`, writing digests into a caller-provided (B, 4)
+    buffer.  The sponge state lives in the workspace arena."""
+    ws = ws or gl64.default_workspace()
     batch, length = inputs.shape
-    state = gl64.zeros((batch, WIDTH))
+    state = _state_buf(batch, ws)
     if length == 0:
         _METRICS.sponge_permutations += batch
-        state = optimized.permute(state)
-        return state[:, :DIGEST_LEN].copy()
+        optimized.permute_into(state, ws)
+        np.copyto(out, state[:, :DIGEST_LEN])
+        return out
     for start in range(0, length, RATE):
         chunk = inputs[:, start : start + RATE]
         state[:, : chunk.shape[1]] = chunk
         _METRICS.sponge_permutations += batch
-        state = optimized.permute(state)
-    return state[:, :DIGEST_LEN].copy()
+        optimized.permute_into(state, ws)
+    np.copyto(out, state[:, :DIGEST_LEN])
+    return out
 
 
 def two_to_one(left: np.ndarray, right: np.ndarray) -> np.ndarray:
@@ -76,25 +96,58 @@ def two_to_one(left: np.ndarray, right: np.ndarray) -> np.ndarray:
 
     Batched: ``left`` and ``right`` are (..., DIGEST_LEN).
     """
-    left = np.asarray(left, dtype=np.uint64)
-    right = np.asarray(right, dtype=np.uint64)
+    left = gl64.asarray(left, trusted=True)  # digests are canonical
+    right = gl64.asarray(right, trusted=True)
     if left.shape != right.shape or left.shape[-1] != DIGEST_LEN:
         raise ValueError("two_to_one expects matching (..., 4) digests")
-    state = gl64.zeros(left.shape[:-1] + (WIDTH,))
-    state[..., :DIGEST_LEN] = left
-    state[..., DIGEST_LEN : 2 * DIGEST_LEN] = right
-    _METRICS.sponge_permutations += int(np.prod(left.shape[:-1], dtype=np.int64))
-    state = optimized.permute(state)
-    return state[..., :DIGEST_LEN].copy()
+    ws = gl64.default_workspace()
+    lead = left.shape[:-1]
+    batch = int(np.prod(lead, dtype=np.int64))
+    state = _state_buf(batch, ws)
+    state[:, :DIGEST_LEN] = left.reshape(batch, DIGEST_LEN)
+    state[:, DIGEST_LEN : 2 * DIGEST_LEN] = right.reshape(batch, DIGEST_LEN)
+    _METRICS.sponge_permutations += batch
+    optimized.permute_into(state, ws)
+    return state[:, :DIGEST_LEN].reshape(lead + (DIGEST_LEN,)).copy()
+
+
+def compress_level_into(
+    prev: np.ndarray, out: np.ndarray, ws: gl64.Workspace | None = None
+) -> np.ndarray:
+    """One fused Merkle level: (2k, 4) digests -> (k, 4) parents.
+
+    Equivalent to ``two_to_one(prev[0::2], prev[1::2])`` but interleaves
+    both children straight into the workspace state buffer and writes
+    the parents into ``out`` (normally a view of the tree's level-order
+    arena) -- no temporaries besides the shared sponge state.
+    """
+    ws = ws or gl64.default_workspace()
+    half = prev.shape[0] // 2
+    state = _state_buf(half, ws)
+    state[:, :DIGEST_LEN] = prev[0::2]
+    state[:, DIGEST_LEN : 2 * DIGEST_LEN] = prev[1::2]
+    _METRICS.sponge_permutations += half
+    optimized.permute_into(state, ws)
+    np.copyto(out, state[:, :DIGEST_LEN])
+    return out
 
 
 def hash_or_noop(values: np.ndarray) -> np.ndarray:
     """Plonky2-style leaf hashing: rows shorter than a digest are padded
     into the digest directly (no permutation); longer rows are hashed."""
     values = np.atleast_2d(np.asarray(values, dtype=np.uint64))
-    batch, length = values.shape
+    out = np.empty((values.shape[0], DIGEST_LEN), dtype=np.uint64)
+    return hash_leaves_into(values, out)
+
+
+def hash_leaves_into(
+    values: np.ndarray, out: np.ndarray, ws: gl64.Workspace | None = None
+) -> np.ndarray:
+    """:func:`hash_or_noop` semantics, writing digests into ``out``."""
+    values = np.atleast_2d(np.asarray(values, dtype=np.uint64))
+    length = values.shape[1]
     if length <= DIGEST_LEN:
-        out = gl64.zeros((batch, DIGEST_LEN))
+        out.fill(0)
         out[:, :length] = values
         return out
-    return hash_batch(values)
+    return hash_batch_into(values, out, ws)

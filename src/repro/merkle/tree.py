@@ -36,8 +36,14 @@ class MerkleProof:
 class MerkleTree:
     """Merkle tree over a (num_leaves, leaf_width) matrix of elements."""
 
-    def __init__(self, leaves: np.ndarray, cap_height: int = 0) -> None:
-        leaves = np.atleast_2d(np.asarray(leaves, dtype=np.uint64))
+    def __init__(
+        self,
+        leaves: np.ndarray,
+        cap_height: int = 0,
+        ws: gl64.Workspace | None = None,
+        arena_slot: str | None = None,
+    ) -> None:
+        leaves = np.atleast_2d(gl64.asarray(leaves, trusted=True))
         num_leaves = leaves.shape[0]
         if num_leaves == 0 or num_leaves & (num_leaves - 1):
             raise ValueError("leaf count must be a non-zero power of two")
@@ -46,11 +52,31 @@ class MerkleTree:
             raise ValueError(f"cap_height must be in [0, {depth}]")
         self.leaves = leaves
         self.cap_height = cap_height
+        ws = ws or gl64.default_workspace()
+        # All levels live in one contiguous level-order arena (the
+        # paper's Section 5.3 layout); ``levels`` are views into it.  A
+        # plan can pin the arena in its workspace via ``arena_slot`` so
+        # repeated proofs of the same shape reuse the buffer, but each
+        # slot then belongs to exactly one tree per proof.
+        sizes = []
+        width = num_leaves
+        while width >= (1 << cap_height):
+            sizes.append(width)
+            width //= 2
+        total = sum(sizes)
+        if arena_slot is not None:
+            self.arena = ws.temp((total, sponge.DIGEST_LEN), f"merkle:{arena_slot}")
+        else:
+            self.arena = np.empty((total, sponge.DIGEST_LEN), dtype=np.uint64)
         #: levels[0] = leaf digests; levels[-1] = the cap.
-        self.levels: List[np.ndarray] = [sponge.hash_or_noop(leaves)]
-        while self.levels[-1].shape[0] > (1 << cap_height):
-            prev = self.levels[-1]
-            self.levels.append(sponge.two_to_one(prev[0::2], prev[1::2]))
+        self.levels: List[np.ndarray] = []
+        offset = 0
+        for size in sizes:
+            self.levels.append(self.arena[offset : offset + size])
+            offset += size
+        sponge.hash_leaves_into(leaves, self.levels[0], ws)
+        for i in range(1, len(self.levels)):
+            sponge.compress_level_into(self.levels[i - 1], self.levels[i], ws)
 
     @property
     def cap(self) -> np.ndarray:

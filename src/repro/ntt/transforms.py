@@ -14,6 +14,18 @@ Implements every variant the UniZK paper needs (Section 5.1):
 Internally everything is the classic iterative radix-2 Cooley-Tukey pair:
 DIF (natural in, bit-reversed out) and DIT (bit-reversed in, natural
 out), each vectorised with NumPy over batch *and* butterfly axes.
+
+Zero-copy data plane
+--------------------
+
+The stages run truly in place on a workspace buffer through
+:func:`repro.field.gl64.butterfly_into`: no per-stage copies, no fresh
+temporaries.  Twiddles are pre-sliced contiguously per ``(log_n,
+stage)`` and cached read-only; the final bit-reversal is one cached
+``np.take`` gather into the output buffer.  Every public transform
+accepts ``out=`` (the result buffer) and ``ws=`` (a
+:class:`~repro.field.gl64.Workspace` scratch arena); with neither, it
+behaves exactly like the old allocating API.
 """
 
 from __future__ import annotations
@@ -34,14 +46,26 @@ def bit_reverse_indices(log_n: int) -> np.ndarray:
     rev = np.zeros(n, dtype=np.uint64)
     for b in range(log_n):
         rev |= ((idx >> np.uint64(b)) & np.uint64(1)) << np.uint64(log_n - 1 - b)
-    return rev.astype(np.int64)
+    out = rev.astype(np.int64)
+    out.flags.writeable = False
+    return out
 
 
-def bit_reverse(a: np.ndarray) -> np.ndarray:
-    """Permute the last axis of ``a`` into bit-reversed order."""
+def bit_reverse(a: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
+    """Permute the last axis of ``a`` into bit-reversed order.
+
+    With ``out=`` the cached permutation is gathered directly into the
+    given buffer (which must not alias ``a``); otherwise a fresh array
+    is returned.
+    """
+    a = np.asarray(a, dtype=np.uint64)
     n = a.shape[-1]
     log_n = _checked_log2(n)
-    return np.ascontiguousarray(a[..., bit_reverse_indices(log_n)])
+    idx = bit_reverse_indices(log_n)
+    if out is None:
+        out = np.empty(a.shape, dtype=np.uint64)
+    np.take(a, idx, axis=-1, out=out, mode="clip")
+    return out
 
 
 def _checked_log2(n: int) -> int:
@@ -59,7 +83,43 @@ def _omega_powers(log_n: int, inverse: bool) -> np.ndarray:
     omega = gl.primitive_root_of_unity(log_n)
     if inverse:
         omega = gl.inverse(omega)
-    return gl64.powers(omega, max(1, 1 << (log_n - 1)))
+    out = gl64.powers(omega, max(1, 1 << (log_n - 1)))
+    out.flags.writeable = False
+    return out
+
+
+@lru_cache(maxsize=None)
+def _stage_twiddles(log_n: int, inverse: bool) -> tuple:
+    """Contiguous twiddle slices per butterfly stage, cached read-only.
+
+    Entry ``i`` serves the stage with half-block ``mh = 2**i`` (i.e.
+    ``m = 2**(i + 1)``): ``omega**(0, n/m, 2n/m, ...)`` -- the stride
+    slice the old code re-materialised from ``_omega_powers`` on every
+    stage of every transform.
+    """
+    n = 1 << log_n
+    tw_all = _omega_powers(log_n, inverse)
+    stages = []
+    for i in range(max(1, log_n)):
+        m = 1 << (i + 1)
+        tw = np.ascontiguousarray(tw_all[:: n // m][: m // 2])
+        tw.flags.writeable = False
+        stages.append(tw)
+    return tuple(stages)
+
+
+@lru_cache(maxsize=None)
+def _coset_scale(shift: int, n: int, inverse: bool) -> np.ndarray:
+    """Cached coset powers ``shift**i`` (or ``shift**-i``) for size ``n``."""
+    base = gl.inverse(shift) if inverse else shift
+    out = gl64.powers(base, n)
+    out.flags.writeable = False
+    return out
+
+
+@lru_cache(maxsize=None)
+def _n_inv(n: int) -> np.uint64:
+    return np.uint64(gl.inverse(n))
 
 
 def _count_transform(a: np.ndarray, log_n: int) -> None:
@@ -68,157 +128,222 @@ def _count_transform(a: np.ndarray, log_n: int) -> None:
     _METRICS.ntt_butterflies += batch * (1 << max(0, log_n - 1)) * log_n
 
 
-def _dif_in_place(a: np.ndarray, log_n: int, inverse: bool) -> np.ndarray:
-    """Decimation-in-frequency: natural input -> bit-reversed output."""
+def _dif_in_place(
+    a: np.ndarray, log_n: int, inverse: bool, ws: gl64.Workspace | None = None
+) -> np.ndarray:
+    """Decimation-in-frequency: natural input -> bit-reversed output.
+
+    ``a`` must be a contiguous, writable uint64 array; it is transformed
+    in place with zero allocations (scratch comes from ``ws``).
+    """
     n = 1 << log_n
     _count_transform(a, log_n)
-    tw_all = _omega_powers(log_n, inverse)
-    m = n
-    while m >= 2:
-        mh = m // 2
-        tw = tw_all[:: n // m][:mh]
-        v = a.reshape(a.shape[:-1] + (n // m, m))
-        u = v[..., :mh].copy()
-        w = v[..., mh:].copy()
-        v[..., :mh] = gl64.add(u, w)
-        v[..., mh:] = gl64.mul(gl64.sub(u, w), tw)
-        m = mh
+    ws = ws or gl64.default_workspace()
+    stages = _stage_twiddles(log_n, inverse)
+    lead = a.shape[:-1]
+    for i in range(log_n - 1, -1, -1):
+        m = 1 << (i + 1)
+        mh = m >> 1
+        v = a.reshape(lead + (n // m, m))
+        u = v[..., :mh]
+        w = v[..., mh:]
+        gl64.butterfly_into(u, w, stages[i], u, w, dit=False, ws=ws)
     return a
 
 
-def _dit_in_place(a: np.ndarray, log_n: int, inverse: bool) -> np.ndarray:
-    """Decimation-in-time: bit-reversed input -> natural output."""
+def _dit_in_place(
+    a: np.ndarray, log_n: int, inverse: bool, ws: gl64.Workspace | None = None
+) -> np.ndarray:
+    """Decimation-in-time: bit-reversed input -> natural output.
+
+    Same in-place contract as :func:`_dif_in_place`.
+    """
     n = 1 << log_n
     _count_transform(a, log_n)
-    tw_all = _omega_powers(log_n, inverse)
-    m = 2
-    while m <= n:
-        mh = m // 2
-        tw = tw_all[:: n // m][:mh]
-        v = a.reshape(a.shape[:-1] + (n // m, m))
-        u = v[..., :mh].copy()
-        w = gl64.mul(v[..., mh:], tw)
-        v[..., :mh] = gl64.add(u, w)
-        v[..., mh:] = gl64.sub(u, w)
-        m *= 2
+    ws = ws or gl64.default_workspace()
+    stages = _stage_twiddles(log_n, inverse)
+    lead = a.shape[:-1]
+    for i in range(log_n):
+        m = 1 << (i + 1)
+        mh = m >> 1
+        v = a.reshape(lead + (n // m, m))
+        u = v[..., :mh]
+        w = v[..., mh:]
+        gl64.butterfly_into(u, w, stages[i], u, w, dit=True, ws=ws)
     return a
 
 
-def _prepare(a) -> np.ndarray:
-    out = np.array(a, dtype=np.uint64, copy=True)
-    _checked_log2(out.shape[-1])
+def _workbuf(
+    a: np.ndarray, ws: gl64.Workspace | None, slot: str
+) -> tuple[np.ndarray, gl64.Workspace]:
+    """Copy ``a`` into a reusable transform buffer (never aliases ``a``)."""
+    ws = ws or gl64.default_workspace()
+    work = ws.temp(a.shape, slot)
+    np.copyto(work, a)
+    return work, ws
+
+
+def _finish(result: np.ndarray, out: np.ndarray | None) -> np.ndarray:
+    """Return ``result`` as a caller-owned array (copying out of the
+    workspace unless the caller supplied its own buffer)."""
+    if out is None:
+        return result.copy()
+    np.copyto(out, result)
     return out
 
 
-def ntt(a) -> np.ndarray:
+def ntt(a, out: np.ndarray | None = None, ws: gl64.Workspace | None = None) -> np.ndarray:
     """Forward NTT, natural input and output (``NTT^NN``)."""
-    out = _prepare(a)
-    log_n = _checked_log2(out.shape[-1])
-    _dif_in_place(out, log_n, inverse=False)
-    return bit_reverse(out)
+    a = np.asarray(a, dtype=np.uint64)
+    log_n = _checked_log2(a.shape[-1])
+    work, ws = _workbuf(a, ws, "ntt:work")
+    _dif_in_place(work, log_n, inverse=False, ws=ws)
+    if out is None:
+        out = np.empty(a.shape, dtype=np.uint64)
+    return bit_reverse(work, out=out)
 
 
-def ntt_nr(a) -> np.ndarray:
+def ntt_nr(a, out: np.ndarray | None = None, ws: gl64.Workspace | None = None) -> np.ndarray:
     """Forward NTT, natural input, bit-reversed output (``NTT^NR``).
 
     This is the LDE-phase transform in FRI (paper Figure 1, step 2):
     skipping the final reorder keeps memory writes sequential per
     decomposed dimension.
     """
-    out = _prepare(a)
-    log_n = _checked_log2(out.shape[-1])
-    return _dif_in_place(out, log_n, inverse=False)
+    a = np.asarray(a, dtype=np.uint64)
+    log_n = _checked_log2(a.shape[-1])
+    work, ws = _workbuf(a, ws, "ntt:work")
+    _dif_in_place(work, log_n, inverse=False, ws=ws)
+    return _finish(work, out)
 
 
-def ntt_rn(a) -> np.ndarray:
+def ntt_rn(a, out: np.ndarray | None = None, ws: gl64.Workspace | None = None) -> np.ndarray:
     """Forward NTT, bit-reversed input, natural output (``NTT^RN``)."""
-    out = _prepare(a)
-    log_n = _checked_log2(out.shape[-1])
-    return _dit_in_place(out, log_n, inverse=False)
+    a = np.asarray(a, dtype=np.uint64)
+    log_n = _checked_log2(a.shape[-1])
+    work, ws = _workbuf(a, ws, "ntt:work")
+    _dit_in_place(work, log_n, inverse=False, ws=ws)
+    return _finish(work, out)
 
 
-def intt(a) -> np.ndarray:
+def intt(a, out: np.ndarray | None = None, ws: gl64.Workspace | None = None) -> np.ndarray:
     """Inverse NTT, natural input and output (``iNTT^NN``).
 
     This is FRI's value->coefficient conversion (paper Figure 1, step 1).
     """
-    out = _prepare(a)
-    log_n = _checked_log2(out.shape[-1])
-    _dif_in_place(out, log_n, inverse=True)
-    out = bit_reverse(out)
-    n_inv = np.uint64(gl.inverse(out.shape[-1]))
-    return gl64.mul(out, n_inv)
+    a = np.asarray(a, dtype=np.uint64)
+    log_n = _checked_log2(a.shape[-1])
+    work, ws = _workbuf(a, ws, "intt:work")
+    _dif_in_place(work, log_n, inverse=True, ws=ws)
+    if out is None:
+        out = np.empty(a.shape, dtype=np.uint64)
+    bit_reverse(work, out=out)
+    return gl64.mul_into(out, _n_inv(a.shape[-1]), out, ws)
 
 
-def intt_nr(a) -> np.ndarray:
+def intt_nr(a, out: np.ndarray | None = None, ws: gl64.Workspace | None = None) -> np.ndarray:
     """Inverse NTT, natural input, bit-reversed output (``iNTT^NR``)."""
-    out = _prepare(a)
-    log_n = _checked_log2(out.shape[-1])
-    _dif_in_place(out, log_n, inverse=True)
-    n_inv = np.uint64(gl.inverse(out.shape[-1]))
-    return gl64.mul(out, n_inv)
+    a = np.asarray(a, dtype=np.uint64)
+    log_n = _checked_log2(a.shape[-1])
+    work, ws = _workbuf(a, ws, "intt:work")
+    _dif_in_place(work, log_n, inverse=True, ws=ws)
+    gl64.mul_into(work, _n_inv(a.shape[-1]), work, ws)
+    return _finish(work, out)
 
 
-def intt_rn(a) -> np.ndarray:
+def intt_rn(a, out: np.ndarray | None = None, ws: gl64.Workspace | None = None) -> np.ndarray:
     """Inverse NTT, bit-reversed input, natural output (``iNTT^RN``)."""
-    out = _prepare(a)
-    log_n = _checked_log2(out.shape[-1])
-    _dit_in_place(out, log_n, inverse=True)
-    n_inv = np.uint64(gl.inverse(out.shape[-1]))
-    return gl64.mul(out, n_inv)
+    a = np.asarray(a, dtype=np.uint64)
+    log_n = _checked_log2(a.shape[-1])
+    work, ws = _workbuf(a, ws, "intt:work")
+    _dit_in_place(work, log_n, inverse=True, ws=ws)
+    gl64.mul_into(work, _n_inv(a.shape[-1]), work, ws)
+    return _finish(work, out)
 
 
-def coset_ntt(a, shift: int | None = None) -> np.ndarray:
+def coset_ntt(
+    a, shift: int | None = None, out: np.ndarray | None = None, ws: gl64.Workspace | None = None
+) -> np.ndarray:
     """Evaluate coefficients on the coset ``shift * <omega>`` (natural order).
 
     Scales coefficient ``i`` by ``shift**i`` before the plain NTT -- the
     pre-NTT constant multiplication the paper fuses into the first (DIT)
     pipeline stage.
     """
-    out = _prepare(a)
+    a = np.asarray(a, dtype=np.uint64)
+    log_n = _checked_log2(a.shape[-1])
     shift = gl.coset_shift() if shift is None else shift
-    scale = gl64.powers(shift, out.shape[-1])
-    return ntt(gl64.mul(out, scale))
+    ws = ws or gl64.default_workspace()
+    work = ws.temp(a.shape, "ntt:work")
+    gl64.mul_into(a, _coset_scale(shift, a.shape[-1], False), work, ws)
+    _dif_in_place(work, log_n, inverse=False, ws=ws)
+    if out is None:
+        out = np.empty(a.shape, dtype=np.uint64)
+    return bit_reverse(work, out=out)
 
 
-def coset_ntt_nr(a, shift: int | None = None) -> np.ndarray:
+def coset_ntt_nr(
+    a, shift: int | None = None, out: np.ndarray | None = None, ws: gl64.Workspace | None = None
+) -> np.ndarray:
     """Coset NTT with bit-reversed output (the FRI LDE transform)."""
-    out = _prepare(a)
+    a = np.asarray(a, dtype=np.uint64)
+    log_n = _checked_log2(a.shape[-1])
     shift = gl.coset_shift() if shift is None else shift
-    scale = gl64.powers(shift, out.shape[-1])
-    return ntt_nr(gl64.mul(out, scale))
+    ws = ws or gl64.default_workspace()
+    work = ws.temp(a.shape, "ntt:work")
+    gl64.mul_into(a, _coset_scale(shift, a.shape[-1], False), work, ws)
+    _dif_in_place(work, log_n, inverse=False, ws=ws)
+    return _finish(work, out)
 
 
-def coset_intt(a, shift: int | None = None) -> np.ndarray:
+def coset_intt(
+    a, shift: int | None = None, out: np.ndarray | None = None, ws: gl64.Workspace | None = None
+) -> np.ndarray:
     """Recover coefficients from evaluations on ``shift * <omega>``.
 
     Post-multiplies by ``shift**-i`` -- the paper's ``N^-1 g^-i`` twiddle,
     fused into the idle last-round PEs of the DIF pipeline.
     """
-    out = intt(a)
+    out = intt(a, out=out, ws=ws)
     shift = gl.coset_shift() if shift is None else shift
-    scale = gl64.powers(gl.inverse(shift), out.shape[-1])
-    return gl64.mul(out, scale)
+    return gl64.mul_into(out, _coset_scale(shift, out.shape[-1], True), out, ws)
 
 
-def lde(values, rate_bits: int, shift: int | None = None) -> np.ndarray:
+def lde(
+    values,
+    rate_bits: int,
+    shift: int | None = None,
+    out: np.ndarray | None = None,
+    ws: gl64.Workspace | None = None,
+) -> np.ndarray:
     """Low-degree extension of subgroup evaluations onto a larger coset.
 
     ``iNTT^NN`` -> zero-pad coefficients by ``2**rate_bits`` (the blowup
     factor ``k``; Plonky2 uses ``k = 8``, Starky ``k = 2``) ->
     ``coset-NTT``.  Natural output order.
     """
-    coeffs = intt(values)
-    return lde_coeffs(coeffs, rate_bits, shift)
+    values = np.asarray(values, dtype=np.uint64)
+    ws = ws or gl64.default_workspace()
+    coeffs = intt(values, out=ws.temp(values.shape, "lde:coeffs"), ws=ws)
+    return lde_coeffs(coeffs, rate_bits, shift, out=out, ws=ws)
 
 
-def lde_coeffs(coeffs, rate_bits: int, shift: int | None = None) -> np.ndarray:
+def lde_coeffs(
+    coeffs,
+    rate_bits: int,
+    shift: int | None = None,
+    out: np.ndarray | None = None,
+    ws: gl64.Workspace | None = None,
+) -> np.ndarray:
     """LDE starting from coefficients: zero-pad then coset-NTT."""
-    coeffs = _prepare(coeffs)
+    coeffs = np.asarray(coeffs, dtype=np.uint64)
     n = coeffs.shape[-1]
-    padded = gl64.zeros(coeffs.shape[:-1] + (n << rate_bits,))
-    padded[..., :n] = coeffs
-    return coset_ntt(padded, shift)
+    _checked_log2(n)
+    ws = ws or gl64.default_workspace()
+    padded = ws.temp(coeffs.shape[:-1] + (n << rate_bits,), "lde:pad")
+    np.copyto(padded[..., :n], coeffs)
+    padded[..., n:] = 0
+    return coset_ntt(padded, shift, out=out, ws=ws)
 
 
 def ntt_ext(a: np.ndarray) -> np.ndarray:

@@ -95,10 +95,14 @@ def _run(spec: JobSpec) -> bytes:
     workload = by_name(spec.workload)
 
     if spec.kind == "stark":
-        from ..stark import prove
+        from ..stark import plan_for, prove
 
         air, trace, publics = workload.build_air(spec.scale)
-        proof = prove(air, trace, publics, fri_config_for(spec))
+        config = fri_config_for(spec)
+        # Worker processes keep serving jobs, so the per-shape plan
+        # (tables + workspace arena) stays warm across a batch.
+        plan = plan_for(trace.shape[0], config.rate_bits)
+        proof = prove(air, trace, publics, config, plan=plan)
         return write_result_envelope(
             "stark-proof", spec.workload, stark_proof_to_bytes(proof)
         )

@@ -2,6 +2,7 @@
 
 from . import poseidon_air
 from .air import Air, BaseVecAlgebra, BoundaryConstraint, ExtAlgebra
+from .plan import ProverPlan, plan_for
 from .poseidon_air import PoseidonAir
 from .proof import StarkProof
 from .prover import prove, prove_batch, quotient_chunk_count
@@ -13,6 +14,8 @@ __all__ = [
     "BaseVecAlgebra",
     "ExtAlgebra",
     "StarkProof",
+    "ProverPlan",
+    "plan_for",
     "PoseidonAir",
     "poseidon_air",
     "prove",

@@ -23,6 +23,7 @@ from ..fri import FriConfig, PolynomialBatch, fri_prove, open_batches
 from ..hashing import Challenger
 from ..ntt import coset_intt
 from .air import Air, BaseVecAlgebra
+from .plan import ProverPlan, plan_for
 from .proof import StarkProof
 
 
@@ -69,12 +70,15 @@ def prove(
     public_inputs: Sequence[int],
     config: FriConfig,
     challenger: Challenger | None = None,
+    plan: ProverPlan | None = None,
 ) -> StarkProof:
     """Prove that ``trace`` satisfies ``air`` with the given public values.
 
-    ``trace`` is (n, width) with ``n`` a power of two.
+    ``trace`` is (n, width) with ``n`` a power of two.  ``plan`` carries
+    the per-shape precomputed tables and the workspace arena; one is
+    looked up (and cached thread-locally) when not supplied.
     """
-    trace = np.asarray(trace, dtype=np.uint64)
+    trace = gl64.asarray(trace)  # untrusted caller input: full canonical scan
     n, width = trace.shape
     if n & (n - 1):
         raise ValueError("trace length must be a power of two")
@@ -90,34 +94,37 @@ def prove(
     rate_bits = config.rate_bits
     blowup = 1 << rate_bits
     n_lde = n * blowup
+    if plan is None:
+        plan = plan_for(n, rate_bits)
+    elif plan.n != n or plan.rate_bits != rate_bits:
+        raise ValueError("plan shape does not match the trace/config")
+    ws = plan.ws
 
     # Commit the trace.
-    trace_batch = PolynomialBatch.from_values(trace.T, rate_bits, config.cap_height)
+    trace_batch = PolynomialBatch.from_values(
+        trace.T, rate_bits, config.cap_height, ws=ws, slot="trace"
+    )
     challenger.observe_elements(np.asarray(public_inputs, dtype=np.uint64))
     challenger.observe_cap(trace_batch.cap)
     alpha = challenger.get_ext_challenge()
 
     # Constraint evaluations on the LDE coset.
-    xs = _coset_points(n_lde)
+    xs = plan.xs
     locals_ = [trace_batch.values[:, c] for c in range(width)]
     nexts = [np.roll(col, -blowup) for col in locals_]
     alg = BaseVecAlgebra(n_lde)
     # Public constant columns (periodic-style): LDE without commitment.
     const_cols = air.constant_columns(n)
     if const_cols.shape[0]:
-        from ..ntt import lde
-
-        const_ldes = lde(const_cols, rate_bits)
+        const_ldes = plan.const_lde(const_cols)
         consts = [const_ldes[k] for k in range(const_cols.shape[0])]
     else:
         consts = []
     transition_vals = air.eval_transition_with_constants(locals_, nexts, consts, alg)
 
-    omega = gl.primitive_root_of_unity(n.bit_length() - 1)
-    last_point = gl.pow_mod(omega, n - 1)
-    zh_inv = _zh_inverse(n, rate_bits)
+    omega = plan.omega
     # Transition divisor: Z_H(x) / (x - w^(n-1)).
-    transition_div_inv = gl64.mul(zh_inv, gl64.sub(xs, np.uint64(last_point)))
+    transition_div_inv = plan.transition_div_inv
 
     combined = fext.from_base(gl64.zeros(n_lde))
     alpha_t = fext.one()
@@ -128,9 +135,8 @@ def prove(
         )
         alpha_t = fext.mul(alpha_t, alpha.reshape(2))
     for bc in air.boundary_constraints(public_inputs):
-        point = gl.pow_mod(omega, bc.row)
         numer = gl64.sub(locals_[bc.column], np.uint64(bc.value % gl.P))
-        div_inv = gl64.inv_fast(gl64.sub(xs, np.uint64(point)))
+        div_inv = plan.boundary_inverse(bc.row)
         term = gl64.mul(numer, div_inv)
         combined = fext.add(
             combined, fext.scalar_mul(np.broadcast_to(alpha_t, (n_lde, 2)), term)
@@ -140,11 +146,11 @@ def prove(
     # Commit the composition quotient (2 limbs x `chunks` degree-n chunks).
     chunk_rows = []
     for limb in range(2):
-        coeffs = coset_intt(combined[:, limb])
+        coeffs = coset_intt(combined[:, limb], ws=ws)
         for k in range(chunks):
             chunk_rows.append(coeffs[k * n : (k + 1) * n])
     quotient_batch = PolynomialBatch.from_coeffs(
-        np.stack(chunk_rows), rate_bits, config.cap_height
+        np.stack(chunk_rows), rate_bits, config.cap_height, ws=ws, slot="quotient"
     )
     challenger.observe_cap(quotient_batch.cap)
 
@@ -157,7 +163,7 @@ def prove(
     ]
     cols_next = [(0, c) for c in range(width)]
     openings = open_batches(batches, [zeta, zeta_next], [cols_zeta, cols_next])
-    fri_proof = fri_prove(batches, openings, challenger, config)
+    fri_proof = fri_prove(batches, openings, challenger, config, ws=ws)
 
     return StarkProof(
         trace_cap=trace_batch.cap.copy(),
@@ -177,8 +183,15 @@ def prove_batch(
     """Prove several ``(trace, public_inputs)`` instances of one AIR.
 
     Each proof uses a fresh transcript (they verify independently), but
-    the per-shape precomputation -- coset points and vanishing-polynomial
-    inverses -- is shared across the batch, the service-level analogue of
-    the paper's batched-NTT/Merkle amortisation.
+    every job shares one warm :class:`ProverPlan` -- tables, twiddles and
+    workspace arena -- the service-level analogue of the paper's
+    batched-NTT/Merkle amortisation.
     """
-    return [prove(air, trace, publics, config) for trace, publics in jobs]
+    plan: ProverPlan | None = None
+    proofs = []
+    for trace, publics in jobs:
+        n = np.asarray(trace).shape[0]
+        if plan is None or plan.n != n:
+            plan = plan_for(n, config.rate_bits)
+        proofs.append(prove(air, trace, publics, config, plan=plan))
+    return proofs

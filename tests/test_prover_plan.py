@@ -1,0 +1,107 @@
+"""Determinism regression tests for the per-shape prover plans.
+
+Proofs must be byte-identical no matter which path produced them --
+direct, via a shared warm plan, or through the service's batch path --
+because every intermediate now lives in reused workspace arenas and an
+aliasing bug would show up as a digest change.  The golden digest and
+operation counts below were recorded on the allocating implementation
+this data plane replaced.
+"""
+
+import numpy as np
+
+from repro import metrics
+from repro.fri.config import FriConfig
+from repro.serialize import stark_proof_digest
+from repro.stark import ProverPlan, plan_for, prove, prove_batch, verify
+from repro.workloads import fibonacci
+
+CONFIG = FriConfig(
+    rate_bits=1, cap_height=1, num_queries=10, proof_of_work_bits=3, final_poly_len=4
+)
+
+#: Recorded from the pre-data-plane prover (commit f1e91fc) at scale 6.
+GOLDEN_DIGEST = "111c298a5fab5dd1368bbf070f5c9379ad28c1e1f2a671244cdeeb7d12d2dd22"
+GOLDEN_COUNTERS = {
+    "ntt_butterflies": 3096,
+    "sponge_permutations": 364,
+    "ntt_transforms": 10,
+}
+
+
+def test_shared_plan_proofs_are_identical_and_match_golden():
+    air, trace, publics = fibonacci.SPEC.build_air(6)
+    plan = plan_for(trace.shape[0], CONFIG.rate_bits)
+    first = prove(air, trace, publics, CONFIG, plan=plan)
+    second = prove(air, trace, publics, CONFIG, plan=plan)
+    d1, d2 = stark_proof_digest(first), stark_proof_digest(second)
+    assert d1 == d2 == GOLDEN_DIGEST
+    verify(air, second, CONFIG)
+
+
+def test_plan_counters_match_golden():
+    air, trace, publics = fibonacci.SPEC.build_air(6)
+    plan = plan_for(trace.shape[0], CONFIG.rate_bits)
+    prove(air, trace, publics, CONFIG, plan=plan)  # warm everything
+    with metrics.counting() as counts:
+        prove(air, trace, publics, CONFIG, plan=plan)
+    got = counts.as_dict()
+    for name, want in GOLDEN_COUNTERS.items():
+        assert got[name] == want, name
+
+
+def test_batch_path_matches_direct_path():
+    air, trace, publics = fibonacci.SPEC.build_air(6)
+    direct = stark_proof_digest(prove(air, trace, publics, CONFIG))
+    batch = prove_batch(air, [(trace, publics), (trace, publics)], CONFIG)
+    digests = [stark_proof_digest(p) for p in batch]
+    assert digests == [direct, direct]
+
+
+def test_interleaved_shapes_do_not_corrupt_workspaces():
+    air6, trace6, pub6 = fibonacci.SPEC.build_air(6)
+    air7, trace7, pub7 = fibonacci.SPEC.build_air(7)
+    before = stark_proof_digest(prove(air6, trace6, pub6, CONFIG))
+    prove(air7, trace7, pub7, CONFIG)  # different shape reuses other arenas
+    after = stark_proof_digest(prove(air6, trace6, pub6, CONFIG))
+    assert before == after == GOLDEN_DIGEST
+
+
+def test_plan_shape_mismatch_is_rejected():
+    air, trace, publics = fibonacci.SPEC.build_air(6)
+    wrong = ProverPlan(2 * trace.shape[0], CONFIG.rate_bits)
+    try:
+        prove(air, trace, publics, CONFIG, plan=wrong)
+    except ValueError:
+        return
+    raise AssertionError("mismatched plan must be rejected")
+
+
+def test_plan_caches_are_read_only_and_reused():
+    plan = plan_for(64, 1)
+    assert plan is plan_for(64, 1)
+    assert not plan.xs.flags.writeable
+    assert not plan.zh_inv.flags.writeable
+    assert not plan.transition_div_inv.flags.writeable
+    inv = plan.boundary_inverse(0)
+    assert inv is plan.boundary_inverse(0)
+    assert not inv.flags.writeable
+    assert plan.workspace_bytes() >= 0
+
+
+def test_service_executor_digests_are_deterministic():
+    from repro.serialize import read_result_envelope, stark_proof_from_bytes
+    from repro.service.executor import DEFAULT_CONFIGS, execute
+
+    spec = {"workload": "Fibonacci", "kind": "stark", "scale": 6}
+    payloads = []
+    for _ in range(2):
+        kind, _workload, payload = read_result_envelope(execute(spec)["envelope"])
+        assert kind == "stark-proof"
+        payloads.append(payload)
+    assert payloads[0] == payloads[1]
+    if DEFAULT_CONFIGS["stark"] == dict(
+        rate_bits=1, cap_height=1, num_queries=10, proof_of_work_bits=3, final_poly_len=4
+    ):
+        proof = stark_proof_from_bytes(payloads[0])
+        assert stark_proof_digest(proof) == GOLDEN_DIGEST
