@@ -1,24 +1,31 @@
 """Prover hot-path benchmark (BENCH_prover.json).
 
 Measures the zero-copy data plane against the allocating implementation
-it replaced, at two levels:
+it replaced, at three levels:
 
 * **kernels** -- the paper's three dominant primitives (Section 5):
   Goldilocks mul/add, the batched NTT, the fused Poseidon permutation
   and a Merkle level sweep;
-* **end-to-end** -- full STARK proofs of the Fibonacci and MVM AETs at
+* **end-to-end STARK** -- full proofs of the Fibonacci and MVM AETs at
   scales 6-10 (``FriConfig(rate_bits=1, cap_height=1, num_queries=10,
   proof_of_work_bits=3, final_poly_len=4)``), with the per-shape
   :class:`repro.stark.ProverPlan` warm, the way the proving service
-  runs them.
+  runs them;
+* **end-to-end Plonk** -- service-path Plonk jobs at scales 6-8 with the
+  executor's default config.  The baseline is what a job cost before the
+  unified pipeline: ``setup()`` + ``prove()`` per job with no plan and
+  no workspace threading into FRI.  "Now" is the cached-setup / warm
+  :class:`repro.plonk.PlonkPlan` prove, plus a per-stage span breakdown
+  from :mod:`repro.tracing`.
 
 Every end-to-end row also checks that the proof digest and the
-operation counters are *unchanged* from the pre-data-plane baseline:
+operation counters are *unchanged* from the pre-refactor baseline:
 the optimisation is only allowed to change how the work is executed,
 never what is proved.
 
-Baselines below were recorded at commit f1e91fc (the PR-1 tree) on the
-same container this benchmark runs in.
+STARK baselines were recorded at commit f1e91fc (the PR-1 tree), Plonk
+baselines at commit 56d0287 (the PR-2 tree), both on the same container
+this benchmark runs in.
 
 Usage: PYTHONPATH=src python benchmarks/bench_prover_hotpath.py
 """
@@ -32,13 +39,14 @@ import time
 
 import numpy as np
 
-from repro import metrics
+from repro import metrics, tracing
 from repro.field import gl64, goldilocks as gl
 from repro.fri.config import FriConfig
 from repro.hashing import optimized
 from repro.merkle import MerkleTree
 from repro.ntt import ntt
-from repro.serialize import stark_proof_digest
+from repro.plonk import plan_for as plonk_plan_for, prove as plonk_prove, setup
+from repro.serialize import plonk_proof_digest, stark_proof_digest
 from repro.stark import plan_for, prove
 from repro.workloads import fibonacci, mvm
 
@@ -71,6 +79,24 @@ BASELINE_PROVE = {
     "MVM/8": {"prove_s": 0.5130, "digest": "b4ebc0c110d81e76dae475e10b0056b0ac7ba2b8c0f3dd936638fe9a45916292", "counters": {"ntt_butterflies": 19224, "sponge_permutations": 1512, "ntt_transforms": 12}},
     "MVM/9": {"prove_s": 0.8039, "digest": "a6a6f68429044b1dcfa320c104f8ec01af6cc20024274de6bf665e9fc1333774", "counters": {"ntt_butterflies": 42776, "sponge_permutations": 3046, "ntt_transforms": 12}},
     "MVM/10": {"prove_s": 1.4269, "digest": "16ce961be32980f7e5accaec9010fdc8b43375e2ffee44f9a91244ef0e1d989d", "counters": {"ntt_butterflies": 94232, "sponge_permutations": 6116, "ntt_transforms": 12}},
+}
+
+#: Executor-default Plonk parameters (see ``service.executor.DEFAULT_CONFIGS``).
+PLONK_CONFIG = FriConfig(
+    rate_bits=3, cap_height=1, num_queries=8, proof_of_work_bits=4, final_poly_len=4
+)
+PLONK_SCALES = [6, 7, 8]
+
+#: Pre-refactor Plonk service-job costs, digests and counters, commit
+#: 56d0287.  ``e2e_s`` is setup + prove (what every job paid before the
+#: executor cached ``CircuitData``); ``prove_s`` is prove alone.
+BASELINE_PLONK = {
+    "Fibonacci/6": {"e2e_s": 0.2008, "prove_s": 0.1605, "digest": "96ef6472f512d48f2a64904b7d528ea83ba62f1ca3c5b5fa0eb49a54b65b5a17", "counters": {"sponge_permutations": 598, "challenger_permutations": 33, "ntt_butterflies": 7040, "ntt_transforms": 22}},
+    "Fibonacci/7": {"e2e_s": 0.1931, "prove_s": 0.1565, "digest": "450442b6a1164834e272503f451395bd42b4ddc5725e3dd75e282d7352d5adef", "counters": {"sponge_permutations": 598, "challenger_permutations": 28, "ntt_butterflies": 7040, "ntt_transforms": 22}},
+    "Fibonacci/8": {"e2e_s": 0.2039, "prove_s": 0.1641, "digest": "c6d690a57b36f4be65dac309002fb9bce4632ee1333f95b7ad2dd5ccbd5aa943", "counters": {"sponge_permutations": 598, "challenger_permutations": 47, "ntt_butterflies": 7040, "ntt_transforms": 22}},
+    "MVM/6": {"e2e_s": 0.6825, "prove_s": 0.5223, "digest": "8bfee2a3eebb0e8bc42f60835c4fb4da548559982d7323e35380f036b27c8862", "counters": {"sponge_permutations": 5072, "challenger_permutations": 19, "ntt_butterflies": 79200, "ntt_transforms": 22}},
+    "MVM/7": {"e2e_s": 0.6747, "prove_s": 0.5242, "digest": "82593a41f29a034fbefbd6e005025e132180844b0a8e19029e44ebcd650f85fa", "counters": {"sponge_permutations": 5072, "challenger_permutations": 32, "ntt_butterflies": 79200, "ntt_transforms": 22}},
+    "MVM/8": {"e2e_s": 1.2521, "prove_s": 0.9227, "digest": "852cfe0977b21a20c5efdedec9585adf38b1c9579904a8ce9175f307bbda0303", "counters": {"sponge_permutations": 10190, "challenger_permutations": 23, "ntt_butterflies": 174240, "ntt_transforms": 22}},
 }
 
 
@@ -155,29 +181,106 @@ def bench_prove() -> dict:
     return rows
 
 
+def bench_plonk() -> dict:
+    """Service-path Plonk jobs: cached setup + warm plan vs per-job setup."""
+    rows = {}
+    for name, spec in WORKLOADS:
+        for scale in PLONK_SCALES:
+            circuit, inputs, _ = spec.build_circuit(scale)
+            data = setup(circuit, PLONK_CONFIG)  # cached once, as in the executor
+            plan = plonk_plan_for(circuit.n, PLONK_CONFIG.rate_bits)
+            plonk_prove(data, inputs, plan=plan)  # warm
+            best, digest, counters = float("inf"), None, None
+            for _ in range(3):
+                with metrics.counting() as c:
+                    t0 = time.perf_counter()
+                    proof = plonk_prove(data, inputs, plan=plan)
+                    dt = time.perf_counter() - t0
+                best = min(best, dt)
+                digest = plonk_proof_digest(proof)
+                counters = c.as_dict()
+            key = f"{name}/{scale}"
+            base = BASELINE_PLONK[key]
+            digest_ok = digest == base["digest"]
+            counters_ok = all(counters.get(k) == v for k, v in base["counters"].items())
+            rows[key] = {
+                "baseline_e2e_s": base["e2e_s"],
+                "baseline_prove_s": base["prove_s"],
+                "now_s": round(best, 4),
+                "e2e_speedup": round(base["e2e_s"] / best, 2),
+                "prove_speedup": round(base["prove_s"] / best, 2),
+                "digest": digest,
+                "digest_unchanged": digest_ok,
+                "counters": {k: counters.get(k) for k in base["counters"]},
+                "counters_unchanged": counters_ok,
+            }
+            status = "ok" if digest_ok and counters_ok else "MISMATCH"
+            print(
+                f"{key:14s} {base['e2e_s']:7.4f} s -> {best:7.4f} s  "
+                f"(e2e x{base['e2e_s']/best:.2f}, prove x{base['prove_s']/best:.2f})"
+                f"  [{status}]"
+            )
+    return rows
+
+
+def bench_plonk_stages() -> dict:
+    """Per-stage wall-time breakdown for the largest Plonk config (MVM/8)."""
+    circuit, inputs, _ = mvm.SPEC.build_circuit(8)
+    data = setup(circuit, PLONK_CONFIG)
+    plan = plonk_plan_for(circuit.n, PLONK_CONFIG.rate_bits)
+    plonk_prove(data, inputs, plan=plan)  # warm
+    with tracing.trace() as session:
+        plonk_prove(data, inputs, plan=plan)
+    stages = {k: round(v, 4) for k, v in session.stage_seconds().items()}
+    total = stages.get("prove:plonk", 0.0) or 1.0
+    for name, secs in stages.items():
+        print(f"  {name:18s} {secs*1e3:8.1f} ms  ({secs/total*100:5.1f}%)")
+    return stages
+
+
 def main() -> dict:
     print("== kernels ==")
     kernels = bench_kernels()
     print("== end-to-end STARK prove ==")
     proofs = bench_prove()
+    print("== end-to-end Plonk prove (service path) ==")
+    plonk_rows = bench_plonk()
+    print("== Plonk stage breakdown (MVM scale 8) ==")
+    plonk_stages = bench_plonk_stages()
     target = proofs["Fibonacci/8"]
+    plonk_target = plonk_rows["MVM/8"]
     report = {
         "baseline_commit": "f1e91fc",
+        "plonk_baseline_commit": "56d0287",
         "config": {
             "rate_bits": 1, "cap_height": 1, "num_queries": 10,
             "proof_of_work_bits": 3, "final_poly_len": 4,
+        },
+        "plonk_config": {
+            "rate_bits": 3, "cap_height": 1, "num_queries": 8,
+            "proof_of_work_bits": 4, "final_poly_len": 4,
         },
         "platform": platform.platform(),
         "python": platform.python_version(),
         "numpy": np.__version__,
         "kernels": kernels,
         "prove": proofs,
+        "plonk": plonk_rows,
+        "plonk_stage_seconds_mvm_scale8": plonk_stages,
         "headline_speedup_fibonacci_scale8": target["speedup"],
-        "all_digests_unchanged": all(r["digest_unchanged"] for r in proofs.values()),
-        "all_counters_unchanged": all(r["counters_unchanged"] for r in proofs.values()),
+        "headline_plonk_e2e_speedup_mvm_scale8": plonk_target["e2e_speedup"],
+        "all_digests_unchanged": all(
+            r["digest_unchanged"]
+            for r in [*proofs.values(), *plonk_rows.values()]
+        ),
+        "all_counters_unchanged": all(
+            r["counters_unchanged"]
+            for r in [*proofs.values(), *plonk_rows.values()]
+        ),
     }
     OUT.write_text(json.dumps(report, indent=1) + "\n")
-    print(f"\nheadline (Fibonacci scale 8): x{target['speedup']:.2f}")
+    print(f"\nheadline (STARK Fibonacci scale 8): x{target['speedup']:.2f}")
+    print(f"headline (Plonk MVM scale 8 e2e): x{plonk_target['e2e_speedup']:.2f}")
     print(f"wrote {OUT}")
     return report
 
@@ -186,3 +289,6 @@ if __name__ == "__main__":
     report = main()
     assert report["all_digests_unchanged"], "proof digests drifted"
     assert report["all_counters_unchanged"], "operation counters drifted"
+    assert report["headline_plonk_e2e_speedup_mvm_scale8"] >= 1.3, (
+        "Plonk service-path speedup regressed below 1.3x"
+    )

@@ -1,11 +1,12 @@
 """Perf-counter regression gate (CI).
 
-Runs one tiny Fibonacci STARK and asserts the operation counters --
-NTT butterflies and Poseidon permutations -- match golden values
-recorded on the pre-data-plane prover.  Kernel rewrites may change
-*how* the work is executed (in place, fused, batched) but never *how
-much* work the protocol does; a drift here means a rewrite silently
-changed the algorithm, not just the implementation.
+Runs one tiny Fibonacci STARK and one tiny Fibonacci Plonk proof and
+asserts the operation counters -- NTT butterflies and Poseidon
+permutations -- match golden values recorded before the respective
+optimisation passes.  Kernel and pipeline rewrites may change *how* the
+work is executed (in place, fused, batched, shared sequencing) but
+never *how much* work the protocol does; a drift here means a rewrite
+silently changed the algorithm, not just the implementation.
 
 Usage: PYTHONPATH=src python benchmarks/check_perf_counters.py
 """
@@ -16,7 +17,8 @@ import sys
 
 from repro import metrics
 from repro.fri.config import FriConfig
-from repro.serialize import stark_proof_digest
+from repro.plonk import prove as plonk_prove, setup
+from repro.serialize import plonk_proof_digest, stark_proof_digest
 from repro.stark import prove
 from repro.workloads import fibonacci
 
@@ -33,26 +35,61 @@ GOLDEN = {
 }
 GOLDEN_DIGEST = "111c298a5fab5dd1368bbf070f5c9379ad28c1e1f2a671244cdeeb7d12d2dd22"
 
+#: Executor-default Plonk parameters (see ``service.executor.DEFAULT_CONFIGS``).
+PLONK_CONFIG = FriConfig(
+    rate_bits=3, cap_height=1, num_queries=8, proof_of_work_bits=4, final_poly_len=4
+)
+
+#: Recorded at commit 56d0287 (pre-unified-pipeline prover), Fibonacci
+#: scale 6, measured around ``prove`` only (setup excluded).
+PLONK_GOLDEN = {
+    "ntt_butterflies": 7040,
+    "sponge_permutations": 598,
+    "challenger_permutations": 33,
+    "ntt_transforms": 22,
+}
+PLONK_GOLDEN_DIGEST = (
+    "96ef6472f512d48f2a64904b7d528ea83ba62f1ca3c5b5fa0eb49a54b65b5a17"
+)
+
+
+def _check(label: str, got: dict, golden: dict, digest: str, want_digest: str):
+    failures = []
+    for name, want in golden.items():
+        if got.get(name) != want:
+            failures.append(f"{label} {name}: expected {want}, got {got.get(name)}")
+    if digest != want_digest:
+        failures.append(f"{label} proof digest drifted: {digest}")
+    return failures
+
 
 def main() -> int:
+    failures = []
+
     air, trace, publics = fibonacci.SPEC.build_air(SCALE)
     with metrics.counting() as counts:
         proof = prove(air, trace, publics, CONFIG)
-    got = counts.as_dict()
-    failures = []
-    for name, want in GOLDEN.items():
-        if got.get(name) != want:
-            failures.append(f"{name}: expected {want}, got {got.get(name)}")
-    digest = stark_proof_digest(proof)
-    if digest != GOLDEN_DIGEST:
-        failures.append(f"proof digest drifted: {digest}")
+    failures += _check(
+        "stark", counts.as_dict(), GOLDEN, stark_proof_digest(proof), GOLDEN_DIGEST
+    )
+
+    circuit, inputs, _ = fibonacci.SPEC.build_circuit(SCALE)
+    data = setup(circuit, PLONK_CONFIG)
+    with metrics.counting() as counts:
+        pproof = plonk_prove(data, inputs)
+    failures += _check(
+        "plonk", counts.as_dict(), PLONK_GOLDEN,
+        plonk_proof_digest(pproof), PLONK_GOLDEN_DIGEST,
+    )
+
     if failures:
         print("PERF-COUNTER REGRESSION:")
         for line in failures:
             print(f"  {line}")
         return 1
-    print(f"perf counters OK: {', '.join(f'{k}={v}' for k, v in GOLDEN.items())}")
-    print(f"proof digest OK: {digest}")
+    print(f"stark counters OK: {', '.join(f'{k}={v}' for k, v in GOLDEN.items())}")
+    print(f"plonk counters OK: {', '.join(f'{k}={v}' for k, v in PLONK_GOLDEN.items())}")
+    print("proof digests OK (stark + plonk)")
     return 0
 
 

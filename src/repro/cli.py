@@ -95,11 +95,17 @@ def cmd_schedule(args) -> int:
     sched = lower(trace_plonky2(spec.plonk), hw)
     print(sched.format(limit=args.limit))
     print(f"memory-bound fraction: {sched.bound_fraction() * 100:.0f}%")
+    if args.trace_out:
+        from .sim.tracing import write_trace
+
+        write_trace(sched, args.trace_out)
+        print(f"wrote schedule trace to {args.trace_out}")
     return 0
 
 
 def cmd_prove(args) -> int:
     """Run a functional scaled-down proof end to end."""
+    from . import tracing
     from .fri import FriConfig
     from .plonk import prove, setup, verify
 
@@ -111,13 +117,20 @@ def cmd_prove(args) -> int:
                        proof_of_work_bits=8, final_poly_len=4)
     data = setup(circuit, config)
     t0 = time.time()
-    proof = prove(data, inputs)
+    with tracing.trace() as session:
+        proof = prove(data, inputs)
     t_prove = time.time() - t0
     t0 = time.time()
     verify(data.verifier_data, proof)
     t_verify = time.time() - t0
     print(f"proved in {t_prove:.2f}s, verified in {t_verify:.2f}s, "
           f"proof {proof.size_bytes()} bytes, public inputs {proof.public_inputs}")
+    if args.trace_out:
+        tracing.write_spans_trace(
+            session.spans, args.trace_out,
+            workload=spec.name, scale=args.scale,
+        )
+        print(f"wrote prover stage trace to {args.trace_out}")
     return 0
 
 
@@ -243,12 +256,16 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("schedule", help="print the lowered execution schedule")
     p.add_argument("--workload", default="Factorial", metavar="NAME")
     p.add_argument("--limit", type=int, default=20, help="rows to print")
+    p.add_argument("--trace-out", default=None, metavar="PATH",
+                   help="write the schedule as Chrome Trace Event JSON")
     _add_hw_flags(p)
 
     p = sub.add_parser("prove", help="run a functional proof end to end")
     p.add_argument("--workload", default="Fibonacci", metavar="NAME")
     p.add_argument("--scale", type=int, default=20, help="workload size knob")
     p.add_argument("--queries", type=int, default=12, help="FRI query rounds")
+    p.add_argument("--trace-out", default=None, metavar="PATH",
+                   help="write per-stage prover spans as Chrome Trace Event JSON")
 
     p = sub.add_parser("chip", help="print the area/power budget")
     _add_hw_flags(p)

@@ -22,6 +22,7 @@ from typing import List, Sequence, Tuple
 
 import numpy as np
 
+from .. import tracing
 from ..field import extension as fext, gl64, goldilocks as gl
 from ..hashing import Challenger
 from ..merkle import MerkleTree
@@ -264,7 +265,8 @@ def fri_prove(
     challenger.observe_elements(openings.flat_values())
     alpha = challenger.get_ext_challenge()
 
-    values = combine_openings(batches, openings, alpha)
+    with tracing.span("fri:combine", category="fri"):
+        values = combine_openings(batches, openings, alpha)
     n = batches[0].degree_n
     n_lde = values.shape[0]
     log_lde = n_lde.bit_length() - 1
@@ -275,44 +277,47 @@ def fri_prove(
     layer_values: List[np.ndarray] = [values]
     shift = gl.coset_shift()
     cur_log = log_lde
-    for i in range(num_rounds):
-        tree = _layer_tree(layer_values[-1], config.cap_height, ws, f"fri{i}")
-        trees.append(tree)
-        challenger.observe_cap(tree.cap)
-        beta = challenger.get_ext_challenge()
-        folded = fold_values(layer_values[-1], beta, shift, cur_log)
-        layer_values.append(folded)
-        shift = gl.mul(shift, shift)
-        cur_log -= 1
+    with tracing.span("fri:fold", category="fri", rounds=num_rounds):
+        for i in range(num_rounds):
+            tree = _layer_tree(layer_values[-1], config.cap_height, ws, f"fri{i}")
+            trees.append(tree)
+            challenger.observe_cap(tree.cap)
+            beta = challenger.get_ext_challenge()
+            folded = fold_values(layer_values[-1], beta, shift, cur_log)
+            layer_values.append(folded)
+            shift = gl.mul(shift, shift)
+            cur_log -= 1
 
-    # Final polynomial (coefficients over the remaining coset).
-    final_values = layer_values[-1]
-    final_coeffs = coset_intt_ext(final_values, shift)
-    final_len = max(1, n >> num_rounds)
-    final_poly = np.ascontiguousarray(final_coeffs[:final_len])
-    challenger.observe_elements(final_poly)
+        # Final polynomial (coefficients over the remaining coset).
+        final_values = layer_values[-1]
+        final_coeffs = coset_intt_ext(final_values, shift)
+        final_len = max(1, n >> num_rounds)
+        final_poly = np.ascontiguousarray(final_coeffs[:final_len])
+        challenger.observe_elements(final_poly)
 
     # Grinding.
-    pow_witness = grind(challenger, config.proof_of_work_bits)
-    challenger.observe_element(pow_witness)
+    with tracing.span("fri:grind", category="fri", bits=config.proof_of_work_bits):
+        pow_witness = grind(challenger, config.proof_of_work_bits)
+        challenger.observe_element(pow_witness)
 
     # Query phase.
-    indices = challenger.get_indices(config.num_queries, n_lde)
-    query_rounds = []
-    for idx in indices:
-        initial = FriInitialOpening(
-            leaves=[b.values[idx].copy() for b in batches],
-            proofs=[b.tree.prove(idx) for b in batches],
-        )
-        layers = []
-        cur = idx
-        for tree, vals in zip(trees, layer_values[:-1]):
-            half = vals.shape[0] // 2
-            pair = cur % half
-            leaf = np.concatenate([vals[pair], vals[pair + half]])
-            layers.append(FriLayerOpening(pair_leaf=leaf, proof=tree.prove(pair)))
-            cur = pair
-        query_rounds.append(FriQueryRound(index=idx, initial=initial, layers=layers))
+    with tracing.span("fri:query", category="fri", queries=config.num_queries):
+        indices = challenger.get_indices(config.num_queries, n_lde)
+        query_rounds = []
+        for idx in indices:
+            initial = FriInitialOpening(
+                leaves=[b.values[idx].copy() for b in batches],
+                proofs=[b.tree.prove(idx) for b in batches],
+            )
+            layers = []
+            cur = idx
+            for tree, vals in zip(trees, layer_values[:-1]):
+                half = vals.shape[0] // 2
+                pair = cur % half
+                leaf = np.concatenate([vals[pair], vals[pair + half]])
+                layers.append(FriLayerOpening(pair_leaf=leaf, proof=tree.prove(pair)))
+                cur = pair
+            query_rounds.append(FriQueryRound(index=idx, initial=initial, layers=layers))
 
     return FriProof(
         commit_caps=[t.cap.copy() for t in trees],

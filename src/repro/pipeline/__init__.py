@@ -1,0 +1,17 @@
+"""Unified proof pipeline: the protocol-agnostic commit/open flow.
+
+Every FRI-based protocol in this repository -- STARK, Plonk, and
+whatever lands next (recursion wrappers, sumcheck hybrids) -- runs the
+same backbone: batch-commit polynomials, interact with the Fiat-Shamir
+challenger, interpolate and commit a quotient, then open everything at
+the evaluation points with one batch FRI proof.  UniZK's thesis is that
+one substrate serves all of these kernels; :class:`CommitmentPipeline`
+is that substrate at the software layer.  The per-protocol provers
+(:mod:`repro.stark.prover`, :mod:`repro.plonk.prover`) are thin stage
+definitions on top of it, which is also what gives every protocol
+stage-level tracing for free (:mod:`repro.tracing`).
+"""
+
+from .commitment import CommitmentPipeline
+
+__all__ = ["CommitmentPipeline"]

@@ -1,0 +1,162 @@
+"""The shared commitment core of the unified proof pipeline.
+
+:class:`CommitmentPipeline` owns the whole protocol-agnostic flow of a
+FRI-based proof (paper Figure 1):
+
+1. **commit** -- :meth:`commit_values` / :meth:`commit_coeffs` build a
+   :class:`~repro.fri.prover.PolynomialBatch` (iNTT -> LDE -> Merkle)
+   and observe its cap on the transcript;
+2. **challenge** -- :meth:`challenge` / :meth:`ext_challenge` draw
+   Fiat-Shamir randomness from the shared duplex challenger;
+3. **quotient** -- :meth:`commit_quotient` interpolates a combined
+   extension-field evaluation back to coefficients (coset iNTT per
+   limb), slices it into degree-``n`` chunks, and commits them;
+4. **open** -- :meth:`open_and_prove` evaluates the requested openings
+   and runs the batch FRI opening proof over every batch committed so
+   far.
+
+The pipeline threads one :class:`~repro.field.gl64.Workspace` arena
+(from a per-shape prover plan) through every commitment and the FRI
+call -- the zero-copy data plane -- and wraps each stage in a
+:func:`repro.tracing.span`, so any proof that runs through it is
+observable per stage without protocol-specific instrumentation.
+
+Batches are opened by ``(batch_index, poly_index)`` pairs; the batch
+index is simply the order of :meth:`add_batch`/``commit_*`` calls, so
+protocols control their layout by call order (Plonk registers its
+preprocessed setup batch first, then wires, Z, quotient).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Tuple
+
+import numpy as np
+
+from .. import tracing
+from ..field import gl64
+from ..fri import FriConfig, FriOpenings, FriProof, PolynomialBatch, fri_prove, open_batches
+from ..hashing import Challenger
+from ..ntt import coset_intt
+
+
+class CommitmentPipeline:
+    """One proof's commit -> challenge -> quotient -> open -> FRI flow."""
+
+    def __init__(
+        self,
+        config: FriConfig,
+        challenger: Challenger | None = None,
+        ws: gl64.Workspace | None = None,
+    ) -> None:
+        self.config = config
+        self.challenger = challenger if challenger is not None else Challenger()
+        self.ws = ws
+        #: Batches in commitment order == FRI opening batch indices.
+        self.batches: List[PolynomialBatch] = []
+
+    # -- transcript interaction ------------------------------------------
+
+    def observe_publics(self, values: Iterable[int] | np.ndarray) -> None:
+        """Bind public inputs into the transcript."""
+        self.challenger.observe_elements(np.asarray(list(values), dtype=np.uint64))
+
+    def observe_cap(self, cap: np.ndarray) -> None:
+        """Bind a Merkle cap into the transcript."""
+        self.challenger.observe_cap(cap)
+
+    def challenge(self) -> int:
+        """Draw one base-field Fiat-Shamir challenge."""
+        return self.challenger.get_challenge()
+
+    def ext_challenge(self) -> np.ndarray:
+        """Draw one extension-field Fiat-Shamir challenge."""
+        return self.challenger.get_ext_challenge()
+
+    # -- commitments -----------------------------------------------------
+
+    def add_batch(
+        self, batch: PolynomialBatch, observe: bool = True
+    ) -> PolynomialBatch:
+        """Register a pre-built batch (e.g. a setup-time commitment).
+
+        The batch joins the opening/FRI index space; with ``observe``
+        its cap is bound into the transcript now.
+        """
+        self.batches.append(batch)
+        if observe:
+            self.challenger.observe_cap(batch.cap)
+        return batch
+
+    def commit_values(
+        self, rows: np.ndarray, label: str, observe: bool = True
+    ) -> PolynomialBatch:
+        """Commit polynomials given by subgroup evaluations (rows)."""
+        with tracing.span(f"commit:{label}", category="commit"):
+            batch = PolynomialBatch.from_values(
+                rows,
+                self.config.rate_bits,
+                self.config.cap_height,
+                ws=self.ws,
+                slot=label,
+            )
+        return self.add_batch(batch, observe=observe)
+
+    def commit_coeffs(
+        self, rows: np.ndarray, label: str, observe: bool = True
+    ) -> PolynomialBatch:
+        """Commit polynomials given by coefficient rows."""
+        with tracing.span(f"commit:{label}", category="commit"):
+            batch = PolynomialBatch.from_coeffs(
+                rows,
+                self.config.rate_bits,
+                self.config.cap_height,
+                ws=self.ws,
+                slot=label,
+            )
+        return self.add_batch(batch, observe=observe)
+
+    def commit_quotient(
+        self,
+        ext_values: np.ndarray,
+        n: int,
+        chunks: int,
+        label: str = "quotient",
+        observe: bool = True,
+    ) -> PolynomialBatch:
+        """Interpolate and commit a quotient evaluated on the LDE coset.
+
+        ``ext_values`` is the (N_lde, 2) extension-field evaluation of
+        the (already divisor-divided) constraint blend; each limb is
+        coset-iNTT'd and split into ``chunks`` degree-``n`` coefficient
+        chunks, giving a ``2 * chunks``-polynomial batch -- the quotient
+        layout both STARK and Plonk use.
+        """
+        with tracing.span("quotient:intt", category="quotient"):
+            chunk_rows = []
+            for limb in range(2):
+                coeffs = coset_intt(ext_values[:, limb], ws=self.ws)
+                for k in range(chunks):
+                    chunk_rows.append(coeffs[k * n : (k + 1) * n])
+            stacked = np.stack(chunk_rows)
+        return self.commit_coeffs(stacked, label, observe=observe)
+
+    # -- openings + FRI --------------------------------------------------
+
+    def open_and_prove(
+        self,
+        points: Sequence[np.ndarray],
+        columns: Sequence[Sequence[Tuple[int, int]]],
+    ) -> Tuple[FriOpenings, FriProof]:
+        """Open the committed batches and produce the FRI proof.
+
+        ``columns[k]`` lists the ``(batch_index, poly_index)`` pairs
+        opened at ``points[k]``; batch indices are commitment order.
+        """
+        with tracing.span("open", category="open"):
+            openings = open_batches(self.batches, points, columns)
+        with tracing.span("fri", category="fri"):
+            proof = fri_prove(
+                self.batches, openings, self.challenger, self.config, ws=self.ws
+            )
+        return openings, proof

@@ -11,6 +11,7 @@ from .permutation import (
     quotient_chunk_products,
     sigma_values,
 )
+from .plan import PlonkPlan, plan_for
 from .proof import CircuitData, PlonkProof, VerifierData
 from .prover import prove, setup
 from .verifier import PlonkError, verify
@@ -25,6 +26,8 @@ __all__ = [
     "CircuitData",
     "VerifierData",
     "PlonkProof",
+    "PlonkPlan",
+    "plan_for",
     "setup",
     "prove",
     "verify",

@@ -9,6 +9,14 @@ Pipeline -- each stage is one of the kernels UniZK accelerates:
 3. ``alpha`` + quotient construction: vanishing-divided constraint blend
    evaluated on the LDE coset (element-wise polynomial ops);
 4. ``zeta`` + batch FRI opening proof.
+
+The commit / challenge / quotient / open sequencing itself lives in
+:class:`repro.pipeline.CommitmentPipeline` (shared with the STARK
+prover); this module only defines the Plonk-specific stages: witness
+generation, the permutation accumulator, and the gate/copy constraint
+blend.  Per-shape tables and the workspace arena come from a cached
+:class:`~repro.plonk.plan.PlonkPlan`, so repeated proofs of one
+circuit shape -- the service path -- pay no per-proof precompute.
 """
 
 from __future__ import annotations
@@ -17,12 +25,15 @@ from typing import Dict
 
 import numpy as np
 
+from .. import tracing
 from ..field import extension as fext, gl64, goldilocks as gl
-from ..fri import FriConfig, FriOpenings, PolynomialBatch, fri_prove, open_batches
+from ..fri import FriConfig, PolynomialBatch
 from ..hashing import Challenger
-from ..ntt import coset_intt, lde
+from ..ntt import lde
+from ..pipeline import CommitmentPipeline
 from .circuit import Circuit
-from .permutation import compute_z, coset_representatives, id_values, sigma_values
+from .permutation import compute_z, coset_representatives, sigma_values
+from .plan import PlonkPlan, plan_for
 from .proof import CircuitData, PlonkProof
 
 #: Quotient chunks per extension limb (degree bound 4n after division).
@@ -31,53 +42,27 @@ QUOTIENT_CHUNKS = 4
 
 def setup(circuit: Circuit, config: FriConfig) -> CircuitData:
     """Preprocess a circuit: commit selectors and sigma polynomials."""
-    pre_rows = np.concatenate([circuit.selectors, sigma_values(circuit)])
+    sigmas = sigma_values(circuit)
+    pre_rows = np.concatenate([circuit.selectors, sigmas])
     preprocessed = PolynomialBatch.from_values(
         pre_rows, config.rate_bits, config.cap_height
     )
-    return CircuitData(circuit=circuit, preprocessed=preprocessed, config=config)
-
-
-def _public_input_values(circuit: Circuit, witness: np.ndarray) -> list[int]:
-    wires = circuit.wire_values(witness)
-    return [int(wires[0, row]) for row in circuit.public_input_rows]
+    return CircuitData(
+        circuit=circuit, preprocessed=preprocessed, config=config, sigmas=sigmas
+    )
 
 
 def _pi_poly_on_lde(
-    circuit: Circuit, public_values: list[int], rate_bits: int
+    circuit: Circuit,
+    public_values: list[int],
+    rate_bits: int,
+    ws: gl64.Workspace | None = None,
 ) -> np.ndarray:
     """LDE values of the public-input polynomial ``-sum v_k L_rowk(x)``."""
     subgroup = np.zeros(circuit.n, dtype=np.uint64)
     for row, val in zip(circuit.public_input_rows, public_values):
         subgroup[row] = gl.neg(val)
-    return lde(subgroup, rate_bits)
-
-
-def _coset_vanishing(n: int, rate_bits: int) -> tuple[np.ndarray, np.ndarray]:
-    """``Z_H`` values and inverses on the LDE coset (period-``blowup``)."""
-    blowup = 1 << rate_bits
-    n_lde = n * blowup
-    g_pow_n = gl.pow_mod(gl.coset_shift(), n)
-    omega_lde = gl.primitive_root_of_unity(n_lde.bit_length() - 1)
-    # x^n on the coset cycles with period `blowup`.
-    cycle = gl64.mul(
-        gl64.powers(gl.pow_mod(omega_lde, n), blowup), np.uint64(g_pow_n)
-    )
-    zh_cycle = gl64.sub(cycle, np.uint64(1))
-    zh = np.tile(zh_cycle, n)
-    return zh, gl64.inv_fast(zh)
-
-
-def _lagrange_first_on_lde(n: int, rate_bits: int) -> np.ndarray:
-    """``L_1(x) = (x^n - 1) / (n (x - 1))`` on the LDE coset."""
-    n_lde = n << rate_bits
-    xs = gl64.mul(
-        gl64.powers(gl.primitive_root_of_unity(n_lde.bit_length() - 1), n_lde),
-        np.uint64(gl.coset_shift()),
-    )
-    zh, _ = _coset_vanishing(n, rate_bits)
-    denom = gl64.mul(gl64.sub(xs, np.uint64(1)), np.uint64(n))
-    return gl64.mul(zh, gl64.inv_fast(denom))
+    return lde(subgroup, rate_bits, ws=ws)
 
 
 #: Salt columns appended to the wires commitment when blinding.
@@ -89,6 +74,7 @@ def prove(
     inputs: Dict[int, int],
     challenger: Challenger | None = None,
     blinding_seed: int | None = None,
+    plan: PlonkPlan | None = None,
 ) -> PlonkProof:
     """Generate a Plonk proof for the given input assignment.
 
@@ -103,119 +89,115 @@ def prove(
     columns are the commitment-hiding half, and the verifier needs no
     changes because salts ride the leaves without entering any
     constraint.)  ``None`` keeps the prover deterministic.
+
+    ``plan`` carries the per-shape precomputed tables and workspace
+    arena; one is looked up (and cached thread-locally) when not
+    supplied.
     """
     circuit = data.circuit
     config = data.config
     n = circuit.n
     rate_bits = config.rate_bits
     challenger = challenger or Challenger()
+    if plan is None:
+        plan = plan_for(n, rate_bits)
+    elif plan.n != n or plan.rate_bits != rate_bits:
+        raise ValueError("plan shape does not match the circuit/config")
 
-    witness = circuit.generate_witness(inputs)
-    wires = circuit.wire_values(witness)  # (3, n)
-    public_values = _public_input_values(circuit, witness)
+    with tracing.span("prove:plonk", category="prove", n=n, rate_bits=rate_bits):
+        with tracing.span("witness", category="witness"):
+            witness = circuit.generate_witness(inputs)
+            wires = circuit.wire_values(witness)  # (3, n)
+            public_values = [int(wires[0, row]) for row in circuit.public_input_rows]
 
-    # Step 1: wires commitment (optionally salted for zero knowledge).
-    committed_wires = wires
-    if blinding_seed is not None:
-        salt_rng = np.random.default_rng(blinding_seed)
-        salts = gl64.random((ZK_SALT_COLUMNS, n), salt_rng)
-        committed_wires = np.concatenate([wires, salts])
-    wires_batch = PolynomialBatch.from_values(
-        committed_wires, rate_bits, config.cap_height
-    )
-    challenger.observe_cap(data.preprocessed.cap)
-    challenger.observe_elements(np.array(public_values, dtype=np.uint64))
-    challenger.observe_cap(wires_batch.cap)
+        pipe = CommitmentPipeline(config, challenger, ws=plan.ws)
+        pipe.add_batch(data.preprocessed)  # setup commitment joins the transcript
+        pipe.observe_publics(public_values)
 
-    # Step 2: permutation accumulator.
-    beta = challenger.get_challenge()
-    gamma = challenger.get_challenge()
-    ids = id_values(n)
-    sigmas = sigma_values(circuit)
-    z, _, _ = compute_z(wires, ids, sigmas, beta, gamma)
-    z_batch = PolynomialBatch.from_values(z, rate_bits, config.cap_height)
-    challenger.observe_cap(z_batch.cap)
+        # Step 1: wires commitment (optionally salted for zero knowledge).
+        committed_wires = wires
+        if blinding_seed is not None:
+            salt_rng = np.random.default_rng(blinding_seed)
+            salts = gl64.random((ZK_SALT_COLUMNS, n), salt_rng)
+            committed_wires = np.concatenate([wires, salts])
+        wires_batch = pipe.commit_values(committed_wires, "wires")
 
-    # Step 3: quotient polynomial on the LDE coset.
-    alpha = challenger.get_ext_challenge()
-    n_lde = n << rate_bits
-    blowup = 1 << rate_bits
-    xs = gl64.mul(
-        gl64.powers(gl.primitive_root_of_unity(n_lde.bit_length() - 1), n_lde),
-        np.uint64(gl.coset_shift()),
-    )
+        # Step 2: permutation accumulator.
+        beta = pipe.challenge()
+        gamma = pipe.challenge()
+        with tracing.span("permutation", category="permutation"):
+            sigmas = data.sigmas if data.sigmas is not None else sigma_values(circuit)
+            z, _, _ = compute_z(wires, plan.ids, sigmas, beta, gamma)
+        z_batch = pipe.commit_values(z, "z")
 
-    sel = data.preprocessed.values[:, 0:5].T  # (5, N_lde)
-    sig = data.preprocessed.values[:, 5:8].T  # (3, N_lde)
-    w = wires_batch.values.T  # (3, N_lde)
-    z_lde = z_batch.values[:, 0]
-    z_next = np.roll(z_lde, -blowup)
-    pi_lde = _pi_poly_on_lde(circuit, public_values, rate_bits)
+        # Step 3: quotient polynomial on the LDE coset.
+        alpha = pipe.ext_challenge()
+        with tracing.span("constraints", category="quotient"):
+            n_lde = n << rate_bits
+            blowup = 1 << rate_bits
+            xs = plan.xs
 
-    gate = gl64.add(
-        gl64.add(
-            gl64.add(gl64.mul(sel[0], w[0]), gl64.mul(sel[1], w[1])),
-            gl64.mul(sel[2], gl64.mul(w[0], w[1])),
-        ),
-        gl64.add(gl64.add(gl64.mul(sel[3], w[2]), sel[4]), pi_lde),
-    )
+            sel = data.preprocessed.values[:, 0:5].T  # (5, N_lde)
+            sig = data.preprocessed.values[:, 5:8].T  # (3, N_lde)
+            w = wires_batch.values.T  # (3, N_lde)
+            z_lde = z_batch.values[:, 0]
+            z_next = np.roll(z_lde, -blowup)
+            pi_lde = _pi_poly_on_lde(circuit, public_values, rate_bits, ws=plan.ws)
 
-    ks = [np.uint64(k) for k in coset_representatives()]
-    beta_u = np.uint64(beta)
-    gamma_u = np.uint64(gamma)
-    f_vals = gl64.ones(n_lde)
-    g_vals = gl64.ones(n_lde)
-    for j in range(3):
-        f_vals = gl64.mul(
-            f_vals,
-            gl64.add(gl64.add(w[j], gl64.mul(xs, gl64.mul(ks[j], beta_u))), gamma_u),
+            gate = gl64.add(
+                gl64.add(
+                    gl64.add(gl64.mul(sel[0], w[0]), gl64.mul(sel[1], w[1])),
+                    gl64.mul(sel[2], gl64.mul(w[0], w[1])),
+                ),
+                gl64.add(gl64.add(gl64.mul(sel[3], w[2]), sel[4]), pi_lde),
+            )
+
+            ks = [np.uint64(k) for k in coset_representatives()]
+            beta_u = np.uint64(beta)
+            gamma_u = np.uint64(gamma)
+            f_vals = gl64.ones(n_lde)
+            g_vals = gl64.ones(n_lde)
+            for j in range(3):
+                f_vals = gl64.mul(
+                    f_vals,
+                    gl64.add(
+                        gl64.add(w[j], gl64.mul(xs, gl64.mul(ks[j], beta_u))), gamma_u
+                    ),
+                )
+                g_vals = gl64.mul(
+                    g_vals, gl64.add(gl64.add(w[j], gl64.mul(sig[j], beta_u)), gamma_u)
+                )
+            copy1 = gl64.sub(gl64.mul(z_lde, f_vals), gl64.mul(z_next, g_vals))
+            copy2 = gl64.mul(plan.lagrange_first, gl64.sub(z_lde, np.uint64(1)))
+
+            alpha_sq = fext.mul(alpha, alpha)
+            combined = fext.from_base(gate)
+            combined = fext.add(
+                combined, fext.scalar_mul(np.broadcast_to(alpha, (n_lde, 2)), copy1)
+            )
+            combined = fext.add(
+                combined, fext.scalar_mul(np.broadcast_to(alpha_sq, (n_lde, 2)), copy2)
+            )
+
+            t_vals = fext.scalar_mul(combined, plan.zh_inv)  # (N_lde, 2)
+
+        quotient_batch = pipe.commit_quotient(t_vals, n, QUOTIENT_CHUNKS)
+
+        # Step 4: openings and FRI.
+        zeta = pipe.ext_challenge()
+        zeta_next = fext.scalar_mul(zeta, np.uint64(plan.omega))
+
+        columns_zeta = (
+            [(0, c) for c in range(8)]
+            + [(1, c) for c in range(3)]
+            + [(2, 0)]
+            + [(3, c) for c in range(2 * QUOTIENT_CHUNKS)]
         )
-        g_vals = gl64.mul(
-            g_vals, gl64.add(gl64.add(w[j], gl64.mul(sig[j], beta_u)), gamma_u)
+        columns_next = [(2, 0)]
+        openings, fri_proof = pipe.open_and_prove(
+            [zeta, zeta_next], [columns_zeta, columns_next]
         )
-    copy1 = gl64.sub(gl64.mul(z_lde, f_vals), gl64.mul(z_next, g_vals))
-    l1 = _lagrange_first_on_lde(n, rate_bits)
-    copy2 = gl64.mul(l1, gl64.sub(z_lde, np.uint64(1)))
 
-    alpha_sq = fext.mul(alpha, alpha)
-    combined = fext.from_base(gate)
-    combined = fext.add(
-        combined, fext.scalar_mul(np.broadcast_to(alpha, (n_lde, 2)), copy1)
-    )
-    combined = fext.add(
-        combined, fext.scalar_mul(np.broadcast_to(alpha_sq, (n_lde, 2)), copy2)
-    )
-
-    _, zh_inv = _coset_vanishing(n, rate_bits)
-    t_vals = fext.scalar_mul(combined, zh_inv)  # (N_lde, 2)
-
-    # Split into 2 limbs x QUOTIENT_CHUNKS degree-n chunks.
-    chunk_rows = []
-    for limb in range(2):
-        coeffs = coset_intt(t_vals[:, limb])
-        for k in range(QUOTIENT_CHUNKS):
-            chunk_rows.append(coeffs[k * n : (k + 1) * n])
-    quotient_batch = PolynomialBatch.from_coeffs(
-        np.stack(chunk_rows), rate_bits, config.cap_height
-    )
-    challenger.observe_cap(quotient_batch.cap)
-
-    # Step 4: openings and FRI.
-    zeta = challenger.get_ext_challenge()
-    omega = gl.primitive_root_of_unity(circuit.log_n)
-    zeta_next = fext.scalar_mul(zeta, np.uint64(omega))
-
-    batches = [data.preprocessed, wires_batch, z_batch, quotient_batch]
-    columns_zeta = (
-        [(0, c) for c in range(8)]
-        + [(1, c) for c in range(3)]
-        + [(2, 0)]
-        + [(3, c) for c in range(2 * QUOTIENT_CHUNKS)]
-    )
-    columns_next = [(2, 0)]
-    openings = open_batches(batches, [zeta, zeta_next], [columns_zeta, columns_next])
-
-    fri_proof = fri_prove(batches, openings, challenger, config)
     return PlonkProof(
         wires_cap=wires_batch.cap.copy(),
         z_cap=z_batch.cap.copy(),

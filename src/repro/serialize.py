@@ -193,6 +193,13 @@ def plonk_proof_to_bytes(proof: PlonkProof) -> bytes:
     return w.getvalue()
 
 
+def plonk_proof_digest(proof: PlonkProof) -> str:
+    """Hex digest of the canonical serialized form (content address)."""
+    import hashlib
+
+    return hashlib.sha256(plonk_proof_to_bytes(proof)).hexdigest()
+
+
 def plonk_proof_from_bytes(data: bytes) -> PlonkProof:
     """Deserialize a Plonk proof."""
     r = ByteReader(data)

@@ -21,6 +21,7 @@ import os
 import time
 from typing import Any, Dict
 
+from .. import tracing
 from ..fri import FriConfig
 from ..metrics import counting
 from ..serialize import (
@@ -71,16 +72,49 @@ def validate_spec(spec: JobSpec, fault_injection: bool = False) -> None:
 
 
 def execute(spec_dict: Dict[str, Any]) -> Dict[str, Any]:
-    """Run one job spec; returns envelope bytes plus measured stats."""
+    """Run one job spec; returns envelope bytes plus measured stats.
+
+    Each job runs inside a :func:`repro.tracing.trace` session, so the
+    per-stage span tree (commit / quotient / open / FRI, with wall time
+    and counter deltas) rides back in the result dict alongside the
+    envelope and total counters.
+    """
     spec = JobSpec.from_dict(spec_dict)
     t0 = time.monotonic()
-    with counting() as c:
+    with counting() as c, tracing.trace() as session:
         envelope = _run(spec)
     return {
         "envelope": envelope,
         "counters": c.as_dict(),
         "wall_s": time.monotonic() - t0,
+        "spans": [s.as_dict() for s in session.spans],
     }
+
+
+#: Per-process cache of Plonk setup artifacts.  Workers serve many jobs
+#: of a few circuit shapes, and ``setup()`` (sigma computation + the
+#: preprocessed commitment) dominates small-proof latency, so caching
+#: :class:`CircuitData` per (workload, scale, config) turns repeat jobs
+#: into prove-only work.  ``FriConfig`` is frozen/hashable, so it keys
+#: directly.  Size-capped FIFO: shapes are few, so eviction is rare.
+_PLONK_DATA_CAP = 16
+_PLONK_DATA: Dict[Any, Any] = {}
+
+
+def _plonk_data_for(workload, spec: JobSpec, config: FriConfig):
+    """Cached ``(CircuitData, inputs)`` for a plonk spec's circuit shape."""
+    key = (spec.workload, spec.scale, config)
+    hit = _PLONK_DATA.get(key)
+    if hit is not None:
+        return hit
+    from ..plonk import setup
+
+    circuit, inputs, _ = workload.build_circuit(spec.scale)
+    data = setup(circuit, config)
+    if len(_PLONK_DATA) >= _PLONK_DATA_CAP:
+        _PLONK_DATA.pop(next(iter(_PLONK_DATA)))
+    _PLONK_DATA[key] = (data, inputs)
+    return data, inputs
 
 
 def _run(spec: JobSpec) -> bytes:
@@ -108,11 +142,14 @@ def _run(spec: JobSpec) -> bytes:
         )
 
     if spec.kind == "plonk":
-        from ..plonk import prove, setup
+        from ..plonk import plan_for as plonk_plan_for, prove
 
-        circuit, inputs, _ = workload.build_circuit(spec.scale)
-        data = setup(circuit, fri_config_for(spec))
-        proof = prove(data, inputs)
+        config = fri_config_for(spec)
+        # Setup artifacts and the per-shape plan (tables + workspace
+        # arena) both persist across jobs in a long-lived worker.
+        data, inputs = _plonk_data_for(workload, spec, config)
+        plan = plonk_plan_for(data.circuit.n, config.rate_bits)
+        proof = prove(data, inputs, plan=plan)
         return write_result_envelope(
             "plonk-proof", spec.workload, plonk_proof_to_bytes(proof)
         )

@@ -22,7 +22,7 @@ import threading
 import time
 from dataclasses import dataclass, field
 from enum import Enum
-from typing import Any, Dict, Optional
+from typing import Any, Dict, List, Optional
 
 #: Job kinds the executor understands.  ``sleep`` and ``crash`` are
 #: fault-injection kinds used by the failure tests and benchmarks; the
@@ -126,6 +126,9 @@ class JobResult:
     cache_hit: bool = False
     #: Operation-counter deltas measured in the worker.
     counters: Dict[str, int] = field(default_factory=dict)
+    #: Per-stage trace spans (``repro.tracing.Span.as_dict()`` forms)
+    #: recorded around the worker-side execution.
+    spans: List[Dict[str, Any]] = field(default_factory=list)
 
 
 @dataclass
@@ -173,6 +176,7 @@ class Job:
             "run_time_s": run_time,
             "cache_hit": bool(self.result.cache_hit) if self.result else False,
             "counters": dict(self.result.counters) if self.result else {},
+            "spans": list(self.result.spans) if self.result else [],
             "error": self.error,
         }
 

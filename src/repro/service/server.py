@@ -84,7 +84,7 @@ class ProvingService:
             "submitted": 0, "completed": 0, "failed": 0, "cancelled": 0,
             "retried": 0, "timeouts": 0, "worker_crashes": 0,
             "batches_dispatched": 0, "jobs_dispatched": 0,
-            "cache_completions": 0, "counters": {},
+            "cache_completions": 0, "counters": {}, "stage_wall_s": {},
         }
 
     # -- lifecycle -------------------------------------------------------
@@ -309,6 +309,7 @@ class ProvingService:
                         self.cache.put(key, res["envelope"])
                     merge_counts(res.get("counters", {}))
                     self._merge_totals(res.get("counters", {}))
+                    self._merge_stage_wall(res.get("spans", []))
                     for job_id in rider_ids:
                         job = self._jobs[job_id]
                         if job.state is JobState.RUNNING:
@@ -316,6 +317,7 @@ class ProvingService:
                                 job, res["envelope"],
                                 cache_hit=False,
                                 counters=res.get("counters", {}),
+                                spans=res.get("spans", []),
                             )
                 else:
                     for job_id in rider_ids:
@@ -345,13 +347,15 @@ class ProvingService:
         *,
         cache_hit: bool,
         counters: Optional[Dict[str, int]] = None,
+        spans: Optional[List[Dict[str, Any]]] = None,
     ) -> None:
         job.state = JobState.DONE
         job.finished_at = time.monotonic()
         if job.started_at is None:
             job.started_at = job.finished_at  # cache hit: zero queue wait
         job.result = JobResult(
-            envelope=envelope, cache_hit=cache_hit, counters=counters or {}
+            envelope=envelope, cache_hit=cache_hit, counters=counters or {},
+            spans=spans or [],
         )
         self.totals["completed"] += 1
         if cache_hit:
@@ -379,3 +383,16 @@ class ProvingService:
         agg = self.totals["counters"]
         for k, v in counters.items():
             agg[k] = agg.get(k, 0) + int(v)
+
+    def _merge_stage_wall(self, spans: List[Dict[str, Any]]) -> None:
+        """Aggregate per-stage wall time (roots + their direct children).
+
+        The root span is the whole prove (``prove:plonk`` / ``prove:stark``)
+        and its children are the pipeline stages, so two levels give the
+        service-wide stage breakdown exported by :meth:`stats`.
+        """
+        agg = self.totals["stage_wall_s"]
+        for root in spans:
+            for s in [root, *root.get("children", [])]:
+                name = s.get("name", "?")
+                agg[name] = agg.get(name, 0.0) + float(s.get("elapsed_s", 0.0))

@@ -3,15 +3,20 @@
 Writes the compiler's lowered timeline in the Trace Event Format, so a
 simulated proof generation can be inspected in ``chrome://tracing`` /
 Perfetto: one track per kernel class, DRAM traffic as counter events.
+
+The JSON framing and validation live in :mod:`repro.tracing`; this
+module only knows how to turn a :class:`DetailedSchedule` into events,
+the same way real-run spans are turned into events by
+:func:`repro.tracing.spans_to_trace_events`.
 """
 
 from __future__ import annotations
 
-import json
 from pathlib import Path
 from typing import List
 
 from ..compiler.lowering import DetailedSchedule
+from ..tracing import write_trace_payload
 
 #: Track (thread) ids per kernel class.
 _TRACKS = {"ntt": 1, "hash": 2, "poly": 3, "transform": 4}
@@ -77,14 +82,12 @@ def schedule_to_trace_events(sched: DetailedSchedule) -> List[dict]:
 
 def write_trace(sched: DetailedSchedule, path: str | Path) -> Path:
     """Write the schedule as a ``chrome://tracing`` JSON file."""
-    path = Path(path)
-    payload = {
-        "traceEvents": schedule_to_trace_events(sched),
-        "displayTimeUnit": "ns",
-        "otherData": {
+    return write_trace_payload(
+        schedule_to_trace_events(sched),
+        path,
+        other_data={
             "workload": sched.workload,
             "total_cycles": sched.total_cycles,
         },
-    }
-    path.write_text(json.dumps(payload))
-    return path
+        display_time_unit="ns",
+    )

@@ -9,54 +9,27 @@ everything at ``zeta`` / ``zeta * omega``.
 Starky runs with blowup 2 (``rate_bits = 1``), which is what makes its
 base proofs so much cheaper than Plonky2's (Table 5) at the cost of
 larger proofs.
+
+The commit / challenge / quotient / open sequencing lives in
+:class:`repro.pipeline.CommitmentPipeline` (shared with the Plonk
+prover); this module only defines the STARK-specific stages: the
+constraint blend over the LDE coset and the opening layout.
 """
 
 from __future__ import annotations
 
-from functools import lru_cache
 from typing import List, Sequence, Tuple
 
 import numpy as np
 
+from .. import tracing
 from ..field import extension as fext, gl64, goldilocks as gl
-from ..fri import FriConfig, PolynomialBatch, fri_prove, open_batches
+from ..fri import FriConfig
 from ..hashing import Challenger
-from ..ntt import coset_intt
+from ..pipeline import CommitmentPipeline
 from .air import Air, BaseVecAlgebra
 from .plan import ProverPlan, plan_for
 from .proof import StarkProof
-
-
-# The coset evaluation points and vanishing-polynomial inverses depend
-# only on (n, rate_bits), so a service proving many traces of the same
-# shape -- the batched-amortisation the paper gets from fused NTT/Merkle
-# kernels -- computes them once.  Cached arrays are frozen read-only;
-# every consumer allocates fresh outputs.
-
-
-@lru_cache(maxsize=16)
-def _coset_points(n_lde: int) -> np.ndarray:
-    out = gl64.mul(
-        gl64.powers(gl.primitive_root_of_unity(n_lde.bit_length() - 1), n_lde),
-        np.uint64(gl.coset_shift()),
-    )
-    out.flags.writeable = False
-    return out
-
-
-@lru_cache(maxsize=16)
-def _zh_inverse(n: int, rate_bits: int) -> np.ndarray:
-    blowup = 1 << rate_bits
-    n_lde = n * blowup
-    omega_lde = gl.primitive_root_of_unity(n_lde.bit_length() - 1)
-    cycle = gl64.mul(
-        gl64.powers(gl.pow_mod(omega_lde, n), blowup),
-        np.uint64(gl.pow_mod(gl.coset_shift(), n)),
-    )
-    zh_cycle = gl64.sub(cycle, np.uint64(1))
-    out = gl64.inv_fast(np.tile(zh_cycle, n))
-    out.flags.writeable = False
-    return out
 
 
 def quotient_chunk_count(air: Air) -> int:
@@ -98,72 +71,68 @@ def prove(
         plan = plan_for(n, rate_bits)
     elif plan.n != n or plan.rate_bits != rate_bits:
         raise ValueError("plan shape does not match the trace/config")
-    ws = plan.ws
 
-    # Commit the trace.
-    trace_batch = PolynomialBatch.from_values(
-        trace.T, rate_bits, config.cap_height, ws=ws, slot="trace"
-    )
-    challenger.observe_elements(np.asarray(public_inputs, dtype=np.uint64))
-    challenger.observe_cap(trace_batch.cap)
-    alpha = challenger.get_ext_challenge()
+    with tracing.span("prove:stark", category="prove", n=n, width=width):
+        pipe = CommitmentPipeline(config, challenger, ws=plan.ws)
 
-    # Constraint evaluations on the LDE coset.
-    xs = plan.xs
-    locals_ = [trace_batch.values[:, c] for c in range(width)]
-    nexts = [np.roll(col, -blowup) for col in locals_]
-    alg = BaseVecAlgebra(n_lde)
-    # Public constant columns (periodic-style): LDE without commitment.
-    const_cols = air.constant_columns(n)
-    if const_cols.shape[0]:
-        const_ldes = plan.const_lde(const_cols)
-        consts = [const_ldes[k] for k in range(const_cols.shape[0])]
-    else:
-        consts = []
-    transition_vals = air.eval_transition_with_constants(locals_, nexts, consts, alg)
+        # Commit the trace.
+        pipe.observe_publics(public_inputs)
+        trace_batch = pipe.commit_values(trace.T, "trace")
+        alpha = pipe.ext_challenge()
 
-    omega = plan.omega
-    # Transition divisor: Z_H(x) / (x - w^(n-1)).
-    transition_div_inv = plan.transition_div_inv
+        # Constraint evaluations on the LDE coset.
+        with tracing.span("constraints", category="quotient"):
+            xs = plan.xs
+            locals_ = [trace_batch.values[:, c] for c in range(width)]
+            nexts = [np.roll(col, -blowup) for col in locals_]
+            alg = BaseVecAlgebra(n_lde)
+            # Public constant columns (periodic-style): LDE without commitment.
+            const_cols = air.constant_columns(n)
+            if const_cols.shape[0]:
+                const_ldes = plan.const_lde(const_cols)
+                consts = [const_ldes[k] for k in range(const_cols.shape[0])]
+            else:
+                consts = []
+            transition_vals = air.eval_transition_with_constants(
+                locals_, nexts, consts, alg
+            )
 
-    combined = fext.from_base(gl64.zeros(n_lde))
-    alpha_t = fext.one()
-    for con in transition_vals:
-        term = gl64.mul(np.broadcast_to(con, (n_lde,)), transition_div_inv)
-        combined = fext.add(
-            combined, fext.scalar_mul(np.broadcast_to(alpha_t, (n_lde, 2)), term)
+            omega = plan.omega
+            # Transition divisor: Z_H(x) / (x - w^(n-1)).
+            transition_div_inv = plan.transition_div_inv
+
+            combined = fext.from_base(gl64.zeros(n_lde))
+            alpha_t = fext.one()
+            for con in transition_vals:
+                term = gl64.mul(np.broadcast_to(con, (n_lde,)), transition_div_inv)
+                combined = fext.add(
+                    combined,
+                    fext.scalar_mul(np.broadcast_to(alpha_t, (n_lde, 2)), term),
+                )
+                alpha_t = fext.mul(alpha_t, alpha.reshape(2))
+            for bc in air.boundary_constraints(public_inputs):
+                numer = gl64.sub(locals_[bc.column], np.uint64(bc.value % gl.P))
+                div_inv = plan.boundary_inverse(bc.row)
+                term = gl64.mul(numer, div_inv)
+                combined = fext.add(
+                    combined,
+                    fext.scalar_mul(np.broadcast_to(alpha_t, (n_lde, 2)), term),
+                )
+                alpha_t = fext.mul(alpha_t, alpha.reshape(2))
+
+        # Commit the composition quotient (2 limbs x `chunks` degree-n chunks).
+        quotient_batch = pipe.commit_quotient(combined, n, chunks)
+
+        # Openings at zeta and zeta * omega.
+        zeta = pipe.ext_challenge()
+        zeta_next = fext.scalar_mul(zeta, np.uint64(omega))
+        cols_zeta = [(0, c) for c in range(width)] + [
+            (1, c) for c in range(2 * chunks)
+        ]
+        cols_next = [(0, c) for c in range(width)]
+        openings, fri_proof = pipe.open_and_prove(
+            [zeta, zeta_next], [cols_zeta, cols_next]
         )
-        alpha_t = fext.mul(alpha_t, alpha.reshape(2))
-    for bc in air.boundary_constraints(public_inputs):
-        numer = gl64.sub(locals_[bc.column], np.uint64(bc.value % gl.P))
-        div_inv = plan.boundary_inverse(bc.row)
-        term = gl64.mul(numer, div_inv)
-        combined = fext.add(
-            combined, fext.scalar_mul(np.broadcast_to(alpha_t, (n_lde, 2)), term)
-        )
-        alpha_t = fext.mul(alpha_t, alpha.reshape(2))
-
-    # Commit the composition quotient (2 limbs x `chunks` degree-n chunks).
-    chunk_rows = []
-    for limb in range(2):
-        coeffs = coset_intt(combined[:, limb], ws=ws)
-        for k in range(chunks):
-            chunk_rows.append(coeffs[k * n : (k + 1) * n])
-    quotient_batch = PolynomialBatch.from_coeffs(
-        np.stack(chunk_rows), rate_bits, config.cap_height, ws=ws, slot="quotient"
-    )
-    challenger.observe_cap(quotient_batch.cap)
-
-    # Openings at zeta and zeta * omega.
-    zeta = challenger.get_ext_challenge()
-    zeta_next = fext.scalar_mul(zeta, np.uint64(omega))
-    batches = [trace_batch, quotient_batch]
-    cols_zeta = [(0, c) for c in range(width)] + [
-        (1, c) for c in range(2 * chunks)
-    ]
-    cols_next = [(0, c) for c in range(width)]
-    openings = open_batches(batches, [zeta, zeta_next], [cols_zeta, cols_next])
-    fri_proof = fri_prove(batches, openings, challenger, config, ws=ws)
 
     return StarkProof(
         trace_cap=trace_batch.cap.copy(),

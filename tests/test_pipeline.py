@@ -1,0 +1,242 @@
+"""Unified proof pipeline tests.
+
+Pins the refactor invariants: both provers build on
+:class:`repro.pipeline.CommitmentPipeline`, proof bytes and operation
+counters are unchanged from the pre-refactor goldens, and the stage
+tracing layer reports a deterministic, counter-consistent span tree.
+"""
+
+import numpy as np
+import pytest
+
+from repro import metrics, tracing
+from repro.fri import FriConfig
+from repro.hashing import Challenger
+from repro.pipeline import CommitmentPipeline
+from repro.plonk import plan_for as plonk_plan_for, prove as plonk_prove, setup
+from repro.plonk import prover as plonk_prover_module
+from repro.serialize import plonk_proof_digest, stark_proof_digest
+from repro.stark import prove as stark_prove
+from repro.stark import prover as stark_prover_module
+from repro.tracing import load_trace, validate_trace_events, write_spans_trace
+from repro.workloads import fibonacci, mvm
+
+STARK_CONFIG = FriConfig(
+    rate_bits=1, cap_height=1, num_queries=10, proof_of_work_bits=3, final_poly_len=4
+)
+PLONK_CONFIG = FriConfig(
+    rate_bits=3, cap_height=1, num_queries=8, proof_of_work_bits=4, final_poly_len=4
+)
+
+#: Pre-refactor proof digests (STARK at commit f1e91fc, Plonk at 56d0287).
+STARK_GOLDEN_FIB6 = "111c298a5fab5dd1368bbf070f5c9379ad28c1e1f2a671244cdeeb7d12d2dd22"
+PLONK_GOLDEN_FIB6 = "96ef6472f512d48f2a64904b7d528ea83ba62f1ca3c5b5fa0eb49a54b65b5a17"
+PLONK_GOLDEN_MVM6 = "8bfee2a3eebb0e8bc42f60835c4fb4da548559982d7323e35380f036b27c8862"
+
+
+def _plonk_proof(spec, scale, config=PLONK_CONFIG):
+    circuit, inputs, _ = spec.build_circuit(scale)
+    data = setup(circuit, config)
+    return plonk_prove(data, inputs)
+
+
+class TestGoldenProofs:
+    """The refactor may change how work is executed, never what is proved."""
+
+    def test_stark_digest_unchanged(self):
+        air, trace, publics = fibonacci.SPEC.build_air(6)
+        proof = stark_prove(air, trace, publics, STARK_CONFIG)
+        assert stark_proof_digest(proof) == STARK_GOLDEN_FIB6
+
+    def test_plonk_fibonacci_digest_unchanged(self):
+        proof = _plonk_proof(fibonacci.SPEC, 6)
+        assert plonk_proof_digest(proof) == PLONK_GOLDEN_FIB6
+
+    def test_plonk_mvm_digest_unchanged(self):
+        proof = _plonk_proof(mvm.SPEC, 6)
+        assert plonk_proof_digest(proof) == PLONK_GOLDEN_MVM6
+
+    def test_plonk_counters_unchanged(self):
+        circuit, inputs, _ = fibonacci.SPEC.build_circuit(6)
+        data = setup(circuit, PLONK_CONFIG)
+        with metrics.counting() as c:
+            plonk_prove(data, inputs)
+        got = c.as_dict()
+        assert got["sponge_permutations"] == 598
+        assert got["ntt_butterflies"] == 7040
+        assert got["ntt_transforms"] == 22
+
+
+class TestSharedSequencing:
+    """Both provers import the commit/open flow from repro.pipeline."""
+
+    def test_provers_do_not_duplicate_fri_sequencing(self):
+        for module in (stark_prover_module, plonk_prover_module):
+            assert not hasattr(module, "fri_prove")
+            assert not hasattr(module, "open_batches")
+
+    def test_provers_use_the_pipeline(self):
+        for module in (stark_prover_module, plonk_prover_module):
+            assert module.CommitmentPipeline is CommitmentPipeline
+
+    def test_pipeline_tracks_batches_in_transcript_order(self):
+        rng = np.random.default_rng(7)
+        rows = rng.integers(0, 2**63, size=(3, 16), dtype=np.uint64)
+        pipe = CommitmentPipeline(STARK_CONFIG, Challenger())
+        first = pipe.commit_values(rows, "a")
+        second = pipe.commit_values(rows, "b")
+        assert pipe.batches == [first, second]
+
+    def test_pipeline_challenges_depend_on_committed_caps(self):
+        rng = np.random.default_rng(7)
+        rows = rng.integers(0, 2**63, size=(3, 16), dtype=np.uint64)
+        pipe_a = CommitmentPipeline(STARK_CONFIG, Challenger())
+        pipe_a.commit_values(rows, "a")
+        pipe_b = CommitmentPipeline(STARK_CONFIG, Challenger())
+        pipe_b.commit_values(rows ^ np.uint64(1), "a")
+        assert pipe_a.challenge() != pipe_b.challenge()
+
+
+class TestPlonkPlan:
+    def test_plan_is_cached_per_shape(self):
+        assert plonk_plan_for(16, 3) is plonk_plan_for(16, 3)
+        assert plonk_plan_for(16, 3) is not plonk_plan_for(32, 3)
+
+    def test_mismatched_plan_rejected(self):
+        circuit, inputs, _ = fibonacci.SPEC.build_circuit(6)
+        data = setup(circuit, PLONK_CONFIG)
+        wrong = plonk_plan_for(circuit.n * 2, PLONK_CONFIG.rate_bits)
+        with pytest.raises(ValueError):
+            plonk_prove(data, inputs, plan=wrong)
+
+    def test_plan_path_is_byte_identical(self):
+        circuit, inputs, _ = fibonacci.SPEC.build_circuit(6)
+        data = setup(circuit, PLONK_CONFIG)
+        plan = plonk_plan_for(circuit.n, PLONK_CONFIG.rate_bits)
+        with_plan = plonk_prove(data, inputs, plan=plan)
+        assert plonk_proof_digest(with_plan) == PLONK_GOLDEN_FIB6
+
+
+class TestSpans:
+    def _traced_prove(self):
+        circuit, inputs, _ = fibonacci.SPEC.build_circuit(6)
+        data = setup(circuit, PLONK_CONFIG)
+        with metrics.counting() as c, tracing.trace() as session:
+            plonk_prove(data, inputs)
+        return session, c.as_dict()
+
+    def test_span_tree_shape(self):
+        session, _ = self._traced_prove()
+        assert [s.name for s in session.spans] == ["prove:plonk"]
+        child_names = [c.name for c in session.spans[0].children]
+        assert child_names == [
+            "witness", "commit:wires", "permutation", "commit:z",
+            "constraints", "quotient:intt", "commit:quotient", "open", "fri",
+        ]
+        fri = session.spans[0].children[-1]
+        assert [c.name for c in fri.children] == [
+            "fri:combine", "fri:fold", "fri:grind", "fri:query"
+        ]
+
+    def test_span_tree_deterministic(self):
+        a, _ = self._traced_prove()
+        b, _ = self._traced_prove()
+        assert [s.name for s in a.walk()] == [s.name for s in b.walk()]
+        assert [s.counters for s in a.walk()] == [s.counters for s in b.walk()]
+
+    def test_root_span_counters_match_counting(self):
+        session, totals = self._traced_prove()
+        root = session.spans[0]
+        for key, value in totals.items():
+            assert root.counters.get(key, 0) == value
+
+    def test_child_times_nest_inside_parent(self):
+        session, _ = self._traced_prove()
+        for span in session.walk():
+            child_sum = sum(c.elapsed_s for c in span.children)
+            assert child_sum <= span.elapsed_s + 1e-6
+
+    def test_span_is_noop_without_session(self):
+        assert tracing.active_session() is None
+        with tracing.span("orphan"):
+            pass  # must not raise or record anywhere
+        assert tracing.active_session() is None
+
+    def test_stage_seconds_covers_all_names(self):
+        session, _ = self._traced_prove()
+        stages = session.stage_seconds()
+        assert set(stages) == {s.name for s in session.walk()}
+
+    def test_roundtrip_through_dict(self):
+        session, _ = self._traced_prove()
+        root = session.spans[0]
+        restored = tracing.Span.from_dict(root.as_dict())
+        assert [s.name for s in restored.walk()] == [s.name for s in root.walk()]
+        assert restored.counters == root.counters
+
+
+class TestTraceExport:
+    def test_write_and_load_spans_trace(self, tmp_path):
+        circuit, inputs, _ = fibonacci.SPEC.build_circuit(6)
+        data = setup(circuit, PLONK_CONFIG)
+        with tracing.trace() as session:
+            plonk_prove(data, inputs)
+        path = write_spans_trace(session.spans, tmp_path / "t.json", workload="Fib")
+        payload = load_trace(path)
+        names = {e["name"] for e in payload["traceEvents"] if e["ph"] == "X"}
+        assert {"prove:plonk", "commit:wires", "fri:fold"} <= names
+        assert payload["otherData"]["workload"] == "Fib"
+
+    def test_validate_rejects_malformed_events(self):
+        with pytest.raises(ValueError):
+            validate_trace_events([])
+        with pytest.raises(ValueError):
+            validate_trace_events([{"ph": "X", "ts": 0.0, "dur": 1.0}])  # no name
+        with pytest.raises(ValueError):
+            validate_trace_events([{"name": "a", "ph": "X", "ts": -1.0, "dur": 1.0}])
+
+
+class TestExecutorCache:
+    def test_plonk_setup_cached_across_jobs(self):
+        from repro.service import executor
+
+        spec = {
+            "workload": "Fibonacci", "kind": "plonk", "scale": 6,
+            "config": {}, "params": {},
+        }
+        executor._PLONK_DATA.clear()
+        first = executor.execute(spec)
+        assert len(executor._PLONK_DATA) == 1
+        (data, _inputs), = executor._PLONK_DATA.values()
+        second = executor.execute(spec)
+        assert len(executor._PLONK_DATA) == 1
+        (data2, _), = executor._PLONK_DATA.values()
+        assert data2 is data  # same CircuitData object reused
+        assert first["envelope"] == second["envelope"]
+
+    def test_execute_returns_span_tree(self):
+        from repro.service import executor
+
+        spec = {
+            "workload": "Fibonacci", "kind": "plonk", "scale": 6,
+            "config": {}, "params": {},
+        }
+        res = executor.execute(spec)
+        assert res["spans"][0]["name"] == "prove:plonk"
+        children = [c["name"] for c in res["spans"][0]["children"]]
+        assert "commit:wires" in children and "fri" in children
+
+    def test_cache_is_size_capped(self):
+        from repro.service import executor
+
+        executor._PLONK_DATA.clear()
+        for i in range(executor._PLONK_DATA_CAP):
+            executor._PLONK_DATA[("fake", i, None)] = (None, None)
+        spec = {
+            "workload": "Fibonacci", "kind": "plonk", "scale": 6,
+            "config": {}, "params": {},
+        }
+        executor.execute(spec)  # full cache: inserting evicts the oldest
+        assert len(executor._PLONK_DATA) == executor._PLONK_DATA_CAP
+        assert ("fake", 0, None) not in executor._PLONK_DATA
+        executor._PLONK_DATA.clear()
