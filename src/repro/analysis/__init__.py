@@ -1,0 +1,58 @@
+"""Static analysis subsystem: schedule sanitizer + prover lint.
+
+The compiler emits *static* per-PE schedules, so every hazard -- latch
+double-drives, functional-unit overcommit, use-before-def across
+wavefront skews -- is decidable before a single emulated cycle; and the
+zero-copy prover data plane is a set of conventions worth checking, not
+trusting.  Two layers:
+
+1. :mod:`repro.analysis.sanitizer` -- given a schedule spec destined
+   for :class:`repro.hw.microcode.GridEmulator`, statically verify the
+   structural and dataflow invariants (``sched.*`` rules).  The
+   emulator runs the same checks at program load (``validate=True``).
+2. :mod:`repro.analysis.lint` -- deterministic AST passes over
+   ``src/repro`` enforcing prover-code invariants (``prover.*`` rules).
+
+Both layers share :class:`~repro.analysis.findings.Finding` records,
+the justification-carrying suppression baseline
+(:mod:`repro.analysis.baseline`), and one runner
+(``python -m repro.analysis`` / ``repro analyze``), which CI gates with
+``--strict``.
+"""
+
+from .baseline import (
+    BaselineEntry,
+    default_baseline_path,
+    load_baseline,
+    match_baseline,
+    save_baseline,
+    update_baseline,
+)
+from .findings import RULES, AnalysisError, Finding, Rule
+from .lint import lint_package, lint_source
+from .runner import AnalysisReport, main, run_analysis
+from .sanitizer import ScheduleSpec, sanitize, spec_for_emulator
+from .schedules import shipped_schedules, shipped_specs
+
+__all__ = [
+    "AnalysisError",
+    "AnalysisReport",
+    "BaselineEntry",
+    "Finding",
+    "Rule",
+    "RULES",
+    "ScheduleSpec",
+    "default_baseline_path",
+    "lint_package",
+    "lint_source",
+    "load_baseline",
+    "main",
+    "match_baseline",
+    "run_analysis",
+    "sanitize",
+    "save_baseline",
+    "shipped_schedules",
+    "shipped_specs",
+    "spec_for_emulator",
+    "update_baseline",
+]

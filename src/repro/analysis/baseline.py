@@ -1,0 +1,199 @@
+"""Justification-carrying suppression baseline.
+
+A baseline entry accepts a known finding instead of fixing it -- but
+only with a human-written justification.  Entries match findings by
+``(rule, key)`` where ``key`` is :meth:`Finding.key` (file + scope +
+detail for lint findings; schedule + PE for sanitizer findings --
+never line numbers, so baselines survive unrelated edits).  ``count``
+caps how many matching findings the entry absorbs; extra occurrences
+in the same scope surface as new findings.
+
+File format (JSON, sorted, diff-friendly)::
+
+    {
+      "version": 1,
+      "entries": [
+        {"rule": "prover.raw-mod",
+         "key": "stark/poseidon_air.py::_reference_permute::% gl.P",
+         "count": 3,
+         "justification": "executable spec; intentionally scalar"}
+      ]
+    }
+
+``--strict`` additionally requires every entry's justification to be a
+non-empty string, so ``repro analyze --update-baseline`` (which records
+new findings with an empty justification) cannot silently launder them
+through CI.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Tuple
+
+from .findings import RULES, AnalysisError, Finding
+
+BASELINE_VERSION = 1
+#: Default baseline filename, at the repository root.
+BASELINE_NAME = "ANALYSIS_BASELINE.json"
+
+
+@dataclass(frozen=True)
+class BaselineEntry:
+    """One suppressed finding class."""
+
+    rule: str
+    key: str
+    justification: str
+    count: int = 1
+
+
+def default_baseline_path() -> Path:
+    """``ANALYSIS_BASELINE.json`` next to ``src/`` (the repo root)."""
+    import repro
+
+    return Path(repro.__file__).resolve().parents[2] / BASELINE_NAME
+
+
+def load_baseline(path: Path) -> List[BaselineEntry]:
+    """Load and validate a baseline file.
+
+    A missing file is an empty baseline.  Malformed content raises
+    :class:`AnalysisError` with a clean, actionable message naming the
+    offending entry.
+    """
+    path = Path(path)
+    if not path.exists():
+        return []
+    try:
+        payload = json.loads(path.read_text())
+    except json.JSONDecodeError as exc:
+        raise AnalysisError(f"baseline {path} is not valid JSON: {exc}") from None
+    if not isinstance(payload, dict) or "entries" not in payload:
+        raise AnalysisError(
+            f"baseline {path} must be an object with an 'entries' list"
+        )
+    if payload.get("version") != BASELINE_VERSION:
+        raise AnalysisError(
+            f"baseline {path} has version {payload.get('version')!r}; "
+            f"this tool reads version {BASELINE_VERSION}"
+        )
+    entries: List[BaselineEntry] = []
+    seen = set()
+    for i, raw in enumerate(payload["entries"]):
+        where = f"baseline {path} entry {i}"
+        if not isinstance(raw, dict):
+            raise AnalysisError(f"{where}: expected an object, got {type(raw).__name__}")
+        for field_name in ("rule", "key", "justification"):
+            if not isinstance(raw.get(field_name), str):
+                raise AnalysisError(f"{where}: missing or non-string {field_name!r}")
+        unknown = set(raw) - {"rule", "key", "justification", "count"}
+        if unknown:
+            raise AnalysisError(
+                f"{where}: unknown field(s) {sorted(unknown)}"
+            )
+        if raw["rule"] not in RULES:
+            known = ", ".join(sorted(RULES))
+            raise AnalysisError(
+                f"{where}: unknown rule id {raw['rule']!r} (choose from: {known})"
+            )
+        count = raw.get("count", 1)
+        if not isinstance(count, int) or count < 1:
+            raise AnalysisError(f"{where}: count must be a positive integer")
+        ident = (raw["rule"], raw["key"])
+        if ident in seen:
+            raise AnalysisError(
+                f"{where}: duplicate entry for rule {raw['rule']!r} "
+                f"key {raw['key']!r}"
+            )
+        seen.add(ident)
+        entries.append(
+            BaselineEntry(
+                rule=raw["rule"],
+                key=raw["key"],
+                justification=raw["justification"],
+                count=count,
+            )
+        )
+    return entries
+
+
+def save_baseline(path: Path, entries: List[BaselineEntry]) -> None:
+    """Write a baseline file (sorted, one canonical form per content)."""
+    payload = {
+        "version": BASELINE_VERSION,
+        "entries": [
+            {
+                "rule": e.rule,
+                "key": e.key,
+                "count": e.count,
+                "justification": e.justification,
+            }
+            for e in sorted(entries, key=lambda e: (e.rule, e.key))
+        ],
+    }
+    Path(path).write_text(json.dumps(payload, indent=2) + "\n")
+
+
+@dataclass
+class MatchResult:
+    """Findings split against a baseline."""
+
+    new: List[Finding]
+    suppressed: List[Finding]
+    stale: List[BaselineEntry]
+    unjustified: List[BaselineEntry]
+
+
+def match_baseline(
+    findings: List[Finding], entries: List[BaselineEntry]
+) -> MatchResult:
+    """Split ``findings`` into new vs. baselined; report stale entries."""
+    budget: Dict[Tuple[str, str], int] = {
+        (e.rule, e.key): e.count for e in entries
+    }
+    used: Dict[Tuple[str, str], int] = {k: 0 for k in budget}
+    new: List[Finding] = []
+    suppressed: List[Finding] = []
+    for f in findings:
+        ident = (f.rule, f.key())
+        if budget.get(ident, 0) > 0:
+            budget[ident] -= 1
+            used[ident] += 1
+            suppressed.append(f)
+        else:
+            new.append(f)
+    stale = [e for e in entries if used[(e.rule, e.key)] == 0]
+    unjustified = [e for e in entries if not e.justification.strip()]
+    return MatchResult(new=new, suppressed=suppressed, stale=stale, unjustified=unjustified)
+
+
+def update_baseline(
+    findings: List[Finding], entries: List[BaselineEntry]
+) -> List[BaselineEntry]:
+    """Merge current findings into a baseline, keeping justifications.
+
+    Every current finding gets an entry sized to its occurrence count;
+    entries for findings that no longer occur are dropped; existing
+    justifications are preserved.  New entries carry an *empty*
+    justification, which ``--strict`` rejects until a human fills it in.
+    """
+    counts: Dict[Tuple[str, str], int] = {}
+    for f in findings:
+        ident = (f.rule, f.key())
+        counts[ident] = counts.get(ident, 0) + 1
+    old = {(e.rule, e.key): e for e in entries}
+    merged = []
+    for (rule, key), count in counts.items():
+        prior = old.get((rule, key))
+        merged.append(
+            BaselineEntry(
+                rule=rule,
+                key=key,
+                count=count,
+                justification=prior.justification if prior else "",
+            )
+        )
+    return merged

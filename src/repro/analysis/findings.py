@@ -1,0 +1,202 @@
+"""Finding records and the static-analysis rule catalogue.
+
+Every check in the analysis subsystem -- schedule sanitizer rules and
+repo lint passes alike -- is registered here as a :class:`Rule` with a
+stable id.  Checks report :class:`Finding` records carrying the rule id
+plus a location (PE coordinate and cycle for schedule findings, file /
+scope for lint findings); the runner matches findings against the
+suppression baseline by :meth:`Finding.key`.
+
+Rule ids are namespaced: ``sched.*`` for the PE-grid schedule
+sanitizer (:mod:`repro.analysis.sanitizer`), ``prover.*`` for the AST
+lint passes (:mod:`repro.analysis.lint`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One registered static-analysis rule."""
+
+    id: str
+    layer: str  # "schedule" or "lint"
+    summary: str
+
+
+#: The full rule catalogue, in documentation order.
+RULES: Dict[str, Rule] = {
+    r.id: r
+    for r in (
+        # -- layer 1: schedule sanitizer ---------------------------------
+        Rule(
+            "sched.pe-oob",
+            "schedule",
+            "program assigned to a PE coordinate outside the grid",
+        ),
+        Rule(
+            "sched.mul-overcommit",
+            "schedule",
+            "more than one mul/mac issued by a PE in one cycle "
+            "(a PE has a single multiplier)",
+        ),
+        Rule(
+            "sched.add-overcommit",
+            "schedule",
+            "more than two add/sub/mov issued by a PE in one cycle "
+            "(a PE has two adder slots)",
+        ),
+        Rule(
+            "sched.latch-double-drive",
+            "schedule",
+            "an outgoing latch (right/down/up) driven by more than one "
+            "instruction in the same cycle",
+        ),
+        Rule(
+            "sched.reg-oob",
+            "schedule",
+            "register-file index (operand or destination) outside the "
+            "PE's register file",
+        ),
+        Rule(
+            "sched.reverse-link",
+            "schedule",
+            "up latch driven from a column without a reverse link",
+        ),
+        Rule(
+            "sched.reg-use-before-def",
+            "schedule",
+            "read of a register never preloaded nor written by an "
+            "earlier cycle",
+        ),
+        Rule(
+            "sched.latch-use-before-def",
+            "schedule",
+            "read of an incoming latch that no upstream instruction "
+            "drove in the previous cycle (and no boundary feed covers)",
+        ),
+        # -- layer 2: repo lint -------------------------------------------
+        Rule(
+            "prover.raw-mod",
+            "lint",
+            "raw `% P` modular reduction outside the field/ modules",
+        ),
+        Rule(
+            "prover.hot-alloc",
+            "lint",
+            "fresh numpy allocation (np.zeros/np.empty/np.array/...) in "
+            "a hot-path module that must draw from Workspace arenas",
+        ),
+        Rule(
+            "prover.nondeterminism",
+            "lint",
+            "time/random nondeterminism imported or used in the "
+            "proving path",
+        ),
+        Rule(
+            "prover.into-aliasing-doc",
+            "lint",
+            "an *_into kernel taking an `out` buffer whose docstring "
+            "does not state the aliasing contract",
+        ),
+    )
+}
+
+#: Rule ids belonging to the schedule sanitizer layer.
+SCHEDULE_RULES = tuple(r.id for r in RULES.values() if r.layer == "schedule")
+#: Rule ids belonging to the repo lint layer.
+LINT_RULES = tuple(r.id for r in RULES.values() if r.layer == "lint")
+
+
+class AnalysisError(Exception):
+    """User-facing analysis failure (unknown rule, malformed baseline).
+
+    Rendered as a clean one-line error by the runner and the
+    ``repro analyze`` CLI subcommand, mirroring :class:`repro.cli.CliError`.
+    """
+
+
+def check_rule_ids(rule_ids) -> None:
+    """Validate a rule-id selection, raising :class:`AnalysisError`."""
+    for rule_id in rule_ids:
+        if rule_id not in RULES:
+            known = ", ".join(sorted(RULES))
+            raise AnalysisError(
+                f"unknown rule id {rule_id!r} (choose from: {known})"
+            )
+
+
+@dataclass
+class Finding:
+    """One structured analysis finding.
+
+    Schedule findings populate ``schedule``/``pe``/``cycle``; lint
+    findings populate ``path``/``line``/``scope``/``detail``.  ``key()``
+    is the location identity the suppression baseline matches on: it
+    deliberately excludes line numbers and cycle-level detail where the
+    surrounding scope is stable, so baselines survive unrelated edits.
+    """
+
+    rule: str
+    message: str
+    # lint location
+    path: Optional[str] = None
+    line: Optional[int] = None
+    scope: Optional[str] = None
+    detail: Optional[str] = None
+    # schedule location
+    schedule: Optional[str] = None
+    pe: Optional[Tuple[int, int]] = None
+    cycle: Optional[int] = None
+
+    def key(self) -> str:
+        """The baseline-matching location key (excludes line numbers)."""
+        if self.path is not None:
+            return f"{self.path}::{self.scope or '<module>'}::{self.detail or ''}"
+        pe = f"pe({self.pe[0]},{self.pe[1]})" if self.pe is not None else "pe(?)"
+        return f"{self.schedule or '<schedule>'}::{pe}"
+
+    def format(self) -> str:
+        """One human-readable report line."""
+        if self.path is not None:
+            where = self.path
+            if self.line is not None:
+                where += f":{self.line}"
+            if self.scope:
+                where += f" ({self.scope})"
+        else:
+            where = self.schedule or "<schedule>"
+            if self.pe is not None:
+                where += f" PE{self.pe}"
+            if self.cycle is not None:
+                where += f" cycle {self.cycle}"
+        return f"[{self.rule}] {where}: {self.message}"
+
+    def to_dict(self) -> dict:
+        """JSON-ready representation (for ``--json`` output)."""
+        out = {"rule": self.rule, "message": self.message, "key": self.key()}
+        for name in ("path", "line", "scope", "detail", "schedule", "cycle"):
+            value = getattr(self, name)
+            if value is not None:
+                out[name] = value
+        if self.pe is not None:
+            out["pe"] = list(self.pe)
+        return out
+
+
+def sort_findings(findings: List[Finding]) -> List[Finding]:
+    """Deterministic report order: rule, then location."""
+    return sorted(
+        findings,
+        key=lambda f: (
+            f.rule,
+            f.path or "",
+            f.line or 0,
+            f.schedule or "",
+            f.pe or (-1, -1),
+            f.cycle if f.cycle is not None else -1,
+        ),
+    )

@@ -13,7 +13,9 @@
 * ``serve``       -- run the proving service (job queue + worker pool);
 * ``submit``      -- submit a job to a running service, optionally wait
   for and verify the proof;
-* ``status``      -- query a running service for job or service stats.
+* ``status``      -- query a running service for job or service stats;
+* ``analyze``     -- run the static analysis (PE-grid schedule
+  sanitizer + prover-invariant lint) against the suppression baseline.
 """
 
 from __future__ import annotations
@@ -220,6 +222,17 @@ def cmd_submit(args) -> int:
     return 0
 
 
+def cmd_analyze(args) -> int:
+    """Run the static analysis (schedule sanitizer + repo lint)."""
+    from .analysis import AnalysisError
+    from .analysis.runner import execute
+
+    try:
+        return execute(args)
+    except AnalysisError as exc:
+        raise CliError(str(exc)) from None
+
+
 def cmd_status(args) -> int:
     """Query a running service for job or service stats."""
     from .service import ServiceClient, ServiceError
@@ -308,6 +321,14 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--shutdown", action="store_true",
                    help="ask the service to drain and exit")
 
+    from .analysis.runner import add_analyze_arguments
+
+    p = sub.add_parser(
+        "analyze",
+        help="run the static analysis (schedule sanitizer + prover lint)",
+    )
+    add_analyze_arguments(p)
+
     return parser
 
 
@@ -323,6 +344,7 @@ def main(argv=None) -> int:
         "serve": cmd_serve,
         "submit": cmd_submit,
         "status": cmd_status,
+        "analyze": cmd_analyze,
     }[args.command]
     try:
         return handler(args)

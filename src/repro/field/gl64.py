@@ -238,7 +238,11 @@ def mul_into(a: np.ndarray, b: np.ndarray, out: np.ndarray, ws: Workspace | None
 
 
 def square_into(a: np.ndarray, out: np.ndarray, ws: Workspace | None = None) -> np.ndarray:
-    """``out <- a**2 (mod p)``; saves two limb products over mul."""
+    """``out <- a**2 (mod p)``; saves two limb products over mul.
+
+    ``out`` may alias ``a`` exactly: ``a`` is consumed into workspace
+    limb temps before the first write to ``out``.
+    """
     ws = ws or default_workspace()
     shape = out.shape
     a = _bcast(np.asarray(a, dtype=np.uint64), shape)

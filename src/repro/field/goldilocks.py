@@ -31,6 +31,16 @@ TWO_ADICITY = 32
 _ODD_FACTORS = (3, 5, 17, 257, 65537)
 
 
+def canonical(a: int) -> int:
+    """Reduce an arbitrary Python int to its canonical representative.
+
+    The sanctioned scalar coercion for code outside ``repro.field``:
+    the ``prover.raw-mod`` lint rule flags ad-hoc ``% P`` reductions
+    elsewhere and points here instead.
+    """
+    return a % P
+
+
 def add(a: int, b: int) -> int:
     """Return ``a + b (mod p)``."""
     s = a + b

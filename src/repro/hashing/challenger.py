@@ -34,7 +34,7 @@ class Challenger:
     def observe_element(self, value: int) -> None:
         """Absorb one field element."""
         self._output_buffer.clear()
-        self._input_buffer.append(int(value) % gl.P)
+        self._input_buffer.append(gl.canonical(int(value)))
         if len(self._input_buffer) == RATE:
             self._duplex()
 

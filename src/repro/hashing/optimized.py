@@ -69,7 +69,7 @@ def _vec_mat(vec: list[int], matrix: np.ndarray) -> list[int]:
     m = matrix.tolist()
     n = len(m)
     cols = len(m[0])
-    return [sum(vec[i] * m[i][j] for i in range(n)) % gl.P for j in range(cols)]
+    return [gl.canonical(sum(vec[i] * m[i][j] for i in range(n))) for j in range(cols)]
 
 
 def _derive_matrices() -> tuple[np.ndarray, list[tuple[int, np.ndarray, np.ndarray]]]:
@@ -115,8 +115,8 @@ def _transformed_offsets(
         offsets.append(state[0])
         state[0] = post_c[k]  # S-box output is a fresh variable; then + d_k
         m00, row, col_hat = sparse[k]
-        out0 = (state[0] * m00 + sum(int(c) * s for c, s in zip(col_hat, state[1:]))) % gl.P
-        rest = [(state[0] * int(r) + state[j + 1]) % gl.P for j, r in enumerate(row)]
+        out0 = gl.canonical(state[0] * m00 + sum(int(c) * s for c, s in zip(col_hat, state[1:])))
+        rest = [gl.canonical(state[0] * int(r) + state[j + 1]) for j, r in enumerate(row)]
         state = [out0] + rest
     return offsets + state
 
@@ -128,7 +128,7 @@ def _naive_offsets() -> list[int]:
     state = [0] * WIDTH
     offsets: list[int] = []
     for k in range(PARTIAL_ROUNDS):
-        state = [(s + int(c)) % gl.P for s, c in zip(state, partial_rc[k])]
+        state = [gl.canonical(s + int(c)) for s, c in zip(state, partial_rc[k])]
         offsets.append(state[0])
         state[0] = 0  # S-box output becomes a fresh variable
         state = _vec_mat(state, mds)

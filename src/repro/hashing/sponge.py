@@ -73,7 +73,11 @@ def hash_batch_into(
     inputs: np.ndarray, out: np.ndarray, ws: gl64.Workspace | None = None
 ) -> np.ndarray:
     """:func:`hash_batch`, writing digests into a caller-provided (B, 4)
-    buffer.  The sponge state lives in the workspace arena."""
+    buffer.  The sponge state lives in the workspace arena.
+
+    ``out`` may alias ``inputs``: every read of ``inputs`` completes
+    before the single final write to ``out``.
+    """
     ws = ws or gl64.default_workspace()
     batch, length = inputs.shape
     state = _state_buf(batch, ws)
@@ -120,6 +124,9 @@ def compress_level_into(
     both children straight into the workspace state buffer and writes
     the parents into ``out`` (normally a view of the tree's level-order
     arena) -- no temporaries besides the shared sponge state.
+
+    ``out`` may alias ``prev``: both children are copied into the
+    workspace state before ``out`` is written.
     """
     ws = ws or gl64.default_workspace()
     half = prev.shape[0] // 2
@@ -143,7 +150,11 @@ def hash_or_noop(values: np.ndarray) -> np.ndarray:
 def hash_leaves_into(
     values: np.ndarray, out: np.ndarray, ws: gl64.Workspace | None = None
 ) -> np.ndarray:
-    """:func:`hash_or_noop` semantics, writing digests into ``out``."""
+    """:func:`hash_or_noop` semantics, writing digests into ``out``.
+
+    ``out`` must not alias ``values``: the short-row path zero-fills
+    ``out`` before reading ``values``.
+    """
     values = np.atleast_2d(np.asarray(values, dtype=np.uint64))
     length = values.shape[1]
     if length <= DIGEST_LEN:

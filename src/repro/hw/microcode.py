@@ -67,7 +67,7 @@ def reg(i: int) -> Src:
 
 def imm(v: int) -> Src:
     """Immediate operand."""
-    return Src("imm", v % gl.P)
+    return Src("imm", gl.canonical(v))
 
 
 IN_LEFT = Src("in_left")
@@ -105,22 +105,58 @@ _MUL_OPS = ("mul", "mac")
 _ADD_OPS = ("add", "sub", "mov")
 
 
+class ScheduleError(ValueError):
+    """A schedule failed static validation at program load.
+
+    Carries the :class:`repro.analysis.findings.Finding` records of the
+    sanitizer; the message lists each with its rule id.
+    """
+
+    def __init__(self, findings) -> None:
+        self.findings = list(findings)
+        lines = [f.format() for f in self.findings]
+        super().__init__(
+            "schedule failed static validation "
+            f"({len(lines)} finding{'s' if len(lines) != 1 else ''}):\n  "
+            + "\n  ".join(lines)
+        )
+
+
 def _normalise_cycle(entry) -> tuple:
+    # Runtime backstop for ``validate=False`` runs; messages carry the
+    # same rule ids the load-time sanitizer reports.
     ops = entry if isinstance(entry, tuple) else (entry,)
     muls = sum(1 for i in ops if i.op in _MUL_OPS)
     adds = sum(1 for i in ops if i.op in _ADD_OPS)
     if muls > 1:
-        raise ValueError("a PE has one multiplier: at most one mul/mac per cycle")
+        raise ValueError(
+            "[sched.mul-overcommit] a PE has one multiplier: "
+            "at most one mul/mac per cycle"
+        )
     if adds > 2:
-        raise ValueError("a PE has two adders: at most two add/sub/mov per cycle")
+        raise ValueError(
+            "[sched.add-overcommit] a PE has two adders: "
+            "at most two add/sub/mov per cycle"
+        )
     for latch in ("out_right", "out_down", "out_up"):
         if sum(1 for i in ops if getattr(i, latch)) > 1:
-            raise ValueError(f"latch {latch} driven by multiple instructions")
+            raise ValueError(
+                f"[sched.latch-double-drive] latch {latch} driven by "
+                "multiple instructions"
+            )
     return ops
 
 
 class GridEmulator:
-    """Execute static per-PE programs cycle by cycle."""
+    """Execute static per-PE programs cycle by cycle.
+
+    With ``validate=True`` (the default) every program handed to
+    :meth:`run` is first passed through the schedule sanitizer
+    (:mod:`repro.analysis.sanitizer`); hazards raise a
+    :class:`ScheduleError` naming the violated rule ids before any
+    cycle executes.  ``validate=False`` opts out and falls back to the
+    runtime backstop checks only.
+    """
 
     def __init__(
         self,
@@ -128,11 +164,13 @@ class GridEmulator:
         cols: int,
         reverse_link_cols: Sequence[int] = (),
         register_words: int = 64,
+        validate: bool = True,
     ) -> None:
         self.rows = rows
         self.cols = cols
         self.reverse_link_cols = set(reverse_link_cols)
         self.register_words = register_words
+        self.validate = validate
         self.reset()
 
     def reset(self) -> None:
@@ -154,6 +192,21 @@ class GridEmulator:
         self.cycles_run = 0
         self.mul_count = 0
         self.add_count = 0
+        #: ``((row, col), reg_index)`` pairs seeded via :meth:`preload`;
+        #: the sanitizer's use-before-def rule keys off this set.
+        self.preloaded_regs: set = set()
+
+    def preload(self, pos: Tuple[int, int], idx: int, value: int) -> None:
+        """Seed a register before cycle 0 (e.g. stationary weights).
+
+        Unlike poking ``self.regs`` directly, this records the register
+        as *defined*, which arms the sanitizer's
+        ``sched.reg-use-before-def`` rule for subsequent :meth:`run`
+        calls: any register read the schedule performs must then be
+        covered by a preload or an earlier in-program write.
+        """
+        self.regs[pos][idx] = gl.canonical(value)
+        self.preloaded_regs.add((pos, idx))
 
     # -- execution ------------------------------------------------------------
 
@@ -173,9 +226,20 @@ class GridEmulator:
         """
         left_inputs = left_inputs or {}
         top_inputs = top_inputs or {}
+        if self.validate:
+            # Late import: repro.analysis.sanitizer imports this module.
+            from ..analysis.sanitizer import sanitize, spec_for_emulator
+
+            findings = sanitize(
+                spec_for_emulator(
+                    self, programs, left_inputs, top_inputs, num_cycles
+                )
+            )
+            if findings:
+                raise ScheduleError(findings)
         for (r, c) in programs:
             if not (0 <= r < self.rows and 0 <= c < self.cols):
-                raise ValueError(f"program for PE outside grid: {(r, c)}")
+                raise ValueError(f"[sched.pe-oob] program for PE outside grid: {(r, c)}")
         horizon = num_cycles
         if horizon is None:
             horizon = max(
@@ -271,7 +335,10 @@ class GridEmulator:
                     new_down[pos] = result
                 if instr.out_up:
                     if c not in self.reverse_link_cols:
-                        raise ValueError(f"PE {pos}: column {c} has no reverse link")
+                        raise ValueError(
+                            f"[sched.reverse-link] PE {pos}: column {c} "
+                            "has no reverse link"
+                        )
                     if r == 0:
                         self.top_outputs.append((cycle, c, result))
                     else:

@@ -16,10 +16,24 @@ reference mathematics in the tests:
   over the reverse links (Figure 5b's ``v`` column);
 * :func:`run_vector_mac` -- vector mode: each column as an independent
   vector unit running fused multiply-adds.
+
+Each kernel is split into a ``build_*`` function producing a
+:class:`BuiltSchedule` (emulator + programs + boundary feeds, with
+stationary operands seeded through :meth:`GridEmulator.preload` so the
+sanitizer's use-before-def rule is armed) and a thin ``run_*`` wrapper
+that executes it and extracts the results.  The static-analysis runner
+sanitizes every built schedule without executing a cycle
+(:mod:`repro.analysis.schedules`).
+
+All schedules are accumulator-clean: chains that start from nothing use
+an explicit ``zero`` source rather than reading an undriven latch (the
+architectural "reads as zero" default), so the sanitizer's
+``sched.latch-use-before-def`` rule holds with no suppressions.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass, field
 from typing import Dict, List, Tuple
 
 import numpy as np
@@ -30,6 +44,7 @@ from ..hw.microcode import (
     IN_LEFT,
     IN_TOP,
     NOP,
+    ZERO,
     GridEmulator,
     Instr,
     imm,
@@ -37,6 +52,27 @@ from ..hw.microcode import (
 )
 
 Programs = Dict[Tuple[int, int], list]
+
+
+@dataclass
+class BuiltSchedule:
+    """A schedule ready to execute (or to sanitize without executing)."""
+
+    name: str
+    emu: GridEmulator
+    programs: Programs
+    left_inputs: Dict[int, List[int]] = field(default_factory=dict)
+    top_inputs: Dict[int, List[int]] = field(default_factory=dict)
+    num_cycles: int = 0
+
+    def run(self) -> int:
+        """Execute on the grid; returns cycles run."""
+        return self.emu.run(
+            self.programs,
+            left_inputs=self.left_inputs,
+            top_inputs=self.top_inputs,
+            num_cycles=self.num_cycles,
+        )
 
 
 def _pad(program: list, start: int) -> list:
@@ -49,31 +85,22 @@ def _pad(program: list, start: int) -> list:
 # ---------------------------------------------------------------------------
 
 
-def run_matvec(weights: np.ndarray, states: np.ndarray) -> Tuple[np.ndarray, int]:
-    """Stream row-vector x matrix products through an ``n x n`` grid.
-
-    PE ``(i, j)`` holds ``W[i][j]`` stationary in register 0; state
-    element ``i`` of state ``s`` enters row ``i`` at cycle ``s + i``
-    (the classic input skew).  Each active PE fires one
-    ``mac(in_left, W, in_top)`` down its column and forwards the state
-    element right -- exactly one multiplier and one adder-slot per
-    cycle.  Column ``j`` finishes state ``s`` at the bottom row on
-    cycle ``s + (n - 1) + j``.
-
-    Returns ``(outputs, cycles)`` with
-    ``out[s][j] = sum_i states[s][i] * W[i][j]``.
-    """
+def build_matvec(weights: np.ndarray, states: np.ndarray) -> BuiltSchedule:
+    """Build the weight-stationary matvec schedule (see :func:`run_matvec`)."""
     n = weights.shape[0]
     t_count = states.shape[0]
     emu = GridEmulator(rows=n, cols=n, register_words=max(64, t_count + 2))
     for i in range(n):
         for j in range(n):
-            emu.regs[(i, j)][0] = int(weights[i, j])
+            emu.preload((i, j), 0, int(weights[i, j]))
     total = t_count + 2 * n + 1
     programs: Programs = {}
     for i in range(n):
         for j in range(n):
             prog = []
+            # Row 0 starts each column's accumulation from an explicit
+            # zero; rows below chain on the partial arriving from above.
+            acc = ZERO if i == 0 else IN_TOP
             for cycle in range(total):
                 s = cycle - i - j
                 if 0 <= s < t_count:
@@ -81,7 +108,7 @@ def run_matvec(weights: np.ndarray, states: np.ndarray) -> Tuple[np.ndarray, int
                         "mac",
                         IN_LEFT,
                         reg(0),
-                        IN_TOP,
+                        acc,
                         dst_reg=(1 + s) if i == n - 1 else None,
                         out_down=True,
                     )
@@ -92,11 +119,37 @@ def run_matvec(weights: np.ndarray, states: np.ndarray) -> Tuple[np.ndarray, int
     feeds = {
         i: [0] * i + [int(states[s, i]) for s in range(t_count)] for i in range(n)
     }
-    cycles = emu.run(programs, left_inputs=feeds, num_cycles=total)
+    return BuiltSchedule(
+        name="matvec",
+        emu=emu,
+        programs=programs,
+        left_inputs=feeds,
+        num_cycles=total,
+    )
+
+
+def run_matvec(weights: np.ndarray, states: np.ndarray) -> Tuple[np.ndarray, int]:
+    """Stream row-vector x matrix products through an ``n x n`` grid.
+
+    PE ``(i, j)`` holds ``W[i][j]`` stationary in register 0; state
+    element ``i`` of state ``s`` enters row ``i`` at cycle ``s + i``
+    (the classic input skew).  Each active PE fires one
+    ``mac(in_left, W, acc)`` down its column and forwards the state
+    element right -- exactly one multiplier and one adder-slot per
+    cycle.  Column ``j`` finishes state ``s`` at the bottom row on
+    cycle ``s + (n - 1) + j``.
+
+    Returns ``(outputs, cycles)`` with
+    ``out[s][j] = sum_i states[s][i] * W[i][j]``.
+    """
+    n = weights.shape[0]
+    t_count = states.shape[0]
+    built = build_matvec(weights, states)
+    cycles = built.run()
     out = np.zeros((t_count, n), dtype=np.uint64)
     for j in range(n):
         for s in range(t_count):
-            out[s, j] = emu.regs[(n - 1, j)][1 + s]
+            out[s, j] = built.emu.regs[(n - 1, j)][1 + s]
     return out, cycles
 
 
@@ -105,21 +158,8 @@ def run_matvec(weights: np.ndarray, states: np.ndarray) -> Tuple[np.ndarray, int
 # ---------------------------------------------------------------------------
 
 
-def run_sbox_pipeline(values: List[int], post_constant: int = 0) -> Tuple[List[int], int]:
-    """Pipelined ``x^7 + post_constant`` on a 5-PE column.
-
-    Chain: ``a = x^2``, ``b = a*x``, ``c = b^2``, ``t = c*x``,
-    ``t + const`` -- four multiplies plus a constant add, one PE each
-    (the paper's "row of 4 PEs" plus the fused constant adder).
-
-    The single down link per PE carries two values per element (the
-    running partial and the original ``x`` needed again at stages 2 and
-    4), so the pipeline runs at initiation interval 2: even slot of
-    element ``s`` at row ``r`` (cycle ``2s + r``) transports/stashes
-    ``x``, the odd slot (cycle ``2s + r + 1``) computes.
-
-    Returns ``(outputs, cycles)``.
-    """
+def build_sbox_pipeline(values: List[int], post_constant: int = 0) -> BuiltSchedule:
+    """Build the pipelined S-box schedule (see :func:`run_sbox_pipeline`)."""
     t_count = len(values)
     rows = 5
     emu = GridEmulator(rows=rows, cols=1, register_words=max(64, t_count + 12))
@@ -152,9 +192,35 @@ def run_sbox_pipeline(values: List[int], post_constant: int = 0) -> Tuple[List[i
     # Feed x_s at the top on cycle 2s (row 0's transport slot).
     feed = [0] * total
     for s, v in enumerate(values):
-        feed[2 * s] = int(v) % gl.P
-    cycles = emu.run(programs, top_inputs={0: feed}, num_cycles=total)
-    outputs = [emu.regs[(4, 0)][10 + s] for s in range(t_count)]
+        feed[2 * s] = gl.canonical(int(v))
+    return BuiltSchedule(
+        name="sbox_pipeline",
+        emu=emu,
+        programs=programs,
+        top_inputs={0: feed},
+        num_cycles=total,
+    )
+
+
+def run_sbox_pipeline(values: List[int], post_constant: int = 0) -> Tuple[List[int], int]:
+    """Pipelined ``x^7 + post_constant`` on a 5-PE column.
+
+    Chain: ``a = x^2``, ``b = a*x``, ``c = b^2``, ``t = c*x``,
+    ``t + const`` -- four multiplies plus a constant add, one PE each
+    (the paper's "row of 4 PEs" plus the fused constant adder).
+
+    The single down link per PE carries two values per element (the
+    running partial and the original ``x`` needed again at stages 2 and
+    4), so the pipeline runs at initiation interval 2: even slot of
+    element ``s`` at row ``r`` (cycle ``2s + r``) transports/stashes
+    ``x``, the odd slot (cycle ``2s + r + 1``) computes.
+
+    Returns ``(outputs, cycles)``.
+    """
+    t_count = len(values)
+    built = build_sbox_pipeline(values, post_constant)
+    cycles = built.run()
+    outputs = [built.emu.regs[(4, 0)][10 + s] for s in range(t_count)]
     return outputs, cycles
 
 
@@ -163,29 +229,40 @@ def run_sbox_pipeline(values: List[int], post_constant: int = 0) -> Tuple[List[i
 # ---------------------------------------------------------------------------
 
 
+def build_reverse_dot(state: List[int], coeffs: List[int]) -> BuiltSchedule:
+    """Build the reverse-link dot schedule (see :func:`run_reverse_dot`)."""
+    n = len(state)
+    emu = GridEmulator(rows=n, cols=1, reverse_link_cols=(0,))
+    for r in range(n):
+        emu.preload((r, 0), 0, int(coeffs[r]))
+        emu.preload((r, 0), 1, int(state[r]))
+    programs: Programs = {}
+    for r in range(n):
+        fire_cycle = n - 1 - r  # bottom row first
+        # The bottom row starts the accumulation from an explicit zero;
+        # rows above chain on the partial arriving over the up link.
+        acc = ZERO if r == n - 1 else IN_BOTTOM
+        programs[(r, 0)] = _pad(
+            [Instr("mac", reg(1), reg(0), acc, out_up=True)], fire_cycle
+        )
+    return BuiltSchedule(
+        name="reverse_dot", emu=emu, programs=programs, num_cycles=n + 1
+    )
+
+
 def run_reverse_dot(state: List[int], coeffs: List[int]) -> Tuple[int, int]:
     """Accumulate ``sum_r state[r] * coeffs[r]`` bottom-up via up links.
 
     Row ``r`` holds ``coeffs[r]`` in register 0 and ``state[r]`` in
     register 1; starting from the bottom row, each PE fires one
-    ``mac(state, coeff, in_bottom)`` upward; the total exits at the top
+    ``mac(state, coeff, acc)`` upward; the total exits at the top
     boundary after ``n`` cycles.  Returns ``(dot_value, cycles)``.
     """
-    n = len(state)
-    emu = GridEmulator(rows=n, cols=1, reverse_link_cols=(0,))
-    for r in range(n):
-        emu.regs[(r, 0)][0] = int(coeffs[r]) % gl.P
-        emu.regs[(r, 0)][1] = int(state[r]) % gl.P
-    programs: Programs = {}
-    for r in range(n):
-        fire_cycle = n - 1 - r  # bottom row first
-        programs[(r, 0)] = _pad(
-            [Instr("mac", reg(1), reg(0), IN_BOTTOM, out_up=True)], fire_cycle
-        )
-    cycles = emu.run(programs, num_cycles=n + 1)
-    if not emu.top_outputs:
+    built = build_reverse_dot(state, coeffs)
+    cycles = built.run()
+    if not built.emu.top_outputs:
         raise RuntimeError("dot product never reached the top boundary")
-    _, _, value = emu.top_outputs[-1]
+    _, _, value = built.emu.top_outputs[-1]
     return value, cycles
 
 
@@ -194,18 +271,10 @@ def run_reverse_dot(state: List[int], coeffs: List[int]) -> Tuple[int, int]:
 # ---------------------------------------------------------------------------
 
 
-def run_vector_mac(
+def build_vector_mac(
     xs: List[int], ys: List[int], zs: List[int]
-) -> Tuple[List[int], int]:
-    """Element-wise ``x*y + z`` across a 12-PE column in vector mode.
-
-    Elements strip-mine across rows (element ``e`` to lane ``e % 12``);
-    each lane streams its operands from the left boundary over three
-    cycles (x, y, z) and fires a fused ``mac`` on the third -- the
-    chained-operation pattern of Section 5.4.
-
-    Returns ``(outputs, cycles)``.
-    """
+) -> BuiltSchedule:
+    """Build the vector-mode mac schedule (see :func:`run_vector_mac`)."""
     n = len(xs)
     if not (len(ys) == len(zs) == n):
         raise ValueError("operand vectors must have equal length")
@@ -226,14 +295,38 @@ def run_vector_mac(
         if prog:
             programs[(r, 0)] = prog
             feeds[r] = stream
-    if not programs:
+    total = max((len(p) for p in programs.values()), default=0)
+    return BuiltSchedule(
+        name="vector_mac",
+        emu=emu,
+        programs=programs,
+        left_inputs=feeds,
+        num_cycles=total,
+    )
+
+
+def run_vector_mac(
+    xs: List[int], ys: List[int], zs: List[int]
+) -> Tuple[List[int], int]:
+    """Element-wise ``x*y + z`` across a 12-PE column in vector mode.
+
+    Elements strip-mine across rows (element ``e`` to lane ``e % 12``);
+    each lane streams its operands from the left boundary over three
+    cycles (x, y, z) and fires a fused ``mac`` on the third -- the
+    chained-operation pattern of Section 5.4.
+
+    Returns ``(outputs, cycles)``.
+    """
+    n = len(xs)
+    built = build_vector_mac(xs, ys, zs)
+    if not built.programs:
         return [], 0
-    total = max(len(p) for p in programs.values())
-    cycles = emu.run(programs, left_inputs=feeds, num_cycles=total)
+    cycles = built.run()
+    rows = built.emu.rows
     out = [0] * n
     counts = [0] * rows
     for e in range(n):
         r = e % rows
-        out[e] = emu.regs[(r, 0)][10 + counts[r]]
+        out[e] = built.emu.regs[(r, 0)][10 + counts[r]]
         counts[r] += 1
     return out, cycles

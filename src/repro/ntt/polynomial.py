@@ -43,13 +43,13 @@ class Polynomial:
     @classmethod
     def constant(cls, c: int) -> "Polynomial":
         """The constant polynomial ``c``."""
-        return cls(np.array([c % gl.P], dtype=np.uint64))
+        return cls(np.array([gl.canonical(c)], dtype=np.uint64))
 
     @classmethod
     def x_pow(cls, k: int, scale: int = 1) -> "Polynomial":
         """The monomial ``scale * X**k``."""
         coeffs = np.zeros(k + 1, dtype=np.uint64)
-        coeffs[k] = scale % gl.P
+        coeffs[k] = gl.canonical(scale)
         return cls(coeffs)
 
     @classmethod
@@ -120,18 +120,24 @@ class Polynomial:
         if out_len <= _NTT_MUL_THRESHOLD:
             return Polynomial(_schoolbook_mul(self.coeffs, other.coeffs))
         size = 1 << (out_len - 1).bit_length()
-        a = np.zeros(size, dtype=np.uint64)
-        b = np.zeros(size, dtype=np.uint64)
+        ws = gl64.default_workspace()
+        a = ws.temp((size,), "poly:mul:a")
+        b = ws.temp((size,), "poly:mul:b")
         a[: len(self.coeffs)] = self.coeffs
+        a[len(self.coeffs) :] = 0
         b[: len(other.coeffs)] = other.coeffs
-        prod = _ntt.intt(gl64.mul(_ntt.ntt(a), _ntt.ntt(b)))
+        b[len(other.coeffs) :] = 0
+        fa = _ntt.ntt(a, out=ws.temp((size,), "poly:mul:fa"), ws=ws)
+        fb = _ntt.ntt(b, out=ws.temp((size,), "poly:mul:fb"), ws=ws)
+        gl64.mul_into(fa, fb, fa, ws)
+        prod = _ntt.intt(fa, ws=ws)
         return Polynomial(prod[:out_len])
 
     __rmul__ = __mul__
 
     def scale(self, s: int) -> "Polynomial":
         """Multiply every coefficient by the scalar ``s``."""
-        return Polynomial(gl64.mul(self.coeffs, np.uint64(s % gl.P)))
+        return Polynomial(gl64.mul(self.coeffs, np.uint64(gl.canonical(s))))
 
     def shift_args(self, s: int) -> "Polynomial":
         """Return ``q(X) = p(s * X)`` (coefficient ``i`` scaled by ``s**i``).
@@ -148,7 +154,7 @@ class Polynomial:
         """Evaluate at a base-field point (Horner, Python ints)."""
         acc = 0
         for c in reversed(self.coeffs.tolist()):
-            acc = (acc * x + int(c)) % gl.P
+            acc = gl.canonical(acc * x + int(c))
         return acc
 
     def eval_ext(self, x: np.ndarray) -> np.ndarray:
@@ -171,9 +177,11 @@ class Polynomial:
         n = 1 << log_n
         if n < len(self.coeffs):
             raise ValueError("subgroup smaller than coefficient count")
-        padded = np.zeros(n, dtype=np.uint64)
+        ws = gl64.default_workspace()
+        padded = ws.temp((n,), "poly:evals:pad")
         padded[: len(self.coeffs)] = self.coeffs
-        return _ntt.ntt(padded)
+        padded[len(self.coeffs) :] = 0
+        return _ntt.ntt(padded, ws=ws)
 
     # -- division ----------------------------------------------------------
 
@@ -188,9 +196,9 @@ class Polynomial:
         out = [0] * (len(coeffs) - 1)
         acc = 0
         for i in range(len(coeffs) - 1, 0, -1):
-            acc = (acc * z + coeffs[i]) % gl.P
+            acc = gl.canonical(acc * z + coeffs[i])
             out[i - 1] = acc
-        rem = (acc * z + coeffs[0]) % gl.P
+        rem = gl.canonical(acc * z + coeffs[0])
         if not out:
             out = [0]
         return Polynomial(np.array(out, dtype=np.uint64)), rem
@@ -213,7 +221,7 @@ class Polynomial:
             c = work[i]
             if c:
                 quot[i - n] = c
-                work[i - n] = (work[i - n] + c) % gl.P
+                work[i - n] = gl.canonical(work[i - n] + c)
                 work[i] = 0
         return Polynomial(quot), Polynomial(np.array(work[:n], dtype=np.uint64))
 
@@ -264,7 +272,7 @@ def barycentric_eval(values: np.ndarray, log_n: int, x: int) -> int:
     if len(values) != n:
         raise ValueError("value count must equal subgroup size")
     omega_pows = gl64.powers(gl.primitive_root_of_unity(log_n), n)
-    denom = gl64.sub(np.uint64(x % gl.P), omega_pows)
+    denom = gl64.sub(np.uint64(gl.canonical(x)), omega_pows)
     if bool((denom == 0).any()):
         raise ValueError("barycentric point lies inside the subgroup")
     terms = gl64.mul(gl64.mul(values, omega_pows), gl64.inv_fast(denom))

@@ -83,14 +83,14 @@ class Circuit:
         """
         values: List[Optional[int]] = [None] * self.num_vars
         for idx, val in inputs.items():
-            values[idx] = val % gl.P
+            values[idx] = gl.canonical(val)
         for fn, arg_vars, out_var in self.generators:
             args = []
             for v in arg_vars:
                 if values[v] is None:
                     raise ValueError(f"variable {v} needed before it is set")
                 args.append(values[v])
-            values[out_var] = fn(*args) % gl.P
+            values[out_var] = gl.canonical(fn(*args))
         missing = [i for i, v in enumerate(values) if v is None]
         if missing:
             raise ValueError(f"witness incomplete: variables {missing[:5]} unset")
@@ -106,16 +106,16 @@ class Circuit:
         q = self.selectors.tolist()
         pi_terms = [0] * self.n
         for row, val in zip(self.public_input_rows, public_inputs):
-            pi_terms[row] = (-val) % gl.P
+            pi_terms[row] = gl.canonical(-val)
         for i in range(self.n):
-            total = (
+            total = gl.canonical(
                 q[0][i] * w[0][i]
                 + q[1][i] * w[1][i]
                 + q[2][i] * w[0][i] * w[1][i]
                 + q[3][i] * w[2][i]
                 + q[4][i]
                 + pi_terms[i]
-            ) % gl.P
+            )
             if total != 0:
                 return False
         return True
@@ -173,7 +173,8 @@ class CircuitBuilder:
     ) -> int:
         """Append a raw gate row; returns its row index."""
         self._gates.append(
-            Gate(q_l % gl.P, q_r % gl.P, q_m % gl.P, q_o % gl.P, q_c % gl.P, a, b, c)
+            Gate(gl.canonical(q_l), gl.canonical(q_r), gl.canonical(q_m),
+                 gl.canonical(q_o), gl.canonical(q_c), a, b, c)
         )
         return len(self._gates) - 1
 
@@ -220,7 +221,7 @@ class CircuitBuilder:
     def assert_constant(self, x: Variable, value: int) -> None:
         """Constrain ``x == value`` (the paper's ``x_6 = 99`` output row)."""
         zero = self._zero_var()
-        self.add_gate(1, 0, 0, 0, (-value) % gl.P, x, zero, zero)
+        self.add_gate(1, 0, 0, 0, gl.canonical(-value), x, zero, zero)
 
     def public_input(self) -> Variable:
         """Declare a public input (enforced via the PI polynomial)."""

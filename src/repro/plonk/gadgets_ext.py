@@ -70,7 +70,7 @@ def ext_mul(builder: CircuitBuilder, a: ExtVar, b: ExtVar) -> ExtVar:
 
 def ext_scalar_mul(builder: CircuitBuilder, a: ExtVar, s: int) -> ExtVar:
     """Multiply by a base-field constant."""
-    sc = builder.constant(s % gl.P)
+    sc = builder.constant(gl.canonical(s))
     return ExtVar(builder.mul(a.c0, sc), builder.mul(a.c1, sc))
 
 
@@ -111,7 +111,7 @@ def domain_point_from_bits(
     shift_val = gl.coset_shift() if shift is None else shift
     if inverse:
         shift_val = gl.inverse(shift_val)
-    acc = builder.constant(shift_val % gl.P)
+    acc = builder.constant(gl.canonical(shift_val))
     one = builder.constant(1)
     factor = omega
     for bit in bits:

@@ -59,7 +59,9 @@ def _pi_poly_on_lde(
     ws: gl64.Workspace | None = None,
 ) -> np.ndarray:
     """LDE values of the public-input polynomial ``-sum v_k L_rowk(x)``."""
-    subgroup = np.zeros(circuit.n, dtype=np.uint64)
+    ws = ws or gl64.default_workspace()
+    subgroup = ws.temp((circuit.n,), "plonk:pi")
+    subgroup.fill(0)
     for row, val in zip(circuit.public_input_rows, public_values):
         subgroup[row] = gl.neg(val)
     return lde(subgroup, rate_bits, ws=ws)

@@ -170,5 +170,5 @@ def sumcheck_proof_inputs(handles, proof, table_values) -> dict:
         inputs[y1v.index] = y1
     inputs[handles["final"].index] = proof.final_value
     for var, val in zip(handles["table"], table_values):
-        inputs[var.index] = int(val) % gl.P
+        inputs[var.index] = gl.canonical(int(val))
     return inputs

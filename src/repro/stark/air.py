@@ -32,7 +32,7 @@ class BaseVecAlgebra:
 
     def constant(self, c: int):
         """Broadcast a constant over the domain."""
-        return np.broadcast_to(np.uint64(c % gl.P), (self.n,))
+        return np.broadcast_to(np.uint64(gl.canonical(c)), (self.n,))
 
     def add(self, a, b):
         """Field addition."""
@@ -48,7 +48,7 @@ class BaseVecAlgebra:
 
     def mul_const(self, a, c: int):
         """Multiply by a Python-int constant."""
-        return gl64.mul(a, np.uint64(c % gl.P))
+        return gl64.mul(a, np.uint64(gl.canonical(c)))
 
 
 class ExtAlgebra:
@@ -56,7 +56,7 @@ class ExtAlgebra:
 
     def constant(self, c: int):
         """Embed a constant into the extension."""
-        return fext.from_base(np.uint64(c % gl.P))
+        return fext.from_base(np.uint64(gl.canonical(c)))
 
     def add(self, a, b):
         """Extension addition."""
@@ -72,7 +72,7 @@ class ExtAlgebra:
 
     def mul_const(self, a, c: int):
         """Multiply by a base-field constant."""
-        return fext.scalar_mul(a, np.uint64(c % gl.P))
+        return fext.scalar_mul(a, np.uint64(gl.canonical(c)))
 
 
 @dataclass(frozen=True)
@@ -152,6 +152,6 @@ class Air:
             if bool(np.asarray(con).any()):
                 return False
         for bc in self.boundary_constraints(public_inputs):
-            if int(trace[bc.row, bc.column]) != bc.value % gl.P:
+            if int(trace[bc.row, bc.column]) != gl.canonical(bc.value):
                 return False
         return True

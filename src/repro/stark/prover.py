@@ -111,7 +111,7 @@ def prove(
                 )
                 alpha_t = fext.mul(alpha_t, alpha.reshape(2))
             for bc in air.boundary_constraints(public_inputs):
-                numer = gl64.sub(locals_[bc.column], np.uint64(bc.value % gl.P))
+                numer = gl64.sub(locals_[bc.column], np.uint64(gl.canonical(bc.value)))
                 div_inv = plan.boundary_inverse(bc.row)
                 term = gl64.mul(numer, div_inv)
                 combined = fext.add(
@@ -137,7 +137,7 @@ def prove(
     return StarkProof(
         trace_cap=trace_batch.cap.copy(),
         quotient_cap=quotient_batch.cap.copy(),
-        public_inputs=[int(v) % gl.P for v in public_inputs],
+        public_inputs=[gl.canonical(int(v)) for v in public_inputs],
         degree_bits=n.bit_length() - 1,
         openings=openings,
         fri_proof=fri_proof,

@@ -90,7 +90,7 @@ def verify(
         alpha_t = fext.mul(alpha_t, alpha.reshape(2))
     for bc in air.boundary_constraints(proof.public_inputs):
         point = gl.pow_mod(omega, bc.row)
-        numer = fext.sub(local[bc.column], fext.from_base(np.uint64(bc.value % gl.P)))
+        numer = fext.sub(local[bc.column], fext.from_base(np.uint64(gl.canonical(bc.value))))
         div_inv = fext.inv(fext.sub(zeta.reshape(2), fext.from_base(np.uint64(point))))
         total = fext.add(total, fext.mul(alpha_t, fext.mul(numer, div_inv)))
         alpha_t = fext.mul(alpha_t, alpha.reshape(2))

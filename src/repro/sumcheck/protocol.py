@@ -32,7 +32,7 @@ def fold_table(table: np.ndarray, r: int) -> np.ndarray:
     hi = table[half:]
     one_minus_r = np.uint64(gl.sub(1, r))
     return gl64.add(
-        gl64.mul(lo, one_minus_r), gl64.mul(hi, np.uint64(r % gl.P))
+        gl64.mul(lo, one_minus_r), gl64.mul(hi, np.uint64(gl.canonical(r)))
     )
 
 

@@ -31,6 +31,41 @@ class TestUnknownWorkload:
         assert "'Mystery'" in err and "Fibonacci" in err
 
 
+class TestAnalyzeErrors:
+    def _check(self, capsys, argv, fragment):
+        assert main(argv) == 2
+        captured = capsys.readouterr()
+        lines = captured.err.strip().splitlines()
+        assert len(lines) == 1, f"expected one-line error, got: {captured.err!r}"
+        assert fragment in lines[0]
+        assert "Traceback" not in captured.err + captured.out
+
+    def test_unknown_rule_id(self, capsys):
+        self._check(
+            capsys, ["analyze", "--rules", "sched.nope"], "unknown rule id"
+        )
+
+    def test_unknown_rule_names_the_choices(self, capsys):
+        main(["analyze", "--rules", "bogus.rule"])
+        err = capsys.readouterr().err
+        assert "'bogus.rule'" in err and "sched.latch-double-drive" in err
+
+    def test_malformed_baseline(self, capsys, tmp_path):
+        bad = tmp_path / "BASELINE.json"
+        bad.write_text("{ not json")
+        self._check(
+            capsys, ["analyze", "--baseline", str(bad)], "not valid JSON"
+        )
+
+    def test_module_entry_point_matches(self, capsys, tmp_path):
+        # ``python -m repro.analysis`` shares the CLI's error contract.
+        from repro.analysis.runner import main as analysis_main
+
+        assert analysis_main(["--rules", "sched.nope"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown rule id" in err and "Traceback" not in err
+
+
 class TestServiceUnreachable:
     def test_submit_without_server_is_clean(self, capsys):
         assert main(["submit", "--workload", "Fibonacci",

@@ -47,12 +47,17 @@ class TestMachine:
 
     def test_link_latency_one_cycle(self):
         # PE (0,0) sends at cycle 0; PE (0,1) can read it at cycle 1.
-        emu = GridEmulator(1, 2)
+        # The cycle-0 read is a deliberate early read (it sees the reset
+        # zero), so the sanitizer must reject it and validate=False must
+        # preserve the runtime latency semantics.
         programs = {
             (0, 0): [Instr("mov", imm(42), out_right=True)],
             (0, 1): [Instr("mov", IN_LEFT, dst_reg=0),
                      Instr("mov", IN_LEFT, dst_reg=1)],
         }
+        with pytest.raises(ValueError, match="sched.latch-use-before-def"):
+            GridEmulator(1, 2).run(programs, num_cycles=2)
+        emu = GridEmulator(1, 2, validate=False)
         emu.run(programs, num_cycles=2)
         assert emu.regs[(0, 1)][0] == 0  # too early
         assert emu.regs[(0, 1)][1] == 42  # one cycle later
