@@ -15,7 +15,10 @@
   for and verify the proof;
 * ``status``      -- query a running service for job or service stats;
 * ``analyze``     -- run the static analysis (PE-grid schedule
-  sanitizer + prover-invariant lint) against the suppression baseline.
+  sanitizer + prover-invariant lint) against the suppression baseline;
+* ``fuzz``        -- mutate honest proofs against the verifiers and
+  cross-check the optimized kernels against slow references, failing
+  on any accept or untyped crash.
 """
 
 from __future__ import annotations
@@ -167,7 +170,12 @@ def cmd_serve(args) -> int:
     )
     try:
         serve_forever(
-            service, host=args.host, port=args.port, max_jobs=args.max_jobs
+            service,
+            host=args.host,
+            port=args.port,
+            max_jobs=args.max_jobs,
+            max_wait_s=args.max_wait,
+            drain_timeout_s=args.drain_timeout,
         )
     except KeyboardInterrupt:
         pass
@@ -231,6 +239,60 @@ def cmd_analyze(args) -> int:
         return execute(args)
     except AnalysisError as exc:
         raise CliError(str(exc)) from None
+
+
+def _parse_budget(text: str) -> float:
+    """Parse a time budget like ``60``, ``90s``, ``2m`` into seconds."""
+    raw = text.strip().lower()
+    scale = 1.0
+    if raw.endswith("m"):
+        raw, scale = raw[:-1], 60.0
+    elif raw.endswith("s"):
+        raw = raw[:-1]
+    try:
+        seconds = float(raw) * scale
+    except ValueError:
+        raise CliError(f"invalid budget {text!r} (use e.g. 60, 90s, 2m)") from None
+    if seconds <= 0:
+        raise CliError("budget must be positive")
+    return seconds
+
+
+def cmd_fuzz(args) -> int:
+    """Run a soundness fuzz campaign (or replay a stored artifact)."""
+    from .fuzz import PROTOCOLS, replay_artifact, run_fuzz
+
+    if args.replay:
+        result = replay_artifact(args.replay)
+        print(result.finding.describe())
+        if result.reproduced:
+            print(f"REPRODUCED: {args.replay} -> {result.outcome} "
+                  f"({result.exception or 'accepted'})")
+            return 1
+        print(f"not reproduced: mutant now {result.outcome} "
+              f"({result.exception or 'no error'})")
+        return 0
+
+    protocols = PROTOCOLS if args.protocol == "both" else (args.protocol,)
+    budget_s = _parse_budget(args.budget) if args.budget else None
+    report = run_fuzz(
+        seed=args.seed,
+        iterations=args.iterations,
+        budget_s=budget_s,
+        protocols=protocols,
+        corpus_dir=args.corpus,
+        shrink=not args.no_shrink,
+        oracle_iters=0 if args.no_oracles else args.oracle_iters,
+        progress=lambda i, rep: print(f"  ... {i} mutants", flush=True),
+    )
+    for line in report.summary_lines():
+        print(line)
+    if not report.ok:
+        if args.corpus:
+            print(f"reproducer artifacts written to {args.corpus}")
+        return 1
+    print("no findings")
+    return 0
 
 
 def cmd_status(args) -> int:
@@ -297,6 +359,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--retries", type=int, default=2, help="max retries per job")
     p.add_argument("--max-jobs", type=int, default=None,
                    help="exit after serving this many jobs (smoke tests)")
+    p.add_argument("--max-wait", type=float, default=300.0,
+                   help="cap on client-requested wait/timeout seconds")
+    p.add_argument("--drain-timeout", type=float, default=60.0,
+                   help="seconds to drain queued jobs before a max-jobs exit")
     p.add_argument("--fault-injection", action="store_true",
                    help="accept sleep/crash debug job kinds")
 
@@ -321,6 +387,28 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--shutdown", action="store_true",
                    help="ask the service to drain and exit")
 
+    p = sub.add_parser(
+        "fuzz", help="fuzz the verifiers with mutated proofs + oracles"
+    )
+    p.add_argument("--budget", default=None, metavar="TIME",
+                   help="wall-clock budget, e.g. 60s or 2m (default: none)")
+    p.add_argument("--iterations", type=int, default=None,
+                   help="mutation count (default 1000 if no --budget)")
+    p.add_argument("--seed", type=int, default=0, help="campaign seed")
+    p.add_argument("--corpus", default=None, metavar="DIR",
+                   help="write reproducer artifacts for findings here")
+    p.add_argument("--replay", default=None, metavar="ARTIFACT",
+                   help="replay one stored artifact instead of fuzzing "
+                        "(exit 1 if it still reproduces)")
+    p.add_argument("--protocol", choices=["stark", "plonk", "both"],
+                   default="both", help="proof system(s) to target")
+    p.add_argument("--oracle-iters", type=int, default=8,
+                   help="differential-oracle iterations per kernel family")
+    p.add_argument("--no-oracles", action="store_true",
+                   help="skip the differential oracles")
+    p.add_argument("--no-shrink", action="store_true",
+                   help="keep findings unshrunk (faster on failure)")
+
     from .analysis.runner import add_analyze_arguments
 
     p = sub.add_parser(
@@ -344,6 +432,7 @@ def main(argv=None) -> int:
         "serve": cmd_serve,
         "submit": cmd_submit,
         "status": cmd_status,
+        "fuzz": cmd_fuzz,
         "analyze": cmd_analyze,
     }[args.command]
     try:

@@ -37,12 +37,21 @@ def _combined_at_index(
         num = fext.zero()
         const = fext.zero()
         for (b, c), y in zip(cols, vals):
-            f_val = int(leaves[b][c])
+            if not (0 <= b < len(leaves)):
+                raise FriError("opened batch index out of range")
+            leaf = leaves[b]
+            if not (0 <= c < leaf.shape[0]):
+                raise FriError("opened column exceeds initial leaf width")
+            f_val = int(leaf[c])
             num = fext.add(num, fext.scalar_mul(alpha_t, np.uint64(f_val)))
             const = fext.add(const, fext.mul(alpha_t, y))
             alpha_t = fext.mul(alpha_t, alpha.reshape(2))
         num = fext.sub(num, const)
         denom = fext.sub(fext.from_base(np.uint64(x)), point.reshape(2))
+        if bool(fext.is_zero(denom)):
+            # Inverting zero would leak a ZeroDivisionError; an opening
+            # point on the evaluation domain is simply invalid.
+            raise FriError("opening point lies on the evaluation domain")
         total = fext.add(total, fext.mul(num, fext.inv(denom)))
     return total
 
@@ -54,12 +63,19 @@ def fri_verify(
     challenger: Challenger,
     config: FriConfig,
     degree_n: int,
+    leaf_widths: Sequence[int | tuple[int, ...]] | None = None,
 ) -> None:
     """Verify a batch FRI opening proof; raises :class:`FriError` on failure.
 
     ``batch_caps`` are the caps of the original commitments (in the same
     order the prover used); ``degree_n`` is the claimed degree bound
-    (the pre-blowup domain size).
+    (the pre-blowup domain size).  ``leaf_widths``, when given, pins the
+    number of elements each initial-opening leaf must carry (one entry
+    per batch, an int or a tuple of admissible ints -- a batch that may
+    carry optional blinding salt columns admits both widths):
+    ``hash_or_noop`` zero-pads rows shorter than a digest, so without
+    the width pin an attacker could present a padded or truncated leaf
+    whose digest still matches the commitment.
     """
     challenger.observe_elements(openings.flat_values())
     alpha = challenger.get_ext_challenge()
@@ -75,6 +91,8 @@ def fri_verify(
         challenger.observe_cap(cap)
         betas.append(challenger.get_ext_challenge())
 
+    if proof.final_poly.ndim != 2 or proof.final_poly.shape[1] != 2:
+        raise FriError("malformed final polynomial")
     final_len = max(1, degree_n >> num_rounds)
     if proof.final_poly.shape[0] > final_len:
         raise FriError("final polynomial exceeds the degree bound")
@@ -92,10 +110,25 @@ def fri_verify(
     for idx, qr in zip(indices, proof.query_rounds):
         if qr.index != idx:
             raise FriError("query index mismatch with transcript")
-        # Initial openings against every original commitment.
+        # Initial openings against every original commitment.  The
+        # leaves/proofs lists must pair off exactly -- ``zip`` would
+        # silently truncate the check loop (skipping Merkle checks for
+        # the unpaired leaves) if one list were shorter.
         if len(qr.initial.leaves) != len(batch_caps):
             raise FriError("initial opening count mismatch")
-        for leaf, prf, cap in zip(qr.initial.leaves, qr.initial.proofs, batch_caps):
+        if len(qr.initial.proofs) != len(qr.initial.leaves):
+            raise FriError("initial opening count mismatch")
+        for b, (leaf, prf, cap) in enumerate(
+            zip(qr.initial.leaves, qr.initial.proofs, batch_caps)
+        ):
+            if leaf.ndim != 1:
+                raise FriError("malformed initial leaf")
+            if leaf_widths is not None:
+                allowed = leaf_widths[b]
+                if isinstance(allowed, int):
+                    allowed = (allowed,)
+                if leaf.shape[0] not in allowed:
+                    raise FriError("malformed initial leaf")
             if not verify_proof(leaf, idx, prf, cap):
                 raise FriError("initial Merkle proof failed")
         x = gl.mul(gl.coset_shift(), gl.pow_mod(omega, idx))
@@ -111,6 +144,13 @@ def fri_verify(
         for layer, beta, cap in zip(qr.layers, betas, proof.commit_caps):
             half = cur_size // 2
             pair = cur % half
+            # Validate the leaf shape before slicing: a truncated or
+            # reshaped leaf would otherwise be compared against silently
+            # empty ``[0:2]``/``[2:4]`` slices (or crash on a 0-d array),
+            # and ``hash_or_noop`` zero-pads 3-element rows into the same
+            # digest as a 4-element row ending in zero.
+            if layer.pair_leaf.shape != (4,):
+                raise FriError("malformed layer leaf")
             if not verify_proof(layer.pair_leaf, pair, layer.proof, cap):
                 raise FriError("layer Merkle proof failed")
             lo = layer.pair_leaf[0:2]

@@ -1,0 +1,74 @@
+"""Finding records and seeded reproducer artifacts.
+
+A finding is a mutant that the verifier *accepted* or rejected with an
+untyped exception.  Findings are persisted as small JSON artifacts that
+carry everything needed to replay them in a fresh process:
+
+* byte-level findings embed the (shrunk) mutant bytes directly;
+* object-level findings embed the ``(seed, iteration, mutator)`` triple,
+  because the mutant proof object is regenerated deterministically from
+  the per-iteration generator.
+
+Artifacts double as regression corpus entries: CI replays every stored
+artifact and fails if one reproduces (see ``repro fuzz --replay``).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import Optional
+
+#: Artifact schema version (bump on incompatible format changes).
+ARTIFACT_VERSION = 1
+
+#: Outcome labels that constitute a finding.
+BAD_OUTCOMES = ("accepted", "untyped-decode", "untyped-verify")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One soundness finding, replayable from its artifact."""
+
+    protocol: str  # "stark" | "plonk"
+    mutator: str  # name in MUTATORS
+    kind: str  # "bytes" | "object"
+    seed: int
+    iteration: int
+    outcome: str  # one of BAD_OUTCOMES
+    exception_type: Optional[str]  # None for an accept
+    exception_msg: Optional[str]
+    data_hex: Optional[str] = None  # mutant bytes (byte-level findings)
+    shrunk_hex: Optional[str] = None  # minimized mutant bytes, if shrinking ran
+
+    def describe(self) -> str:
+        """One-line human summary."""
+        exc = f"{self.exception_type}: {self.exception_msg}" if self.exception_type else "accepted"
+        return (
+            f"[{self.protocol}] {self.mutator} (iter {self.iteration}, "
+            f"seed {self.seed}) -> {self.outcome} ({exc})"
+        )
+
+    def artifact_name(self) -> str:
+        """Stable filename for this finding's artifact."""
+        return f"{self.protocol}-{self.mutator}-s{self.seed}-i{self.iteration}.json"
+
+
+def save_finding(finding: Finding, corpus_dir: str | Path) -> Path:
+    """Persist a finding as a JSON artifact; returns its path."""
+    corpus = Path(corpus_dir)
+    corpus.mkdir(parents=True, exist_ok=True)
+    path = corpus / finding.artifact_name()
+    payload = {"version": ARTIFACT_VERSION, **asdict(finding)}
+    path.write_text(json.dumps(payload, indent=2) + "\n")
+    return path
+
+
+def load_finding(path: str | Path) -> Finding:
+    """Load a finding back from its JSON artifact."""
+    raw = json.loads(Path(path).read_text())
+    version = raw.pop("version", None)
+    if version != ARTIFACT_VERSION:
+        raise ValueError(f"unsupported fuzz artifact version {version!r}")
+    return Finding(**raw)

@@ -1,0 +1,416 @@
+"""Structured mutation library over serialized STARK / Plonk proofs.
+
+Every mutator takes a :class:`~repro.fuzz.targets.FuzzTarget` and a
+seeded ``numpy.random.Generator`` and produces a :class:`Mutant`:
+
+* **byte mutants** carry a mutated serialized proof -- they exercise the
+  deserializer *and* the verifier (most structured mutators decode the
+  honest proof, tamper with one structural element, and re-encode);
+* **object mutants** carry a mutated in-memory proof object -- they
+  exercise verifier states that the codec cannot even express (e.g. an
+  initial opening whose ``leaves`` and ``proofs`` lists disagree in
+  length, which ``write_fri_proof``'s ``zip`` would silently repair).
+
+Mutators are deterministic in ``(target, rng)``: re-running one with
+the same per-iteration seed regenerates the identical mutant, which is
+how object-mutant findings are replayed from artifacts.  A mutator may
+return ``None`` when it does not apply (e.g. ``perturb-degree-bits`` on
+a Plonk proof).
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional
+
+import numpy as np
+
+from ..field import goldilocks as gl
+from .targets import FuzzTarget
+
+_P = gl.P
+
+
+@dataclass
+class Mutant:
+    """One mutated proof, as bytes or as an in-memory object."""
+
+    mutator: str
+    data: Optional[bytes] = None  # byte-level mutant
+    proof: Optional[object] = None  # object-level mutant (skips decode)
+
+    @property
+    def kind(self) -> str:
+        """``"bytes"`` or ``"object"``."""
+        return "bytes" if self.data is not None else "object"
+
+
+def _rand_elem(rng: np.random.Generator, not_equal: int | None = None) -> int:
+    """A uniform canonical field element, optionally != a given value."""
+    while True:
+        v = int(rng.integers(0, _P, dtype=np.uint64))
+        if v != not_equal:
+            return v
+
+
+# -- access helpers over both proof shapes ------------------------------------
+
+
+def _cap_slots(proof) -> list:
+    """Addressable Merkle-cap slots: ``(attr, index_or_None)`` pairs."""
+    slots = []
+    for name in ("trace_cap", "quotient_cap", "wires_cap", "z_cap"):
+        if hasattr(proof, name):
+            slots.append((name, None))
+    for i in range(len(proof.fri_proof.commit_caps)):
+        slots.append(("commit_caps", i))
+    return slots
+
+
+def _get_cap(proof, slot) -> np.ndarray:
+    name, idx = slot
+    if name == "commit_caps":
+        return proof.fri_proof.commit_caps[idx]
+    return getattr(proof, name)
+
+
+def _set_cap(proof, slot, value: np.ndarray) -> None:
+    name, idx = slot
+    if name == "commit_caps":
+        proof.fri_proof.commit_caps[idx] = value
+    else:
+        setattr(proof, name, value)
+
+
+def _all_arrays(proof) -> list:
+    """Every mutable field-element array reachable in a proof."""
+    arrays = [_get_cap(proof, s) for s in _cap_slots(proof)]
+    arrays.extend(proof.openings.points)
+    arrays.extend(proof.openings.values)
+    fp = proof.fri_proof
+    arrays.append(fp.final_poly)
+    for qr in fp.query_rounds:
+        arrays.extend(qr.initial.leaves)
+        arrays.extend(p.siblings for p in qr.initial.proofs)
+        for layer in qr.layers:
+            arrays.append(layer.pair_leaf)
+            arrays.append(layer.proof.siblings)
+    return [a for a in arrays if a.size]
+
+
+def _choice(rng: np.random.Generator, seq):
+    return seq[int(rng.integers(0, len(seq)))]
+
+
+# -- byte-level mutators -------------------------------------------------------
+
+
+def bit_flip(target: FuzzTarget, rng) -> Mutant:
+    """Flip one bit anywhere in the serialized proof."""
+    blob = bytearray(target.blob)
+    pos = int(rng.integers(0, len(blob)))
+    blob[pos] ^= 1 << int(rng.integers(0, 8))
+    return Mutant("bit-flip", data=bytes(blob))
+
+
+def truncate_bytes(target: FuzzTarget, rng) -> Mutant:
+    """Cut the serialized proof at a random position."""
+    cut = int(rng.integers(0, len(target.blob)))
+    return Mutant("truncate-bytes", data=target.blob[:cut])
+
+
+def extend_bytes(target: FuzzTarget, rng) -> Mutant:
+    """Append 1..16 random bytes after a valid proof."""
+    extra = rng.integers(0, 256, size=int(rng.integers(1, 17)), dtype=np.uint8)
+    return Mutant("extend-bytes", data=target.blob + extra.tobytes())
+
+
+def stomp_u32(target: FuzzTarget, rng) -> Mutant:
+    """Overwrite a 4-byte window with ``0xFFFFFFFF``.
+
+    Unaligned windows corrupt payloads; aligned ones inflate the
+    length/count prefixes the deserializer must bound-check.
+    """
+    blob = bytearray(target.blob)
+    pos = int(rng.integers(0, len(blob) - 3))
+    blob[pos : pos + 4] = b"\xff\xff\xff\xff"
+    return Mutant("stomp-u32", data=bytes(blob))
+
+
+def zero_window(target: FuzzTarget, rng) -> Mutant:
+    """Zero out an 8-byte window of the serialized proof."""
+    blob = bytearray(target.blob)
+    pos = int(rng.integers(0, max(1, len(blob) - 7)))
+    blob[pos : pos + 8] = b"\x00" * len(blob[pos : pos + 8])
+    return Mutant("zero-window", data=bytes(blob))
+
+
+def splice_proofs(target: FuzzTarget, rng) -> Mutant:
+    """Concatenate a prefix of one valid proof with another's suffix."""
+    a, b = target.blob, target.alt_blob
+    cut = int(rng.integers(1, min(len(a), len(b))))
+    return Mutant("splice-proofs", data=a[:cut] + b[cut:])
+
+
+# -- structured mutators (decode, tamper, re-encode) ---------------------------
+
+
+def flip_field_element(target: FuzzTarget, rng) -> Mutant:
+    """Replace one field element anywhere in the proof structure."""
+    proof = target.decode(target.blob)
+    arr = _choice(rng, _all_arrays(proof))
+    flat = arr.reshape(-1)
+    idx = int(rng.integers(0, flat.size))
+    flat[idx] = np.uint64(_rand_elem(rng, not_equal=int(flat[idx])))
+    return Mutant("flip-field-element", data=target.encode(proof))
+
+
+def perturb_opening_value(target: FuzzTarget, rng) -> Mutant:
+    """Perturb one claimed opening evaluation."""
+    proof = target.decode(target.blob)
+    vals = _choice(rng, proof.openings.values)
+    flat = vals.reshape(-1)
+    idx = int(rng.integers(0, flat.size))
+    flat[idx] = np.uint64(_rand_elem(rng, not_equal=int(flat[idx])))
+    return Mutant("perturb-opening-value", data=target.encode(proof))
+
+
+def swap_opening_points(target: FuzzTarget, rng) -> Mutant:
+    """Swap the two opening points (zeta and zeta * omega)."""
+    proof = target.decode(target.blob)
+    pts = proof.openings.points
+    pts[0], pts[1] = pts[1], pts[0]
+    return Mutant("swap-opening-points", data=target.encode(proof))
+
+
+def swap_cap_entries(target: FuzzTarget, rng) -> Optional[Mutant]:
+    """Swap two rows of one Merkle cap."""
+    proof = target.decode(target.blob)
+    slots = [s for s in _cap_slots(proof) if _get_cap(proof, s).shape[0] >= 2]
+    if not slots:
+        return None
+    cap = _get_cap(proof, _choice(rng, slots))
+    i, j = 0, int(rng.integers(1, cap.shape[0]))
+    if np.array_equal(cap[i], cap[j]):
+        return None
+    cap[[i, j]] = cap[[j, i]]
+    return Mutant("swap-cap-entries", data=target.encode(proof))
+
+
+def truncate_cap(target: FuzzTarget, rng) -> Mutant:
+    """Drop the last row of one Merkle cap."""
+    proof = target.decode(target.blob)
+    slot = _choice(rng, _cap_slots(proof))
+    _set_cap(proof, slot, _get_cap(proof, slot)[:-1])
+    return Mutant("truncate-cap", data=target.encode(proof))
+
+
+def drop_query_round(target: FuzzTarget, rng) -> Optional[Mutant]:
+    """Remove one FRI query round."""
+    proof = target.decode(target.blob)
+    rounds = proof.fri_proof.query_rounds
+    if not rounds:
+        return None
+    del rounds[int(rng.integers(0, len(rounds)))]
+    return Mutant("drop-query-round", data=target.encode(proof))
+
+
+def duplicate_query_round(target: FuzzTarget, rng) -> Optional[Mutant]:
+    """Duplicate one FRI query round in place."""
+    proof = target.decode(target.blob)
+    rounds = proof.fri_proof.query_rounds
+    if not rounds:
+        return None
+    idx = int(rng.integers(0, len(rounds)))
+    rounds.insert(idx, rounds[idx])
+    return Mutant("duplicate-query-round", data=target.encode(proof))
+
+
+def drop_layer(target: FuzzTarget, rng) -> Optional[Mutant]:
+    """Remove one fold-layer opening from one query round."""
+    proof = target.decode(target.blob)
+    rounds = [qr for qr in proof.fri_proof.query_rounds if qr.layers]
+    if not rounds:
+        return None
+    qr = _choice(rng, rounds)
+    del qr.layers[int(rng.integers(0, len(qr.layers)))]
+    return Mutant("drop-layer", data=target.encode(proof))
+
+
+def duplicate_layer(target: FuzzTarget, rng) -> Optional[Mutant]:
+    """Duplicate one fold-layer opening within its query round."""
+    proof = target.decode(target.blob)
+    rounds = [qr for qr in proof.fri_proof.query_rounds if qr.layers]
+    if not rounds:
+        return None
+    qr = _choice(rng, rounds)
+    idx = int(rng.integers(0, len(qr.layers)))
+    qr.layers.insert(idx, qr.layers[idx])
+    return Mutant("duplicate-layer", data=target.encode(proof))
+
+
+def resize_final_poly(target: FuzzTarget, rng) -> Optional[Mutant]:
+    """Truncate the final polynomial, or pad it past the degree bound."""
+    proof = target.decode(target.blob)
+    fp = proof.fri_proof
+    if int(rng.integers(0, 2)) and fp.final_poly.shape[0]:
+        fp.final_poly = fp.final_poly[:-1]
+    else:
+        extra = np.array(
+            [[_rand_elem(rng), _rand_elem(rng)]], dtype=np.uint64
+        )
+        fp.final_poly = np.concatenate([fp.final_poly, extra])
+    return Mutant("resize-final-poly", data=target.encode(proof))
+
+
+def corrupt_pow_witness(target: FuzzTarget, rng) -> Mutant:
+    """Shift the grinding witness."""
+    proof = target.decode(target.blob)
+    fp = proof.fri_proof
+    fp.pow_witness = (fp.pow_witness + int(rng.integers(1, 1 << 32))) % (1 << 64)
+    return Mutant("corrupt-pow-witness", data=target.encode(proof))
+
+
+def perturb_public_input(target: FuzzTarget, rng) -> Optional[Mutant]:
+    """Change, append, or drop a public input."""
+    proof = target.decode(target.blob)
+    publics = proof.public_inputs
+    action = int(rng.integers(0, 3))
+    if action == 0 and publics:
+        idx = int(rng.integers(0, len(publics)))
+        publics[idx] = _rand_elem(rng, not_equal=publics[idx])
+    elif action == 1:
+        publics.append(_rand_elem(rng))
+    elif publics:
+        del publics[int(rng.integers(0, len(publics)))]
+    else:
+        return None
+    return Mutant("perturb-public-input", data=target.encode(proof))
+
+
+def perturb_degree_bits(target: FuzzTarget, rng) -> Optional[Mutant]:
+    """Lie about the trace degree (STARK only)."""
+    proof = target.decode(target.blob)
+    if not hasattr(proof, "degree_bits"):
+        return None
+    new = int(rng.integers(0, 51))
+    if new == proof.degree_bits:
+        new = proof.degree_bits + 1
+    proof.degree_bits = new
+    return Mutant("perturb-degree-bits", data=target.encode(proof))
+
+
+def splice_fri_proof(target: FuzzTarget, rng) -> Mutant:
+    """Graft the FRI proof of a different honest proof onto this one."""
+    proof = target.decode(target.blob)
+    donor = target.decode(target.alt_blob)
+    proof.fri_proof = donor.fri_proof
+    return Mutant("splice-fri-proof", data=target.encode(proof))
+
+
+def pad_initial_leaf(target: FuzzTarget, rng) -> Optional[Mutant]:
+    """Append a zero element to one initial-opening leaf.
+
+    For leaves shorter than a digest, ``hash_or_noop`` zero-pads -- so
+    the padded leaf still authenticates against the commitment and only
+    the verifier's exact leaf-width pin rejects it.
+    """
+    proof = target.decode(target.blob)
+    rounds = proof.fri_proof.query_rounds
+    if not rounds:
+        return None
+    qr = _choice(rng, rounds)
+    idx = int(rng.integers(0, len(qr.initial.leaves)))
+    leaf = qr.initial.leaves[idx]
+    qr.initial.leaves[idx] = np.concatenate([leaf, np.zeros(1, dtype=np.uint64)])
+    return Mutant("pad-initial-leaf", data=target.encode(proof))
+
+
+def reshape_initial_leaf(target: FuzzTarget, rng) -> Optional[Mutant]:
+    """Serialize one initial leaf as a (1, n) matrix instead of a vector."""
+    proof = target.decode(target.blob)
+    rounds = proof.fri_proof.query_rounds
+    if not rounds:
+        return None
+    qr = _choice(rng, rounds)
+    idx = int(rng.integers(0, len(qr.initial.leaves)))
+    qr.initial.leaves[idx] = qr.initial.leaves[idx].reshape(1, -1)
+    return Mutant("reshape-initial-leaf", data=target.encode(proof))
+
+
+def truncate_pair_leaf(target: FuzzTarget, rng) -> Optional[Mutant]:
+    """Truncate one fold-layer pair leaf below its 4 elements."""
+    proof = target.decode(target.blob)
+    rounds = [qr for qr in proof.fri_proof.query_rounds if qr.layers]
+    if not rounds:
+        return None
+    qr = _choice(rng, rounds)
+    layer = _choice(rng, qr.layers)
+    layer.pair_leaf = layer.pair_leaf[: int(rng.integers(0, 4))]
+    return Mutant("truncate-pair-leaf", data=target.encode(proof))
+
+
+# -- object-level mutators (states the codec cannot express) -------------------
+
+
+def mismatch_initial_proofs(target: FuzzTarget, rng) -> Optional[Mutant]:
+    """Hand the verifier fewer Merkle proofs than initial leaves.
+
+    Unserializable on purpose: ``write_fri_proof`` zips leaves with
+    proofs, so the only way this state reaches a verifier is through
+    the in-process object API -- where a truncating ``zip`` would have
+    skipped Merkle checks entirely.
+    """
+    proof = copy.deepcopy(target.decode(target.blob))
+    rounds = [qr for qr in proof.fri_proof.query_rounds if qr.initial.proofs]
+    if not rounds:
+        return None
+    qr = _choice(rng, rounds)
+    qr.initial.proofs = qr.initial.proofs[:-1]
+    return Mutant("mismatch-initial-proofs", proof=proof)
+
+
+def scalar_pair_leaf(target: FuzzTarget, rng) -> Optional[Mutant]:
+    """Replace one pair leaf with a 0-d array (slicing would crash)."""
+    proof = copy.deepcopy(target.decode(target.blob))
+    rounds = [qr for qr in proof.fri_proof.query_rounds if qr.layers]
+    if not rounds:
+        return None
+    qr = _choice(rng, rounds)
+    layer = _choice(rng, qr.layers)
+    layer.pair_leaf = np.uint64(_rand_elem(rng)).reshape(())
+    return Mutant("scalar-pair-leaf", proof=proof)
+
+
+#: The full mutation catalogue, keyed by stable artifact-facing names.
+MUTATORS: Dict[str, Callable[[FuzzTarget, np.random.Generator], Optional[Mutant]]] = {
+    "bit-flip": bit_flip,
+    "truncate-bytes": truncate_bytes,
+    "extend-bytes": extend_bytes,
+    "stomp-u32": stomp_u32,
+    "zero-window": zero_window,
+    "splice-proofs": splice_proofs,
+    "flip-field-element": flip_field_element,
+    "perturb-opening-value": perturb_opening_value,
+    "swap-opening-points": swap_opening_points,
+    "swap-cap-entries": swap_cap_entries,
+    "truncate-cap": truncate_cap,
+    "drop-query-round": drop_query_round,
+    "duplicate-query-round": duplicate_query_round,
+    "drop-layer": drop_layer,
+    "duplicate-layer": duplicate_layer,
+    "resize-final-poly": resize_final_poly,
+    "corrupt-pow-witness": corrupt_pow_witness,
+    "perturb-public-input": perturb_public_input,
+    "perturb-degree-bits": perturb_degree_bits,
+    "splice-fri-proof": splice_fri_proof,
+    "pad-initial-leaf": pad_initial_leaf,
+    "reshape-initial-leaf": reshape_initial_leaf,
+    "truncate-pair-leaf": truncate_pair_leaf,
+    "mismatch-initial-proofs": mismatch_initial_proofs,
+    "scalar-pair-leaf": scalar_pair_leaf,
+}
+
+#: Stable ordering for seeded mutator choice.
+MUTATOR_NAMES = tuple(MUTATORS)

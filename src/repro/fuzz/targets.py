@@ -1,0 +1,118 @@
+"""Deterministic honest-proof targets for the soundness fuzzer.
+
+A :class:`FuzzTarget` bundles everything one mutation iteration needs:
+the honest serialized proof, a *second* honest proof (for splicing
+mutators), and decode / encode / verify callables whose error behaviour
+is the thing under test.  Targets are built once per process and
+cached -- every byte of ``blob`` is deterministic, which is what makes
+seeded findings replayable across runs and processes.
+
+The proofs are deliberately tiny (scaled-down FRI parameters, small
+traces): a fuzz campaign spends its budget on *mutations*, not on
+proving.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Callable, Tuple
+
+from ..fri import FriConfig
+from ..fri.verifier import FriError
+from ..plonk import CircuitBuilder, PlonkError
+from ..plonk import prove as plonk_prove, setup as plonk_setup, verify as plonk_verify
+from ..serialize import (
+    plonk_proof_from_bytes,
+    plonk_proof_to_bytes,
+    stark_proof_from_bytes,
+    stark_proof_to_bytes,
+)
+from ..stark import StarkError
+from ..stark import prove as stark_prove, verify as stark_verify
+from ..workloads import by_name
+
+#: Exception types that constitute a *valid* rejection of a hostile
+#: proof.  Anything else escaping decode or verify -- ``IndexError``,
+#: ``ZeroDivisionError``, ``MemoryError``, ... -- would kill a service
+#: worker and is reported as a finding, exactly like an accept.
+TYPED_REJECTIONS: Tuple[type, ...] = (ValueError, FriError, StarkError, PlonkError)
+
+#: Protocols the fuzzer knows how to target.
+PROTOCOLS = ("stark", "plonk")
+
+_STARK_CONFIG = FriConfig(
+    rate_bits=1, cap_height=1, num_queries=4, proof_of_work_bits=2, final_poly_len=4
+)
+_PLONK_CONFIG = FriConfig(
+    rate_bits=3, cap_height=1, num_queries=4, proof_of_work_bits=2, final_poly_len=4
+)
+
+
+@dataclass(frozen=True)
+class FuzzTarget:
+    """One protocol's honest proof plus its decode/verify surface."""
+
+    protocol: str
+    blob: bytes  # honest serialized proof
+    alt_blob: bytes  # a second, structurally different honest proof
+    decode: Callable[[bytes], object]
+    encode: Callable[[object], bytes]
+    run_verify: Callable[[object], None]  # raises a typed error to reject
+
+
+@lru_cache(maxsize=1)
+def stark_target() -> FuzzTarget:
+    """Fibonacci STARK target (two scales, so splices cross shapes)."""
+    spec = by_name("Fibonacci")
+    air, trace, publics = spec.build_air(5)
+    proof = stark_prove(air, trace, publics, _STARK_CONFIG)
+    alt_air, alt_trace, alt_publics = spec.build_air(6)
+    alt_proof = stark_prove(alt_air, alt_trace, alt_publics, _STARK_CONFIG)
+
+    def run_verify(p) -> None:
+        stark_verify(air, p, _STARK_CONFIG)
+
+    run_verify(proof)  # sanity: the honest proof must pass
+    return FuzzTarget(
+        protocol="stark",
+        blob=stark_proof_to_bytes(proof),
+        alt_blob=stark_proof_to_bytes(alt_proof),
+        decode=stark_proof_from_bytes,
+        encode=stark_proof_to_bytes,
+        run_verify=run_verify,
+    )
+
+
+@lru_cache(maxsize=1)
+def plonk_target() -> FuzzTarget:
+    """Tiny Plonk circuit target (``pub == x**3``, two witnesses)."""
+    b = CircuitBuilder()
+    x = b.add_variable()
+    pub = b.public_input()
+    b.assert_equal(pub, b.mul(b.mul(x, x), x))
+    data = plonk_setup(b.build(), _PLONK_CONFIG)
+    proof = plonk_prove(data, {x.index: 3, pub.index: 27})
+    alt_proof = plonk_prove(data, {x.index: 5, pub.index: 125})
+
+    def run_verify(p) -> None:
+        plonk_verify(data.verifier_data, p)
+
+    run_verify(proof)
+    return FuzzTarget(
+        protocol="plonk",
+        blob=plonk_proof_to_bytes(proof),
+        alt_blob=plonk_proof_to_bytes(alt_proof),
+        decode=plonk_proof_from_bytes,
+        encode=plonk_proof_to_bytes,
+        run_verify=run_verify,
+    )
+
+
+def target_for(protocol: str) -> FuzzTarget:
+    """Look up (and lazily build) the target for ``protocol``."""
+    if protocol == "stark":
+        return stark_target()
+    if protocol == "plonk":
+        return plonk_target()
+    raise ValueError(f"unknown fuzz protocol {protocol!r}")

@@ -16,7 +16,7 @@ from ..fri.verifier import FriError
 from ..hashing import Challenger
 from .permutation import coset_representatives
 from .proof import PlonkProof, VerifierData
-from .prover import QUOTIENT_CHUNKS
+from .prover import QUOTIENT_CHUNKS, ZK_SALT_COLUMNS
 
 
 class PlonkError(Exception):
@@ -58,7 +58,9 @@ def verify(
         + [(3, c) for c in range(2 * QUOTIENT_CHUNKS)]
     )
     op = proof.openings
-    if len(op.points) != 2:
+    if len(op.points) != 2 or len(op.columns) != 2 or len(op.values) != 2:
+        raise PlonkError("malformed opening set (points)")
+    if op.points[0].size != 2 or op.points[1].size != 2:
         raise PlonkError("malformed opening set (points)")
     if not (
         np.array_equal(op.points[0].reshape(2), zeta.reshape(2))
@@ -69,12 +71,15 @@ def verify(
         raise PlonkError("malformed opening set (columns)")
 
     vals0 = np.atleast_2d(op.values[0])
+    vals1 = np.atleast_2d(op.values[1])
+    if vals0.shape != (len(expected_cols_zeta), 2) or vals1.shape != (1, 2):
+        raise PlonkError("malformed opening set (values)")
     sel = [vals0[i] for i in range(5)]
     sig = [vals0[5 + i] for i in range(3)]
     wire = [vals0[8 + i] for i in range(3)]
     z_zeta = vals0[11]
     t_chunks = [vals0[12 + i] for i in range(2 * QUOTIENT_CHUNKS)]
-    z_next = np.atleast_2d(op.values[1])[0]
+    z_next = vals1[0]
 
     # --- the polynomial identity at zeta -------------------------------------
     zeta_n = _ext_pow(zeta, n)
@@ -145,6 +150,18 @@ def verify(
     # --- FRI opening proof ----------------------------------------------------
     caps = [vdata.preprocessed_cap, proof.wires_cap, proof.z_cap, proof.quotient_cap]
     try:
-        fri_verify(caps, op, proof.fri_proof, challenger, config, n)
+        fri_verify(
+            caps,
+            op,
+            proof.fri_proof,
+            challenger,
+            config,
+            n,
+            # The wires batch admits two widths: 3 bare columns, or
+            # 3 + ZK_SALT_COLUMNS when the prover committed with
+            # blinding salts.  Width 4 stays rejected -- that is the
+            # hash_or_noop zero-pad malleability the pin exists for.
+            leaf_widths=[8, (3, 3 + ZK_SALT_COLUMNS), 1, 2 * QUOTIENT_CHUNKS],
+        )
     except FriError as exc:
         raise PlonkError(f"FRI verification failed: {exc}") from exc

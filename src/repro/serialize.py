@@ -55,8 +55,22 @@ class ByteWriter:
         return b"".join(self._chunks)
 
 
+#: Maximum array rank the codec will decode.  Honest proofs only ever
+#: serialize 0/1/2-dimensional arrays; anything deeper is hostile.
+MAX_NDIM = 4
+
+
 class ByteReader:
-    """Sequential reader matching :class:`ByteWriter`."""
+    """Sequential reader matching :class:`ByteWriter`.
+
+    Every count and array length read from the wire is bounded by the
+    number of bytes actually remaining in the buffer *before* any
+    allocation or loop is driven by it, so truncated or length-inflated
+    input always fails with a typed :class:`ValueError` instead of
+    over-allocating or surfacing a raw ``struct``/NumPy error.  The
+    proving service deserializes client-supplied bytes through this
+    reader.
+    """
 
     def __init__(self, data: bytes) -> None:
         self._data = data
@@ -69,6 +83,10 @@ class ByteReader:
         self._pos += n
         return out
 
+    def remaining(self) -> int:
+        """Bytes left in the buffer (bounds hostile counts)."""
+        return len(self._data) - self._pos
+
     def u32(self) -> int:
         """Read an unsigned 32-bit length/count."""
         return struct.unpack("<I", self._take(4))[0]
@@ -77,11 +95,37 @@ class ByteReader:
         """Read an unsigned 64-bit value."""
         return struct.unpack("<Q", self._take(8))[0]
 
+    def count(self, item_bytes: int, what: str = "count") -> int:
+        """Read a u32 count whose items occupy ``>= item_bytes`` each.
+
+        Rejects counts that could not possibly be satisfied by the
+        remaining buffer, so a length-inflated prefix cannot drive a
+        multi-gigabyte loop or allocation.
+        """
+        n = self.u32()
+        if n * item_bytes > self.remaining():
+            raise ValueError(
+                f"length-inflated proof bytes ({what} {n} exceeds remaining buffer)"
+            )
+        return n
+
     def elems(self) -> np.ndarray:
         """Read a field-element array written by :meth:`ByteWriter.elems`."""
         size = self.u32()
+        if size * 8 > self.remaining():
+            raise ValueError(
+                f"length-inflated proof bytes (array of {size} elements "
+                "exceeds remaining buffer)"
+            )
         ndim = self.u32()
+        if ndim > MAX_NDIM:
+            raise ValueError(f"array rank {ndim} out of range")
         shape = tuple(self.u32() for _ in range(ndim))
+        expected = 1
+        for d in shape:
+            expected *= d
+        if expected != size:
+            raise ValueError("array shape does not match element count")
         raw = self._take(size * 8)
         return np.frombuffer(raw, dtype=np.uint64).reshape(shape).copy()
 
@@ -99,7 +143,22 @@ def _write_merkle_proof(w: ByteWriter, proof: MerkleProof) -> None:
 
 def _read_merkle_proof(r: ByteReader) -> MerkleProof:
     sib = r.elems()
-    return MerkleProof(siblings=sib.reshape(-1, 4))
+    if sib.ndim != 2 or sib.shape[1] != 4:
+        raise ValueError("malformed Merkle proof (siblings must be (k, 4))")
+    return MerkleProof(siblings=sib)
+
+
+def _read_cap(r: ByteReader, what: str = "Merkle cap") -> np.ndarray:
+    """Read a Merkle cap, enforcing the (c, 4) digest-row layout.
+
+    The verifiers absorb caps into the Fiat-Shamir transcript and index
+    them by reduced query position; a reshaped or empty cap must be
+    rejected here, with a typed error, before it reaches them.
+    """
+    cap = r.elems()
+    if cap.ndim != 2 or cap.shape[1] != 4 or cap.shape[0] == 0:
+        raise ValueError(f"malformed {what} (expected a non-empty (c, 4) array)")
+    return cap
 
 
 def write_fri_proof(w: ByteWriter, proof: FriProof) -> None:
@@ -124,18 +183,23 @@ def write_fri_proof(w: ByteWriter, proof: FriProof) -> None:
 
 def read_fri_proof(r: ByteReader) -> FriProof:
     """Read a FRI proof."""
-    caps = [r.elems() for _ in range(r.u32())]
+    caps = [
+        _read_cap(r, "FRI layer cap")
+        for _ in range(r.count(8, "FRI cap count"))
+    ]
     final_poly = r.elems()
+    if final_poly.ndim != 2 or final_poly.shape[1] != 2:
+        raise ValueError("malformed final polynomial (expected an (n, 2) array)")
     pow_witness = r.u64()
     rounds = []
-    for _ in range(r.u32()):
+    for _ in range(r.count(8, "FRI query-round count")):
         index = r.u64()
         leaves, proofs = [], []
-        for _ in range(r.u32()):
+        for _ in range(r.count(8, "initial opening count")):
             leaves.append(r.elems())
             proofs.append(_read_merkle_proof(r))
         layers = []
-        for _ in range(r.u32()):
+        for _ in range(r.count(8, "FRI layer count")):
             pair_leaf = r.elems()
             layers.append(FriLayerOpening(pair_leaf=pair_leaf, proof=_read_merkle_proof(r)))
         rounds.append(
@@ -168,11 +232,17 @@ def write_openings(w: ByteWriter, op: FriOpenings) -> None:
 def read_openings(r: ByteReader) -> FriOpenings:
     """Read an opening set."""
     points, columns, values = [], [], []
-    for _ in range(r.u32()):
-        points.append(r.elems().reshape(2))
-        cols = [(r.u32(), r.u32()) for _ in range(r.u32())]
+    for _ in range(r.count(8, "opening point count")):
+        point = r.elems()
+        if point.size != 2:
+            raise ValueError("malformed opening point (expected 2 limbs)")
+        points.append(point.reshape(2))
+        cols = [(r.u32(), r.u32()) for _ in range(r.count(8, "opened column count"))]
         columns.append(cols)
-        values.append(r.elems())
+        vals = r.elems()
+        if vals.ndim != 2 or vals.shape[1] != 2:
+            raise ValueError("malformed opening values (expected an (n, 2) array)")
+        values.append(vals)
     return FriOpenings(points=points, columns=columns, values=values)
 
 
@@ -203,10 +273,10 @@ def plonk_proof_digest(proof: PlonkProof) -> str:
 def plonk_proof_from_bytes(data: bytes) -> PlonkProof:
     """Deserialize a Plonk proof."""
     r = ByteReader(data)
-    wires_cap = r.elems()
-    z_cap = r.elems()
-    quotient_cap = r.elems()
-    publics = [r.u64() for _ in range(r.u32())]
+    wires_cap = _read_cap(r, "wires cap")
+    z_cap = _read_cap(r, "Z cap")
+    quotient_cap = _read_cap(r, "quotient cap")
+    publics = [r.u64() for _ in range(r.count(8, "public input count"))]
     openings = read_openings(r)
     fri_proof = read_fri_proof(r)
     if not r.done():
@@ -248,10 +318,10 @@ def stark_proof_digest(proof: StarkProof) -> str:
 def stark_proof_from_bytes(data: bytes) -> StarkProof:
     """Deserialize a STARK proof."""
     r = ByteReader(data)
-    trace_cap = r.elems()
-    quotient_cap = r.elems()
+    trace_cap = _read_cap(r, "trace cap")
+    quotient_cap = _read_cap(r, "quotient cap")
     degree_bits = r.u32()
-    publics = [r.u64() for _ in range(r.u32())]
+    publics = [r.u64() for _ in range(r.count(8, "public input count"))]
     openings = read_openings(r)
     fri_proof = read_fri_proof(r)
     if not r.done():

@@ -34,15 +34,28 @@ class _Handler(socketserver.StreamRequestHandler):
             line = raw.strip()
             if not line:
                 continue
+            # Parse failures get their own error envelope and the
+            # connection stays open -- one bad line must not cost the
+            # client its session (or take down the handler thread).
             try:
                 request = json.loads(line.decode("utf-8"))
+            except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+                self._reply({"ok": False, "error": f"malformed request JSON: {exc}"})
+                continue
+            if not isinstance(request, dict):
+                self._reply({"ok": False, "error": "request must be a JSON object"})
+                continue
+            try:
                 response = self.server.dispatch(request)  # type: ignore[attr-defined]
             except Exception as exc:  # noqa: BLE001 - report to the client
                 response = {"ok": False, "error": f"{type(exc).__name__}: {exc}"}
-            self.wfile.write((json.dumps(response) + "\n").encode("utf-8"))
-            self.wfile.flush()
+            self._reply(response)
             if response.get("bye"):
                 break
+
+    def _reply(self, response: Dict[str, Any]) -> None:
+        self.wfile.write((json.dumps(response) + "\n").encode("utf-8"))
+        self.wfile.flush()
 
 
 class ServiceServer(socketserver.ThreadingTCPServer):
@@ -51,6 +64,12 @@ class ServiceServer(socketserver.ThreadingTCPServer):
     ``max_jobs`` makes the server exit after that many submitted jobs
     have reached a terminal state -- used by smoke tests and CI so a
     foreground ``repro serve`` terminates by itself.
+
+    Client-supplied waits are untrusted: ``wait_s`` / ``timeout_s``
+    from the wire are clamped to ``max_wait_s`` (and an omitted
+    ``wait_s`` means "up to the server max", never "forever") so a
+    client cannot pin a handler thread indefinitely.  ``drain_timeout_s``
+    bounds the final drain before a ``max_jobs`` shutdown.
     """
 
     allow_reuse_address = True
@@ -62,12 +81,24 @@ class ServiceServer(socketserver.ThreadingTCPServer):
         host: str = "127.0.0.1",
         port: int = 8347,
         max_jobs: Optional[int] = None,
+        max_wait_s: float = 300.0,
+        drain_timeout_s: float = 60.0,
     ) -> None:
         super().__init__((host, port), _Handler)
         self.service = service
         self.max_jobs = max_jobs
+        self.max_wait_s = max_wait_s
+        self.drain_timeout_s = drain_timeout_s
         self._jobs_seen = 0
         self._lock = threading.Lock()
+
+    def _clamp_wait(self, value: Any) -> float:
+        """Clamp an untrusted client wait to ``[0, max_wait_s]``."""
+        try:
+            v = float(value)
+        except (TypeError, ValueError):
+            return self.max_wait_s
+        return min(max(v, 0.0), self.max_wait_s)
 
     # -- request dispatch ------------------------------------------------
 
@@ -84,7 +115,7 @@ class ServiceServer(socketserver.ThreadingTCPServer):
                 return {"ok": True, "job": self.service.job(job_id)}
             return {"ok": True, "stats": self.service.stats()}
         if op == "result":
-            return self._result(request["job_id"], request.get("wait_s"))
+            return self._result(request["job_id"], self._clamp_wait(request.get("wait_s")))
         if op == "stats":
             return {"ok": True, "stats": self.service.stats()}
         if op == "shutdown":
@@ -93,15 +124,20 @@ class ServiceServer(socketserver.ThreadingTCPServer):
         return {"ok": False, "error": f"unknown op {op!r}"}
 
     def _submit(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        # A missing per-job timeout falls back to the service default;
+        # a supplied one is clamped like any other client wait.
+        timeout_s = request.get("timeout_s")
+        if timeout_s is not None:
+            timeout_s = self._clamp_wait(timeout_s)
         job_id = self.service.submit(
             request["spec"],
             priority=int(request.get("priority", 0)),
-            timeout_s=request.get("timeout_s"),
+            timeout_s=timeout_s,
             max_retries=request.get("max_retries"),
         )
         response: Dict[str, Any] = {"ok": True, "job_id": job_id}
         if request.get("wait"):
-            response.update(self._result(job_id, request.get("wait_s")))
+            response.update(self._result(job_id, self._clamp_wait(request.get("wait_s"))))
             response["job_id"] = job_id
         self._count_job()
         return response
@@ -126,7 +162,7 @@ class ServiceServer(socketserver.ThreadingTCPServer):
                 threading.Thread(target=self._drain_and_stop, daemon=True).start()
 
     def _drain_and_stop(self) -> None:
-        self.service.drain(timeout_s=60.0)
+        self.service.drain(timeout_s=self.drain_timeout_s)
         self.shutdown()
 
 
@@ -136,9 +172,18 @@ def serve_forever(
     port: int = 8347,
     max_jobs: Optional[int] = None,
     ready_event: Optional[threading.Event] = None,
+    max_wait_s: float = 300.0,
+    drain_timeout_s: float = 60.0,
 ) -> None:
     """Run the accept loop until shutdown (blocking)."""
-    with ServiceServer(service, host=host, port=port, max_jobs=max_jobs) as server:
+    with ServiceServer(
+        service,
+        host=host,
+        port=port,
+        max_jobs=max_jobs,
+        max_wait_s=max_wait_s,
+        drain_timeout_s=drain_timeout_s,
+    ) as server:
         if ready_event is not None:
             ready_event.set()
         server.serve_forever(poll_interval=0.1)

@@ -25,6 +25,10 @@ def verify(
 ) -> None:
     """Verify a STARK proof; raises :class:`StarkError` on any failure."""
     challenger = challenger or Challenger()
+    # Bound the claimed degree before ``1 << degree_bits`` can build a
+    # multi-gigabyte integer from a hostile 32-bit value.
+    if not 0 < proof.degree_bits <= gl.TWO_ADICITY:
+        raise StarkError("degree bits out of range")
     n = 1 << proof.degree_bits
     width = air.width
     chunks = quotient_chunk_count(air)
@@ -43,7 +47,9 @@ def verify(
         (1, c) for c in range(2 * chunks)
     ]
     expected_cols_next = [(0, c) for c in range(width)]
-    if len(op.points) != 2:
+    if len(op.points) != 2 or len(op.columns) != 2 or len(op.values) != 2:
+        raise StarkError("malformed opening set (points)")
+    if op.points[0].size != 2 or op.points[1].size != 2:
         raise StarkError("malformed opening set (points)")
     if not (
         np.array_equal(op.points[0].reshape(2), zeta.reshape(2))
@@ -54,9 +60,15 @@ def verify(
         raise StarkError("malformed opening set (columns)")
 
     vals0 = np.atleast_2d(op.values[0])
+    vals1 = np.atleast_2d(op.values[1])
+    if vals0.shape != (len(expected_cols_zeta), 2) or vals1.shape != (
+        len(expected_cols_next),
+        2,
+    ):
+        raise StarkError("malformed opening set (values)")
     local = [vals0[c] for c in range(width)]
     t_chunks = [vals0[width + i] for i in range(2 * chunks)]
-    next_row = [np.atleast_2d(op.values[1])[c] for c in range(width)]
+    next_row = [vals1[c] for c in range(width)]
 
     zeta_n = fext.pow_scalar(zeta.reshape(2), n)
     zh = fext.sub(zeta_n, fext.one())
@@ -111,6 +123,14 @@ def verify(
 
     caps = [proof.trace_cap, proof.quotient_cap]
     try:
-        fri_verify(caps, op, proof.fri_proof, challenger, config, n)
+        fri_verify(
+            caps,
+            op,
+            proof.fri_proof,
+            challenger,
+            config,
+            n,
+            leaf_widths=[width, 2 * chunks],
+        )
     except FriError as exc:
         raise StarkError(f"FRI verification failed: {exc}") from exc

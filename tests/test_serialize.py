@@ -69,6 +69,86 @@ class TestPrimitives:
             ByteReader(data).u64()
 
 
+class TestHostileLengths:
+    """Length-inflated and shape-hostile input must die with ValueError."""
+
+    def test_inflated_elems_size_rejected(self):
+        w = ByteWriter()
+        w.u32(2**31)  # claims ~16 GiB of elements
+        w.u32(1)
+        w.u32(2**31)
+        with pytest.raises(ValueError, match="length-inflated"):
+            ByteReader(w.getvalue()).elems()
+
+    def test_excessive_rank_rejected(self):
+        w = ByteWriter()
+        w.u32(0)
+        w.u32(200)  # rank 200 "array"
+        with pytest.raises(ValueError, match="rank"):
+            ByteReader(w.getvalue()).elems()
+
+    def test_shape_product_mismatch_rejected(self):
+        w = ByteWriter()
+        w.u32(4)
+        w.u32(2)
+        w.u32(3)  # 3 * 3 != 4
+        w.u32(3)
+        w._chunks.append(b"\x00" * 32)
+        with pytest.raises(ValueError, match="shape"):
+            ByteReader(w.getvalue()).elems()
+
+    def test_inflated_count_rejected(self):
+        w = ByteWriter()
+        w.u32(2**30)
+        r = ByteReader(w.getvalue())
+        with pytest.raises(ValueError, match="length-inflated"):
+            r.count(8, "test count")
+
+    def test_inflated_public_input_count_rejected(self, stark_setup):
+        # Stomp the STARK public-input count (right after the two caps
+        # and degree_bits) with 0xFFFFFFFF: the reader must bound it by
+        # the remaining buffer instead of looping 4 billion times.
+        _, proof = stark_setup
+        blob = bytearray(stark_proof_to_bytes(proof))
+        w = ByteWriter()
+        w.elems(proof.trace_cap)
+        w.elems(proof.quotient_cap)
+        w.u32(proof.degree_bits)
+        offset = len(w.getvalue())
+        blob[offset : offset + 4] = b"\xff\xff\xff\xff"
+        with pytest.raises(ValueError, match="length-inflated"):
+            stark_proof_from_bytes(bytes(blob))
+
+    def test_scalar_cap_rejected(self, plonk_setup):
+        # Re-serialize with the wires cap written as a 0-d array: the
+        # (c, 4) cap contract must be enforced at decode time.
+        _, proof = plonk_setup
+        w = ByteWriter()
+        w.u32(1)
+        w.u32(0)  # ndim 0: a scalar "cap"
+        w._chunks.append(b"\x07" + b"\x00" * 7)
+        with pytest.raises(ValueError, match="cap"):
+            from repro.serialize import _read_cap
+
+            _read_cap(ByteReader(w.getvalue()), "wires cap")
+
+    def test_empty_cap_rejected(self):
+        from repro.serialize import _read_cap
+
+        w = ByteWriter()
+        w.elems(np.zeros((0, 4), dtype=np.uint64))
+        with pytest.raises(ValueError, match="cap"):
+            _read_cap(ByteReader(w.getvalue()), "trace cap")
+
+    def test_malformed_merkle_siblings_rejected(self):
+        from repro.serialize import _read_merkle_proof
+
+        w = ByteWriter()
+        w.elems(np.zeros(8, dtype=np.uint64))  # flat, not (k, 4)
+        with pytest.raises(ValueError, match="Merkle"):
+            _read_merkle_proof(ByteReader(w.getvalue()))
+
+
 class TestPlonkRoundTrip:
     def test_roundtrip_verifies(self, plonk_setup):
         data, proof = plonk_setup

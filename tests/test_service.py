@@ -259,6 +259,62 @@ class TestSocketRoundTrip:
             svc.close()
 
 
+class TestServerHardening:
+    """Socket-layer trust boundaries: clamped waits, malformed requests."""
+
+    def _bare_server(self, **kw):
+        # Dispatchless ops (ping) and the clamp logic never touch the
+        # wrapped service, so a placeholder keeps these tests cheap.
+        from repro.service.net import ServiceServer
+
+        return ServiceServer(None, host="127.0.0.1", port=0, **kw)
+
+    def test_client_waits_are_clamped(self):
+        server = self._bare_server(max_wait_s=10.0, drain_timeout_s=5.0)
+        try:
+            assert server._clamp_wait(2.5) == 2.5
+            assert server._clamp_wait(1e9) == 10.0  # hostile huge wait
+            assert server._clamp_wait(-3) == 0.0
+            assert server._clamp_wait(None) == 10.0  # "forever" is not offered
+            assert server._clamp_wait("banana") == 10.0
+            assert server.drain_timeout_s == 5.0
+        finally:
+            server.server_close()
+
+    def test_malformed_requests_keep_connection(self):
+        import json
+        import socket
+
+        server = self._bare_server()
+        port = server.server_address[1]
+        thread = threading.Thread(
+            target=server.serve_forever, kwargs={"poll_interval": 0.05}, daemon=True
+        )
+        thread.start()
+        try:
+            with socket.create_connection(("127.0.0.1", port), timeout=5) as sock:
+                f = sock.makefile("rwb")
+                for bad, needle in [
+                    (b"this is not json", "malformed"),
+                    (b"\xff\xfe\x01", "malformed"),
+                    (b"[1, 2, 3]", "JSON object"),
+                    (b'"just a string"', "JSON object"),
+                ]:
+                    f.write(bad + b"\n")
+                    f.flush()
+                    resp = json.loads(f.readline())
+                    assert resp["ok"] is False and needle in resp["error"]
+                # The same connection must still serve good requests.
+                f.write(json.dumps({"op": "ping"}).encode() + b"\n")
+                f.flush()
+                resp = json.loads(f.readline())
+                assert resp["ok"] is True and resp["pong"] is True
+        finally:
+            server.shutdown()
+            server.server_close()
+            thread.join(5)
+
+
 class TestCountersUnderConcurrency:
     def test_threads_do_not_corrupt_each_other(self, rng):
         from repro.field import gl64

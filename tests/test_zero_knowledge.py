@@ -69,6 +69,29 @@ class TestBlinding:
                 prove(d, {x.index: 6, pub.index: 35}, blinding_seed=3),
             )
 
+    def test_zero_padded_wires_leaf_still_rejected(self, data):
+        """hash_or_noop pads a 3-wide wires row into the same digest as
+        that row with a zero appended, so the Merkle check alone cannot
+        tell them apart.  The width pin must reject the padded width (4)
+        even though the blinded width (5) is legal."""
+        d, _, x, pub = data
+        proof = prove(d, {x.index: 6, pub.index: 36})
+        leaves = proof.fri_proof.query_rounds[0].initial.leaves
+        leaves[1] = np.concatenate([leaves[1], np.zeros(1, dtype=np.uint64)])
+        with pytest.raises(PlonkError, match="malformed initial leaf"):
+            verify(d.verifier_data, proof)
+
+    def test_tampered_salt_column_rejected(self, data):
+        """Salts ride the committed leaves: altering one breaks the
+        wires Merkle proof even though salts never enter constraints."""
+        d, _, x, pub = data
+        proof = prove(d, {x.index: 6, pub.index: 36}, blinding_seed=1)
+        leaves = proof.fri_proof.query_rounds[0].initial.leaves
+        leaves[1] = leaves[1].copy()
+        leaves[1][-1] ^= np.uint64(1)
+        with pytest.raises(PlonkError, match="Merkle"):
+            verify(d.verifier_data, proof)
+
     def test_blinded_proof_slightly_larger(self, data):
         d, _, x, pub = data
         inputs = {x.index: 6, pub.index: 36}
