@@ -1,0 +1,148 @@
+"""Mapping-autotuner benchmark (BENCH_autotune.json).
+
+Runs the full tuner loop -- enumerate candidates, reject invalid/unsafe
+mappings via the static sanitizer, score survivors on the
+cycle-accurate simulator, cache best-per-shape winners -- for the paper
+workloads, and records:
+
+* **default vs tuned** simulated cycles per workload (the acceptance
+  bar: the tuned mapping must beat the static default on >= 2
+  workloads and never lose on any);
+* **cache behaviour**: a second run over the same cache must serve
+  every shape from the stored winners without re-simulating, and
+  reproduce the identical totals;
+* **determinism**: two fresh searches with one seed must produce
+  identical winners; a different seed may explore in another order but
+  converges to the same best cycles (the space is exhaustively small);
+* **safety**: every stored winner is structurally valid for the
+  hardware point and none of the sanitizer-rejected candidates
+  (e.g. the ``sparse-12x3-ii1`` Poseidon scheme) ever wins.
+
+Usage: PYTHONPATH=src python benchmarks/bench_autotune.py
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import platform
+import tempfile
+
+import numpy as np
+
+from repro.autotune.cache import TuningCache
+from repro.autotune.search import tune_workload
+from repro.hw import DEFAULT_CONFIG
+from repro.mapping.params import MappingParams
+from repro.workloads import PAPER_WORKLOADS
+
+OUT = pathlib.Path(__file__).resolve().parent.parent / "BENCH_autotune.json"
+
+SEED = 0
+
+
+def bench_tuning() -> dict:
+    rows = {}
+    hw = DEFAULT_CONFIG
+    for spec in PAPER_WORKLOADS:
+        cache = TuningCache()
+        first = tune_workload(spec.plonk, hw, cache=cache, seed=SEED)
+        second = tune_workload(spec.plonk, hw, cache=cache, seed=SEED)
+        repeat = tune_workload(spec.plonk, hw, cache=TuningCache(), seed=SEED)
+
+        # Cached second run: every shape served from the store, same totals.
+        assert all(s.cached for s in second.shapes), spec.name
+        assert second.tuned_total_cycles == first.tuned_total_cycles, spec.name
+        # Deterministic: a fresh search with the same seed reproduces
+        # the identical winners.
+        assert [s.winner for s in repeat.shapes] == [
+            s.winner for s in first.shapes
+        ], spec.name
+        assert repeat.tuned_total_cycles == first.tuned_total_cycles, spec.name
+        # Safety: winners are valid on this hardware point, and no
+        # sanitizer-rejected candidate ever won.
+        for shape in first.shapes:
+            params = MappingParams.from_dict(shape.winner_params)
+            assert not params.invalid_reasons(hw), (spec.name, shape.key)
+            assert shape.winner not in {
+                r["label"] for r in shape.rejected
+            }, (spec.name, shape.key)
+
+        rejected = sorted(
+            {r["label"] for s in first.shapes for r in s.rejected
+             if r["stage"] == "sanitizer"}
+        )
+        rows[spec.name] = {
+            "default_mcycles": round(first.default_total_cycles / 1e6, 3),
+            "tuned_mcycles": round(first.tuned_total_cycles / 1e6, 3),
+            "speedup": round(first.speedup, 4),
+            "improved": first.tuned_total_cycles < first.default_total_cycles,
+            "num_shapes": len(first.shapes),
+            "num_improved_shapes": sum(1 for s in first.shapes if s.improved),
+            "num_rejected_candidates": sum(len(s.rejected) for s in first.shapes),
+            "sanitizer_rejected": rejected,
+            "winners": {
+                s.key: s.winner for s in first.shapes if s.improved
+            },
+            "search_s": round(first.elapsed_s, 3),
+            "cached_rerun_s": round(second.elapsed_s, 3),
+        }
+        print(
+            f"{spec.name:12s} {rows[spec.name]['default_mcycles']:10.2f} -> "
+            f"{rows[spec.name]['tuned_mcycles']:10.2f} Mcycles "
+            f"(x{first.speedup:.3f}, {rows[spec.name]['num_improved_shapes']}"
+            f"/{len(first.shapes)} shapes, "
+            f"search {first.elapsed_s:.2f}s, cached rerun {second.elapsed_s:.2f}s)"
+        )
+    return rows
+
+
+def bench_cache_persistence() -> dict:
+    """Round-trip the winners through disk, the way ``repro tune`` does."""
+    hw = DEFAULT_CONFIG
+    spec = PAPER_WORKLOADS[0]
+    with tempfile.TemporaryDirectory() as tmp:
+        path = pathlib.Path(tmp) / "tuning.json"
+        cache = TuningCache()
+        tune_workload(spec.plonk, hw, cache=cache, seed=SEED)
+        cache.save(path)
+        reloaded = TuningCache.load(path)
+        rerun = tune_workload(spec.plonk, hw, cache=reloaded, seed=SEED)
+        assert all(s.cached for s in rerun.shapes)
+        return {
+            "entries": len(reloaded),
+            "file_bytes": path.stat().st_size,
+            "all_served_from_disk": True,
+        }
+
+
+def main() -> dict:
+    print("== mapping autotuner: default vs tuned (simulated cycles) ==")
+    rows = bench_tuning()
+    print("== cache persistence ==")
+    persistence = bench_cache_persistence()
+    print(f"  {persistence['entries']} entries, {persistence['file_bytes']} bytes")
+    improved = [name for name, r in rows.items() if r["improved"]]
+    report = {
+        "seed": SEED,
+        "platform": platform.platform(),
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "workloads": rows,
+        "cache_persistence": persistence,
+        "num_workloads_improved": len(improved),
+        "workloads_improved": improved,
+        "no_workload_regressed": all(r["speedup"] >= 1.0 for r in rows.values()),
+    }
+    OUT.write_text(json.dumps(report, indent=1) + "\n")
+    print(f"\nimproved workloads: {', '.join(improved) or 'none'}")
+    print(f"wrote {OUT}")
+    return report
+
+
+if __name__ == "__main__":
+    report = main()
+    assert report["num_workloads_improved"] >= 2, (
+        "tuned mappings must beat the static defaults on >= 2 workloads"
+    )
+    assert report["no_workload_regressed"], "a tuned workload lost to the default"

@@ -1,0 +1,321 @@
+"""Budgeted mapping search: enumerate -> sanitize -> score -> cache.
+
+The tuner searches per *shape*, not per workload: every kernel family's
+candidates are scored against all graph nodes sharing one cache key
+(``ntt/log21``, ``merkle/l1048576/w160``, ...), because a node's
+simulated cost depends only on its own mapping (the schedule is a
+sequential sum of ``max(compute, memory)`` kernels).  The winner per
+shape is stored in the :class:`~repro.autotune.cache.TuningCache`, so a
+second ``repro tune`` -- and every later ``schedule``/``simulate`` --
+returns cached winners without re-simulation.
+
+Rejection happens before scoring, in two cheap layers:
+
+1. structural validity (:meth:`MappingParams.invalid_reasons`) -- e.g.
+   an NTT tile whose MDC delay registers overflow the PE register file;
+2. the PE-grid static sanitizer over the microcode a candidate would
+   emit (``sched.*`` rules) -- e.g. the ``sparse-12x3-ii1`` Poseidon
+   scheme's initiation-interval-1 S-box pipeline double-drives the PE
+   down latch.
+
+Determinism: one ``random.Random(seed)`` shuffles the non-default
+candidate order; everything else is pure enumeration, so a fixed seed
+reproduces the identical trial order and winners.  Ties keep the
+earlier candidate, and the default is always scored first, so a tied
+search never drifts from the static compiler.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from ..analysis.sanitizer import sanitize, spec_for_emulator
+from ..compiler.frontend import PlonkParams, trace_plonky2
+from ..compiler.graph import ComputationGraph
+from ..compiler.scheduler import map_node
+from ..hw.config import DEFAULT_CONFIG, HwConfig
+from ..mapping.params import DEFAULT_MAPPING
+from ..sim.simulator import simulate_graph
+from .cache import TuningCache, hw_key, node_key
+from .space import Candidate, candidate_spaces
+
+
+@dataclass
+class ShapeResult:
+    """Search outcome for one ``(family, shape key)``."""
+
+    key: str
+    family: str
+    num_nodes: int
+    default_cycles: float
+    best_cycles: float
+    winner: str
+    winner_params: Dict[str, Any]
+    cached: bool = False
+    tried: List[str] = field(default_factory=list)
+    rejected: List[Dict[str, Any]] = field(default_factory=list)
+
+    @property
+    def improved(self) -> bool:
+        """True when the winner beats the default mapping's cycles."""
+        return self.best_cycles < self.default_cycles
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-serialisable form (report files, ``--json`` output)."""
+        return {
+            "key": self.key,
+            "family": self.family,
+            "num_nodes": self.num_nodes,
+            "default_cycles": self.default_cycles,
+            "best_cycles": self.best_cycles,
+            "improved": self.improved,
+            "winner": self.winner,
+            "winner_params": self.winner_params,
+            "cached": self.cached,
+            "tried": list(self.tried),
+            "rejected": list(self.rejected),
+        }
+
+
+@dataclass
+class TuneReport:
+    """One workload's tuning run: per-shape results + whole-graph check."""
+
+    workload: str
+    hw_key: str
+    seed: int
+    budget_s: Optional[float]
+    shapes: List[ShapeResult]
+    default_total_cycles: float
+    tuned_total_cycles: float
+    elapsed_s: float
+    budget_exhausted: bool = False
+
+    @property
+    def speedup(self) -> float:
+        """Whole-graph default/tuned cycle ratio (1.0 = no change)."""
+        if self.tuned_total_cycles <= 0:
+            return 1.0
+        return self.default_total_cycles / self.tuned_total_cycles
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-serialisable form (report files, CI assertions)."""
+        return {
+            "workload": self.workload,
+            "hw_key": self.hw_key,
+            "seed": self.seed,
+            "budget_s": self.budget_s,
+            "budget_exhausted": self.budget_exhausted,
+            "elapsed_s": self.elapsed_s,
+            "default_total_cycles": self.default_total_cycles,
+            "tuned_total_cycles": self.tuned_total_cycles,
+            "speedup": self.speedup,
+            "num_shapes": len(self.shapes),
+            "num_improved": sum(1 for s in self.shapes if s.improved),
+            "num_cached": sum(1 for s in self.shapes if s.cached),
+            "num_rejected": sum(len(s.rejected) for s in self.shapes),
+            "shapes": [s.to_dict() for s in self.shapes],
+        }
+
+    def summary_lines(self) -> List[str]:
+        """Human-readable per-workload summary for the CLI."""
+        d = self.to_dict()
+        lines = [
+            f"tuned {self.workload}: {d['num_improved']}/{d['num_shapes']} shapes "
+            f"improved ({d['num_cached']} cached, {d['num_rejected']} candidates "
+            f"sanitizer/validity-rejected)",
+            f"  default {self.default_total_cycles / 1e6:.2f} Mcycles -> "
+            f"tuned {self.tuned_total_cycles / 1e6:.2f} Mcycles "
+            f"({self.speedup:.3f}x)",
+        ]
+        if self.budget_exhausted:
+            lines.append("  (budget exhausted; kept best-so-far winners)")
+        return lines
+
+
+def _sanitizer_findings(candidate: Candidate) -> List[str]:
+    """Static ``sched.*`` findings of the candidate's microcode (if any)."""
+    if candidate.built_schedule is None:
+        return []
+    built = candidate.built_schedule()
+    spec = spec_for_emulator(
+        built.emu,
+        built.programs,
+        built.left_inputs,
+        built.top_inputs,
+        built.num_cycles,
+        name=built.name,
+    )
+    return [f"{f.rule}: {f.message}" for f in sanitize(spec)]
+
+
+def _score(nodes, candidate: Candidate, hw: HwConfig) -> float:
+    """Summed elapsed cycles of ``nodes`` under one mapping point."""
+    return sum(
+        map_node(n, hw, candidate.params).elapsed_cycles(hw) for n in nodes
+    )
+
+
+def tune_graph(
+    graph: ComputationGraph,
+    hw: HwConfig = DEFAULT_CONFIG,
+    cache: Optional[TuningCache] = None,
+    budget_s: Optional[float] = None,
+    seed: int = 0,
+) -> TuneReport:
+    """Search the mapping space for every tunable shape in ``graph``.
+
+    Winners (including "default wins") are stored into ``cache``; the
+    caller decides whether/where to persist it.  ``budget_s`` bounds
+    wall-clock: when it runs out, remaining candidates are skipped and
+    the best-so-far winners stand.
+    """
+    t0 = time.monotonic()
+    deadline = None if budget_s is None else t0 + budget_s
+    cache = cache if cache is not None else TuningCache()
+    hkey = hw_key(hw)
+    rng = random.Random(seed)
+
+    # Group tunable nodes by shape key (family inferred from the key).
+    groups: Dict[str, List] = {}
+    for node in graph.topological_order():
+        key = node_key(node)
+        if key is not None:
+            groups.setdefault(key, []).append(node)
+
+    spaces = {s.family: s for s in candidate_spaces()}
+    # Sanitize each family's microcode-bearing candidates once, up
+    # front -- rejection is per candidate, not per shape.
+    sanitizer_rejects: Dict[str, Dict[str, List[str]]] = {}
+    for family, space in spaces.items():
+        rejects: Dict[str, List[str]] = {}
+        for cand in space.candidates:
+            findings = _sanitizer_findings(cand)
+            if findings:
+                rejects[cand.label] = findings
+        sanitizer_rejects[family] = rejects
+
+    def family_of(key: str) -> str:
+        prefix = key.split("/", 1)[0]
+        return {
+            "ntt": "ntt",
+            "lde": "ntt",
+            "merkle": "merkle",
+            "poseidon": "poseidon",
+            "polyew": "poly",
+        }[prefix]
+
+    shapes: List[ShapeResult] = []
+    budget_exhausted = False
+    for key in sorted(groups):
+        nodes = groups[key]
+        family = family_of(key)
+        space = spaces[family]
+        default_cand = space.candidates[0]
+        default_cycles = _score(nodes, default_cand, hw)
+
+        stored = cache.lookup(key, hkey)
+        if stored is not None:
+            # Second run: serve the cached winner without re-searching.
+            from ..mapping.params import MappingParams
+
+            params = MappingParams.from_dict(stored.get("params", {}))
+            best_cycles = float(stored.get("cycles", default_cycles))
+            shapes.append(
+                ShapeResult(
+                    key=key,
+                    family=family,
+                    num_nodes=len(nodes),
+                    default_cycles=default_cycles,
+                    best_cycles=best_cycles,
+                    winner=str((stored.get("meta") or {}).get("label", "cached")),
+                    winner_params=params.to_dict(),
+                    cached=True,
+                )
+            )
+            continue
+
+        result = ShapeResult(
+            key=key,
+            family=family,
+            num_nodes=len(nodes),
+            default_cycles=default_cycles,
+            best_cycles=default_cycles,
+            winner=default_cand.label,
+            winner_params=default_cand.params.to_dict(),
+        )
+        result.tried.append(default_cand.label)
+
+        others = list(space.candidates[1:])
+        rng.shuffle(others)
+        for cand in others:
+            if deadline is not None and time.monotonic() > deadline:
+                budget_exhausted = True
+                break
+            reasons = cand.params.invalid_reasons(hw)
+            if reasons:
+                result.rejected.append(
+                    {"label": cand.label, "stage": "validity", "reasons": reasons}
+                )
+                continue
+            findings = sanitizer_rejects[family].get(cand.label)
+            if findings:
+                result.rejected.append(
+                    {"label": cand.label, "stage": "sanitizer", "reasons": findings}
+                )
+                continue
+            result.tried.append(cand.label)
+            cycles = _score(nodes, cand, hw)
+            if cycles < result.best_cycles:
+                result.best_cycles = cycles
+                result.winner = cand.label
+                result.winner_params = cand.params.to_dict()
+
+        cache.store(
+            key,
+            hkey,
+            result.winner_params,
+            cycles=result.best_cycles,
+            meta={"label": result.winner, "seed": seed},
+        )
+        shapes.append(result)
+        if budget_exhausted:
+            break
+
+    # Whole-graph verification: score the tuned winners end to end
+    # against the pinned defaults through the real simulator.
+    default_report = simulate_graph(graph, hw, mapping=DEFAULT_MAPPING)
+    from .cache import MappingResolver
+
+    resolver = MappingResolver(hw, cache=cache)
+    tuned_total = 0.0
+    for node in graph.topological_order():
+        tuned_total += map_node(node, hw, resolver.for_node(node)).elapsed_cycles(hw)
+
+    return TuneReport(
+        workload=graph.name,
+        hw_key=hkey,
+        seed=seed,
+        budget_s=budget_s,
+        shapes=shapes,
+        default_total_cycles=default_report.total_cycles,
+        tuned_total_cycles=tuned_total,
+        elapsed_s=time.monotonic() - t0,
+        budget_exhausted=budget_exhausted,
+    )
+
+
+def tune_workload(
+    params: PlonkParams,
+    hw: HwConfig = DEFAULT_CONFIG,
+    cache: Optional[TuningCache] = None,
+    budget_s: Optional[float] = None,
+    seed: int = 0,
+) -> TuneReport:
+    """Tune one paper workload's Plonky2 proof-generation graph."""
+    return tune_graph(
+        trace_plonky2(params), hw, cache=cache, budget_s=budget_s, seed=seed
+    )

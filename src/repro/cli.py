@@ -7,6 +7,8 @@
   optional hardware overrides (the Figure 10 knobs);
 * ``schedule``    -- print the compiler backend's detailed execution
   schedule for a workload;
+* ``tune``        -- search the kernel-mapping space for a workload and
+  cache the best-per-shape winners the compiler then uses by default;
 * ``prove``       -- run a functional scaled-down proof of a workload
   end to end (prove + verify);
 * ``chip``        -- print the area/power budget for a configuration;
@@ -82,6 +84,9 @@ def cmd_simulate(args) -> int:
     spec = _resolve_workload(args.workload)
     hw = _hw_from_args(args)
     report = simulate_plonky2(spec.plonk, hw)
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+        return 0
     for line in report.summary_lines():
         print(line)
     if args.baselines:
@@ -98,13 +103,63 @@ def cmd_schedule(args) -> int:
     spec = _resolve_workload(args.workload)
     hw = _hw_from_args(args)
     sched = lower(trace_plonky2(spec.plonk), hw)
-    print(sched.format(limit=args.limit))
-    print(f"memory-bound fraction: {sched.bound_fraction() * 100:.0f}%")
+    if args.json:
+        print(json.dumps(sched.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(sched.format(limit=args.limit))
+        print(f"memory-bound fraction: {sched.bound_fraction() * 100:.0f}%")
     if args.trace_out:
         from .sim.tracing import write_trace
 
         write_trace(sched, args.trace_out)
         print(f"wrote schedule trace to {args.trace_out}")
+    return 0
+
+
+def cmd_tune(args) -> int:
+    """Search kernel mappings for a workload; cache the winners."""
+    from .autotune.cache import TuningCache, TuningCacheError, default_cache_path
+    from .autotune.search import tune_workload
+
+    spec = _resolve_workload(args.workload)
+    hw = _hw_from_args(args)
+    budget_s = _parse_budget(args.budget) if args.budget else None
+    cache_path = args.cache or default_cache_path()
+    try:
+        cache = TuningCache.load(cache_path)
+    except TuningCacheError as exc:
+        raise CliError(str(exc)) from None
+    report = tune_workload(
+        spec.plonk, hw, cache=cache, budget_s=budget_s, seed=args.seed
+    )
+    cache.save(cache_path)
+    for line in report.summary_lines():
+        print(line)
+    print(f"tuning cache: {cache_path} ({len(cache)} entries)")
+    if args.out:
+        with open(args.out, "w") as fh:
+            json.dump(report.to_dict(), fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote tuning report to {args.out}")
+    if args.trace_out:
+        import os
+
+        from .autotune.cache import CACHE_ENV_VAR
+        from .sim.tracing import write_trace
+
+        # Lower against the just-saved cache even when --cache points
+        # somewhere other than the compiler's default location.
+        prev = os.environ.get(CACHE_ENV_VAR)
+        os.environ[CACHE_ENV_VAR] = str(cache_path)
+        try:
+            sched = lower(trace_plonky2(spec.plonk), hw)
+        finally:
+            if prev is None:
+                os.environ.pop(CACHE_ENV_VAR, None)
+            else:
+                os.environ[CACHE_ENV_VAR] = prev
+        write_trace(sched, args.trace_out)
+        print(f"wrote tuned schedule trace to {args.trace_out}")
     return 0
 
 
@@ -326,13 +381,33 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("simulate", help="simulate a workload on UniZK")
     p.add_argument("--workload", default="Factorial", metavar="NAME")
     p.add_argument("--baselines", action="store_true", help="also cost CPU/GPU")
+    p.add_argument("--json", action="store_true",
+                   help="emit the report as machine-readable JSON")
     _add_hw_flags(p)
 
     p = sub.add_parser("schedule", help="print the lowered execution schedule")
     p.add_argument("--workload", default="Factorial", metavar="NAME")
     p.add_argument("--limit", type=int, default=20, help="rows to print")
+    p.add_argument("--json", action="store_true",
+                   help="emit the schedule as machine-readable JSON")
     p.add_argument("--trace-out", default=None, metavar="PATH",
                    help="write the schedule as Chrome Trace Event JSON")
+    _add_hw_flags(p)
+
+    p = sub.add_parser(
+        "tune", help="search kernel mappings and cache the per-shape winners"
+    )
+    p.add_argument("--workload", default="Factorial", metavar="NAME")
+    p.add_argument("--budget", default=None, metavar="TIME",
+                   help="wall-clock budget, e.g. 60s or 2m (default: none)")
+    p.add_argument("--seed", type=int, default=0, help="search seed")
+    p.add_argument("--cache", default=None, metavar="PATH",
+                   help="tuning-cache file (default: REPRO_TUNING_CACHE or "
+                        "~/.cache/repro/tuning.json)")
+    p.add_argument("--out", default=None, metavar="PATH",
+                   help="write the tuning report as JSON")
+    p.add_argument("--trace-out", default=None, metavar="PATH",
+                   help="write the tuned schedule as Chrome Trace Event JSON")
     _add_hw_flags(p)
 
     p = sub.add_parser("prove", help="run a functional proof end to end")
@@ -427,6 +502,7 @@ def main(argv=None) -> int:
         "experiments": cmd_experiments,
         "simulate": cmd_simulate,
         "schedule": cmd_schedule,
+        "tune": cmd_tune,
         "prove": cmd_prove,
         "chip": cmd_chip,
         "serve": cmd_serve,

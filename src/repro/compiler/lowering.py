@@ -120,12 +120,44 @@ class DetailedSchedule:
         mem = sum(k.elapsed for k in self.kernels if k.memory_bound)
         return mem / total if total else 0.0
 
+    def to_dict(self) -> dict:
+        """JSON-safe form (``repro schedule --json``)."""
+        return {
+            "workload": self.workload,
+            "num_kernels": len(self.kernels),
+            "total_cycles": float(self.total_cycles),
+            "total_dma_bytes": float(self.total_dma_bytes),
+            "memory_bound_fraction": self.bound_fraction(),
+            "kernels": [
+                {
+                    "name": k.name,
+                    "stage": k.stage,
+                    "kind": k.kind,
+                    "mode": k.mode,
+                    "vsas": k.vsas,
+                    "start_cycle": float(k.start_cycle),
+                    "end_cycle": float(k.end_cycle),
+                    "dma_in_bytes": float(k.dma_in_bytes),
+                    "dma_out_bytes": float(k.dma_out_bytes),
+                    "memory_bound": k.memory_bound,
+                }
+                for k in self.kernels
+            ],
+        }
 
-def lower(graph: ComputationGraph, hw: HwConfig) -> DetailedSchedule:
-    """Lower a computation graph into a detailed execution schedule."""
+
+def lower(
+    graph: ComputationGraph, hw: HwConfig, mapping=None
+) -> DetailedSchedule:
+    """Lower a computation graph into a detailed execution schedule.
+
+    ``mapping`` follows :func:`repro.compiler.schedule`'s contract
+    (``None`` = tuned winners from the cache, explicit
+    :class:`~repro.mapping.params.MappingParams` = pinned).
+    """
     kernels: List[KernelSchedule] = []
     clock = 0.0
-    for sk in schedule(graph, hw):
+    for sk in schedule(graph, hw, mapping=mapping):
         cost = sk.cost
         elapsed = cost.elapsed_cycles(hw)
         mode = _MODE_BY_KIND.get(cost.kind, MODE_NONE)

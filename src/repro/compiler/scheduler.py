@@ -12,12 +12,14 @@ zero (paper Section 7.1), though the CPU/GPU baselines pay for them.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List
+from typing import List, Optional
 
 from ..hw.config import HwConfig
 from ..mapping import (
+    DEFAULT_MAPPING,
     KIND_TRANSFORM,
     KernelCost,
+    MappingParams,
     elementwise_cost,
     gate_eval_cost,
     lde_cost,
@@ -42,21 +44,37 @@ class ScheduledKernel:
         return self.node.stage
 
 
-def map_node(node: KernelNode, hw: HwConfig) -> KernelCost:
-    """Dispatch one node to its mapping strategy."""
+def map_node(
+    node: KernelNode, hw: HwConfig, mapping: Optional[MappingParams] = None
+) -> KernelCost:
+    """Dispatch one node to its mapping strategy.
+
+    ``mapping`` carries the kernel-family knobs the autotuner searches
+    (:mod:`repro.mapping.params`); ``None`` uses the static defaults.
+    """
+    m = mapping or DEFAULT_MAPPING
     p = node.params
-    if node.kind == "intt":
-        return ntt_cost(int(p["log_n"]), int(p["batch"]), hw, name=node.name)
-    if node.kind == "ntt":
-        return ntt_cost(int(p["log_n"]), int(p["batch"]), hw, name=node.name)
+    if node.kind in ("intt", "ntt"):
+        return ntt_cost(
+            int(p["log_n"]), int(p["batch"]), hw, name=node.name,
+            tile_log2=m.ntt.tile_log2, dims_per_pass=m.ntt.dims_per_pass,
+        )
     if node.kind == "lde":
         return lde_cost(
-            int(p["log_n"]), int(p["rate_bits"]), int(p["batch"]), hw, name=node.name
+            int(p["log_n"]), int(p["rate_bits"]), int(p["batch"]), hw,
+            name=node.name,
+            tile_log2=m.ntt.tile_log2, dims_per_pass=m.ntt.dims_per_pass,
         )
     if node.kind == "merkle":
-        return merkle_cost(int(p["leaves"]), int(p["width"]), hw, name=node.name)
+        return merkle_cost(
+            int(p["leaves"]), int(p["width"]), hw, name=node.name,
+            subtree_div_log2=m.merkle.subtree_div_log2,
+            scheme=m.poseidon.scheme,
+        )
     if node.kind == "hash_misc":
-        return poseidon_cost(float(p["perms"]), hw, name=node.name)
+        return poseidon_cost(
+            float(p["perms"]), hw, name=node.name, scheme=m.poseidon.scheme
+        )
     if node.kind == "poly_elementwise":
         return elementwise_cost(
             int(p["vector_len"]),
@@ -64,6 +82,7 @@ def map_node(node: KernelNode, hw: HwConfig) -> KernelCost:
             int(p["num_operands"]),
             hw,
             name=node.name,
+            chain_split=m.poly.chain_split,
         )
     if node.kind == "poly_gate":
         return gate_eval_cost(
@@ -95,6 +114,31 @@ def map_node(node: KernelNode, hw: HwConfig) -> KernelCost:
     raise ValueError(f"no mapping for kind {node.kind!r}")
 
 
-def schedule(graph: ComputationGraph, hw: HwConfig) -> List[ScheduledKernel]:
-    """Map every node in (validated) topological order."""
-    return [ScheduledKernel(node=n, cost=map_node(n, hw)) for n in graph.topological_order()]
+def schedule(
+    graph: ComputationGraph,
+    hw: HwConfig,
+    mapping: Optional[MappingParams] = None,
+) -> List[ScheduledKernel]:
+    """Map every node in (validated) topological order.
+
+    ``mapping=None`` consults the on-disk :class:`repro.autotune.cache.
+    TuningCache` for tuned per-shape winners (falling back to the static
+    defaults when no winner is stored -- a missing or broken cache file
+    never breaks compilation).  Pass an explicit
+    :class:`~repro.mapping.params.MappingParams` to pin every node to
+    one point of the mapping space (``DEFAULT_MAPPING`` reproduces the
+    pre-autotuner compiler bit for bit).
+    """
+    if mapping is None:
+        # Local import: repro.autotune imports this module for scoring.
+        from ..autotune.cache import MappingResolver
+
+        resolver = MappingResolver(hw)
+        return [
+            ScheduledKernel(node=n, cost=map_node(n, hw, resolver.for_node(n)))
+            for n in graph.topological_order()
+        ]
+    return [
+        ScheduledKernel(node=n, cost=map_node(n, hw, mapping))
+        for n in graph.topological_order()
+    ]

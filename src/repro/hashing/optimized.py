@@ -34,6 +34,7 @@ from functools import lru_cache
 
 import numpy as np
 
+from .. import tunables
 from ..field import gl64, goldilocks as gl, matrix as fm
 from .constants import PARTIAL_ROUNDS, WIDTH, mds_matrix, round_constants
 from .poseidon import FULL_ROUNDS, HALF_FULL, full_round
@@ -240,6 +241,9 @@ def permute_scalar(state: list[int]) -> list[int]:
 
 #: Batches at or below this size take the scalar path (measured
 #: crossover: the vectorised permutation is launch-bound below ~10).
+#: The plan tuner can override the crossover per proof via
+#: :mod:`repro.tunables`; both paths are extensionally equal, so the
+#: knob only moves wall-clock time.
 _SCALAR_BATCH_LIMIT = 8
 
 
@@ -351,11 +355,19 @@ def permute_into(states: np.ndarray, ws: gl64.Workspace | None = None) -> np.nda
     if states.shape[-1] != WIDTH:
         raise ValueError(f"state width must be {WIDTH}, got {states.shape[-1]}")
     flat = states.reshape(-1, WIDTH)
-    if flat.shape[0] <= _SCALAR_BATCH_LIMIT:
+    if flat.shape[0] <= tunables.current().scalar_batch_limit:
         for i in range(flat.shape[0]):
             flat[i] = permute_scalar([int(v) for v in flat[i]])
         return states
     ws = ws or gl64.default_workspace()
+    chunk = tunables.current().permute_chunk
+    if chunk and flat.shape[0] > chunk:
+        # Rows are independent, so running the permutation per chunk is
+        # bit-exact while keeping the (rows, 12, 12) matmul scratch
+        # cache-resident at large Merkle levels.
+        for start in range(0, flat.shape[0], chunk):
+            permute_into(flat[start : start + chunk], ws)
+        return states
     mds, pre_matrix, rc, full_post, sparse_vec, sparse_post = _fused_tables()
     gl64.add_into(flat, rc[0], flat, ws)
     for r in range(HALF_FULL):

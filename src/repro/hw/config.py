@@ -36,12 +36,30 @@ class HwConfig:
     ntt_tile_log2: int = 5
 
     def __post_init__(self) -> None:
+        # The autotuner sweeps these fields; nonsense points must fail
+        # here with a typed error, not as silent downstream misbehavior.
         if self.num_vsas < 1 or self.vsa_rows < 1 or self.vsa_cols < 1:
             raise ValueError("VSA geometry must be positive")
         if self.freq_ghz <= 0 or self.mem_bandwidth_gbps <= 0:
             raise ValueError("frequency and bandwidth must be positive")
         if self.scratchpad_mb <= 0:
             raise ValueError("scratchpad must be positive")
+        if self.transpose_dim < 1:
+            raise ValueError("transpose buffer dimension must be positive")
+        if self.twiddle_multipliers < 1:
+            raise ValueError("twiddle generator needs at least one multiplier")
+        if self.pe_registers < 1:
+            raise ValueError("PE register file must be positive")
+        if not 1 <= self.ntt_tile_log2 <= 16:
+            raise ValueError(
+                f"ntt_tile_log2 must be in 1..16, got {self.ntt_tile_log2}"
+            )
+        if (1 << self.ntt_tile_log2) // 2 > self.pe_registers:
+            raise ValueError(
+                f"ntt_tile_log2={self.ntt_tile_log2} needs "
+                f"{(1 << self.ntt_tile_log2) // 2} delay registers per PE "
+                f"but the register file holds {self.pe_registers}"
+            )
 
     # -- derived quantities ---------------------------------------------------
 

@@ -9,6 +9,14 @@ from .base import (
     KernelCost,
 )
 from .merkle_mapping import emulate_subtree_construction, merkle_cost, plan_subtrees
+from .params import (
+    DEFAULT_MAPPING,
+    MappingParams,
+    MerkleMapping,
+    NttMapping,
+    PolyMapping,
+    PoseidonMapping,
+)
 from .ntt_mapping import (
     MdcPipeline,
     NTT_MEM_EFFICIENCY,
@@ -28,6 +36,8 @@ from .poly_mapping import (
 from .poseidon_mapping import (
     PERM_MULTS,
     PERM_PE_CYCLES,
+    ROUND_SCHEMES,
+    RoundScheme,
     chip_perm_throughput,
     emulate_full_round_matches,
     emulate_partial_rounds_match,
@@ -38,6 +48,14 @@ from .sumcheck_mapping import emulate_sumcheck_round, sumcheck_cost
 __all__ = [
     "KernelCost",
     "ALL_KINDS",
+    "MappingParams",
+    "NttMapping",
+    "PoseidonMapping",
+    "MerkleMapping",
+    "PolyMapping",
+    "DEFAULT_MAPPING",
+    "ROUND_SCHEMES",
+    "RoundScheme",
     "KIND_NTT",
     "KIND_HASH",
     "KIND_POLY",

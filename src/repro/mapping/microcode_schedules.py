@@ -158,12 +158,26 @@ def run_matvec(weights: np.ndarray, states: np.ndarray) -> Tuple[np.ndarray, int
 # ---------------------------------------------------------------------------
 
 
-def build_sbox_pipeline(values: List[int], post_constant: int = 0) -> BuiltSchedule:
-    """Build the pipelined S-box schedule (see :func:`run_sbox_pipeline`)."""
+def build_sbox_pipeline(
+    values: List[int], post_constant: int = 0, ii: int = 2
+) -> BuiltSchedule:
+    """Build the pipelined S-box schedule (see :func:`run_sbox_pipeline`).
+
+    ``ii`` is the initiation interval between consecutive elements.  The
+    shipped schedule uses ``ii=2`` (the down link carries the partial
+    and the original ``x`` in alternate slots).  ``ii=1`` is the
+    candidate the autotuner enumerates for the ``sparse-12x3-ii1``
+    round scheme: element ``s``'s compute cycle then coincides with
+    element ``s+1``'s transport cycle, and both drive the down latch --
+    a genuine ``sched.latch-double-drive`` hazard the sanitizer rejects
+    before the candidate ever reaches the simulator.
+    """
+    if ii < 1:
+        raise ValueError("initiation interval must be >= 1")
     t_count = len(values)
     rows = 5
     emu = GridEmulator(rows=rows, cols=1, register_words=max(64, t_count + 12))
-    total = 2 * t_count + rows + 2
+    total = ii * t_count + rows + 2
     programs: Programs = {}
 
     computes = {
@@ -173,28 +187,33 @@ def build_sbox_pipeline(values: List[int], post_constant: int = 0) -> BuiltSched
         3: Instr("mul", IN_TOP, reg(2), out_down=True),  # t = c * x
     }
     for r in range(4):
-        prog = [NOP] * total
+        slots: Dict[int, List[Instr]] = {}
         for s in range(t_count):
-            transport_cycle = 2 * s + r
+            transport_cycle = ii * s + r
             compute_cycle = transport_cycle + 1
-            prog[transport_cycle] = (
-                Instr("mov", IN_TOP, out_down=True),  # forward x downward
-                Instr("mov", IN_TOP, dst_reg=2),  # stash x locally
+            slots.setdefault(transport_cycle, []).extend(
+                [
+                    Instr("mov", IN_TOP, out_down=True),  # forward x downward
+                    Instr("mov", IN_TOP, dst_reg=2),  # stash x locally
+                ]
             )
-            prog[compute_cycle] = computes[r]
+            slots.setdefault(compute_cycle, []).append(computes[r])
+        prog = [NOP] * total
+        for cycle, ops in slots.items():
+            prog[cycle] = ops[0] if len(ops) == 1 else tuple(ops)
         programs[(r, 0)] = prog
-    # Row 4: the partial arrives on cycle 2s + 5; add the constant.
+    # Row 4: the partial arrives on cycle ii*s + 5; add the constant.
     prog4 = [NOP] * total
     for s in range(t_count):
-        prog4[2 * s + 5] = Instr("add", IN_TOP, imm(post_constant), dst_reg=10 + s)
+        prog4[ii * s + 5] = Instr("add", IN_TOP, imm(post_constant), dst_reg=10 + s)
     programs[(4, 0)] = prog4
 
-    # Feed x_s at the top on cycle 2s (row 0's transport slot).
+    # Feed x_s at the top on cycle ii*s (row 0's transport slot).
     feed = [0] * total
     for s, v in enumerate(values):
-        feed[2 * s] = gl.canonical(int(v))
+        feed[ii * s] = gl.canonical(int(v))
     return BuiltSchedule(
-        name="sbox_pipeline",
+        name="sbox_pipeline" if ii == 2 else f"sbox_pipeline_ii{ii}",
         emu=emu,
         programs=programs,
         top_inputs={0: feed},

@@ -147,12 +147,24 @@ def batched_ntt_index_major(matrix: np.ndarray, hw: HwConfig):
     return out, buf.blocks_processed
 
 
-def ntt_dims(log_n: int, hw: HwConfig) -> list[int]:
-    """Decomposed dimension sizes for a size-``2**log_n`` NTT."""
+def ntt_dims(log_n: int, hw: HwConfig, tile_log2: int | None = None) -> list[int]:
+    """Decomposed dimension sizes for a size-``2**log_n`` NTT.
+
+    ``tile_log2`` overrides the per-dimension tile exponent (the
+    autotuner's SAM-shape knob); ``None`` uses ``hw.ntt_tile_log2``.
+    """
+    tile = hw.ntt_tile_log2 if tile_log2 is None else tile_log2
+    if tile < 1:
+        raise ValueError(f"NTT tile exponent must be >= 1, got {tile}")
+    if (1 << tile) // 2 > hw.pe_registers:
+        raise ValueError(
+            f"tile_log2={tile} exceeds the PE delay-register capacity "
+            f"({hw.pe_registers} words)"
+        )
     dims = []
     remaining = log_n
     while remaining > 0:
-        take = min(hw.ntt_tile_log2, remaining)
+        take = min(tile, remaining)
         dims.append(take)
         remaining -= take
     return dims
@@ -165,6 +177,8 @@ def ntt_cost(
     name: str = "ntt",
     output_scale: float = 1.0,
     index_major: bool = False,
+    tile_log2: int | None = None,
+    dims_per_pass: int | None = None,
 ) -> KernelCost:
     """Cost of ``batch`` size-``2**log_n`` NTTs (forward or inverse).
 
@@ -173,15 +187,22 @@ def ntt_cost(
     less, so traffic uses the true input/output sizes).  ``index_major``
     layouts route through the transpose buffer, which runs in parallel
     and does not change elapsed time (paper Section 5.1 "Data layouts").
+    ``tile_log2`` / ``dims_per_pass`` are the autotuner's mapping knobs;
+    ``None`` keeps the static defaults.
     """
     n = 1 << log_n
-    dims = ntt_dims(log_n, hw)
+    dims = ntt_dims(log_n, hw, tile_log2)
     # Fusing two decomposed dimensions per memory pass (the two chained
     # half-row pipelines of Figure 4b) needs scratchpad room for the
     # inter-dimension tiles; below ~4 MB the fusion degrades to one
     # dimension per pass and traffic doubles (the scratchpad leg of the
     # paper's Figure 10).
-    dims_per_pass = 2 if hw.scratchpad_bytes >= (4 << 20) else 1
+    if dims_per_pass is None:
+        dims_per_pass = 2 if hw.scratchpad_bytes >= (4 << 20) else 1
+    elif dims_per_pass == 2 and hw.scratchpad_bytes < (4 << 20):
+        raise ValueError("dims_per_pass=2 needs >= 4 MB of scratchpad")
+    elif dims_per_pass not in (1, 2):
+        raise ValueError(f"dims_per_pass must be 1 or 2, got {dims_per_pass}")
     passes = ceil(len(dims) / dims_per_pass)
     elems = n * batch
     # One read + one write of the whole batch per pass.
@@ -209,11 +230,23 @@ def ntt_cost(
 
 
 def lde_cost(
-    log_n_in: int, rate_bits: int, batch: int, hw: HwConfig, name: str = "lde"
+    log_n_in: int,
+    rate_bits: int,
+    batch: int,
+    hw: HwConfig,
+    name: str = "lde",
+    tile_log2: int | None = None,
+    dims_per_pass: int | None = None,
 ) -> KernelCost:
     """Cost of low-degree extension: iNTT at ``n`` then NTT^NR at ``kn``."""
-    intt_part = ntt_cost(log_n_in, batch, hw, name=f"{name}.intt")
-    ntt_part = ntt_cost(log_n_in + rate_bits, batch, hw, name=f"{name}.ntt")
+    intt_part = ntt_cost(
+        log_n_in, batch, hw, name=f"{name}.intt",
+        tile_log2=tile_log2, dims_per_pass=dims_per_pass,
+    )
+    ntt_part = ntt_cost(
+        log_n_in + rate_bits, batch, hw, name=f"{name}.ntt",
+        tile_log2=tile_log2, dims_per_pass=dims_per_pass,
+    )
     return KernelCost(
         name=name,
         kind=KIND_NTT,

@@ -59,30 +59,54 @@ def elementwise_cost(
     hw: HwConfig,
     mult_fraction: float = 0.5,
     name: str = "poly.elementwise",
+    chain_split: int = 1,
 ) -> KernelCost:
     """Cost of a fused chain of element-wise vector operations.
 
     ``num_ops`` operations over vectors of ``vector_len`` touching
-    ``num_operands`` distinct operand vectors.
+    ``num_operands`` distinct operand vectors.  ``chain_split`` breaks
+    the chain into that many segments (the autotuner's tiling knob):
+    each segment resident-sets fewer operands -- bigger tiles -- but one
+    intermediate vector spills to DRAM between segments.  1 is the fully
+    fused static default.
     """
-    plan = tile_plan(vector_len, num_operands, num_ops, hw.scratchpad_bytes)
     total_ops = num_ops * vector_len
     compute_cycles = total_ops / hw.total_pes
-    # If tiles shrink below the DRAM-friendly minimum, the operand set no
-    # longer fits on-chip at once: the compiler splits the op chain and
-    # spills intermediates, multiplying traffic (scratchpad sensitivity).
     min_tile = 512
-    spill_factor = 1.0
-    if plan.tile_elems < min_tile:
-        spill_factor = min(4.0, min_tile / max(1, plan.tile_elems))
+
+    def _segment_bytes(operands: int, ops: int) -> float:
+        plan = tile_plan(vector_len, operands, ops, hw.scratchpad_bytes)
+        spill_factor = 1.0
+        # If tiles shrink below the DRAM-friendly minimum, the operand
+        # set no longer fits on-chip at once: the compiler splits the op
+        # chain and spills intermediates, multiplying traffic
+        # (scratchpad sensitivity).
+        if plan.tile_elems < min_tile:
+            spill_factor = min(4.0, min_tile / max(1, plan.tile_elems))
+        return plan.dram_bytes * spill_factor, plan.tile_elems
+
+    if chain_split <= 1:
+        mem_bytes, tile_elems = _segment_bytes(num_operands, num_ops)
+    else:
+        k = min(chain_split, max(1, num_operands))
+        seg_operands = -(-num_operands // k) + 1  # carried intermediate
+        seg_ops = max(1, -(-num_ops // k))
+        seg_bytes, tile_elems = _segment_bytes(seg_operands, seg_ops)
+        # k segments plus (k-1) intermediate spill round trips.
+        mem_bytes = k * seg_bytes + (k - 1) * 2 * vector_len * 8
     return KernelCost(
         name=name,
         kind=KIND_POLY,
         compute_cycles=compute_cycles,
-        mem_bytes=plan.dram_bytes * spill_factor,
+        mem_bytes=mem_bytes,
         mem_efficiency=STREAM_MEM_EFFICIENCY,
         mult_ops=total_ops * mult_fraction,
-        detail={"vector_len": vector_len, "num_ops": num_ops, "tile": plan.tile_elems},
+        detail={
+            "vector_len": vector_len,
+            "num_ops": num_ops,
+            "tile": tile_elems,
+            "chain_split": chain_split,
+        },
     )
 
 

@@ -21,6 +21,8 @@ per cycle):
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 import numpy as np
 
 from ..field import gl64, goldilocks as gl
@@ -36,6 +38,45 @@ PERM_PE_CYCLES = 8 * 192 + 144 + 22 * 36  # = 2472
 PERM_MULTS = 8 * 192 + 144 + 22 * 27  # = 2274
 #: Pipeline latency of one 4-partial-round block (paper Section 5.2).
 PARTIAL_BLOCK_LATENCY = 145
+
+
+@dataclass(frozen=True)
+class RoundScheme:
+    """One way of laying the permutation's rounds onto the PE grid."""
+
+    name: str
+    #: PE-cycles one permutation occupies on the VSAs under this scheme.
+    pe_cycles: int
+    #: Modular multiplies per permutation.
+    mults: int
+    #: ``ii`` of the S-box pipeline microcode this scheme assumes
+    #: (:func:`repro.mapping.microcode_schedules.build_sbox_pipeline`).
+    sbox_ii: int = 2
+
+
+#: Round schemes the mapper understands, keyed by name.
+#:
+#: * ``sparse-12x3`` -- the paper's Figure 5b scheme (the default):
+#:   sparse partial rounds on a 12x3 region, S-box pipeline at
+#:   initiation interval 2.
+#: * ``dense-partial`` -- the naive scheme: every partial round pays a
+#:   full 12x12 dense MDS multiply (144 PE-cycles) plus a 4-PE S-box
+#:   chain; no pre-matrix.  Always valid, always slower -- the point the
+#:   paper's Section 5.2 optimisation beats.
+#: * ``sparse-12x3-ii1`` -- a hypothetical Figure 5b variant running the
+#:   S-box pipeline at initiation interval 1 (half the partial-round
+#:   cycles on paper).  Its microcode double-drives the down links, so
+#:   the schedule sanitizer rejects it before it ever reaches the
+#:   simulator -- the autotuner's cheap-rejection path.
+ROUND_SCHEMES = {
+    "sparse-12x3": RoundScheme("sparse-12x3", PERM_PE_CYCLES, PERM_MULTS, sbox_ii=2),
+    "dense-partial": RoundScheme(
+        "dense-partial", 8 * 192 + 22 * (144 + 4), 8 * 192 + 22 * (144 + 4)
+    ),
+    "sparse-12x3-ii1": RoundScheme(
+        "sparse-12x3-ii1", 8 * 192 + 144 + 22 * 18, PERM_MULTS, sbox_ii=1
+    ),
+}
 
 #: Sequential efficiency of level-order Merkle traffic.
 HASH_MEM_EFFICIENCY = 0.85
@@ -138,14 +179,26 @@ def poseidon_cost(
     input_bytes: float = 0.0,
     output_bytes: float = 0.0,
     name: str = "poseidon",
+    scheme: str = "sparse-12x3",
 ) -> KernelCost:
-    """Cost of a batch of permutations plus its DRAM traffic."""
+    """Cost of a batch of permutations plus its DRAM traffic.
+
+    ``scheme`` names a :data:`ROUND_SCHEMES` entry (the autotuner's
+    round-scheme knob); the default reproduces the static mapping.
+    """
+    try:
+        sc = ROUND_SCHEMES[scheme]
+    except KeyError:
+        raise ValueError(
+            f"unknown Poseidon round scheme {scheme!r} "
+            f"(choose from: {', '.join(sorted(ROUND_SCHEMES))})"
+        ) from None
     return KernelCost(
         name=name,
         kind=KIND_HASH,
-        compute_cycles=num_perms * PERM_PE_CYCLES / hw.total_pes,
+        compute_cycles=num_perms * sc.pe_cycles / hw.total_pes,
         mem_bytes=input_bytes + output_bytes,
         mem_efficiency=HASH_MEM_EFFICIENCY,
-        mult_ops=num_perms * PERM_MULTS,
-        detail={"perms": num_perms},
+        mult_ops=num_perms * sc.mults,
+        detail={"perms": num_perms, "scheme": sc.name},
     )

@@ -50,6 +50,9 @@ class Counters:
     ntt_butterflies: int = 0
     #: NTT transforms executed (count of (batch, size) calls).
     ntt_transforms: int = 0
+    #: Prover plans dropped from the per-thread LRU caches
+    #: (:func:`repro.stark.plan.plan_for` and the Plonk analogue).
+    plan_evictions: int = 0
 
     def snapshot(self) -> "Counters":
         """Copy the current totals."""

@@ -23,14 +23,17 @@ Plans are NOT thread-safe (the arena is reused mutably per proof);
 from __future__ import annotations
 
 import threading
-from typing import Dict, Tuple
+from collections import OrderedDict
+from typing import Optional, Tuple
 
 import numpy as np
 
 from ..field import gl64, goldilocks as gl
 from ..fri import prover as fri_prover
 from ..hashing import optimized
+from ..metrics import GLOBAL as _METRICS
 from ..ntt import transforms
+from ..tunables import PlanTuning
 from .permutation import id_values
 
 
@@ -67,6 +70,10 @@ class PlonkPlan:
         self.ids = id_values(n)
         self.ids.flags.writeable = False
         self.omega = gl.primitive_root_of_unity(n.bit_length() - 1)
+        #: Software tuning the prover applies for this shape (``None``
+        #: = heuristic defaults; filled in by :func:`plan_for` from the
+        #: tuning cache when the plan tuner has a stored winner).
+        self.tuning: Optional[PlanTuning] = None
 
     def warm(self) -> "PlonkPlan":
         """Touch every lazily-built table the hot path will need.
@@ -94,20 +101,44 @@ class PlonkPlan:
 
 _LOCAL = threading.local()
 
+#: Per-thread plan-cache capacity (see :mod:`repro.stark.plan`).
+PLAN_CACHE_CAP = 8
+
 
 def plan_for(n: int, rate_bits: int) -> PlonkPlan:
     """Return this thread's (warmed) plan for a circuit shape.
 
     Keyed on ``(n, rate_bits)``; repeated proofs of one shape -- the
     service's cached-circuit path in particular -- share tables and
-    workspaces.
+    workspaces.  The cache holds at most :data:`PLAN_CACHE_CAP` plans
+    per thread, evicting least-recently-used shapes (counted in
+    ``metrics.GLOBAL.plan_evictions``).
     """
-    cache: Dict[Tuple[int, int], PlonkPlan] = getattr(_LOCAL, "plans", None) or {}
-    if not hasattr(_LOCAL, "plans"):
+    cache: OrderedDict[Tuple[int, int], PlonkPlan] = getattr(_LOCAL, "plans", None)
+    if cache is None:
+        cache = OrderedDict()
         _LOCAL.plans = cache
     key = (n, rate_bits)
     plan = cache.get(key)
     if plan is None:
         plan = PlonkPlan(n, rate_bits).warm()
+        plan.tuning = _cached_tuning(n, rate_bits)
         cache[key] = plan
+        while len(cache) > PLAN_CACHE_CAP:
+            cache.popitem(last=False)
+            _METRICS.plan_evictions += 1
+    else:
+        cache.move_to_end(key)
     return plan
+
+
+def _cached_tuning(n: int, rate_bits: int) -> Optional[PlanTuning]:
+    """Stored plan-tuner winner for this shape, or ``None`` (lazy
+    import: the plan tuner drives the prover, which builds plans here).
+    """
+    try:
+        from ..autotune.plan_tuner import cached_tuning
+
+        return cached_tuning("plonk", n, rate_bits)
+    except Exception:
+        return None

@@ -25,7 +25,7 @@ from typing import Dict
 
 import numpy as np
 
-from .. import tracing
+from .. import tracing, tunables
 from ..field import extension as fext, gl64, goldilocks as gl
 from ..fri import FriConfig, PolynomialBatch
 from ..hashing import Challenger
@@ -106,7 +106,9 @@ def prove(
     elif plan.n != n or plan.rate_bits != rate_bits:
         raise ValueError("plan shape does not match the circuit/config")
 
-    with tracing.span("prove:plonk", category="prove", n=n, rate_bits=rate_bits):
+    with tunables.applied(plan.tuning), tracing.span(
+        "prove:plonk", category="prove", n=n, rate_bits=rate_bits
+    ):
         with tracing.span("witness", category="witness"):
             witness = circuit.generate_witness(inputs)
             wires = circuit.wire_values(witness)  # (3, n)

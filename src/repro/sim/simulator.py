@@ -10,7 +10,7 @@ methodology.
 
 from __future__ import annotations
 
-from typing import Dict, Sequence
+from typing import Dict, Optional, Sequence
 
 from ..compiler import ComputationGraph, schedule
 from ..compiler.frontend import (
@@ -21,13 +21,24 @@ from ..compiler.frontend import (
     trace_starky,
 )
 from ..hw.config import DEFAULT_CONFIG, HwConfig
+from ..mapping import MappingParams
 from .stats import KernelRecord, SimReport
 
 
-def simulate_graph(graph: ComputationGraph, hw: HwConfig = DEFAULT_CONFIG) -> SimReport:
-    """Run the scheduler and accumulate the per-kernel records."""
+def simulate_graph(
+    graph: ComputationGraph,
+    hw: HwConfig = DEFAULT_CONFIG,
+    mapping: Optional[MappingParams] = None,
+) -> SimReport:
+    """Run the scheduler and accumulate the per-kernel records.
+
+    ``mapping`` follows :func:`repro.compiler.schedule`'s contract:
+    ``None`` consults the tuning cache for per-shape winners, an
+    explicit :class:`~repro.mapping.params.MappingParams` pins every
+    kernel to that point.
+    """
     report = SimReport(workload=graph.name, hw=hw)
-    for sk in schedule(graph, hw):
+    for sk in schedule(graph, hw, mapping=mapping):
         cost = sk.cost
         report.records.append(
             KernelRecord(

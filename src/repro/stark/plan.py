@@ -21,14 +21,17 @@ thread-safe -- the workspace arena is reused mutably per proof -- so
 from __future__ import annotations
 
 import threading
-from typing import Dict, Tuple
+from collections import OrderedDict
+from typing import Dict, Optional, Tuple
 
 import numpy as np
 
 from ..field import gl64, goldilocks as gl
 from ..fri import prover as fri_prover
 from ..hashing import optimized
+from ..metrics import GLOBAL as _METRICS
 from ..ntt import transforms
+from ..tunables import PlanTuning
 
 
 class ProverPlan:
@@ -61,6 +64,10 @@ class ProverPlan:
         self.transition_div_inv.flags.writeable = False
         self._boundary_inv: Dict[int, np.ndarray] = {}
         self._const_ldes: Dict[bytes, np.ndarray] = {}
+        #: Software tuning the prover applies for this shape (``None``
+        #: = heuristic defaults; filled in by :func:`plan_for` from the
+        #: tuning cache when the plan tuner has a stored winner).
+        self.tuning: Optional[PlanTuning] = None
 
     def boundary_inverse(self, row: int) -> np.ndarray:
         """Cached ``1 / (x - omega^row)`` over the LDE coset (read-only)."""
@@ -110,19 +117,47 @@ class ProverPlan:
 
 _LOCAL = threading.local()
 
+#: Per-thread plan-cache capacity.  Plans pin multi-megabyte workspace
+#: arenas, so the cache is LRU-bounded; evictions are counted in
+#: :data:`repro.metrics.GLOBAL` (``plan_evictions``).
+PLAN_CACHE_CAP = 8
+
 
 def plan_for(n: int, rate_bits: int) -> ProverPlan:
     """Return this thread's (warmed) plan for a trace shape.
 
     Keyed on ``(n, rate_bits)``; repeated proofs of one shape -- the
     service's batch path in particular -- share tables and workspaces.
+    The cache holds at most :data:`PLAN_CACHE_CAP` plans per thread,
+    evicting least-recently-used shapes.
     """
-    cache: Dict[Tuple[int, int], ProverPlan] = getattr(_LOCAL, "plans", None) or {}
-    if not hasattr(_LOCAL, "plans"):
+    cache: OrderedDict[Tuple[int, int], ProverPlan] = getattr(_LOCAL, "plans", None)
+    if cache is None:
+        cache = OrderedDict()
         _LOCAL.plans = cache
     key = (n, rate_bits)
     plan = cache.get(key)
     if plan is None:
         plan = ProverPlan(n, rate_bits).warm()
+        plan.tuning = _cached_tuning(n, rate_bits)
         cache[key] = plan
+        while len(cache) > PLAN_CACHE_CAP:
+            cache.popitem(last=False)
+            _METRICS.plan_evictions += 1
+    else:
+        cache.move_to_end(key)
     return plan
+
+
+def _cached_tuning(n: int, rate_bits: int) -> Optional[PlanTuning]:
+    """Stored plan-tuner winner for this shape, or ``None``.
+
+    Imported lazily: the plan tuner drives the provers, which in turn
+    build plans through this module.
+    """
+    try:
+        from ..autotune.plan_tuner import cached_tuning
+
+        return cached_tuning("stark", n, rate_bits)
+    except Exception:
+        return None

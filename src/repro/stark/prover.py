@@ -22,7 +22,7 @@ from typing import List, Sequence, Tuple
 
 import numpy as np
 
-from .. import tracing
+from .. import tracing, tunables
 from ..field import extension as fext, gl64, goldilocks as gl
 from ..fri import FriConfig
 from ..hashing import Challenger
@@ -72,7 +72,9 @@ def prove(
     elif plan.n != n or plan.rate_bits != rate_bits:
         raise ValueError("plan shape does not match the trace/config")
 
-    with tracing.span("prove:stark", category="prove", n=n, width=width):
+    with tunables.applied(plan.tuning), tracing.span(
+        "prove:stark", category="prove", n=n, width=width
+    ):
         pipe = CommitmentPipeline(config, challenger, ws=plan.ws)
 
         # Commit the trace.

@@ -8,6 +8,16 @@ import pytest
 from repro.fri import FriConfig
 
 
+@pytest.fixture(autouse=True)
+def _isolated_tuning_cache(tmp_path, monkeypatch):
+    """Point the tuning cache at a per-test file.
+
+    The compiler consults ``REPRO_TUNING_CACHE`` on every schedule;
+    goldens and cost baselines must never see a developer's real cache.
+    """
+    monkeypatch.setenv("REPRO_TUNING_CACHE", str(tmp_path / "tuning.json"))
+
+
 @pytest.fixture
 def rng() -> np.random.Generator:
     """Deterministic NumPy generator."""

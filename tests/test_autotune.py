@@ -1,0 +1,435 @@
+"""Mapping autotuner: enumeration, search, cache, tunables, CLI.
+
+Covers the closed compiler loop -- candidate enumeration is
+deterministic, the sanitizer gate keeps unsafe microcode out of the
+simulator, winners round-trip through the on-disk cache, and the
+software tunables stay bit-identical to the reference path.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro import metrics, tunables
+from repro.autotune.cache import (
+    CACHE_VERSION,
+    SOFTWARE_HW_KEY,
+    MappingResolver,
+    TuningCache,
+    TuningCacheError,
+    hw_key,
+    load_default_cache,
+    plan_key,
+)
+from repro.autotune.search import tune_graph, tune_workload
+from repro.autotune.space import (
+    FAMILIES,
+    candidate_spaces,
+    space_for_family,
+)
+from repro.compiler.frontend import PlonkParams, trace_plonky2
+from repro.hw import DEFAULT_CONFIG, HwConfig
+from repro.mapping.params import DEFAULT_MAPPING, MappingParams
+from repro.tunables import DEFAULT_TUNING, PlanTuning
+
+#: Small-but-representative workload: exercises every kernel family
+#: without paper-scale search times.
+SMALL = PlonkParams(name="tiny", degree_bits=10, width=24, rate_bits=3)
+
+
+# -- candidate enumeration ----------------------------------------------------
+
+
+def test_spaces_cover_all_families_default_first():
+    spaces = candidate_spaces()
+    assert tuple(s.family for s in spaces) == FAMILIES
+    for space in spaces:
+        assert len(space) >= 2
+        assert space.candidates[0].is_default or space.family == "poseidon"
+        labels = [c.label for c in space.candidates]
+        assert len(labels) == len(set(labels)), "duplicate candidate labels"
+    # Poseidon's first candidate is the shipped default scheme.
+    poseidon = space_for_family("poseidon")
+    assert poseidon.candidates[0].label == "poseidon:sparse-12x3"
+
+
+def test_enumeration_is_deterministic():
+    first = [
+        (c.family, c.label, c.params.to_dict())
+        for s in candidate_spaces()
+        for c in s.candidates
+    ]
+    second = [
+        (c.family, c.label, c.params.to_dict())
+        for s in candidate_spaces()
+        for c in s.candidates
+    ]
+    assert first == second
+
+
+def test_space_for_family_rejects_unknown():
+    with pytest.raises(ValueError, match="unknown mapping family"):
+        space_for_family("fft")
+
+
+# -- search -------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def small_graph():
+    return trace_plonky2(SMALL)
+
+
+def test_search_same_seed_reproduces_trials_and_winners(small_graph):
+    a = tune_graph(small_graph, DEFAULT_CONFIG, cache=TuningCache(), seed=7)
+    b = tune_graph(small_graph, DEFAULT_CONFIG, cache=TuningCache(), seed=7)
+    assert [s.key for s in a.shapes] == [s.key for s in b.shapes]
+    assert [s.tried for s in a.shapes] == [s.tried for s in b.shapes]
+    assert [s.winner for s in a.shapes] == [s.winner for s in b.shapes]
+    assert a.tuned_total_cycles == b.tuned_total_cycles
+
+
+def test_search_other_seed_converges_to_same_cost(small_graph):
+    # The space is exhaustively small: a different exploration order may
+    # pick a different tied winner but never a different best cost.
+    a = tune_graph(small_graph, DEFAULT_CONFIG, cache=TuningCache(), seed=0)
+    b = tune_graph(small_graph, DEFAULT_CONFIG, cache=TuningCache(), seed=99)
+    assert a.tuned_total_cycles == b.tuned_total_cycles
+
+
+def test_search_default_scored_first_and_never_beaten_by_rejects(small_graph):
+    report = tune_graph(small_graph, DEFAULT_CONFIG, cache=TuningCache(), seed=0)
+    assert report.shapes, "no tunable shapes found"
+    for shape in report.shapes:
+        # The family's default candidate is always scored first.
+        assert shape.tried[0] == space_for_family(shape.family).candidates[0].label
+        assert shape.best_cycles <= shape.default_cycles
+        rejected = {r["label"] for r in shape.rejected}
+        # Rejected candidates are never scored, never win.
+        assert rejected.isdisjoint(shape.tried)
+        assert shape.winner not in rejected
+
+
+def test_sanitizer_rejects_ii1_poseidon_before_simulation(small_graph):
+    report = tune_graph(small_graph, DEFAULT_CONFIG, cache=TuningCache(), seed=0)
+    poseidon = [s for s in report.shapes if s.family == "poseidon"]
+    assert poseidon, "workload has no Poseidon shapes"
+    for shape in poseidon:
+        sanitizer = [r for r in shape.rejected if r["stage"] == "sanitizer"]
+        assert any(r["label"] == "poseidon:sparse-12x3-ii1" for r in sanitizer)
+        for r in sanitizer:
+            assert r["reasons"], "sanitizer rejection must carry findings"
+            assert r["label"] not in shape.tried
+
+
+def test_search_winners_are_valid_mappings(small_graph):
+    report = tune_graph(small_graph, DEFAULT_CONFIG, cache=TuningCache(), seed=0)
+    for shape in report.shapes:
+        params = MappingParams.from_dict(shape.winner_params)
+        assert params.invalid_reasons(DEFAULT_CONFIG) == []
+
+
+def test_second_run_served_from_cache_without_research(small_graph):
+    cache = TuningCache()
+    first = tune_graph(small_graph, DEFAULT_CONFIG, cache=cache, seed=0)
+    second = tune_graph(small_graph, DEFAULT_CONFIG, cache=cache, seed=0)
+    assert all(s.cached for s in second.shapes)
+    # Cached results carry no trial history: nothing was re-scored.
+    assert all(s.tried == [] for s in second.shapes)
+    assert second.tuned_total_cycles == first.tuned_total_cycles
+
+
+def test_zero_budget_degrades_to_default(small_graph):
+    report = tune_graph(
+        small_graph, DEFAULT_CONFIG, cache=TuningCache(), budget_s=0.0, seed=0
+    )
+    assert report.budget_exhausted
+    for shape in report.shapes:
+        assert shape.best_cycles == shape.default_cycles
+
+
+def test_tune_workload_matches_tune_graph():
+    report = tune_workload(SMALL, DEFAULT_CONFIG, cache=TuningCache(), seed=0)
+    assert report.workload == f"plonky2/{SMALL.name}"
+    assert report.tuned_total_cycles <= report.default_total_cycles
+    payload = report.to_dict()
+    assert payload["num_shapes"] == len(report.shapes)
+    json.dumps(payload)  # must be JSON-serialisable as-is
+
+
+# -- tuning cache -------------------------------------------------------------
+
+
+def test_cache_round_trip(tmp_path):
+    path = tmp_path / "cache.json"
+    cache = TuningCache()
+    cache.store("ntt/log10", "abc123", {"x": 1}, cycles=42.0, meta={"label": "t"})
+    cache.save(path)
+    reloaded = TuningCache.load(path)
+    assert len(reloaded) == 1
+    entry = reloaded.lookup("ntt/log10", "abc123")
+    assert entry == {"params": {"x": 1}, "cycles": 42.0, "meta": {"label": "t"}}
+    assert reloaded.lookup("ntt/log10", "other-hw") is None
+
+
+def test_cache_version_mismatch_yields_empty(tmp_path):
+    path = tmp_path / "cache.json"
+    path.write_text(json.dumps({"version": CACHE_VERSION + 1, "entries": {"k": {}}}))
+    assert len(TuningCache.load(path)) == 0
+    assert len(TuningCache.load(path, strict=False)) == 0
+
+
+def test_cache_corrupt_file_strictness(tmp_path):
+    path = tmp_path / "cache.json"
+    path.write_text("{not json")
+    with pytest.raises(TuningCacheError, match="unreadable"):
+        TuningCache.load(path)
+    assert len(TuningCache.load(path, strict=False)) == 0
+    # Structurally wrong payloads are also rejected.
+    path.write_text(json.dumps({"version": CACHE_VERSION, "entries": [1, 2]}))
+    with pytest.raises(TuningCacheError, match="no entries mapping"):
+        TuningCache.load(path)
+
+
+def test_cache_missing_file_is_empty(tmp_path):
+    assert len(TuningCache.load(tmp_path / "absent.json")) == 0
+
+
+def test_default_cache_never_raises(tmp_path, monkeypatch):
+    path = tmp_path / "tuning.json"
+    monkeypatch.setenv("REPRO_TUNING_CACHE", str(path))
+    path.write_text("garbage")
+    assert len(load_default_cache()) == 0
+
+
+def test_resolver_prefers_valid_cached_winner(small_graph):
+    hw = DEFAULT_CONFIG
+    node = next(
+        n for n in small_graph.topological_order() if n.kind in ("ntt", "intt")
+    )
+    winner = DEFAULT_MAPPING.with_family(
+        "ntt", type(DEFAULT_MAPPING.ntt)(tile_log2=6, dims_per_pass=2)
+    )
+    cache = TuningCache()
+    from repro.autotune.cache import node_key
+
+    cache.store(node_key(node), hw_key(hw), winner.to_dict(), cycles=1.0)
+    resolver = MappingResolver(hw, cache=cache)
+    assert resolver.for_node(node) == winner
+
+
+def test_resolver_degrades_invalid_entry_to_default(small_graph):
+    hw = DEFAULT_CONFIG
+    node = next(
+        n for n in small_graph.topological_order() if n.kind in ("ntt", "intt")
+    )
+    from repro.autotune.cache import node_key
+
+    cache = TuningCache()
+    cache.store(node_key(node), hw_key(hw), {"ntt": {"tile_log2": 99}}, cycles=1.0)
+    resolver = MappingResolver(hw, cache=cache)
+    assert resolver.for_node(node) == DEFAULT_MAPPING
+
+
+# -- hardware-config validation -----------------------------------------------
+
+
+@pytest.mark.parametrize(
+    "overrides, match",
+    [
+        ({"num_vsas": 0}, "geometry"),
+        ({"vsa_rows": -1}, "geometry"),
+        ({"freq_ghz": 0.0}, "positive"),
+        ({"mem_bandwidth_gbps": -5.0}, "positive"),
+        ({"scratchpad_mb": 0.0}, "scratchpad"),
+        ({"transpose_dim": 0}, "transpose"),
+        ({"twiddle_multipliers": 0}, "twiddle"),
+        ({"pe_registers": 0}, "register"),
+        ({"ntt_tile_log2": 0}, "ntt_tile_log2"),
+        ({"ntt_tile_log2": 17}, "ntt_tile_log2"),
+        ({"ntt_tile_log2": 8, "pe_registers": 64}, "delay registers"),
+    ],
+)
+def test_hw_config_rejects_nonsense(overrides, match):
+    with pytest.raises(ValueError, match=match):
+        HwConfig(**overrides)
+
+
+def test_hw_config_scaled_revalidates():
+    with pytest.raises(ValueError):
+        DEFAULT_CONFIG.scaled(num_vsas=0)
+
+
+def test_sim_sweep_runs_each_point():
+    from repro.sim.simulator import simulate_plonky2, sweep
+
+    points = [DEFAULT_CONFIG, DEFAULT_CONFIG.scaled(num_vsas=8)]
+    reports = sweep(SMALL, points)
+    assert len(reports) == 2
+    base = simulate_plonky2(SMALL, DEFAULT_CONFIG)
+    assert reports[0].total_cycles == base.total_cycles
+    # Quartering the VSAs can only slow things down.
+    assert reports[1].total_cycles >= reports[0].total_cycles
+
+
+# -- software tunables --------------------------------------------------------
+
+
+def test_plan_tuning_defaults_and_validation():
+    assert tunables.current() == DEFAULT_TUNING
+    with pytest.raises(ValueError):
+        PlanTuning(ntt_row_block=-1)
+    with pytest.raises(ValueError):
+        PlanTuning(permute_chunk=-1)
+    # Unknown keys are ignored; known ones round-trip.
+    t = PlanTuning.from_dict({"ntt_row_block": 4, "bogus": 1})
+    assert t.ntt_row_block == 4
+    assert PlanTuning.from_dict(t.to_dict()) == t
+
+
+def test_applied_scopes_the_tuning():
+    custom = PlanTuning(scalar_batch_limit=0, ntt_row_block=4, leaf_hash_chunk=64)
+    with tunables.applied(custom):
+        assert tunables.current() == custom
+        with tunables.applied(None):
+            assert tunables.current() == DEFAULT_TUNING
+        assert tunables.current() == custom
+    assert tunables.current() == DEFAULT_TUNING
+
+
+def test_tunables_are_bit_identical(rng):
+    from repro.field import goldilocks as gl
+    from repro.hashing import optimized
+    from repro.hashing.sponge import hash_or_noop
+    from repro.ntt import transforms
+
+    rows = rng.integers(0, gl.P, size=(64, 256), dtype=np.uint64)
+    base_ntt = transforms.ntt(rows.copy())
+    base_leaves = hash_or_noop(rows.copy())
+    custom = PlanTuning(
+        scalar_batch_limit=0, ntt_row_block=4, leaf_hash_chunk=16, permute_chunk=16
+    )
+    with tunables.applied(custom):
+        np.testing.assert_array_equal(transforms.ntt(rows.copy()), base_ntt)
+        np.testing.assert_array_equal(hash_or_noop(rows.copy()), base_leaves)
+
+    # permute_chunk slices the vectorised Poseidon batch; a chunk size
+    # that leaves a ragged tail must still match the unchunked result.
+    states = rng.integers(0, gl.P, size=(53, 12), dtype=np.uint64)
+    base_perm = optimized.permute_into(states.copy())
+    with tunables.applied(PlanTuning(permute_chunk=16)):
+        np.testing.assert_array_equal(
+            optimized.permute_into(states.copy()), base_perm
+        )
+
+
+def test_stark_proof_digest_invariant_under_tuning(stark_test_config):
+    from repro.serialize import stark_proof_digest
+    from repro.stark import prove
+    from repro.workloads import by_name
+
+    spec = by_name("Fibonacci")
+    air, trace_rows, publics = spec.build_air(6)
+    base = stark_proof_digest(prove(air, trace_rows, publics, stark_test_config))
+    custom = PlanTuning(ntt_row_block=2, leaf_hash_chunk=8, permute_chunk=16)
+    with tunables.applied(custom):
+        tuned = stark_proof_digest(
+            prove(air, trace_rows, publics, stark_test_config)
+        )
+    assert tuned == base
+
+
+def test_cached_tuning_round_trip(tmp_path, monkeypatch):
+    from repro.autotune.plan_tuner import cached_tuning
+
+    path = tmp_path / "tuning.json"
+    monkeypatch.setenv("REPRO_TUNING_CACHE", str(path))
+    key = plan_key("stark", 64, 1)
+    assert cached_tuning("stark", 64, 1) is None
+
+    cache = TuningCache.load(path, strict=False)
+    cache.store(key, SOFTWARE_HW_KEY, PlanTuning(ntt_row_block=4).to_dict())
+    cache.save(path)
+    assert cached_tuning("stark", 64, 1) == PlanTuning(ntt_row_block=4)
+
+    # Storing the default round-trips to "no override".
+    cache.store(key, SOFTWARE_HW_KEY, DEFAULT_TUNING.to_dict())
+    cache.save(path)
+    assert cached_tuning("stark", 64, 1) is None
+
+
+def test_plan_cache_is_lru_bounded(monkeypatch):
+    from repro.stark import plan as stark_plan
+
+    monkeypatch.setattr(stark_plan, "PLAN_CACHE_CAP", 2)
+    stark_plan._LOCAL.plans = None  # fresh cache for this thread
+    with metrics.counting() as got:
+        p8 = stark_plan.plan_for(8, 1)
+        stark_plan.plan_for(16, 1)
+        assert stark_plan.plan_for(8, 1) is p8  # hit refreshes recency
+        assert got.plan_evictions == 0
+        stark_plan.plan_for(32, 1)  # evicts (16, 1), the LRU entry
+        assert got.plan_evictions == 1
+        assert stark_plan.plan_for(8, 1) is p8  # survived: recently used
+        assert got.plan_evictions == 1
+        assert (16, 1) not in stark_plan._LOCAL.plans
+    stark_plan._LOCAL.plans = None
+
+
+# -- CLI ----------------------------------------------------------------------
+
+
+def test_cli_simulate_json(capsys):
+    from repro.cli import main
+
+    assert main(["simulate", "--workload", "Factorial", "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["workload"] == "plonky2/Factorial"
+    assert payload["total_cycles"] > 0
+
+
+def test_cli_schedule_json(capsys):
+    from repro.cli import main
+
+    assert main(["schedule", "--workload", "Factorial", "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["workload"] == "plonky2/Factorial"
+    assert payload["num_kernels"] == len(payload["kernels"])
+    assert payload["total_cycles"] > 0
+
+
+def test_cli_tune_smoke(tmp_path, capsys):
+    from repro.cli import main
+
+    cache_path = tmp_path / "cache.json"
+    out_path = tmp_path / "report.json"
+    argv = [
+        "tune", "--workload", "Factorial", "--seed", "0",
+        "--cache", str(cache_path), "--out", str(out_path),
+    ]
+    assert main(argv) == 0
+    first = capsys.readouterr().out
+    assert "tuned plonky2/Factorial" in first
+    report = json.loads(out_path.read_text())
+    assert report["num_cached"] == 0
+    assert report["tuned_total_cycles"] <= report["default_total_cycles"]
+    assert cache_path.exists()
+
+    # Second invocation serves every shape from the saved cache.
+    assert main(argv) == 0
+    rerun = json.loads(out_path.read_text())
+    assert rerun["num_cached"] == rerun["num_shapes"]
+    assert rerun["tuned_total_cycles"] == report["tuned_total_cycles"]
+
+
+def test_cli_tune_rejects_corrupt_cache(tmp_path, capsys):
+    from repro.cli import main
+
+    cache_path = tmp_path / "cache.json"
+    cache_path.write_text("{broken")
+    code = main(["tune", "--workload", "Factorial", "--cache", str(cache_path)])
+    assert code == 2
+    assert "unreadable" in capsys.readouterr().err
