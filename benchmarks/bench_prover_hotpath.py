@@ -17,6 +17,12 @@ it replaced, at three levels:
   no workspace threading into FRI.  "Now" is the cached-setup / warm
   :class:`repro.plonk.PlonkPlan` prove, plus a per-stage span breakdown
   from :mod:`repro.tracing`;
+* **stage sharding** -- serial vs 2-shard-worker proves of the largest
+  STARK shapes, measured as *interleaved* A/B pairs so machine drift
+  cancels, with the bit-identity contract asserted on every pair: the
+  sharded proof must match the serial digest and operation counters
+  exactly.  On a single effective CPU the row documents overhead, not
+  speedup (``effective_cpus`` is recorded);
 * **plan tuning** -- the software autotuner
   (:mod:`repro.autotune.plan_tuner`) searches the
   :class:`repro.tunables.PlanTuning` knobs against measured wall-clock
@@ -44,7 +50,7 @@ import time
 
 import numpy as np
 
-from repro import metrics, tracing
+from repro import metrics, parallel, tracing
 from repro.field import gl64, goldilocks as gl
 from repro.fri.config import FriConfig
 from repro.hashing import optimized
@@ -311,6 +317,66 @@ def bench_plan_tuning() -> dict:
     return rows
 
 
+def bench_sharded() -> dict:
+    """Serial vs stage-sharded STARK proves, interleaved A/B pairs.
+
+    Uses the default :class:`repro.parallel.ShardPool` thresholds (no
+    artificial forcing): at scale 10 the 2048-row LDE clears
+    ``min_rows`` and the commit/FRI stages fan out across 2 shard
+    workers.  Every pair asserts the contract -- sharded digest and
+    counters bit-identical to the serial arm -- before any time is
+    recorded; a mismatch aborts the benchmark rather than reporting a
+    speedup for a wrong proof.
+    """
+    rows = {}
+    pairs = 3
+    for name, spec in WORKLOADS:
+        scale = 10
+        air, trace, publics = spec.build_air(scale)
+        plan = plan_for(trace.shape[0], CONFIG.rate_bits)
+        with parallel.ShardPool(2) as pool:
+            prove(air, trace, publics, CONFIG, plan=plan)  # warm serial
+            prove(air, trace, publics, CONFIG, plan=plan, pool=pool)  # warm + fork
+            serial_s = sharded_s = float("inf")
+            for _ in range(pairs):
+                with metrics.counting() as c:
+                    t0 = time.perf_counter()
+                    ref = prove(air, trace, publics, CONFIG, plan=plan)
+                    serial_s = min(serial_s, time.perf_counter() - t0)
+                ref_counters = dict(c.as_dict())
+                with metrics.counting() as c:
+                    t0 = time.perf_counter()
+                    got = prove(air, trace, publics, CONFIG, plan=plan, pool=pool)
+                    sharded_s = min(sharded_s, time.perf_counter() - t0)
+                got_counters = dict(c.as_dict())
+                assert stark_proof_digest(got) == stark_proof_digest(ref), (
+                    f"{name}/{scale}: sharded proof digest diverged from serial"
+                )
+                assert got_counters == ref_counters, (
+                    f"{name}/{scale}: sharded op counters diverged from serial"
+                )
+            shard_stats = dict(pool.stats)
+            profile = pool.profile.as_dict()
+        key = f"{name}/{scale}"
+        rows[key] = {
+            "serial_s": round(serial_s, 4),
+            "sharded_s": round(sharded_s, 4),
+            "speedup": round(serial_s / sharded_s, 2),
+            "shard_workers": 2,
+            "bit_identical": True,  # asserted above, pair by pair
+            "graphs": shard_stats["graphs"],
+            "shards": shard_stats["shards"],
+            "profile_unit_costs": {
+                kind: stat["unit_cost"] for kind, stat in profile.items()
+            },
+        }
+        print(
+            f"{key:14s} serial {serial_s:7.4f} s -> sharded {sharded_s:7.4f} s  "
+            f"(x{serial_s/sharded_s:.2f}, {shard_stats['shards']} shards)"
+        )
+    return rows
+
+
 def bench_plonk_stages() -> dict:
     """Per-stage wall-time breakdown for the largest Plonk config (MVM/8)."""
     circuit, inputs, _ = mvm.SPEC.build_circuit(8)
@@ -335,6 +401,8 @@ def main() -> dict:
     plonk_rows = bench_plonk()
     print("== Plonk stage breakdown (MVM scale 8) ==")
     plonk_stages = bench_plonk_stages()
+    print("== stage-sharded STARK prove (2 shard workers, scale 10) ==")
+    sharded = bench_sharded()
     print("== software plan tuning (measured wall-clock) ==")
     plan_tuning = bench_plan_tuning()
     target = proofs["Fibonacci/8"]
@@ -353,10 +421,12 @@ def main() -> dict:
         "platform": platform.platform(),
         "python": platform.python_version(),
         "numpy": np.__version__,
+        "effective_cpus": parallel.effective_cpus(),
         "kernels": kernels,
         "prove": proofs,
         "plonk": plonk_rows,
         "plonk_stage_seconds_mvm_scale8": plonk_stages,
+        "sharded": sharded,
         "plan_tuning": plan_tuning,
         "plan_tuning_improved_workloads": [
             k for k, r in plan_tuning.items() if r["improved"]
@@ -371,6 +441,9 @@ def main() -> dict:
             r["counters_unchanged"]
             for r in [*proofs.values(), *plonk_rows.values(), *plan_tuning.values()]
         ),
+        "all_sharded_bit_identical": all(
+            r["bit_identical"] for r in sharded.values()
+        ),
     }
     OUT.write_text(json.dumps(report, indent=1) + "\n")
     print(f"\nheadline (STARK Fibonacci scale 8): x{target['speedup']:.2f}")
@@ -383,6 +456,7 @@ if __name__ == "__main__":
     report = main()
     assert report["all_digests_unchanged"], "proof digests drifted"
     assert report["all_counters_unchanged"], "operation counters drifted"
+    assert report["all_sharded_bit_identical"], "sharded proofs diverged"
     assert report["headline_plonk_e2e_speedup_mvm_scale8"] >= 1.3, (
         "Plonk service-path speedup regressed below 1.3x"
     )

@@ -3,13 +3,19 @@
 Measures jobs/sec and p50/p99 latency on the Fibonacci STARK workload:
 
 * worker counts {1, 2, 4} with batching and caching disabled -- the
-  raw multiprocess scaling curve.  This scales with the host's core
-  count (recorded as ``cpu_count``): on a single-core container it is
-  flat by construction, on a 4-core host it approaches 4x.
+  raw multiprocess scaling curve.  This scales with the host's
+  *effective* core count (``effective_cpus``, the scheduler affinity
+  mask -- ``cpu_count`` overstates it inside containers): on a
+  single-core container it is flat by construction, on a 4-core host
+  it approaches 4x.  Runs whose total process count exceeds the
+  effective CPUs are annotated ``oversubscribed``.
 * at 4 workers, the same job mix with batching and/or caching enabled
   -- the service-level amortisations (duplicate coalescing, the
   content-addressed result cache) that speed things up regardless of
   core count.
+* a stage-sharding sweep: 1 service worker whose proofs fan out
+  across {1, 2} shard workers (``repro.parallel``) -- intra-proof
+  parallelism, the latency lever batching cannot touch.
 
 The headline ``speedup_4workers_vs_1`` compares the full service
 (4 workers, batching + caching) against the 1-worker no-amortisation
@@ -28,7 +34,12 @@ import pathlib
 import platform
 import time
 
+from repro import parallel
 from repro.service import ProvingService
+
+#: CPUs this process may actually run on (affinity mask, not the
+#: machine-wide count) -- the honest parallelism bound for every row.
+EFFECTIVE_CPUS = parallel.effective_cpus()
 
 #: 24 jobs cycling three proof sizes: each scale appears 8x.  Real
 #: proving traffic is duplicate-heavy (same circuit, many requests);
@@ -44,7 +55,9 @@ def _percentile(values, fraction):
     return ordered[index]
 
 
-def run_once(workers: int, *, batching: bool, caching: bool) -> dict:
+def run_once(
+    workers: int, *, batching: bool, caching: bool, shard_workers: int = 1
+) -> dict:
     """One benchmark run; returns its stats row."""
     service = ProvingService(
         workers=workers,
@@ -52,6 +65,12 @@ def run_once(workers: int, *, batching: bool, caching: bool) -> dict:
         enable_cache=caching,
         batch_window_s=0.05 if batching else 0.0,
         jitter_seed=0,
+        shard_workers=shard_workers,
+        shard_config=(
+            {"min_rows": 1, "min_tree_leaves": 2, "min_queries": 1}
+            if shard_workers > 1
+            else None
+        ),
     )
     ids = []
     with service:
@@ -74,8 +93,12 @@ def run_once(workers: int, *, batching: bool, caching: bool) -> dict:
         totals = service.stats()
     return {
         "workers": workers,
+        "shard_workers": shard_workers,
         "batching": batching,
         "caching": caching,
+        # More processes than schedulable CPUs: the row measures
+        # context-switch overhead, not parallel speedup.
+        "oversubscribed": workers * shard_workers > EFFECTIVE_CPUS,
         "jobs": len(ids),
         "wall_s": round(wall_s, 4),
         "jobs_per_s": round(len(ids) / wall_s, 3),
@@ -107,17 +130,34 @@ def main() -> dict:
             f"cache_hits {row['cache_hits']}  batches {row['batches_dispatched']}"
         )
         runs.append(row)
+    # Intra-proof sharding sweep: one service worker, proofs fanned out
+    # across shard workers.  Compare against the workers=1 plain row --
+    # same job-level serialisation, stage-level parallelism added.
+    for shard_workers in (2,):
+        row = run_once(
+            1, batching=False, caching=False, shard_workers=shard_workers
+        )
+        print(
+            f"workers=1 shard_workers={shard_workers}: "
+            f"{row['jobs_per_s']:.2f} jobs/s  p50 {row['p50_latency_s']:.2f}s"
+            + ("  [oversubscribed]" if row["oversubscribed"] else "")
+        )
+        runs.append(row)
 
-    def pick(workers, batching, caching):
+    def pick(workers, batching, caching, shard_workers=1):
         return next(
             r for r in runs
-            if (r["workers"], r["batching"], r["caching"])
-            == (workers, batching, caching)
+            if (r["workers"], r["batching"], r["caching"], r["shard_workers"])
+            == (workers, batching, caching, shard_workers)
         )
 
     baseline = pick(1, False, False)
     speedup_service = pick(4, True, True)["jobs_per_s"] / baseline["jobs_per_s"]
     speedup_plain = pick(4, False, False)["jobs_per_s"] / baseline["jobs_per_s"]
+    speedup_sharded = (
+        pick(1, False, False, shard_workers=2)["jobs_per_s"]
+        / baseline["jobs_per_s"]
+    )
     report = {
         "workload": "Fibonacci",
         "kind": "stark",
@@ -129,18 +169,23 @@ def main() -> dict:
         "platform": platform.platform(),
         "python": platform.python_version(),
         "cpu_count": os.cpu_count(),
+        "effective_cpus": EFFECTIVE_CPUS,
         "runs": runs,
         # Full service (4 workers + batching + caching) vs the 1-worker
         # no-amortisation baseline on identical traffic.
         "speedup_4workers_vs_1": round(speedup_service, 3),
-        # Raw process scaling only; bounded by cpu_count.
+        # Raw process scaling only; bounded by effective_cpus.
         "speedup_plain_4workers_vs_1": round(speedup_plain, 3),
+        # Intra-proof stage sharding (1 worker x 2 shard workers) vs the
+        # same worker proving serially; bounded by effective_cpus too.
+        "speedup_sharded_2x_vs_serial": round(speedup_sharded, 3),
     }
     OUT.write_text(json.dumps(report, indent=2) + "\n")
     print(
         f"speedup 4 workers (full service) vs 1-worker baseline: "
-        f"{speedup_service:.2f}x  (plain process scaling {speedup_plain:.2f}x "
-        f"on {os.cpu_count()} cores)  ->  {OUT}"
+        f"{speedup_service:.2f}x  (plain process scaling {speedup_plain:.2f}x, "
+        f"stage sharding {speedup_sharded:.2f}x on {EFFECTIVE_CPUS} "
+        f"effective of {os.cpu_count()} cores)  ->  {OUT}"
     )
     return report
 

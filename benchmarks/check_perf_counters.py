@@ -8,6 +8,11 @@ work is executed (in place, fused, batched, shared sequencing) but
 never *how much* work the protocol does; a drift here means a rewrite
 silently changed the algorithm, not just the implementation.
 
+Both proofs then run again under a forced 2-worker
+:class:`repro.parallel.ShardPool` against the *same* goldens: stage
+sharding redistributes the work across processes but must not change
+the digest or a single operation count.
+
 Usage: PYTHONPATH=src python benchmarks/check_perf_counters.py
 """
 
@@ -15,7 +20,7 @@ from __future__ import annotations
 
 import sys
 
-from repro import metrics
+from repro import metrics, parallel
 from repro.fri.config import FriConfig
 from repro.plonk import prove as plonk_prove, setup
 from repro.serialize import plonk_proof_digest, stark_proof_digest
@@ -82,6 +87,24 @@ def main() -> int:
         plonk_proof_digest(pproof), PLONK_GOLDEN_DIGEST,
     )
 
+    # Same proofs, sharded across 2 workers (thresholds forced low so
+    # the tiny CI proofs actually fan out) -- same goldens, bit for bit.
+    with parallel.ShardPool(
+        2, min_rows=1, min_tree_leaves=2, min_queries=1
+    ) as pool, parallel.sharding(pool):
+        with metrics.counting() as counts:
+            proof = prove(air, trace, publics, CONFIG)
+        failures += _check(
+            "stark[sharded]", dict(counts.as_dict()), GOLDEN,
+            stark_proof_digest(proof), GOLDEN_DIGEST,
+        )
+        with metrics.counting() as counts:
+            pproof = plonk_prove(data, inputs)
+        failures += _check(
+            "plonk[sharded]", dict(counts.as_dict()), PLONK_GOLDEN,
+            plonk_proof_digest(pproof), PLONK_GOLDEN_DIGEST,
+        )
+
     if failures:
         print("PERF-COUNTER REGRESSION:")
         for line in failures:
@@ -90,6 +113,7 @@ def main() -> int:
     print(f"stark counters OK: {', '.join(f'{k}={v}' for k, v in GOLDEN.items())}")
     print(f"plonk counters OK: {', '.join(f'{k}={v}' for k, v in PLONK_GOLDEN.items())}")
     print("proof digests OK (stark + plonk)")
+    print("sharded (2 workers) counters + digests OK (stark + plonk)")
     return 0
 
 

@@ -35,8 +35,14 @@ from .findings import LINT_RULES, Finding, check_rule_ids
 #: Module prefixes (relative to the ``repro`` package root, ``/``
 #: separators) whose allocations must come from Workspace arenas.
 HOT_PATH_PREFIXES = ("ntt/", "hashing/", "fri/")
-#: Individual hot-path files.
-HOT_PATH_FILES = ("stark/prover.py", "plonk/prover.py")
+#: Individual hot-path files.  The shard kernels and graph builders run
+#: once per shard per proof -- the same budget as the provers they split.
+HOT_PATH_FILES = (
+    "stark/prover.py",
+    "plonk/prover.py",
+    "parallel/kernels.py",
+    "parallel/ops.py",
+)
 
 #: Prefixes forming the deterministic proving path.
 PROVING_PATH_PREFIXES = (
@@ -49,6 +55,7 @@ PROVING_PATH_PREFIXES = (
     "plonk/",
     "pipeline/",
     "sumcheck/",
+    "parallel/",
 )
 
 #: Names that look like a field modulus on the right of ``%``.

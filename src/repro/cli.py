@@ -165,10 +165,11 @@ def cmd_tune(args) -> int:
 
 def cmd_prove(args) -> int:
     """Run a functional scaled-down proof end to end."""
-    from . import tracing
+    from . import parallel, tracing
     from .fri import FriConfig
     from .plonk import prove, setup, verify
 
+    workers = parallel.resolve_workers(args.workers, flag="workers")
     spec = _resolve_workload(args.workload)
     print(f"{spec.name}: {spec.repro_note}")
     circuit, inputs, publics = spec.build_circuit(args.scale)
@@ -176,9 +177,16 @@ def cmd_prove(args) -> int:
     config = FriConfig(rate_bits=3, cap_height=1, num_queries=args.queries,
                        proof_of_work_bits=8, final_poly_len=4)
     data = setup(circuit, config)
+    pool = parallel.ShardPool(workers) if workers > 1 else None
+    if pool is not None:
+        print(f"sharding across {workers} workers")
     t0 = time.time()
-    with tracing.trace() as session:
-        proof = prove(data, inputs)
+    try:
+        with tracing.trace() as session:
+            proof = prove(data, inputs, pool=pool)
+    finally:
+        if pool is not None:
+            pool.close()
     t_prove = time.time() - t0
     t0 = time.time()
     verify(data.verifier_data, proof)
@@ -204,8 +212,12 @@ def cmd_chip(args) -> int:
 
 def cmd_serve(args) -> int:
     """Run the proving service until shutdown (or ``--max-jobs``)."""
+    from . import parallel
     from .service import ProvingService, serve_forever
 
+    shard_workers = parallel.resolve_workers(
+        args.shard_workers, flag="shard-workers"
+    )
     service = ProvingService(
         workers=args.workers,
         enable_batching=not args.no_batch,
@@ -215,11 +227,13 @@ def cmd_serve(args) -> int:
         default_timeout_s=args.job_timeout,
         max_retries=args.retries,
         fault_injection=args.fault_injection,
+        shard_workers=shard_workers,
     )
     service.start()
     print(
         f"proving service on {args.host}:{args.port} "
-        f"({args.workers} workers, batching {'off' if args.no_batch else 'on'}, "
+        f"({args.workers} workers x {shard_workers} shard workers, "
+        f"batching {'off' if args.no_batch else 'on'}, "
         f"cache {'off' if args.no_cache else 'on'})",
         flush=True,
     )
@@ -414,6 +428,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--workload", default="Fibonacci", metavar="NAME")
     p.add_argument("--scale", type=int, default=20, help="workload size knob")
     p.add_argument("--queries", type=int, default=12, help="FRI query rounds")
+    p.add_argument("--workers", type=int, default=1, metavar="N",
+                   help="shard the proof across N worker processes "
+                        "(1 = serial; clamped to effective CPUs)")
     p.add_argument("--trace-out", default=None, metavar="PATH",
                    help="write per-stage prover spans as Chrome Trace Event JSON")
 
@@ -424,6 +441,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--host", default="127.0.0.1")
     p.add_argument("--port", type=int, default=8347)
     p.add_argument("--workers", type=int, default=2, help="worker processes")
+    p.add_argument("--shard-workers", type=int, default=1, metavar="N",
+                   help="shard processes per proving worker (stage-level "
+                        "parallelism inside each proof; 1 = serial proofs)")
     p.add_argument("--no-batch", action="store_true", help="disable batching")
     p.add_argument("--no-cache", action="store_true", help="disable result cache")
     p.add_argument("--batch-window", type=float, default=0.05,

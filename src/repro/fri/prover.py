@@ -22,11 +22,12 @@ from typing import List, Sequence, Tuple
 
 import numpy as np
 
-from .. import tracing
+from .. import parallel, tracing
 from ..field import extension as fext, gl64, goldilocks as gl
 from ..hashing import Challenger
 from ..merkle import MerkleTree
 from ..ntt import coset_intt_ext, intt, lde_coeffs
+from ..parallel import ops as par_ops
 from .config import FriConfig
 from .proof import (
     FriInitialOpening,
@@ -65,6 +66,15 @@ class PolynomialBatch:
         arena in its reusable workspace.
         """
         coeffs = np.atleast_2d(np.asarray(coeffs, dtype=np.uint64))
+        pool = parallel.current_pool()
+        if (
+            pool is not None
+            and slot is not None
+            and pool.wants_commit(coeffs.shape[1] << rate_bits)
+        ):
+            return par_ops.sharded_from_coeffs(
+                pool, coeffs, rate_bits, cap_height, f"commit:{slot}"
+            )
         ldes = lde_coeffs(coeffs, rate_bits, ws=ws)  # (num_polys, N_lde)
         values = np.ascontiguousarray(ldes.T)  # (N_lde, num_polys)
         tree = MerkleTree(values, cap_height=cap_height, ws=ws, arena_slot=slot)
@@ -81,6 +91,18 @@ class PolynomialBatch:
     ) -> "PolynomialBatch":
         """Commit polynomials given by their subgroup evaluations."""
         vals = np.atleast_2d(np.asarray(subgroup_values, dtype=np.uint64))
+        pool = parallel.current_pool()
+        if (
+            pool is not None
+            and slot is not None
+            and pool.wants_commit(vals.shape[1] << rate_bits)
+        ):
+            # Fused path: each row shard interpolates (iNTT) its own rows
+            # before extending them, so the two transforms pipeline per
+            # shard instead of barriering between stages.
+            return par_ops.sharded_from_values(
+                pool, vals, rate_bits, cap_height, f"commit:{slot}"
+            )
         return cls.from_coeffs(intt(vals, ws=ws), rate_bits, cap_height, ws=ws, slot=slot)
 
     @property
@@ -265,10 +287,19 @@ def fri_prove(
     challenger.observe_elements(openings.flat_values())
     alpha = challenger.get_ext_challenge()
 
+    # Sharding happens strictly *between* transcript interactions: the
+    # challenger runs only in this function, so caps and challenges keep
+    # the serial order no matter how shard graphs are scheduled.
+    pool = parallel.current_pool()
+    n_lde = batches[0].values.shape[0]
+    shard_rows = pool is not None and pool.parallel and n_lde >= pool.min_rows
+
     with tracing.span("fri:combine", category="fri"):
-        values = combine_openings(batches, openings, alpha)
+        if shard_rows:
+            values = par_ops.sharded_combine(pool, batches, openings, alpha)
+        else:
+            values = combine_openings(batches, openings, alpha)
     n = batches[0].degree_n
-    n_lde = values.shape[0]
     log_lde = n_lde.bit_length() - 1
 
     # Commit phase.
@@ -279,7 +310,15 @@ def fri_prove(
     cur_log = log_lde
     with tracing.span("fri:fold", category="fri", rounds=num_rounds):
         for i in range(num_rounds):
-            tree = _layer_tree(layer_values[-1], config.cap_height, ws, f"fri{i}")
+            cur_vals = layer_values[-1]
+            if (
+                pool is not None
+                and pool.parallel
+                and cur_vals.shape[0] // 2 >= pool.min_tree_leaves
+            ):
+                tree = par_ops.sharded_layer_tree(pool, cur_vals, config.cap_height, i)
+            else:
+                tree = _layer_tree(cur_vals, config.cap_height, ws, f"fri{i}")
             trees.append(tree)
             challenger.observe_cap(tree.cap)
             beta = challenger.get_ext_challenge()
@@ -303,21 +342,34 @@ def fri_prove(
     # Query phase.
     with tracing.span("fri:query", category="fri", queries=config.num_queries):
         indices = challenger.get_indices(config.num_queries, n_lde)
-        query_rounds = []
-        for idx in indices:
-            initial = FriInitialOpening(
-                leaves=[b.values[idx].copy() for b in batches],
-                proofs=[b.tree.prove(idx) for b in batches],
+        if pool is not None and pool.parallel and len(indices) >= pool.min_queries:
+            layer_args = [
+                par_ops.layer_ref_args(pool, tree, vals, i)
+                for i, (tree, vals) in enumerate(zip(trees, layer_values[:-1]))
+            ]
+            query_rounds = par_ops.sharded_query_rounds(
+                pool, batches, layer_args, indices
             )
-            layers = []
-            cur = idx
-            for tree, vals in zip(trees, layer_values[:-1]):
-                half = vals.shape[0] // 2
-                pair = cur % half
-                leaf = np.concatenate([vals[pair], vals[pair + half]])
-                layers.append(FriLayerOpening(pair_leaf=leaf, proof=tree.prove(pair)))
-                cur = pair
-            query_rounds.append(FriQueryRound(index=idx, initial=initial, layers=layers))
+        else:
+            query_rounds = []
+            for idx in indices:
+                initial = FriInitialOpening(
+                    leaves=[b.values[idx].copy() for b in batches],
+                    proofs=[b.tree.prove(idx) for b in batches],
+                )
+                layers = []
+                cur = idx
+                for tree, vals in zip(trees, layer_values[:-1]):
+                    half = vals.shape[0] // 2
+                    pair = cur % half
+                    leaf = np.concatenate([vals[pair], vals[pair + half]])
+                    layers.append(
+                        FriLayerOpening(pair_leaf=leaf, proof=tree.prove(pair))
+                    )
+                    cur = pair
+                query_rounds.append(
+                    FriQueryRound(index=idx, initial=initial, layers=layers)
+                )
 
     return FriProof(
         commit_caps=[t.cap.copy() for t in trees],

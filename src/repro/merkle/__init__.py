@@ -2,12 +2,19 @@
 
 from . import multiproof
 from .multiproof import MerkleMultiProof, prove_multi, verify_multi
-from .tree import MerkleProof, MerkleTree, merkle_permutation_count, verify_proof
+from .tree import (
+    MerkleProof,
+    MerkleTree,
+    level_sizes,
+    merkle_permutation_count,
+    verify_proof,
+)
 
 __all__ = [
     "MerkleTree",
     "MerkleProof",
     "verify_proof",
+    "level_sizes",
     "merkle_permutation_count",
     "multiproof",
     "MerkleMultiProof",

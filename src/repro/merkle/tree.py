@@ -23,6 +23,21 @@ from ..field import gl64
 from ..hashing import sponge
 
 
+def level_sizes(num_leaves: int, cap_height: int) -> List[int]:
+    """Digest counts per level, leaves first, down to the cap.
+
+    The contiguous level-order arena layout (Section 5.3) is
+    ``sum(level_sizes(...))`` rows; sharded tree builders use this to
+    size shared arenas identically to :class:`MerkleTree` itself.
+    """
+    sizes = []
+    width = num_leaves
+    while width >= (1 << cap_height):
+        sizes.append(width)
+        width //= 2
+    return sizes
+
+
 @dataclass(frozen=True)
 class MerkleProof:
     """Authentication path from a leaf to the cap."""
@@ -58,11 +73,7 @@ class MerkleTree:
         # plan can pin the arena in its workspace via ``arena_slot`` so
         # repeated proofs of the same shape reuse the buffer, but each
         # slot then belongs to exactly one tree per proof.
-        sizes = []
-        width = num_leaves
-        while width >= (1 << cap_height):
-            sizes.append(width)
-            width //= 2
+        sizes = level_sizes(num_leaves, cap_height)
         total = sum(sizes)
         if arena_slot is not None:
             self.arena = ws.temp((total, sponge.DIGEST_LEN), f"merkle:{arena_slot}")
@@ -77,6 +88,36 @@ class MerkleTree:
         sponge.hash_leaves_into(leaves, self.levels[0], ws)
         for i in range(1, len(self.levels)):
             sponge.compress_level_into(self.levels[i - 1], self.levels[i], ws)
+
+    @classmethod
+    def from_levels(
+        cls,
+        leaves: np.ndarray,
+        cap_height: int,
+        arena: np.ndarray,
+        sizes: List[int],
+    ) -> "MerkleTree":
+        """Wrap an already-hashed level-order arena as a tree.
+
+        The sharded prover fills the arena through parallel subtree
+        kernels (same layout, same digests) and adopts it here without
+        re-hashing; ``sizes`` must be ``level_sizes(len(leaves),
+        cap_height)`` and the arena ``sum(sizes)`` digest rows.
+        """
+        if list(sizes) != level_sizes(leaves.shape[0], cap_height):
+            raise ValueError("sizes do not match the leaf count and cap height")
+        if arena.shape != (sum(sizes), sponge.DIGEST_LEN):
+            raise ValueError("arena shape does not match the level sizes")
+        tree = cls.__new__(cls)
+        tree.leaves = leaves
+        tree.cap_height = cap_height
+        tree.arena = arena
+        tree.levels = []
+        offset = 0
+        for size in sizes:
+            tree.levels.append(arena[offset : offset + size])
+            offset += size
+        return tree
 
     @property
     def cap(self) -> np.ndarray:

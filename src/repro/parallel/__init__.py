@@ -1,0 +1,123 @@
+"""Intra-proof parallel execution: shard graphs over a worker pool.
+
+This package is the single-node half of the roadmap's "distributed,
+stage-sharded proving" item: one proof's independent work -- per-batch
+iNTT/LDE/Merkle commits, Merkle leaf ranges, FRI combine rows and query
+chunks -- fans out across persistent shared-memory workers, scheduled
+longest-path-first from measured stage costs.
+
+Provers discover the active pool through a context variable
+(:func:`sharding` / :func:`current_pool`), mirroring how
+:mod:`repro.tunables` scopes plan tuning and :mod:`repro.metrics`
+scopes counters: no prover signature carries a pool, and nested proofs
+inherit the enclosing pool.  With no pool active (or ``workers=1``)
+every prover takes its serial path unchanged.
+
+Correctness contract: sharded and serial proofs are bit-identical --
+same digests, same operation counters.  Fiat-Shamir order is pinned by
+the provers (caps observed in batch-index order between graph runs);
+shards only ever compute.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import contextvars
+import logging
+import os
+from typing import Iterator, Optional
+
+from .pool import ShardError, ShardPool
+from .scheduler import CriticalPathScheduler, Shard, ShardGraph, StageProfile, static_order
+from .shm import SharedArena, ShmRef, resolve
+
+__all__ = [
+    "CriticalPathScheduler",
+    "Shard",
+    "ShardError",
+    "ShardGraph",
+    "ShardPool",
+    "SharedArena",
+    "ShmRef",
+    "StageProfile",
+    "current_pool",
+    "effective_cpus",
+    "maybe_sharding",
+    "resolve",
+    "resolve_workers",
+    "sharding",
+    "static_order",
+]
+
+logger = logging.getLogger("repro.parallel")
+
+_ACTIVE: contextvars.ContextVar[Optional[ShardPool]] = contextvars.ContextVar(
+    "repro_shard_pool", default=None
+)
+
+
+def current_pool() -> Optional[ShardPool]:
+    """The shard pool provers should use, or ``None`` (serial)."""
+    return _ACTIVE.get()
+
+
+@contextlib.contextmanager
+def sharding(pool: Optional[ShardPool]) -> Iterator[Optional[ShardPool]]:
+    """Scope a shard pool: provers inside the block shard through it.
+
+    ``sharding(None)`` explicitly forces the serial path (useful to
+    exclude sharding from a region inside a sharded caller).
+    """
+    token = _ACTIVE.set(pool)
+    try:
+        yield pool
+    finally:
+        _ACTIVE.reset(token)
+
+
+@contextlib.contextmanager
+def maybe_sharding(pool: Optional[ShardPool]) -> Iterator[Optional[ShardPool]]:
+    """Like :func:`sharding`, but ``None`` inherits the enclosing pool."""
+    if pool is None:
+        yield current_pool()
+        return
+    with sharding(pool) as p:
+        yield p
+
+
+def effective_cpus() -> int:
+    """CPUs this process may actually run on.
+
+    Uses the scheduler affinity mask (cgroup/container limits show up
+    here) and falls back to ``os.cpu_count`` where affinity is not
+    exposed.  This is the honest parallelism bound BENCH_service runs
+    must report: ``os.cpu_count`` alone overstates it inside containers.
+    """
+    try:
+        return len(os.sched_getaffinity(0)) or 1
+    except (AttributeError, OSError):  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+def resolve_workers(requested: Optional[int], flag: str = "workers") -> int:
+    """Validate and clamp a worker-count flag (HwConfig-style).
+
+    ``None`` means "use every effective CPU".  Non-integers raise
+    ``TypeError`` and values below 1 raise ``ValueError`` (typed, fail
+    fast); values above the effective CPU count are clamped with a
+    logged warning, since extra processes past the affinity mask only
+    add context-switch overhead.
+    """
+    cpus = effective_cpus()
+    if requested is None:
+        return cpus
+    if isinstance(requested, bool) or not isinstance(requested, int):
+        raise TypeError(f"--{flag} must be an int, got {type(requested).__name__}")
+    if requested < 1:
+        raise ValueError(f"--{flag} must be >= 1, got {requested}")
+    if requested > cpus:
+        logger.warning(
+            "--%s=%d exceeds effective CPUs (%d); clamping", flag, requested, cpus
+        )
+        return cpus
+    return requested

@@ -1,0 +1,452 @@
+"""Shard-graph builders: prover stages decomposed for the pool.
+
+Each ``sharded_*`` function is the parallel twin of one serial prover
+stage -- same inputs, same outputs, bit-identical results:
+
+* :func:`sharded_from_coeffs` / :func:`sharded_from_values` mirror
+  :meth:`repro.fri.prover.PolynomialBatch.from_coeffs` /
+  ``from_values`` (iNTT rows -> LDE rows -> Merkle subtrees -> cap);
+* :func:`sharded_commit_quotient` fuses the per-limb coset iNTT of
+  :meth:`repro.pipeline.commitment.CommitmentPipeline.commit_quotient`
+  with the chunk commit into one graph (the iNTT shards feed the LDE
+  shards with no barrier in between);
+* :func:`sharded_combine` / :func:`sharded_layer_tree` /
+  :func:`sharded_query_rounds` cover the FRI combine, layer commits and
+  query gathers of :func:`repro.fri.prover.fri_prove`.
+
+The transcript-order invariant lives one level up: these builders never
+touch a challenger.  A prover calls them *between* Fiat-Shamir
+interactions, so caps are observed in exactly the serial order no
+matter how shards were scheduled.
+
+Buffers follow the arena discipline: slots are derived from the commit
+label (unique within a proof), so repeated proofs of one shape reuse
+their segments -- and like workspace Merkle arenas, a slot belongs to
+exactly one live batch per proof.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .scheduler import ShardGraph
+from .shm import ShmRef
+
+
+def _split(total: int, parts: int) -> List[Tuple[int, int]]:
+    """Split ``range(total)`` into at most ``parts`` contiguous ranges."""
+    parts = max(1, min(int(parts), int(total)))
+    per = -(-total // parts)  # ceil
+    out = []
+    lo = 0
+    while lo < total:
+        hi = min(total, lo + per)
+        out.append((lo, hi))
+        lo = hi
+    return out
+
+
+def _pow2_subtrees(workers: int, num_leaves: int) -> int:
+    """Number of Merkle subtree shards: workers rounded up to a power of
+    two (alignment: every shard must cover a power-of-two leaf range so
+    sibling pairs never straddle shards), clamped to the leaf count."""
+    sub = 1 << max(0, workers - 1).bit_length()
+    return min(sub, num_leaves)
+
+
+def _ref_or_copy(pool, arr: np.ndarray, slot: str):
+    """Ship an array to workers: its existing arena ref, or a shm copy.
+
+    Inline pools (``workers=1``) skip shm entirely -- kernels accept the
+    array itself.
+    """
+    if not pool.parallel:
+        return arr
+    ref = pool.arena.ref_of(arr)
+    if ref is not None:
+        return ref
+    buf = pool.arena.temp(arr.shape, slot)
+    buf[:] = arr
+    return pool.arena.ref_of(buf)
+
+
+def _buf(pool, shape, slot: str) -> np.ndarray:
+    """A shard-visible output buffer (shm when parallel, heap inline)."""
+    if pool.parallel:
+        return pool.arena.temp(shape, slot)
+    return np.empty(tuple(int(d) for d in shape), dtype=np.uint64)
+
+
+def _out_ref(pool, arr: np.ndarray):
+    """The kernel-args form of a ``_buf`` array."""
+    if pool.parallel:
+        ref = pool.arena.ref_of(arr)
+        assert ref is not None, "output buffer must come from the pool arena"
+        return ref
+    return arr
+
+
+def _add_merkle_shards(
+    pool,
+    graph: ShardGraph,
+    prefix: str,
+    arena_args: Dict[str, Any],
+    num_leaves: int,
+    leaf_width: int,
+    deps: Sequence[str],
+) -> None:
+    """Add the subtree + cap-climb shards for one Merkle tree."""
+    sizes = arena_args["sizes"]
+    sub = _pow2_subtrees(pool.workers, num_leaves)
+    leaves_per = num_leaves // sub
+    sub_depth = leaves_per.bit_length() - 1
+    sub_ids = []
+    for j in range(sub):
+        sub_ids.append(
+            graph.add(
+                f"{prefix}:sub{j}",
+                "merkle_subtree",
+                {**arena_args, "start": j * leaves_per, "count": leaves_per},
+                deps=tuple(deps),
+                units=leaves_per * leaf_width,
+            )
+        )
+    if len(sizes) > sub_depth + 1:
+        graph.add(
+            f"{prefix}:top",
+            "merkle_top",
+            {
+                "arena": arena_args["arena"],
+                "sizes": sizes,
+                "sub_depth": sub_depth,
+            },
+            deps=tuple(sub_ids),
+            units=sum(sizes[sub_depth + 1 :]),
+        )
+
+
+def _assemble_batch(pool, coeffs, values, arena, sizes, cap_height, rate_bits):
+    """Wrap shard-filled buffers into a PolynomialBatch + tree."""
+    from ..fri.prover import PolynomialBatch
+    from ..merkle.tree import MerkleTree
+
+    tree = MerkleTree.from_levels(values, cap_height, arena, sizes)
+    batch = PolynomialBatch(
+        coeffs=coeffs, values=values, tree=tree, rate_bits=rate_bits
+    )
+    refs = {
+        "values": _out_ref(pool, values),
+        "arena": _out_ref(pool, arena),
+        "sizes": list(sizes),
+    }
+    batch._shard_refs = (pool.uid, refs)  # noqa: SLF001 - adoption cache
+    return batch
+
+
+def _commit_graph(
+    pool,
+    slot: str,
+    *,
+    mode: str,
+    src,
+    num_polys: int,
+    n: int,
+    rate_bits: int,
+    cap_height: int,
+    chunks: int = 0,
+    extra_deps: Sequence[str] = (),
+    graph: Optional[ShardGraph] = None,
+):
+    """Build the iNTT/LDE/Merkle graph for one batch commit.
+
+    Returns ``(graph, finish)`` where ``finish()`` (called after the
+    pool ran the graph) assembles the :class:`PolynomialBatch`.
+    """
+    from ..merkle.tree import level_sizes
+    from ..hashing import sponge
+
+    n_lde = n << rate_bits
+    graph = graph if graph is not None else ShardGraph()
+    coeffs_out = _buf(pool, (num_polys, n), f"{slot}:coeffs")
+    values_out = _buf(pool, (n_lde, num_polys), f"{slot}:values")
+    if mode == "direct":
+        coeffs_out[:] = src
+        src_arg = None
+    else:
+        src_arg = src
+    sizes = level_sizes(n_lde, cap_height)
+    arena = _buf(pool, (sum(sizes), sponge.DIGEST_LEN), f"{slot}:tree")
+    lde_ids = []
+    base_args = {
+        "mode": mode,
+        "coeffs_out": _out_ref(pool, coeffs_out),
+        "values_out": _out_ref(pool, values_out),
+        "rate_bits": rate_bits,
+    }
+    if src_arg is not None:
+        base_args["src"] = src_arg
+    if mode == "chunks":
+        base_args["n"] = n
+        base_args["chunks"] = chunks
+    for i, (lo, hi) in enumerate(_split(num_polys, pool.workers)):
+        lde_ids.append(
+            graph.add(
+                f"{slot}:lde{i}",
+                "lde_rows",
+                {**base_args, "lo": lo, "hi": hi},
+                deps=tuple(extra_deps),
+                units=(hi - lo) * n_lde,
+            )
+        )
+    _add_merkle_shards(
+        pool,
+        graph,
+        slot,
+        {"arena": _out_ref(pool, arena), "sizes": sizes, "leaves": _out_ref(pool, values_out)},
+        n_lde,
+        num_polys,
+        deps=lde_ids,
+    )
+
+    def finish():
+        return _assemble_batch(
+            pool, coeffs_out, values_out, arena, sizes, cap_height, rate_bits
+        )
+
+    return graph, finish
+
+
+def sharded_from_coeffs(pool, coeffs: np.ndarray, rate_bits: int, cap_height: int, slot: str):
+    """Sharded ``PolynomialBatch.from_coeffs`` (bit-identical result)."""
+    coeffs = np.atleast_2d(np.asarray(coeffs, dtype=np.uint64))
+    graph, finish = _commit_graph(
+        pool,
+        slot,
+        mode="direct",
+        src=coeffs,
+        num_polys=coeffs.shape[0],
+        n=coeffs.shape[1],
+        rate_bits=rate_bits,
+        cap_height=cap_height,
+    )
+    pool.run(graph)
+    return finish()
+
+
+def sharded_from_values(pool, rows: np.ndarray, rate_bits: int, cap_height: int, slot: str):
+    """Sharded ``PolynomialBatch.from_values``: iNTT folded into the
+    LDE shards (each row shard interpolates its own rows first)."""
+    rows = np.atleast_2d(np.asarray(rows, dtype=np.uint64))
+    src = _buf(pool, rows.shape, f"{slot}:src")
+    src[:] = rows
+    graph, finish = _commit_graph(
+        pool,
+        slot,
+        mode="intt",
+        src=_out_ref(pool, src),
+        num_polys=rows.shape[0],
+        n=rows.shape[1],
+        rate_bits=rate_bits,
+        cap_height=cap_height,
+    )
+    pool.run(graph)
+    return finish()
+
+
+def sharded_commit_quotient(
+    pool,
+    ext_values: np.ndarray,
+    n: int,
+    chunks: int,
+    rate_bits: int,
+    cap_height: int,
+    slot: str,
+):
+    """Sharded quotient commit: one fused graph for both coset-iNTT
+    limbs and the chunk LDE/Merkle, so the second limb's interpolation
+    overlaps the first limb's extensions."""
+    ext_values = np.asarray(ext_values, dtype=np.uint64)
+    big_n = ext_values.shape[0]
+    src = _buf(pool, ext_values.shape, f"{slot}:ext")
+    src[:] = ext_values
+    limbs = _buf(pool, (2, big_n), f"{slot}:limbs")
+    graph = ShardGraph()
+    intt_ids = [
+        graph.add(
+            f"{slot}:intt{limb}",
+            "intt_limb",
+            {
+                "src": _out_ref(pool, src),
+                "out": _out_ref(pool, limbs),
+                "limb": limb,
+            },
+            units=big_n,
+        )
+        for limb in range(2)
+    ]
+    graph, finish = _commit_graph(
+        pool,
+        slot,
+        mode="chunks",
+        src=_out_ref(pool, limbs),
+        num_polys=2 * chunks,
+        n=n,
+        rate_bits=rate_bits,
+        cap_height=cap_height,
+        chunks=chunks,
+        extra_deps=intt_ids,
+        graph=graph,
+    )
+    pool.run(graph)
+    return finish()
+
+
+def adopt_batch(pool, batch) -> Dict[str, Any]:
+    """Worker-visible refs for a batch's values + tree arena.
+
+    Batches committed through this pool already carry refs; foreign
+    batches (e.g. a preprocessed setup commitment built serially) are
+    copied into fresh adoption slots once and cached on the batch.  The
+    originals are never mutated.
+    """
+    cached = getattr(batch, "_shard_refs", None)
+    if cached is not None and cached[0] == pool.uid:
+        return cached[1]
+    aslot = pool.adopt_slot()
+    refs = {
+        "values": _ref_or_copy(pool, np.ascontiguousarray(batch.values), f"{aslot}:values"),
+        "arena": _ref_or_copy(pool, np.ascontiguousarray(batch.tree.arena), f"{aslot}:tree"),
+        "sizes": [len(level) for level in batch.tree.levels],
+    }
+    batch._shard_refs = (pool.uid, refs)  # noqa: SLF001 - adoption cache
+    return refs
+
+
+def sharded_combine(pool, batches: Sequence, openings, alpha: np.ndarray) -> np.ndarray:
+    """Sharded ``combine_openings``: row ranges of the LDE domain.
+
+    The alpha-power ladder is a scalar recurrence independent of the
+    row, so each shard replays it locally; rows compose bit-exactly.
+    """
+    n_lde = batches[0].values.shape[0]
+    out = _buf(pool, (n_lde, 2), "fri:vals0")
+    refs = [adopt_batch(pool, b) for b in batches]
+    args_common = {
+        "out": _out_ref(pool, out),
+        "values": [r["values"] for r in refs],
+        "alpha": np.asarray(alpha, dtype=np.uint64).reshape(2),
+        "log_lde": n_lde.bit_length() - 1,
+        "points": [np.asarray(p, dtype=np.uint64).reshape(2) for p in openings.points],
+        "columns": [list(c) for c in openings.columns],
+        "opening_values": [np.atleast_2d(v) for v in openings.values],
+    }
+    graph = ShardGraph()
+    for i, (lo, hi) in enumerate(_split(n_lde, pool.workers)):
+        graph.add(
+            f"fri:combine{i}",
+            "fri_combine",
+            {**args_common, "lo": lo, "hi": hi},
+            units=hi - lo,
+        )
+    pool.run(graph)
+    return out
+
+
+def sharded_layer_tree(pool, values: np.ndarray, cap_height: int, layer: int):
+    """Sharded ``_layer_tree``: commit one FRI fold layer.
+
+    The layer values land in the ``fri:vals{layer}`` arena slot and the
+    digests in ``fri:tree{layer}``, where :func:`layer_ref_args` finds
+    them again at query time without copying.
+    """
+    from ..hashing import sponge
+    from ..merkle.tree import MerkleTree, level_sizes
+
+    n = values.shape[0]
+    half = n // 2
+    vals = values
+    if pool.parallel and pool.arena.ref_of(values) is None:
+        vals = _buf(pool, values.shape, f"fri:vals{layer}")
+        vals[:] = values
+    cap = min(cap_height, half.bit_length() - 1)
+    sizes = level_sizes(half, cap)
+    arena = _buf(pool, (sum(sizes), sponge.DIGEST_LEN), f"fri:tree{layer}")
+    graph = ShardGraph()
+    _add_merkle_shards(
+        pool,
+        graph,
+        f"fri:tree{layer}",
+        {
+            "arena": _out_ref(pool, arena),
+            "sizes": sizes,
+            "pair_from": _out_ref(pool, vals),
+        },
+        half,
+        2 * values.shape[1],
+        deps=(),
+    )
+    pool.run(graph)
+    leaves = np.concatenate([vals[:half], vals[half:]], axis=1)
+    return MerkleTree.from_levels(leaves, cap, arena, sizes)
+
+
+def layer_ref_args(pool, tree, values: np.ndarray, layer: int) -> Dict[str, Any]:
+    """Worker-visible refs for one FRI layer (values + tree arena).
+
+    Layers committed through :func:`sharded_layer_tree` resolve to their
+    existing segments; serially-built small tail layers are copied into
+    the same slots once.
+    """
+    return {
+        "values": _ref_or_copy(pool, np.ascontiguousarray(values), f"fri:vals{layer}"),
+        "arena": _ref_or_copy(pool, np.ascontiguousarray(tree.arena), f"fri:tree{layer}"),
+        "sizes": [len(level) for level in tree.levels],
+    }
+
+
+def sharded_query_rounds(
+    pool,
+    batches: Sequence,
+    layer_args: List[Dict[str, Any]],
+    indices: Sequence[int],
+) -> List:
+    """Sharded FRI query phase: chunks of query indices fan out.
+
+    Queries are pure reads (no hashing, no transcript), so any split is
+    exact; rounds are assembled in the transcript-pinned index order.
+    """
+    from ..fri.proof import FriInitialOpening, FriLayerOpening, FriQueryRound
+    from ..merkle.tree import MerkleProof
+
+    batch_refs = [adopt_batch(pool, b) for b in batches]
+    chunks = _split(len(indices), pool.workers)
+    graph = ShardGraph()
+    for i, (lo, hi) in enumerate(chunks):
+        graph.add(
+            f"fri:queries{i}",
+            "fri_queries",
+            {
+                "indices": [int(x) for x in indices[lo:hi]],
+                "batches": batch_refs,
+                "layers": layer_args,
+            },
+            units=hi - lo,
+        )
+    results = pool.run(graph)
+    rounds: List = []
+    for i, (lo, hi) in enumerate(chunks):
+        payloads = results[f"fri:queries{i}"]
+        for offset, payload in enumerate(payloads):
+            idx = int(indices[lo + offset])
+            initial = FriInitialOpening(
+                leaves=payload["leaves"],
+                proofs=[MerkleProof(siblings=p) for p in payload["paths"]],
+            )
+            layers = [
+                FriLayerOpening(pair_leaf=leaf, proof=MerkleProof(siblings=path))
+                for leaf, path in payload["layers"]
+            ]
+            rounds.append(FriQueryRound(index=idx, initial=initial, layers=layers))
+    return rounds

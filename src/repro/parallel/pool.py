@@ -1,0 +1,323 @@
+"""The intra-proof shard pool: persistent workers over shared memory.
+
+A :class:`ShardPool` owns a :class:`~repro.parallel.shm.SharedArena`
+(the cross-process zero-copy plane) and a set of persistent forked
+worker processes.  Provers hand it :class:`~repro.parallel.scheduler.ShardGraph`
+instances; the pool dispatches ready shards longest-path-first (the
+:class:`~repro.parallel.scheduler.CriticalPathScheduler`), collects
+results, and folds each shard's operation counters and trace spans
+back into the coordinator's context -- so a sharded proof reports the
+same counter totals, and a traced proof shows ``shard:*`` spans nested
+under the stage that spawned them.
+
+With ``workers=1`` (the serial fallback -- also what
+:func:`~repro.parallel.resolve_workers` produces when CPU affinity
+reports a single core) no processes are spawned: graphs execute inline
+in critical-path order through the exact same kernels, and counters
+accumulate directly.
+
+Determinism: shard completion order is non-deterministic, but every
+kernel writes a disjoint region of a shared buffer and the coordinator
+assembles gather results by shard id, so proofs are bit-identical to
+the serial path regardless of scheduling.  Fiat-Shamir interaction
+stays entirely in the coordinator (workers never touch a challenger).
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import queue as queue_mod
+import signal
+import time
+from typing import Any, Dict, List, Optional
+
+import multiprocessing as mp
+
+from .. import tracing, tunables
+from ..metrics import counting, merge_counts
+from . import shm as shm_mod
+from .kernels import run_kernel
+from .scheduler import CriticalPathScheduler, ShardGraph, StageProfile
+from .shm import SharedArena
+
+_POOL_SEQ = itertools.count()
+
+
+class ShardError(RuntimeError):
+    """A shard failed in a worker (the proof cannot be assembled)."""
+
+
+def _shard_worker_main(
+    worker_id: int, task_q, result_q, unregister_on_attach: bool = False
+) -> None:
+    """Worker loop: run one kernel per task, ship result + counters + spans.
+
+    Mirrors the service worker's shutdown discipline: SIGINT is ignored
+    (sentinels drive shutdown), and exceptions are reported, never
+    fatal.  Each task runs under the coordinator's plan tuning and a
+    local trace session whose spans ride back for re-attachment.
+    """
+    signal.signal(signal.SIGINT, signal.SIG_IGN)
+    shm_mod.UNREGISTER_ON_ATTACH = unregister_on_attach
+    while True:
+        task = task_q.get()
+        if task is None:
+            break
+        t0 = time.perf_counter()
+        base = {"worker_id": worker_id, "run": task["run"], "shard_id": task["shard_id"]}
+        try:
+            tuning = tunables.PlanTuning.from_dict(task.get("tuning") or {})
+            with counting() as counters, tracing.trace() as session:
+                with tunables.applied(tuning), tracing.span(
+                    f"shard:{task['kind']}",
+                    category="shard",
+                    shard=task["shard_id"],
+                    units=task["units"],
+                    worker=worker_id,
+                ):
+                    result = run_kernel(task["kind"], task["args"])
+            result_q.put(
+                {
+                    **base,
+                    "ok": True,
+                    "result": result,
+                    "counters": counters.as_dict(),
+                    "spans": [s.as_dict() for s in session.spans],
+                    "wall_s": time.perf_counter() - t0,
+                }
+            )
+        except Exception as exc:  # noqa: BLE001 - report, don't die
+            result_q.put(
+                {
+                    **base,
+                    "ok": False,
+                    "error": f"{type(exc).__name__}: {exc}",
+                    "wall_s": time.perf_counter() - t0,
+                }
+            )
+
+
+class ShardPool:
+    """Persistent shard workers + shared arena + critical-path dispatch.
+
+    ``workers`` defaults to the effective CPU count; validation mirrors
+    the :class:`~repro.hw.HwConfig` style (typed errors, fail fast).
+    The ``min_*`` thresholds gate when provers bother sharding a stage
+    (below them, per-shard IPC overhead exceeds the kernel work; tests
+    and CI force them low to exercise the parallel path on small
+    proofs).  Construction is cheap: worker processes fork lazily on
+    the first parallel :meth:`run`.
+    """
+
+    def __init__(
+        self,
+        workers: Optional[int] = None,
+        *,
+        start_method: str = "fork",
+        min_rows: int = 1024,
+        min_tree_leaves: int = 1024,
+        min_queries: int = 8,
+        profile: Optional[StageProfile] = None,
+    ) -> None:
+        if workers is None:
+            from . import effective_cpus
+
+            workers = effective_cpus()
+        if isinstance(workers, bool) or not isinstance(workers, int):
+            raise TypeError(f"workers must be an int, got {type(workers).__name__}")
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        for name, value in (
+            ("min_rows", min_rows),
+            ("min_tree_leaves", min_tree_leaves),
+            ("min_queries", min_queries),
+        ):
+            if isinstance(value, bool) or not isinstance(value, int):
+                raise TypeError(f"{name} must be an int, got {type(value).__name__}")
+            if value < 1:
+                raise ValueError(f"{name} must be >= 1, got {value}")
+        self.workers = workers
+        self.min_rows = min_rows
+        self.min_tree_leaves = min_tree_leaves
+        self.min_queries = min_queries
+        self.uid = f"{os.getpid()}-{next(_POOL_SEQ)}"
+        self.arena = SharedArena(self.uid)
+        self.profile = profile if profile is not None else StageProfile()
+        self._ctx = mp.get_context(start_method)
+        self._procs: List[Any] = []
+        self._task_qs: List[Any] = []
+        self._result_q = None
+        self._run_seq = itertools.count()
+        self._adopt_seq = itertools.count()
+        self._closed = False
+        #: Lifetime stats (exported through service stats / benches).
+        self.stats: Dict[str, int] = {"graphs": 0, "shards": 0, "inline_shards": 0}
+
+    @property
+    def parallel(self) -> bool:
+        """Whether this pool shards at all (more than one worker)."""
+        return self.workers > 1
+
+    # -- lifecycle -------------------------------------------------------
+
+    def start(self) -> "ShardPool":
+        """Fork the worker processes (idempotent; implied by ``run``)."""
+        if self._closed:
+            raise RuntimeError("shard pool is closed")
+        if self._procs or not self.parallel:
+            return self
+        self._result_q = self._ctx.Queue()
+        for wid in range(self.workers):
+            task_q = self._ctx.Queue()
+            proc = self._ctx.Process(
+                target=_shard_worker_main,
+                args=(
+                    wid,
+                    task_q,
+                    self._result_q,
+                    self._ctx.get_start_method() != "fork",
+                ),
+                daemon=True,
+            )
+            proc.start()
+            self._procs.append(proc)
+            self._task_qs.append(task_q)
+        return self
+
+    def close(self, timeout_s: float = 5.0) -> None:
+        """Stop workers (sentinel, then terminate) and unlink the arena."""
+        if self._closed:
+            return
+        self._closed = True
+        for task_q in self._task_qs:
+            try:
+                task_q.put_nowait(None)
+            except Exception:
+                pass
+        deadline = time.monotonic() + timeout_s
+        for proc in self._procs:
+            proc.join(max(0.0, deadline - time.monotonic()))
+            if proc.is_alive():
+                proc.terminate()
+                proc.join(1.0)
+        self._procs.clear()
+        self._task_qs.clear()
+        self.arena.close()
+
+    def __enter__(self) -> "ShardPool":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- thresholds ------------------------------------------------------
+
+    def wants_commit(self, n_lde: int) -> bool:
+        """Whether a batch commit of ``n_lde`` LDE rows is worth sharding."""
+        return self.parallel and n_lde >= self.min_rows
+
+    def adopt_slot(self) -> str:
+        """A fresh arena slot prefix for adopting an external buffer."""
+        return f"adopt{next(self._adopt_seq)}"
+
+    # -- execution -------------------------------------------------------
+
+    def run(self, graph: ShardGraph) -> Dict[str, Any]:
+        """Execute a shard graph; returns ``{shard_id: result}``.
+
+        Counters and trace spans from worker shards are merged into the
+        calling context, so totals match a serial execution exactly.
+        Raises :class:`ShardError` if any shard fails or a worker dies.
+        """
+        if self._closed:
+            raise RuntimeError("shard pool is closed")
+        if len(graph) == 0:
+            return {}
+        sched = CriticalPathScheduler(graph, self.profile)
+        self.stats["graphs"] += 1
+        self.stats["shards"] += len(graph)
+        if not self.parallel:
+            return self._run_inline(sched)
+        self.start()
+        return self._run_parallel(sched)
+
+    def _run_inline(self, sched: CriticalPathScheduler) -> Dict[str, Any]:
+        """Serial fallback: same kernels, critical-path order, in-process."""
+        results: Dict[str, Any] = {}
+        while not sched.done:
+            shard = sched.pop_ready()
+            assert shard is not None, "shard graph has unreachable shards"
+            t0 = time.perf_counter()
+            with tracing.span(
+                f"shard:{shard.kind}",
+                category="shard",
+                shard=shard.id,
+                units=shard.units,
+                worker=-1,
+            ):
+                results[shard.id] = run_kernel(shard.kind, shard.args)
+            self.profile.observe(shard.kind, shard.units, time.perf_counter() - t0)
+            self.stats["inline_shards"] += 1
+            sched.complete(shard.id)
+        return results
+
+    def _run_parallel(self, sched: CriticalPathScheduler) -> Dict[str, Any]:
+        run_id = next(self._run_seq)
+        tuning = tunables.current().to_dict()
+        idle = list(range(self.workers))
+        inflight: Dict[str, tuple] = {}  # shard_id -> (worker, shard, dispatch_s)
+        results: Dict[str, Any] = {}
+        total = len(sched.graph)
+        while len(results) < total:
+            while idle:
+                shard = sched.pop_ready()
+                if shard is None:
+                    break
+                wid = idle.pop()
+                self._task_qs[wid].put(
+                    {
+                        "run": run_id,
+                        "shard_id": shard.id,
+                        "kind": shard.kind,
+                        "args": shard.args,
+                        "units": shard.units,
+                        "tuning": tuning,
+                    }
+                )
+                inflight[shard.id] = (wid, shard, time.perf_counter())
+            try:
+                msg = self._result_q.get(timeout=0.5)
+            except queue_mod.Empty:
+                self._check_liveness(inflight)
+                continue
+            if msg.get("run") != run_id:
+                continue  # stale result from an aborted earlier run
+            entry = inflight.pop(msg["shard_id"], None)
+            if entry is None:
+                continue
+            wid, shard, dispatched = entry
+            idle.append(wid)
+            if not msg.get("ok"):
+                raise ShardError(
+                    f"shard {shard.id!r} ({shard.kind}) failed in worker "
+                    f"{msg.get('worker_id')}: {msg.get('error')}"
+                )
+            merge_counts(msg.get("counters", {}))
+            tracing.attach_spans(msg.get("spans", []), base_s=dispatched)
+            self.profile.observe(shard.kind, shard.units, msg.get("wall_s", 0.0))
+            results[shard.id] = msg.get("result")
+            sched.complete(shard.id)
+        return results
+
+    def _check_liveness(self, inflight: Dict[str, tuple]) -> None:
+        """Fail loudly if a worker died with a shard in flight."""
+        if not inflight:
+            return
+        for proc in self._procs:
+            if not proc.is_alive():
+                lost = sorted(sid for sid, (w, _, _) in inflight.items())
+                raise ShardError(
+                    f"shard worker died (exitcode {proc.exitcode}) with "
+                    f"shards in flight: {lost}"
+                )

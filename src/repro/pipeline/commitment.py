@@ -33,7 +33,7 @@ from typing import Iterable, List, Sequence, Tuple
 
 import numpy as np
 
-from .. import tracing
+from .. import parallel, tracing
 from ..field import gl64
 from ..fri import FriConfig, FriOpenings, FriProof, PolynomialBatch, fri_prove, open_batches
 from ..hashing import Challenger
@@ -131,7 +131,27 @@ class CommitmentPipeline:
         coset-iNTT'd and split into ``chunks`` degree-``n`` coefficient
         chunks, giving a ``2 * chunks``-polynomial batch -- the quotient
         layout both STARK and Plonk use.
+
+        Under an active shard pool the limb iNTTs, chunk LDEs and the
+        Merkle build fuse into one shard graph (no barrier between the
+        interpolation and the extensions); the resulting batch, cap and
+        counters are bit-identical to the serial path.
         """
+        pool = parallel.current_pool()
+        if pool is not None and pool.wants_commit(n << self.config.rate_bits):
+            from ..parallel import ops as par_ops
+
+            with tracing.span(f"commit:{label}", category="commit"):
+                batch = par_ops.sharded_commit_quotient(
+                    pool,
+                    ext_values,
+                    n,
+                    chunks,
+                    self.config.rate_bits,
+                    self.config.cap_height,
+                    f"commit:{label}",
+                )
+            return self.add_batch(batch, observe=observe)
         with tracing.span("quotient:intt", category="quotient"):
             chunk_rows = []
             for limb in range(2):

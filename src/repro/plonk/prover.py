@@ -25,7 +25,7 @@ from typing import Dict
 
 import numpy as np
 
-from .. import tracing, tunables
+from .. import parallel, tracing, tunables
 from ..field import extension as fext, gl64, goldilocks as gl
 from ..fri import FriConfig, PolynomialBatch
 from ..hashing import Challenger
@@ -77,6 +77,7 @@ def prove(
     challenger: Challenger | None = None,
     blinding_seed: int | None = None,
     plan: PlonkPlan | None = None,
+    pool: "parallel.ShardPool | None" = None,
 ) -> PlonkProof:
     """Generate a Plonk proof for the given input assignment.
 
@@ -95,6 +96,11 @@ def prove(
     ``plan`` carries the per-shape precomputed tables and workspace
     arena; one is looked up (and cached thread-locally) when not
     supplied.
+
+    ``pool`` shards the commit/FRI stages across worker processes
+    (:mod:`repro.parallel`); ``None`` inherits any pool scoped by
+    :func:`repro.parallel.sharding`.  Sharded proofs are bit-identical
+    to serial ones.
     """
     circuit = data.circuit
     config = data.config
@@ -106,7 +112,7 @@ def prove(
     elif plan.n != n or plan.rate_bits != rate_bits:
         raise ValueError("plan shape does not match the circuit/config")
 
-    with tunables.applied(plan.tuning), tracing.span(
+    with parallel.maybe_sharding(pool), tunables.applied(plan.tuning), tracing.span(
         "prove:plonk", category="prove", n=n, rate_bits=rate_bits
     ):
         with tracing.span("witness", category="witness"):

@@ -19,28 +19,55 @@ from typing import Any, Dict, List, Optional
 from .executor import execute
 
 
-def _worker_main(worker_id: int, task_q, result_q) -> None:
-    """Worker loop: take a batch task, run every spec, ship results."""
+def _worker_main(
+    worker_id: int,
+    task_q,
+    result_q,
+    shard_workers: int = 1,
+    shard_config: Optional[Dict[str, Any]] = None,
+) -> None:
+    """Worker loop: take a batch task, run every spec, ship results.
+
+    With ``shard_workers > 1`` the worker owns a
+    :class:`repro.parallel.ShardPool` and scopes it over every job it
+    executes, so each proof's commit/FRI stages fan out across shard
+    processes (stage-level parallelism nested inside job-level
+    parallelism).  ``shard_config`` forwards pool thresholds.
+    """
     # A foreground `repro serve` shares its process group with the
     # workers, so a terminal Ctrl-C would hit them too.  Shutdown is
     # driven by sentinels (and SIGKILL for deadline kills), never
     # SIGINT -- let the scheduler drain instead of dying mid-batch.
     signal.signal(signal.SIGINT, signal.SIG_IGN)
-    while True:
-        task = task_q.get()
-        if task is None:
-            break
-        results = []
-        for spec in task["specs"]:
-            try:
-                results.append({"ok": True, **execute(spec)})
-            except Exception as exc:  # noqa: BLE001 - report, don't die
-                results.append(
-                    {"ok": False, "error": f"{type(exc).__name__}: {exc}"}
-                )
-        result_q.put(
-            {"worker_id": worker_id, "batch_id": task["batch_id"], "results": results}
-        )
+    from .. import parallel
+
+    shard_pool = None
+    if shard_workers > 1:
+        shard_pool = parallel.ShardPool(shard_workers, **(shard_config or {}))
+    try:
+        while True:
+            task = task_q.get()
+            if task is None:
+                break
+            results = []
+            with parallel.sharding(shard_pool):
+                for spec in task["specs"]:
+                    try:
+                        results.append({"ok": True, **execute(spec)})
+                    except Exception as exc:  # noqa: BLE001 - report, don't die
+                        results.append(
+                            {"ok": False, "error": f"{type(exc).__name__}: {exc}"}
+                        )
+            result_q.put(
+                {
+                    "worker_id": worker_id,
+                    "batch_id": task["batch_id"],
+                    "results": results,
+                }
+            )
+    finally:
+        if shard_pool is not None:
+            shard_pool.close()
 
 
 @dataclass
@@ -55,6 +82,10 @@ class WorkerHandle:
     #: Monotonic deadline for the in-flight batch.
     deadline: Optional[float] = None
     generation: int = 0
+    #: Monotonic time this worker last became idle (spawn counts).
+    idle_since: float = field(default_factory=time.monotonic)
+    #: Batches dispatched to this worker over its lifetime.
+    dispatches: int = 0
 
     @property
     def idle(self) -> bool:
@@ -79,11 +110,25 @@ class Casualty:
 class WorkerPool:
     """Fixed-size pool of proving workers."""
 
-    def __init__(self, num_workers: int = 2, start_method: str = "fork") -> None:
+    def __init__(
+        self,
+        num_workers: int = 2,
+        start_method: str = "fork",
+        shard_workers: int = 1,
+        shard_config: Optional[Dict[str, Any]] = None,
+    ) -> None:
         if num_workers < 1:
             raise ValueError("num_workers must be >= 1")
+        if isinstance(shard_workers, bool) or not isinstance(shard_workers, int):
+            raise TypeError(
+                f"shard_workers must be an int, got {type(shard_workers).__name__}"
+            )
+        if shard_workers < 1:
+            raise ValueError(f"shard_workers must be >= 1, got {shard_workers}")
         self._ctx = mp.get_context(start_method)
         self._num_workers = num_workers
+        self.shard_workers = shard_workers
+        self.shard_config = dict(shard_config or {})
         self.result_q = self._ctx.Queue()
         self.workers: List[WorkerHandle] = []
         self.restarts = 0
@@ -96,7 +141,12 @@ class WorkerPool:
         self._next_id += 1
         task_q = self._ctx.Queue()
         proc = self._ctx.Process(
-            target=_worker_main, args=(wid, task_q, self.result_q), daemon=True
+            target=_worker_main,
+            args=(wid, task_q, self.result_q, self.shard_workers, self.shard_config),
+            # Daemonic processes cannot spawn children, so a worker that
+            # owns a shard pool must be non-daemonic; pool.stop() still
+            # reaps it (sentinel, then terminate).
+            daemon=self.shard_workers <= 1,
         )
         proc.start()
         return WorkerHandle(id=wid, process=proc, task_q=task_q, generation=generation)
@@ -125,8 +175,17 @@ class WorkerPool:
     # -- dispatch --------------------------------------------------------
 
     def idle_workers(self) -> List[WorkerHandle]:
-        """Workers ready for a new batch."""
-        return [w for w in self.workers if w.idle and w.alive]
+        """Workers ready for a new batch, longest-idle first.
+
+        Ordering matters: the scheduler zips this list against ready
+        batches, so returning declaration order would always feed
+        worker 0 first, starving high-id workers under light load and
+        skewing per-worker stats.  Longest-waiting-first spreads work
+        evenly (and keeps every worker's caches warm).
+        """
+        idle = [w for w in self.workers if w.idle and w.alive]
+        idle.sort(key=lambda w: (w.idle_since, w.id))
+        return idle
 
     def assign(self, worker: WorkerHandle, batch_id: int, specs: List[dict],
                timeout_s: float) -> None:
@@ -134,6 +193,7 @@ class WorkerPool:
         assert worker.idle, "assigning to a busy worker"
         worker.busy = batch_id
         worker.deadline = time.monotonic() + timeout_s
+        worker.dispatches += 1
         worker.task_q.put({"batch_id": batch_id, "specs": specs})
 
     def mark_idle(self, worker_id: int) -> None:
@@ -142,6 +202,7 @@ class WorkerPool:
             if w.id == worker_id:
                 w.busy = None
                 w.deadline = None
+                w.idle_since = time.monotonic()
 
     def pids(self) -> Dict[int, int]:
         """worker id -> OS pid (the failure tests kill these)."""

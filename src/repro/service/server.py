@@ -57,6 +57,8 @@ class ProvingService:
         fault_injection: bool = False,
         start_method: str = "fork",
         jitter_seed: Optional[int] = None,
+        shard_workers: int = 1,
+        shard_config: Optional[Dict[str, Any]] = None,
     ) -> None:
         self.enable_batching = enable_batching
         self.enable_cache = enable_cache
@@ -70,7 +72,15 @@ class ProvingService:
 
         self.cache = ProofCache(max_entries=cache_entries, max_bytes=cache_bytes)
         self.queue = PriorityJobQueue()
-        self.pool = WorkerPool(num_workers=workers, start_method=start_method)
+        # ``shard_workers`` trades job-level for stage-level parallelism:
+        # each proving worker owns that many shard processes and every
+        # proof it runs fans its commit/FRI stages across them.
+        self.pool = WorkerPool(
+            num_workers=workers,
+            start_method=start_method,
+            shard_workers=shard_workers,
+            shard_config=shard_config,
+        )
 
         self._jobs: Dict[str, Job] = {}
         self._inflight: Dict[int, batching.Batch] = {}
@@ -214,6 +224,10 @@ class ProvingService:
                 "cache": self.cache.stats(),
                 "workers": len(self.pool.workers),
                 "worker_restarts": self.pool.restarts,
+                "shard_workers": self.pool.shard_workers,
+                "worker_dispatches": {
+                    w.id: w.dispatches for w in self.pool.workers
+                },
             }
 
     # -- scheduler -------------------------------------------------------

@@ -22,7 +22,7 @@ from typing import List, Sequence, Tuple
 
 import numpy as np
 
-from .. import tracing, tunables
+from .. import parallel, tracing, tunables
 from ..field import extension as fext, gl64, goldilocks as gl
 from ..fri import FriConfig
 from ..hashing import Challenger
@@ -44,12 +44,18 @@ def prove(
     config: FriConfig,
     challenger: Challenger | None = None,
     plan: ProverPlan | None = None,
+    pool: "parallel.ShardPool | None" = None,
 ) -> StarkProof:
     """Prove that ``trace`` satisfies ``air`` with the given public values.
 
     ``trace`` is (n, width) with ``n`` a power of two.  ``plan`` carries
     the per-shape precomputed tables and the workspace arena; one is
     looked up (and cached thread-locally) when not supplied.
+
+    ``pool`` shards the commit/FRI stages across worker processes
+    (:mod:`repro.parallel`); ``None`` inherits any pool scoped by
+    :func:`repro.parallel.sharding`.  Sharded proofs are bit-identical
+    to serial ones.
     """
     trace = gl64.asarray(trace)  # untrusted caller input: full canonical scan
     n, width = trace.shape
@@ -72,7 +78,7 @@ def prove(
     elif plan.n != n or plan.rate_bits != rate_bits:
         raise ValueError("plan shape does not match the trace/config")
 
-    with tunables.applied(plan.tuning), tracing.span(
+    with parallel.maybe_sharding(pool), tunables.applied(plan.tuning), tracing.span(
         "prove:stark", category="prove", n=n, width=width
     ):
         pipe = CommitmentPipeline(config, challenger, ws=plan.ws)

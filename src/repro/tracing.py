@@ -165,6 +165,37 @@ def span(name: str, category: str = "stage", **args: Any) -> Iterator[Optional[S
         session._stack.pop()
 
 
+def attach_spans(
+    span_dicts: List[Dict[str, Any]], base_s: Optional[float] = None
+) -> int:
+    """Graft serialized spans from another process into this session.
+
+    Shard workers trace into their own sessions and ship the forest
+    back as ``Span.as_dict`` payloads; the coordinator re-attaches them
+    under its currently open span (or as session roots), so a traced
+    sharded proof shows ``shard:*`` work nested inside the stage that
+    dispatched it.  ``base_s`` -- the coordinator's ``perf_counter`` at
+    dispatch -- rebases the foreign clock onto this session's timeline
+    (worker ``start_s`` values are process-local).
+
+    No-op (returning 0) when tracing is off; returns the number of
+    roots attached otherwise.
+    """
+    session = _ACTIVE.get()
+    if session is None or not span_dicts:
+        return 0
+    roots = [Span.from_dict(d) for d in span_dicts]
+    if base_s is not None:
+        origin = min(r.start_s for r in roots)
+        shift = base_s - origin
+        for root in roots:
+            for s in root.walk():
+                s.start_s += shift
+    parent = session._stack[-1] if session._stack else None
+    (parent.children if parent is not None else session.spans).extend(roots)
+    return len(roots)
+
+
 # -- Chrome Trace Event export -------------------------------------------------
 
 

@@ -1,0 +1,407 @@
+"""Stage-sharded proving tests: scheduler, shm plane, pool, bit-identity.
+
+The load-bearing contract is at the bottom: a proof sharded across
+worker processes must be *bit-identical* to the serial proof -- same
+digest, same operation counters -- for both protocols.  Everything
+above it unit-tests the pieces that make that hold (graph validation,
+critical-path priorities, shared-memory round trips, worker clamping).
+"""
+
+import logging
+
+import numpy as np
+import pytest
+
+from repro import metrics, parallel, tracing
+from repro.fri.config import FriConfig
+from repro.fri.prover import PolynomialBatch
+from repro.merkle import MerkleTree, level_sizes
+from repro.parallel import ops as par_ops
+from repro.plonk import prove as plonk_prove, setup
+from repro.serialize import plonk_proof_digest, stark_proof_digest
+from repro.stark import prove as stark_prove, verify as stark_verify
+from repro.workloads import fibonacci
+
+CONFIG = FriConfig(
+    rate_bits=1, cap_height=1, num_queries=8, proof_of_work_bits=4, final_poly_len=4
+)
+PLONK_CONFIG = FriConfig(
+    rate_bits=3, cap_height=1, num_queries=8, proof_of_work_bits=4, final_poly_len=4
+)
+SCALE = 6
+
+#: Thresholds that force sharding even on tiny CI-sized proofs.
+TINY = {"min_rows": 1, "min_tree_leaves": 2, "min_queries": 1}
+
+
+def _pool(workers=2, **kw):
+    cfg = {**TINY, **kw}
+    return parallel.ShardPool(workers, **cfg)
+
+
+class TestResolveWorkers:
+    def test_none_means_every_effective_cpu(self):
+        assert parallel.resolve_workers(None) == parallel.effective_cpus()
+
+    def test_effective_cpus_is_positive(self):
+        assert parallel.effective_cpus() >= 1
+
+    @pytest.mark.parametrize("bad", ["2", 2.0, True, False])
+    def test_non_int_rejected(self, bad):
+        with pytest.raises(TypeError):
+            parallel.resolve_workers(bad)
+
+    @pytest.mark.parametrize("bad", [0, -1])
+    def test_below_one_rejected(self, bad):
+        with pytest.raises(ValueError):
+            parallel.resolve_workers(bad)
+
+    def test_oversubscription_clamps_with_warning(self, caplog):
+        cpus = parallel.effective_cpus()
+        with caplog.at_level(logging.WARNING, logger="repro.parallel"):
+            got = parallel.resolve_workers(cpus + 7, flag="shard-workers")
+        assert got == cpus
+        assert any("shard-workers" in r.message and "clamping" in r.message
+                   for r in caplog.records)
+
+    def test_in_range_passes_through(self):
+        assert parallel.resolve_workers(1) == 1
+
+
+class TestShardGraph:
+    def test_duplicate_id_rejected(self):
+        g = parallel.ShardGraph()
+        g.add("a", "k", {})
+        with pytest.raises(ValueError, match="duplicate"):
+            g.add("a", "k", {})
+
+    def test_unknown_dep_rejected(self):
+        g = parallel.ShardGraph()
+        with pytest.raises(ValueError, match="unknown"):
+            g.add("b", "k", {}, deps=("missing",))
+
+    def test_dependents_reverse_edges(self):
+        g = parallel.ShardGraph()
+        g.add("a", "k", {})
+        g.add("b", "k", {}, deps=("a",))
+        g.add("c", "k", {}, deps=("a", "b"))
+        assert g.dependents() == {"a": ["b", "c"], "b": ["c"], "c": []}
+        assert len(g) == 3
+
+
+class TestStageProfile:
+    def test_unit_cost_defaults_until_observed(self):
+        p = parallel.StageProfile()
+        assert p.unit_cost("lde_rows") == 1.0
+        p.observe("lde_rows", units=10, seconds=5.0)
+        assert p.unit_cost("lde_rows") == pytest.approx(0.5)
+        assert p.cost("lde_rows", 4) == pytest.approx(2.0)
+
+    def test_observe_accumulates(self):
+        p = parallel.StageProfile()
+        p.observe("merkle_subtree", 8, 2.0)
+        p.observe("merkle_subtree", 8, 6.0)
+        assert p.unit_cost("merkle_subtree") == pytest.approx(0.5)
+        snap = p.as_dict()["merkle_subtree"]
+        assert snap["units"] == 16 and snap["seconds"] == pytest.approx(8.0)
+
+    def test_observe_spans_walks_nested_shard_spans(self):
+        p = parallel.StageProfile()
+        spans = [{
+            "name": "prove:stark", "elapsed_s": 9.0, "args": {},
+            "children": [{
+                "name": "shard:lde_rows", "elapsed_s": 3.0,
+                "args": {"units": 6}, "children": [],
+            }],
+        }]
+        assert p.observe_spans(spans) == 1
+        assert p.unit_cost("lde_rows") == pytest.approx(0.5)
+
+
+class TestCriticalPathScheduler:
+    def _diamond(self):
+        g = parallel.ShardGraph()
+        g.add("src", "k", {}, units=1)
+        g.add("cheap", "k", {}, deps=("src",), units=1)
+        g.add("long", "k", {}, deps=("src",), units=100)
+        g.add("sink", "k", {}, deps=("cheap", "long"), units=1)
+        return g
+
+    def test_upward_rank_priorities(self):
+        sched = parallel.CriticalPathScheduler(self._diamond())
+        pr = sched.priorities
+        # src carries the whole critical path; the long branch outranks
+        # the cheap one; the sink only carries itself.
+        assert pr["src"] == pytest.approx(102.0)
+        assert pr["long"] == pytest.approx(101.0)
+        assert pr["cheap"] == pytest.approx(2.0)
+        assert pr["sink"] == pytest.approx(1.0)
+
+    def test_static_order_runs_long_branch_first(self):
+        assert parallel.static_order(self._diamond()) == [
+            "src", "long", "cheap", "sink"
+        ]
+
+    def test_ties_break_on_insertion_order(self):
+        g = parallel.ShardGraph()
+        for name in ("z", "m", "a"):
+            g.add(name, "k", {}, units=1)
+        assert parallel.static_order(g) == ["z", "m", "a"]
+
+    def test_dependents_gate_readiness(self):
+        g = self._diamond()
+        sched = parallel.CriticalPathScheduler(g)
+        first = sched.pop_ready()
+        assert first.id == "src"
+        assert sched.pop_ready() is None  # everything else blocked on src
+        sched.complete("src")
+        assert {sched.pop_ready().id, sched.pop_ready().id} == {"cheap", "long"}
+
+    def test_profile_reorders_by_measured_cost(self):
+        g = parallel.ShardGraph()
+        g.add("hash", "merkle_subtree", {}, units=10)
+        g.add("ntt", "lde_rows", {}, units=10)
+        profile = parallel.StageProfile()
+        profile.observe("merkle_subtree", 1, 1.0)   # 1 s/unit
+        profile.observe("lde_rows", 1, 5.0)         # 5 s/unit
+        assert parallel.static_order(g, profile) == ["ntt", "hash"]
+
+
+class TestSharedArena:
+    def test_temp_is_stable_per_key_and_refable(self):
+        arena = parallel.SharedArena("t0")
+        try:
+            a = arena.temp((4, 3), "x")
+            b = arena.temp((4, 3), "x")
+            assert a is b
+            ref = arena.ref_of(a)
+            assert ref is not None and ref.shape == (4, 3)
+            assert ref.nbytes == 4 * 3 * 8
+            assert arena.nbytes() >= ref.nbytes
+        finally:
+            arena.close()
+
+    def test_resolve_round_trip_shares_storage(self):
+        arena = parallel.SharedArena("t1")
+        try:
+            a = arena.temp((8,), "y")
+            a[:] = np.arange(8, dtype=np.uint64)
+            ref = arena.ref_of(a)
+            view = parallel.resolve(ref)
+            assert np.array_equal(view, a)
+            view[0] = np.uint64(99)
+            assert a[0] == 99  # same physical pages, not a copy
+        finally:
+            arena.close()
+
+    def test_resolve_passes_plain_values_through(self):
+        arr = np.ones(3, dtype=np.uint64)
+        assert parallel.resolve(arr) is arr
+        assert parallel.resolve(42) == 42
+
+    def test_foreign_arrays_have_no_ref(self):
+        arena = parallel.SharedArena("t2")
+        try:
+            assert arena.ref_of(np.zeros(4, dtype=np.uint64)) is None
+        finally:
+            arena.close()
+
+    def test_close_is_idempotent_and_fatal_for_temp(self):
+        arena = parallel.SharedArena("t3")
+        arena.temp((2,), "z")
+        arena.close()
+        arena.close()
+        with pytest.raises(RuntimeError):
+            arena.temp((2,), "z")
+
+
+class TestShardPoolValidation:
+    @pytest.mark.parametrize("bad", [True, 2.0, "2"])
+    def test_workers_type_checked(self, bad):
+        with pytest.raises(TypeError):
+            parallel.ShardPool(bad)
+
+    def test_workers_range_checked(self):
+        with pytest.raises(ValueError):
+            parallel.ShardPool(0)
+
+    @pytest.mark.parametrize("field", ["min_rows", "min_tree_leaves", "min_queries"])
+    def test_thresholds_validated(self, field):
+        with pytest.raises(ValueError):
+            parallel.ShardPool(1, **{field: 0})
+        with pytest.raises(TypeError):
+            parallel.ShardPool(1, **{field: 1.5})
+
+    def test_default_workers_is_effective_cpus(self):
+        pool = parallel.ShardPool()
+        try:
+            assert pool.workers == parallel.effective_cpus()
+        finally:
+            pool.close()
+
+    def test_closed_pool_refuses_work(self):
+        pool = parallel.ShardPool(1)
+        pool.close()
+        with pytest.raises(RuntimeError):
+            pool.run(parallel.ShardGraph())
+
+
+class TestInlineFallback:
+    def test_single_worker_spawns_no_processes(self):
+        from repro.ntt import lde_coeffs
+
+        with parallel.ShardPool(1, **TINY) as pool:
+            assert not pool.parallel
+            assert not pool.wants_commit(1 << 20)
+            g = parallel.ShardGraph()
+            coeffs = np.arange(4, dtype=np.uint64).reshape(1, 4)
+            values = np.zeros((8, 1), dtype=np.uint64)
+            g.add("rows", "lde_rows", {
+                "mode": "direct", "coeffs_out": coeffs, "values_out": values,
+                "lo": 0, "hi": 1, "rate_bits": 1,
+            })
+            results = pool.run(g)
+            assert set(results) == {"rows"}
+            assert np.array_equal(values[:, 0], lde_coeffs(coeffs, 1)[0])
+            assert pool.stats["inline_shards"] == 1
+            assert pool._procs == []
+            assert pool.profile.unit_cost("lde_rows") != 1.0  # observed
+
+    def test_empty_graph_short_circuits(self):
+        with parallel.ShardPool(1) as pool:
+            assert pool.run(parallel.ShardGraph()) == {}
+            assert pool.stats["graphs"] == 0
+
+
+class TestContextScoping:
+    def test_sharding_scopes_and_restores(self):
+        assert parallel.current_pool() is None
+        with parallel.ShardPool(1) as pool:
+            with parallel.sharding(pool):
+                assert parallel.current_pool() is pool
+                with parallel.sharding(None):
+                    assert parallel.current_pool() is None
+                assert parallel.current_pool() is pool
+        assert parallel.current_pool() is None
+
+    def test_maybe_sharding_inherits_enclosing_pool(self):
+        with parallel.ShardPool(1) as pool:
+            with parallel.sharding(pool):
+                with parallel.maybe_sharding(None) as inherited:
+                    assert inherited is pool
+            with parallel.maybe_sharding(pool) as scoped:
+                assert scoped is pool and parallel.current_pool() is pool
+
+
+class TestParallelExecution:
+    """Real worker processes (forced past the CPU clamp via ShardPool)."""
+
+    def test_worker_failure_raises_shard_error(self):
+        with _pool(2) as pool:
+            g = parallel.ShardGraph()
+            g.add("boom", "nonexistent-kernel", {})
+            with pytest.raises(parallel.ShardError, match="boom"):
+                pool.run(g)
+
+    def test_counters_and_spans_ride_back(self):
+        air, trace, publics = fibonacci.SPEC.build_air(SCALE)
+        with _pool(2) as pool, parallel.sharding(pool):
+            with metrics.counting() as c, tracing.trace() as session:
+                stark_prove(air, trace, publics, CONFIG)
+            counts = dict(c.as_dict())
+        shard_spans = [s for s in session.walk() if s.name.startswith("shard:")]
+        assert shard_spans, "sharded proof recorded no shard spans"
+        kinds = {s.name for s in shard_spans}
+        assert "shard:lde_rows" in kinds and "shard:merkle_subtree" in kinds
+        assert all(s.args["worker"] >= 0 for s in shard_spans)
+        assert counts["sponge_permutations"] > 0  # merged from workers
+        for kind in ("lde_rows", "merkle_subtree"):
+            assert pool.profile.unit_cost(kind) != 1.0
+
+
+class TestShardedMerkle:
+    def test_from_levels_matches_hashed_tree(self):
+        leaves = np.arange(64, dtype=np.uint64).reshape(16, 4)
+        serial = MerkleTree(leaves, cap_height=1)
+        sizes = level_sizes(16, 1)
+        arena = np.concatenate([lvl for lvl in serial.levels])
+        rebuilt = MerkleTree.from_levels(leaves, 1, arena, sizes)
+        assert np.array_equal(rebuilt.cap, serial.cap)
+        assert np.array_equal(rebuilt.prove(5).siblings, serial.prove(5).siblings)
+
+    def test_from_levels_validates_sizes(self):
+        leaves = np.zeros((16, 4), dtype=np.uint64)
+        sizes = level_sizes(16, 1)
+        arena = np.zeros((sum(sizes), 4), dtype=np.uint64)
+        with pytest.raises(ValueError):
+            MerkleTree.from_levels(leaves, 1, arena, sizes[:-1])
+        with pytest.raises(ValueError):
+            MerkleTree.from_levels(leaves, 1, arena[:-1], sizes)
+
+    def test_sharded_commit_matches_serial(self):
+        rng = np.random.default_rng(7)
+        coeffs = rng.integers(0, 2**63, size=(3, 32), dtype=np.uint64)
+        serial = PolynomialBatch.from_coeffs(coeffs.copy(), rate_bits=1, cap_height=1)
+        with _pool(2) as pool:
+            batch = par_ops.sharded_from_coeffs(pool, coeffs, 1, 1, "commit:t")
+            assert np.array_equal(batch.values, serial.values)
+            assert np.array_equal(batch.tree.cap, serial.tree.cap)
+            assert np.array_equal(
+                batch.tree.prove(3).siblings, serial.tree.prove(3).siblings
+            )
+
+
+def _stark_digest_and_counts(pool):
+    air, trace, publics = fibonacci.SPEC.build_air(SCALE)
+    with parallel.maybe_sharding(pool):
+        with metrics.counting() as c:
+            proof = stark_prove(air, trace, publics, CONFIG)
+        counts = dict(c.as_dict())  # snapshot: the proxy is a live delta
+    return proof, stark_proof_digest(proof), counts
+
+
+def _plonk_digest_and_counts(pool):
+    circuit, inputs, _ = fibonacci.SPEC.build_circuit(SCALE)
+    data = setup(circuit, PLONK_CONFIG)
+    with parallel.maybe_sharding(pool):
+        with metrics.counting() as c:
+            proof = plonk_prove(data, inputs)
+        counts = dict(c.as_dict())
+    return plonk_proof_digest(proof), counts
+
+
+class TestBitIdentity:
+    """The whole point: sharded == serial, bit for bit, op for op."""
+
+    def test_stark_sharded_is_bit_identical(self):
+        air = fibonacci.SPEC.build_air(SCALE)[0]
+        _, serial_digest, serial_counts = _stark_digest_and_counts(None)
+        with _pool(2) as pool:
+            proof, sharded_digest, sharded_counts = _stark_digest_and_counts(pool)
+        assert sharded_digest == serial_digest
+        assert sharded_counts == serial_counts
+        stark_verify(air, proof, CONFIG)
+
+    def test_plonk_sharded_is_bit_identical(self):
+        serial_digest, serial_counts = _plonk_digest_and_counts(None)
+        with _pool(2) as pool:
+            sharded_digest, sharded_counts = _plonk_digest_and_counts(pool)
+        assert sharded_digest == serial_digest
+        assert sharded_counts == serial_counts
+
+    def test_repeat_proof_reuses_segments(self):
+        _, serial_digest, _ = _stark_digest_and_counts(None)
+        with _pool(2) as pool:
+            _, first, _ = _stark_digest_and_counts(pool)
+            before = pool.arena.nbytes()
+            _, second, _ = _stark_digest_and_counts(pool)
+            assert first == second == serial_digest
+            # Same (slot, shape) keys -> no new segments on the rerun.
+            assert pool.arena.nbytes() == before
+
+    def test_inline_pool_matches_serial(self):
+        _, serial_digest, serial_counts = _stark_digest_and_counts(None)
+        with parallel.ShardPool(1, **TINY) as pool:
+            _, inline_digest, inline_counts = _stark_digest_and_counts(pool)
+        assert inline_digest == serial_digest
+        assert inline_counts == serial_counts

@@ -240,3 +240,91 @@ class TestExecutorCache:
         assert len(executor._PLONK_DATA) == executor._PLONK_DATA_CAP
         assert ("fake", 0, None) not in executor._PLONK_DATA
         executor._PLONK_DATA.clear()
+
+
+class TestSessionIsolation:
+    def test_nested_sessions_collect_separately(self):
+        with tracing.trace() as outer:
+            with tracing.span("outer-stage"):
+                # A nested trace (e.g. a shard worker tracing its own
+                # kernel in-process) must not leak spans into the outer
+                # session, and vice versa.
+                with tracing.trace() as inner:
+                    with tracing.span("inner-stage"):
+                        pass
+                assert tracing.active_session() is outer
+        assert [s.name for s in inner.walk()] == ["inner-stage"]
+        assert [s.name for s in outer.walk()] == ["outer-stage"]
+
+    def test_concurrent_threads_collect_separately(self):
+        import threading
+
+        sessions = {}
+
+        def traced(name):
+            with tracing.trace() as session:
+                with tracing.span(name):
+                    pass
+            sessions[name] = session
+
+        threads = [
+            threading.Thread(target=traced, args=(f"t{i}",)) for i in range(4)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        for i in range(4):
+            assert [s.name for s in sessions[f"t{i}"].walk()] == [f"t{i}"]
+
+
+class TestAttachSpans:
+    def _worker_payload(self, start_s=100.0):
+        return [{
+            "name": "shard:lde_rows", "category": "shard",
+            "start_s": start_s, "elapsed_s": 0.25,
+            "counters": {"ntt_butterflies": 64}, "args": {"units": 8},
+            "children": [{
+                "name": "inner", "category": "stage",
+                "start_s": start_s + 0.1, "elapsed_s": 0.1,
+                "counters": {}, "args": {}, "children": [],
+            }],
+        }]
+
+    def test_noop_without_session(self):
+        assert tracing.active_session() is None
+        assert tracing.attach_spans(self._worker_payload()) == 0
+
+    def test_empty_payload_is_noop(self):
+        with tracing.trace() as session:
+            assert tracing.attach_spans([]) == 0
+        assert session.spans == []
+
+    def test_attaches_under_open_span(self):
+        with tracing.trace() as session:
+            with tracing.span("commit:wires"):
+                assert tracing.attach_spans(self._worker_payload()) == 1
+        root = session.spans[0]
+        assert [c.name for c in root.children] == ["shard:lde_rows"]
+        shard = root.children[0]
+        assert shard.counters == {"ntt_butterflies": 64}
+        assert [c.name for c in shard.children] == ["inner"]
+
+    def test_attaches_as_roots_without_open_span(self):
+        with tracing.trace() as session:
+            assert tracing.attach_spans(self._worker_payload()) == 1
+        assert [s.name for s in session.spans] == ["shard:lde_rows"]
+
+    def test_base_s_rebases_foreign_clock(self):
+        with tracing.trace() as session:
+            tracing.attach_spans(self._worker_payload(start_s=100.0), base_s=5.0)
+        shard = session.spans[0]
+        # The worker's process-local clock (100.0) lands at the
+        # coordinator's dispatch time; relative offsets survive.
+        assert shard.start_s == pytest.approx(5.0)
+        assert shard.children[0].start_s == pytest.approx(5.1)
+
+    def test_without_base_s_clock_is_untouched(self):
+        with tracing.trace() as session:
+            tracing.attach_spans(self._worker_payload(start_s=100.0))
+        assert session.spans[0].start_s == pytest.approx(100.0)

@@ -341,3 +341,142 @@ class TestCountersUnderConcurrency:
             totals = svc.stats()["counters"]
             assert totals["sponge_permutations"] > 0
             assert totals["ntt_butterflies"] > 0
+
+
+class _FakeProc:
+    """Stands in for mp.Process where only liveness is consulted."""
+
+    def is_alive(self):
+        return True
+
+    @property
+    def pid(self):
+        return 0
+
+
+class _FakeQueue:
+    def __init__(self):
+        self.items = []
+
+    def put(self, item):
+        self.items.append(item)
+
+
+class TestIdleWorkerOrdering:
+    def _pool_with_fakes(self, n=3):
+        from repro.service.pool import WorkerHandle, WorkerPool
+
+        pool = WorkerPool(num_workers=n)
+        for wid in range(n):
+            pool.workers.append(
+                WorkerHandle(id=wid, process=_FakeProc(), task_q=_FakeQueue())
+            )
+        return pool
+
+    def test_longest_waiting_worker_first(self):
+        pool = self._pool_with_fakes()
+        # Refresh idle stamps in reverse id order: worker 2 has now been
+        # idle the longest and must lead the list.
+        for wid in (2, 1, 0):
+            pool.mark_idle(wid)
+            time.sleep(0.002)
+        assert [w.id for w in pool.idle_workers()] == [2, 1, 0]
+
+    def test_busy_workers_excluded(self):
+        pool = self._pool_with_fakes()
+        pool.assign(pool.workers[0], batch_id=7, specs=[], timeout_s=60)
+        assert 0 not in [w.id for w in pool.idle_workers()]
+        pool.mark_idle(0)
+        # Freshly idled again -> back in the list, but at the end.
+        assert [w.id for w in pool.idle_workers()][-1] == 0
+
+    def test_assign_counts_dispatches(self):
+        pool = self._pool_with_fakes()
+        w = pool.workers[1]
+        pool.assign(w, batch_id=1, specs=[], timeout_s=60)
+        pool.mark_idle(1)
+        pool.assign(w, batch_id=2, specs=[], timeout_s=60)
+        assert w.dispatches == 2
+        assert len(w.task_q.items) == 2
+
+    def test_shard_worker_args_validated(self):
+        from repro.service.pool import WorkerPool
+
+        with pytest.raises(TypeError):
+            WorkerPool(shard_workers=2.0)
+        with pytest.raises(ValueError):
+            WorkerPool(shard_workers=0)
+
+
+class TestStageWallMerge:
+    def _root(self):
+        return {
+            "name": "prove:stark", "elapsed_s": 3.0, "children": [
+                {
+                    "name": "commit:trace", "elapsed_s": 2.0, "children": [
+                        # Grandchild: a shard span re-attached under the
+                        # stage that dispatched it.  Its wall time is
+                        # already inside commit:trace's 2.0 s.
+                        {"name": "shard:lde_rows", "elapsed_s": 1.5, "children": []},
+                    ],
+                },
+                {"name": "fri", "elapsed_s": 0.5, "children": []},
+            ],
+        }
+
+    def test_roots_and_direct_children_only(self):
+        svc = _service(workers=1)
+        svc._merge_stage_wall([self._root()])
+        agg = svc.totals["stage_wall_s"]
+        assert agg["prove:stark"] == pytest.approx(3.0)
+        assert agg["commit:trace"] == pytest.approx(2.0)
+        assert agg["fri"] == pytest.approx(0.5)
+        # Shard spans sit two levels down; counting them would double
+        # every sharded stage's wall time.
+        assert "shard:lde_rows" not in agg
+
+    def test_accumulates_across_results(self):
+        svc = _service(workers=1)
+        svc._merge_stage_wall([self._root()])
+        svc._merge_stage_wall([self._root()])
+        assert svc.totals["stage_wall_s"]["fri"] == pytest.approx(1.0)
+
+
+class TestShardedService:
+    def test_sharded_proof_round_trips(self):
+        from repro.service import fri_config_for
+
+        svc = _service(
+            workers=1,
+            shard_workers=2,
+            shard_config={"min_rows": 1, "min_tree_leaves": 2, "min_queries": 1},
+            enable_batching=False,
+        )
+        with svc:
+            jid = svc.submit(**FIB)
+            result = svc.result(jid, timeout_s=120)
+            kind, workload, payload = read_result_envelope(result.envelope)
+            assert kind == "stark-proof" and workload == "Fibonacci"
+            air, _, _ = build_air(FIB["scale"])
+            stark_verify(
+                air, stark_proof_from_bytes(payload),
+                fri_config_for(JobSpec(**FIB)),
+            )
+            # Shard spans ride back nested inside the prove stages.
+            shard = [
+                s
+                for root in result.spans
+                for s in _walk_span_dicts(root)
+                if s["name"].startswith("shard:")
+            ]
+            assert shard, "sharded service run recorded no shard spans"
+            stats = svc.stats()
+            assert stats["shard_workers"] == 2
+            assert sum(stats["worker_dispatches"].values()) >= 1
+            assert "shard:lde_rows" not in stats["stage_wall_s"]
+
+
+def _walk_span_dicts(root):
+    yield root
+    for child in root.get("children", []):
+        yield from _walk_span_dicts(child)
