@@ -1,14 +1,14 @@
 """Perf-counter regression gate (CI).
 
-Runs one tiny Fibonacci STARK and one tiny Fibonacci Plonk proof and
-asserts the operation counters -- NTT butterflies and Poseidon
-permutations -- match golden values recorded before the respective
-optimisation passes.  Kernel and pipeline rewrites may change *how* the
+Runs one tiny Fibonacci proof per registered protocol (STARK, Plonk,
+HyperPlonk-lite) and asserts the operation counters -- NTT butterflies
+and Poseidon permutations -- match golden values recorded before the
+respective optimisation passes.  Kernel and pipeline rewrites may change *how* the
 work is executed (in place, fused, batched, shared sequencing) but
 never *how much* work the protocol does; a drift here means a rewrite
 silently changed the algorithm, not just the implementation.
 
-Both proofs then run again under a forced 2-worker
+All proofs then run again under a forced 2-worker
 :class:`repro.parallel.ShardPool` against the *same* goldens: stage
 sharding redistributes the work across processes but must not change
 the digest or a single operation count.
@@ -22,8 +22,13 @@ import sys
 
 from repro import metrics, parallel
 from repro.fri.config import FriConfig
+from repro.hyperplonk import HyperPlonkConfig, prove as hp_prove, setup as hp_setup
 from repro.plonk import prove as plonk_prove, setup
-from repro.serialize import plonk_proof_digest, stark_proof_digest
+from repro.serialize import (
+    hyperplonk_proof_digest,
+    plonk_proof_digest,
+    stark_proof_digest,
+)
 from repro.stark import prove
 from repro.workloads import fibonacci
 
@@ -57,6 +62,23 @@ PLONK_GOLDEN_DIGEST = (
     "96ef6472f512d48f2a64904b7d528ea83ba62f1ca3c5b5fa0eb49a54b65b5a17"
 )
 
+#: Executor-default HyperPlonk-lite parameters.
+HYPERPLONK_CONFIG = HyperPlonkConfig(cap_height=1, num_queries=16)
+
+#: Recorded when the sumcheck-native backend landed, Fibonacci scale 6,
+#: measured around ``prove`` only (setup excluded).  The zero NTT
+#: entries are the point: the sumcheck hot path must never touch the
+#: NTT kernels, so any nonzero count is a regression by definition.
+HYPERPLONK_GOLDEN = {
+    "sponge_permutations": 36,
+    "challenger_permutations": 13,
+    "ntt_butterflies": 0,
+    "ntt_transforms": 0,
+}
+HYPERPLONK_GOLDEN_DIGEST = (
+    "1c4066059a86c02d7b0dc5d9a66352b487834e245201898b49be2bfe1ac767ab"
+)
+
 
 def _check(label: str, got: dict, golden: dict, digest: str, want_digest: str):
     failures = []
@@ -87,6 +109,14 @@ def main() -> int:
         plonk_proof_digest(pproof), PLONK_GOLDEN_DIGEST,
     )
 
+    hp_data = hp_setup(circuit, HYPERPLONK_CONFIG)
+    with metrics.counting() as counts:
+        hproof = hp_prove(hp_data, inputs)
+    failures += _check(
+        "hyperplonk", counts.as_dict(), HYPERPLONK_GOLDEN,
+        hyperplonk_proof_digest(hproof), HYPERPLONK_GOLDEN_DIGEST,
+    )
+
     # Same proofs, sharded across 2 workers (thresholds forced low so
     # the tiny CI proofs actually fan out) -- same goldens, bit for bit.
     with parallel.ShardPool(
@@ -104,6 +134,15 @@ def main() -> int:
             "plonk[sharded]", dict(counts.as_dict()), PLONK_GOLDEN,
             plonk_proof_digest(pproof), PLONK_GOLDEN_DIGEST,
         )
+        # The sumcheck prover is hashing-bound and ignores the pool,
+        # but pinning it here guards that ambient sharding state can
+        # never perturb its transcript either.
+        with metrics.counting() as counts:
+            hproof = hp_prove(hp_data, inputs)
+        failures += _check(
+            "hyperplonk[sharded]", dict(counts.as_dict()), HYPERPLONK_GOLDEN,
+            hyperplonk_proof_digest(hproof), HYPERPLONK_GOLDEN_DIGEST,
+        )
 
     if failures:
         print("PERF-COUNTER REGRESSION:")
@@ -112,8 +151,12 @@ def main() -> int:
         return 1
     print(f"stark counters OK: {', '.join(f'{k}={v}' for k, v in GOLDEN.items())}")
     print(f"plonk counters OK: {', '.join(f'{k}={v}' for k, v in PLONK_GOLDEN.items())}")
-    print("proof digests OK (stark + plonk)")
-    print("sharded (2 workers) counters + digests OK (stark + plonk)")
+    print(
+        "hyperplonk counters OK: "
+        + ", ".join(f"{k}={v}" for k, v in HYPERPLONK_GOLDEN.items())
+    )
+    print("proof digests OK (stark + plonk + hyperplonk)")
+    print("sharded (2 workers) counters + digests OK (stark + plonk + hyperplonk)")
     return 0
 
 

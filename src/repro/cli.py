@@ -32,11 +32,10 @@ import time
 
 from .baselines import CpuModel, GpuModel
 from .compiler import lower, trace_plonky2
+from .errors import UnknownEntryError
 from .hw import DEFAULT_CONFIG, chip_budget
 from .sim import simulate_plonky2
-from .workloads import PAPER_WORKLOADS, by_name
-
-_WORKLOAD_NAMES = [s.name for s in PAPER_WORKLOADS] + ["AES-128"]
+from .workloads import by_name
 
 
 class CliError(Exception):
@@ -44,14 +43,26 @@ class CliError(Exception):
 
 
 def _resolve_workload(name: str):
-    """Look up a workload, raising a clean one-line error when unknown."""
+    """Look up a workload, raising a clean one-line error when unknown.
+
+    The message (name + valid choices) comes from the registry's own
+    :class:`~repro.errors.UnknownWorkloadError`, so the CLI never
+    maintains its own workload list.
+    """
     try:
         return by_name(name)
-    except KeyError:
-        raise CliError(
-            f"unknown workload {name!r} "
-            f"(choose from: {', '.join(_WORKLOAD_NAMES)})"
-        ) from None
+    except UnknownEntryError as exc:
+        raise CliError(str(exc)) from None
+
+
+def _resolve_protocol(name: str):
+    """Look up a proof-system backend through the protocol registry."""
+    from .protocols import get
+
+    try:
+        return get(name)
+    except UnknownEntryError as exc:
+        raise CliError(str(exc)) from None
 
 
 def _hw_from_args(args) -> "object":
@@ -166,30 +177,45 @@ def cmd_tune(args) -> int:
 def cmd_prove(args) -> int:
     """Run a functional scaled-down proof end to end."""
     from . import parallel, tracing
-    from .fri import FriConfig
-    from .plonk import prove, setup, verify
 
+    if args.list_protocols:
+        from .protocols import get, names
+
+        for name in names():
+            system = get(name)
+            print(f"{name}: {system.description}")
+        return 0
+
+    system = _resolve_protocol(args.protocol)
     workers = parallel.resolve_workers(args.workers, flag="workers")
     spec = _resolve_workload(args.workload)
     print(f"{spec.name}: {spec.repro_note}")
-    circuit, inputs, publics = spec.build_circuit(args.scale)
-    print(f"circuit: {circuit.n} rows")
-    config = FriConfig(rate_bits=3, cap_height=1, num_queries=args.queries,
-                       proof_of_work_bits=8, final_poly_len=4)
-    data = setup(circuit, config)
+    if not system.supports(spec):
+        raise CliError(
+            f"workload {spec.name!r} has no {system.name} builder"
+        )
+    # Query count from the CLI; FRI-family backends also get the
+    # heavier CLI-grade grinding (the registry defaults are the small
+    # service parameters).
+    overrides = {"num_queries": args.queries}
+    if "proof_of_work_bits" in system.default_config():
+        overrides["proof_of_work_bits"] = 8
+    config = system.make_config(overrides)
+    psetup = system.setup(spec, args.scale, config)
+    print(f"circuit: {psetup.rows} rows")
     pool = parallel.ShardPool(workers) if workers > 1 else None
     if pool is not None:
         print(f"sharding across {workers} workers")
     t0 = time.time()
     try:
         with tracing.trace() as session:
-            proof = prove(data, inputs, pool=pool)
+            proof = system.prove(psetup, pool=pool)
     finally:
         if pool is not None:
             pool.close()
     t_prove = time.time() - t0
     t0 = time.time()
-    verify(data.verifier_data, proof)
+    system.verify(psetup, proof)
     t_verify = time.time() - t0
     print(f"proved in {t_prove:.2f}s, verified in {t_verify:.2f}s, "
           f"proof {proof.size_bytes()} bytes, public inputs {proof.public_inputs}")
@@ -260,8 +286,15 @@ def cmd_serve(args) -> int:
 
 
 def _spec_from_args(args) -> dict:
-    if args.kind in ("stark", "plonk", "simulate"):
-        _resolve_workload(args.workload)  # fail fast, before connecting
+    from .service.jobs import FAULT_KINDS, JOB_KINDS
+
+    submit_kinds = tuple(k for k in JOB_KINDS if k not in FAULT_KINDS)
+    if args.kind not in submit_kinds:
+        raise CliError(
+            f"unknown job kind {args.kind!r} "
+            f"(choose from: {', '.join(submit_kinds)})"
+        )
+    _resolve_workload(args.workload)  # fail fast, before connecting
     return {"workload": args.workload, "kind": args.kind, "scale": args.scale}
 
 
@@ -342,7 +375,13 @@ def cmd_fuzz(args) -> int:
               f"({result.exception or 'no error'})")
         return 0
 
-    protocols = PROTOCOLS if args.protocol == "both" else (args.protocol,)
+    if args.protocol == "all":
+        protocols = PROTOCOLS
+    elif args.protocol == "both":  # historical spelling of the FRI pair
+        protocols = ("stark", "plonk")
+    else:
+        _resolve_protocol(args.protocol)  # typed unknown-protocol error
+        protocols = (args.protocol,)
     budget_s = _parse_budget(args.budget) if args.budget else None
     report = run_fuzz(
         seed=args.seed,
@@ -426,8 +465,13 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("prove", help="run a functional proof end to end")
     p.add_argument("--workload", default="Fibonacci", metavar="NAME")
+    p.add_argument("--protocol", default="plonk", metavar="NAME",
+                   help="proof-system backend (see --list-protocols)")
+    p.add_argument("--list-protocols", action="store_true",
+                   help="list the registered proof systems and exit")
     p.add_argument("--scale", type=int, default=20, help="workload size knob")
-    p.add_argument("--queries", type=int, default=12, help="FRI query rounds")
+    p.add_argument("--queries", type=int, default=12,
+                   help="query rounds (FRI or multilinear-PCS)")
     p.add_argument("--workers", type=int, default=1, metavar="N",
                    help="shard the proof across N worker processes "
                         "(1 = serial; clamped to effective CPUs)")
@@ -465,8 +509,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--host", default="127.0.0.1")
     p.add_argument("--port", type=int, default=8347)
     p.add_argument("--workload", default="Fibonacci", metavar="NAME")
-    p.add_argument("--kind", choices=["stark", "plonk", "simulate"],
-                   default="stark")
+    p.add_argument("--kind", default="stark", metavar="KIND",
+                   help="job kind: any registered protocol or 'simulate'")
     p.add_argument("--scale", type=int, default=8, help="workload size knob")
     p.add_argument("--priority", type=int, default=0, help="lower runs first")
     p.add_argument("--wait", action="store_true", help="block for the result")
@@ -495,8 +539,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--replay", default=None, metavar="ARTIFACT",
                    help="replay one stored artifact instead of fuzzing "
                         "(exit 1 if it still reproduces)")
-    p.add_argument("--protocol", choices=["stark", "plonk", "both"],
-                   default="both", help="proof system(s) to target")
+    p.add_argument("--protocol", default="all", metavar="NAME",
+                   help="proof system to target, 'both' (stark+plonk) "
+                        "or 'all' registered protocols")
     p.add_argument("--oracle-iters", type=int, default=8,
                    help="differential-oracle iterations per kernel family")
     p.add_argument("--no-oracles", action="store_true",

@@ -31,7 +31,7 @@ BAD_OUTCOMES = ("accepted", "untyped-decode", "untyped-verify")
 class Finding:
     """One soundness finding, replayable from its artifact."""
 
-    protocol: str  # "stark" | "plonk"
+    protocol: str  # registered protocol name ("stark", "plonk", ...)
     mutator: str  # name in MUTATORS
     kind: str  # "bytes" | "object"
     seed: int
@@ -41,6 +41,7 @@ class Finding:
     exception_msg: Optional[str]
     data_hex: Optional[str] = None  # mutant bytes (byte-level findings)
     shrunk_hex: Optional[str] = None  # minimized mutant bytes, if shrinking ran
+    proof_format: Optional[str] = None  # blob framing tag (e.g. "uzkp-v1")
 
     def describe(self) -> str:
         """One-line human summary."""

@@ -1,4 +1,4 @@
-"""Structured mutation library over serialized STARK / Plonk proofs.
+"""Structured mutation library over serialized proofs (all protocols).
 
 Every mutator takes a :class:`~repro.fuzz.targets.FuzzTarget` and a
 seeded ``numpy.random.Generator`` and produces a :class:`Mutant`:
@@ -63,8 +63,11 @@ def _cap_slots(proof) -> list:
     for name in ("trace_cap", "quotient_cap", "wires_cap", "z_cap"):
         if hasattr(proof, name):
             slots.append((name, None))
-    for i in range(len(proof.fri_proof.commit_caps)):
-        slots.append(("commit_caps", i))
+    if hasattr(proof, "fri_proof"):
+        for i in range(len(proof.fri_proof.commit_caps)):
+            slots.append(("commit_caps", i))
+    for i in range(len(getattr(proof, "level_caps", ()))):
+        slots.append(("level_caps", i))
     return slots
 
 
@@ -72,6 +75,8 @@ def _get_cap(proof, slot) -> np.ndarray:
     name, idx = slot
     if name == "commit_caps":
         return proof.fri_proof.commit_caps[idx]
+    if name == "level_caps":
+        return proof.level_caps[idx]
     return getattr(proof, name)
 
 
@@ -79,23 +84,54 @@ def _set_cap(proof, slot, value: np.ndarray) -> None:
     name, idx = slot
     if name == "commit_caps":
         proof.fri_proof.commit_caps[idx] = value
+    elif name == "level_caps":
+        proof.level_caps[idx] = value
     else:
         setattr(proof, name, value)
+
+
+def _query_rounds(proof) -> list:
+    """The proof's query rounds, whichever protocol shape it has."""
+    if hasattr(proof, "fri_proof"):
+        return proof.fri_proof.query_rounds
+    return getattr(proof, "query_rounds", [])
+
+
+def _fri_layer_rounds(proof) -> list:
+    """FRI query rounds that carry fold-layer openings ([] otherwise)."""
+    if not hasattr(proof, "fri_proof"):
+        return []
+    return [qr for qr in proof.fri_proof.query_rounds if qr.layers]
 
 
 def _all_arrays(proof) -> list:
     """Every mutable field-element array reachable in a proof."""
     arrays = [_get_cap(proof, s) for s in _cap_slots(proof)]
-    arrays.extend(proof.openings.points)
-    arrays.extend(proof.openings.values)
-    fp = proof.fri_proof
-    arrays.append(fp.final_poly)
-    for qr in fp.query_rounds:
-        arrays.extend(qr.initial.leaves)
-        arrays.extend(p.siblings for p in qr.initial.proofs)
-        for layer in qr.layers:
-            arrays.append(layer.pair_leaf)
-            arrays.append(layer.proof.siblings)
+    if hasattr(proof, "openings"):
+        arrays.extend(proof.openings.points)
+        arrays.extend(proof.openings.values)
+    if hasattr(proof, "fri_proof"):
+        fp = proof.fri_proof
+        arrays.append(fp.final_poly)
+        for qr in fp.query_rounds:
+            arrays.extend(qr.initial.leaves)
+            arrays.extend(p.siblings for p in qr.initial.proofs)
+            for layer in qr.layers:
+                arrays.append(layer.pair_leaf)
+                arrays.append(layer.proof.siblings)
+    if hasattr(proof, "sumcheck"):  # hyperplonk shape
+        for qr in proof.query_rounds:
+            for op in qr.base:
+                arrays.append(op.pre_row)
+                arrays.append(op.wires_row)
+                arrays.extend(
+                    p.siblings
+                    for p in (op.pre_proof, op.wires_proof,
+                              op.z_proof, op.z_next_proof)
+                )
+            for lv in qr.levels:
+                arrays.append(lv.low_proof.siblings)
+                arrays.append(lv.high_proof.siblings)
     return [a for a in arrays if a.size]
 
 
@@ -166,9 +202,11 @@ def flip_field_element(target: FuzzTarget, rng) -> Mutant:
     return Mutant("flip-field-element", data=target.encode(proof))
 
 
-def perturb_opening_value(target: FuzzTarget, rng) -> Mutant:
-    """Perturb one claimed opening evaluation."""
+def perturb_opening_value(target: FuzzTarget, rng) -> Optional[Mutant]:
+    """Perturb one claimed opening evaluation (FRI-family proofs)."""
     proof = target.decode(target.blob)
+    if not hasattr(proof, "openings"):
+        return None
     vals = _choice(rng, proof.openings.values)
     flat = vals.reshape(-1)
     idx = int(rng.integers(0, flat.size))
@@ -176,9 +214,11 @@ def perturb_opening_value(target: FuzzTarget, rng) -> Mutant:
     return Mutant("perturb-opening-value", data=target.encode(proof))
 
 
-def swap_opening_points(target: FuzzTarget, rng) -> Mutant:
+def swap_opening_points(target: FuzzTarget, rng) -> Optional[Mutant]:
     """Swap the two opening points (zeta and zeta * omega)."""
     proof = target.decode(target.blob)
+    if not hasattr(proof, "openings"):
+        return None
     pts = proof.openings.points
     pts[0], pts[1] = pts[1], pts[0]
     return Mutant("swap-opening-points", data=target.encode(proof))
@@ -207,9 +247,9 @@ def truncate_cap(target: FuzzTarget, rng) -> Mutant:
 
 
 def drop_query_round(target: FuzzTarget, rng) -> Optional[Mutant]:
-    """Remove one FRI query round."""
+    """Remove one query round (FRI or multilinear-PCS)."""
     proof = target.decode(target.blob)
-    rounds = proof.fri_proof.query_rounds
+    rounds = _query_rounds(proof)
     if not rounds:
         return None
     del rounds[int(rng.integers(0, len(rounds)))]
@@ -217,9 +257,9 @@ def drop_query_round(target: FuzzTarget, rng) -> Optional[Mutant]:
 
 
 def duplicate_query_round(target: FuzzTarget, rng) -> Optional[Mutant]:
-    """Duplicate one FRI query round in place."""
+    """Duplicate one query round in place (FRI or multilinear-PCS)."""
     proof = target.decode(target.blob)
-    rounds = proof.fri_proof.query_rounds
+    rounds = _query_rounds(proof)
     if not rounds:
         return None
     idx = int(rng.integers(0, len(rounds)))
@@ -230,7 +270,7 @@ def duplicate_query_round(target: FuzzTarget, rng) -> Optional[Mutant]:
 def drop_layer(target: FuzzTarget, rng) -> Optional[Mutant]:
     """Remove one fold-layer opening from one query round."""
     proof = target.decode(target.blob)
-    rounds = [qr for qr in proof.fri_proof.query_rounds if qr.layers]
+    rounds = _fri_layer_rounds(proof)
     if not rounds:
         return None
     qr = _choice(rng, rounds)
@@ -241,7 +281,7 @@ def drop_layer(target: FuzzTarget, rng) -> Optional[Mutant]:
 def duplicate_layer(target: FuzzTarget, rng) -> Optional[Mutant]:
     """Duplicate one fold-layer opening within its query round."""
     proof = target.decode(target.blob)
-    rounds = [qr for qr in proof.fri_proof.query_rounds if qr.layers]
+    rounds = _fri_layer_rounds(proof)
     if not rounds:
         return None
     qr = _choice(rng, rounds)
@@ -253,6 +293,8 @@ def duplicate_layer(target: FuzzTarget, rng) -> Optional[Mutant]:
 def resize_final_poly(target: FuzzTarget, rng) -> Optional[Mutant]:
     """Truncate the final polynomial, or pad it past the degree bound."""
     proof = target.decode(target.blob)
+    if not hasattr(proof, "fri_proof"):
+        return None
     fp = proof.fri_proof
     if int(rng.integers(0, 2)) and fp.final_poly.shape[0]:
         fp.final_poly = fp.final_poly[:-1]
@@ -264,9 +306,11 @@ def resize_final_poly(target: FuzzTarget, rng) -> Optional[Mutant]:
     return Mutant("resize-final-poly", data=target.encode(proof))
 
 
-def corrupt_pow_witness(target: FuzzTarget, rng) -> Mutant:
+def corrupt_pow_witness(target: FuzzTarget, rng) -> Optional[Mutant]:
     """Shift the grinding witness."""
     proof = target.decode(target.blob)
+    if not hasattr(proof, "fri_proof"):
+        return None
     fp = proof.fri_proof
     fp.pow_witness = (fp.pow_witness + int(rng.integers(1, 1 << 32))) % (1 << 64)
     return Mutant("corrupt-pow-witness", data=target.encode(proof))
@@ -301,9 +345,11 @@ def perturb_degree_bits(target: FuzzTarget, rng) -> Optional[Mutant]:
     return Mutant("perturb-degree-bits", data=target.encode(proof))
 
 
-def splice_fri_proof(target: FuzzTarget, rng) -> Mutant:
+def splice_fri_proof(target: FuzzTarget, rng) -> Optional[Mutant]:
     """Graft the FRI proof of a different honest proof onto this one."""
     proof = target.decode(target.blob)
+    if not hasattr(proof, "fri_proof"):
+        return None
     donor = target.decode(target.alt_blob)
     proof.fri_proof = donor.fri_proof
     return Mutant("splice-fri-proof", data=target.encode(proof))
@@ -317,6 +363,8 @@ def pad_initial_leaf(target: FuzzTarget, rng) -> Optional[Mutant]:
     the verifier's exact leaf-width pin rejects it.
     """
     proof = target.decode(target.blob)
+    if not hasattr(proof, "fri_proof"):
+        return None
     rounds = proof.fri_proof.query_rounds
     if not rounds:
         return None
@@ -330,6 +378,8 @@ def pad_initial_leaf(target: FuzzTarget, rng) -> Optional[Mutant]:
 def reshape_initial_leaf(target: FuzzTarget, rng) -> Optional[Mutant]:
     """Serialize one initial leaf as a (1, n) matrix instead of a vector."""
     proof = target.decode(target.blob)
+    if not hasattr(proof, "fri_proof"):
+        return None
     rounds = proof.fri_proof.query_rounds
     if not rounds:
         return None
@@ -342,13 +392,67 @@ def reshape_initial_leaf(target: FuzzTarget, rng) -> Optional[Mutant]:
 def truncate_pair_leaf(target: FuzzTarget, rng) -> Optional[Mutant]:
     """Truncate one fold-layer pair leaf below its 4 elements."""
     proof = target.decode(target.blob)
-    rounds = [qr for qr in proof.fri_proof.query_rounds if qr.layers]
+    rounds = _fri_layer_rounds(proof)
     if not rounds:
         return None
     qr = _choice(rng, rounds)
     layer = _choice(rng, qr.layers)
     layer.pair_leaf = layer.pair_leaf[: int(rng.integers(0, 4))]
     return Mutant("truncate-pair-leaf", data=target.encode(proof))
+
+
+# -- sumcheck mutators (hyperplonk-shaped proofs only) -------------------------
+
+
+def tamper_sumcheck_round(target: FuzzTarget, rng) -> Optional[Mutant]:
+    """Perturb one half of one sumcheck round polynomial."""
+    proof = target.decode(target.blob)
+    if not hasattr(proof, "sumcheck") or not proof.sumcheck.round_values:
+        return None
+    rounds = proof.sumcheck.round_values
+    idx = int(rng.integers(0, len(rounds)))
+    y0, y1 = rounds[idx]
+    if int(rng.integers(0, 2)):
+        rounds[idx] = (y0, _rand_elem(rng, not_equal=y1))
+    else:
+        rounds[idx] = (_rand_elem(rng, not_equal=y0), y1)
+    return Mutant("tamper-sumcheck-round", data=target.encode(proof))
+
+
+def perturb_final_value(target: FuzzTarget, rng) -> Optional[Mutant]:
+    """Lie about the sumcheck's fully-folded final evaluation."""
+    proof = target.decode(target.blob)
+    if not hasattr(proof, "sumcheck"):
+        return None
+    sc = proof.sumcheck
+    sc.final_value = _rand_elem(rng, not_equal=sc.final_value)
+    return Mutant("perturb-final-value", data=target.encode(proof))
+
+
+def perturb_claimed_sum(target: FuzzTarget, rng) -> Optional[Mutant]:
+    """Claim a nonzero zerocheck sum (honest proofs must claim zero)."""
+    proof = target.decode(target.blob)
+    if not hasattr(proof, "sumcheck"):
+        return None
+    sc = proof.sumcheck
+    sc.claimed_sum = _rand_elem(rng, not_equal=sc.claimed_sum)
+    return Mutant("perturb-claimed-sum", data=target.encode(proof))
+
+
+def perturb_z_opening(target: FuzzTarget, rng) -> Optional[Mutant]:
+    """Perturb one claimed z / z_next value in a base opening."""
+    proof = target.decode(target.blob)
+    if not hasattr(proof, "sumcheck") or not proof.query_rounds:
+        return None
+    qr = _choice(rng, proof.query_rounds)
+    if not qr.base:
+        return None
+    op = _choice(rng, qr.base)
+    if int(rng.integers(0, 2)):
+        op.z_value = _rand_elem(rng, not_equal=op.z_value)
+    else:
+        op.z_next_value = _rand_elem(rng, not_equal=op.z_next_value)
+    return Mutant("perturb-z-opening", data=target.encode(proof))
 
 
 # -- object-level mutators (states the codec cannot express) -------------------
@@ -363,6 +467,8 @@ def mismatch_initial_proofs(target: FuzzTarget, rng) -> Optional[Mutant]:
     skipped Merkle checks entirely.
     """
     proof = copy.deepcopy(target.decode(target.blob))
+    if not hasattr(proof, "fri_proof"):
+        return None
     rounds = [qr for qr in proof.fri_proof.query_rounds if qr.initial.proofs]
     if not rounds:
         return None
@@ -374,7 +480,7 @@ def mismatch_initial_proofs(target: FuzzTarget, rng) -> Optional[Mutant]:
 def scalar_pair_leaf(target: FuzzTarget, rng) -> Optional[Mutant]:
     """Replace one pair leaf with a 0-d array (slicing would crash)."""
     proof = copy.deepcopy(target.decode(target.blob))
-    rounds = [qr for qr in proof.fri_proof.query_rounds if qr.layers]
+    rounds = _fri_layer_rounds(proof)
     if not rounds:
         return None
     qr = _choice(rng, rounds)
@@ -408,6 +514,10 @@ MUTATORS: Dict[str, Callable[[FuzzTarget, np.random.Generator], Optional[Mutant]
     "pad-initial-leaf": pad_initial_leaf,
     "reshape-initial-leaf": reshape_initial_leaf,
     "truncate-pair-leaf": truncate_pair_leaf,
+    "tamper-sumcheck-round": tamper_sumcheck_round,
+    "perturb-final-value": perturb_final_value,
+    "perturb-claimed-sum": perturb_claimed_sum,
+    "perturb-z-opening": perturb_z_opening,
     "mismatch-initial-proofs": mismatch_initial_proofs,
     "scalar-pair-leaf": scalar_pair_leaf,
 }

@@ -193,6 +193,7 @@ def run_fuzz(
                 exception_msg=str(exc) if exc is not None else None,
                 data_hex=data_hex,
                 shrunk_hex=shrunk_hex,
+                proof_format=target.proof_format,
             )
             report.findings.append(finding)
             if corpus_dir is not None:

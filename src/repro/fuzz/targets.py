@@ -7,6 +7,13 @@ is the thing under test.  Targets are built once per process and
 cached -- every byte of ``blob`` is deterministic, which is what makes
 seeded findings replayable across runs and processes.
 
+Target blobs are *tagged proof blobs* (magic + format version +
+protocol tag, see :func:`repro.serialize.proof_to_blob`), the same
+framing the proving service ships, so byte-level mutants exercise the
+envelope parser alongside the per-protocol codec.  The protocol list
+itself comes from the :mod:`repro.protocols` registry -- the fuzzer
+automatically covers every registered backend.
+
 The proofs are deliberately tiny (scaled-down FRI parameters, small
 traces): a fuzz campaign spends its budget on *mutations*, not on
 proving.
@@ -20,14 +27,12 @@ from typing import Callable, Tuple
 
 from ..fri import FriConfig
 from ..fri.verifier import FriError
+from ..hyperplonk import HyperPlonkConfig, HyperPlonkError
+from ..hyperplonk import prove as hp_prove, setup as hp_setup, verify as hp_verify
 from ..plonk import CircuitBuilder, PlonkError
 from ..plonk import prove as plonk_prove, setup as plonk_setup, verify as plonk_verify
-from ..serialize import (
-    plonk_proof_from_bytes,
-    plonk_proof_to_bytes,
-    stark_proof_from_bytes,
-    stark_proof_to_bytes,
-)
+from ..protocols import names as _protocol_names
+from ..serialize import PROOF_FORMAT_VERSION, proof_from_blob, proof_to_blob
 from ..stark import StarkError
 from ..stark import prove as stark_prove, verify as stark_verify
 from ..workloads import by_name
@@ -36,10 +41,20 @@ from ..workloads import by_name
 #: proof.  Anything else escaping decode or verify -- ``IndexError``,
 #: ``ZeroDivisionError``, ``MemoryError``, ... -- would kill a service
 #: worker and is reported as a finding, exactly like an accept.
-TYPED_REJECTIONS: Tuple[type, ...] = (ValueError, FriError, StarkError, PlonkError)
+#: ``ProofFormatError`` (bad blob framing) is a ``ValueError``.
+TYPED_REJECTIONS: Tuple[type, ...] = (
+    ValueError,
+    FriError,
+    StarkError,
+    PlonkError,
+    HyperPlonkError,
+)
 
-#: Protocols the fuzzer knows how to target.
-PROTOCOLS = ("stark", "plonk")
+#: Protocols the fuzzer targets: every registered proof backend.
+PROTOCOLS = _protocol_names()
+
+#: Blob framing identifier recorded in finding artifacts.
+PROOF_FORMAT = f"uzkp-v{PROOF_FORMAT_VERSION}"
 
 _STARK_CONFIG = FriConfig(
     rate_bits=1, cap_height=1, num_queries=4, proof_of_work_bits=2, final_poly_len=4
@@ -47,6 +62,7 @@ _STARK_CONFIG = FriConfig(
 _PLONK_CONFIG = FriConfig(
     rate_bits=3, cap_height=1, num_queries=4, proof_of_work_bits=2, final_poly_len=4
 )
+_HYPERPLONK_CONFIG = HyperPlonkConfig(cap_height=1, num_queries=4)
 
 
 @dataclass(frozen=True)
@@ -54,11 +70,34 @@ class FuzzTarget:
     """One protocol's honest proof plus its decode/verify surface."""
 
     protocol: str
-    blob: bytes  # honest serialized proof
+    blob: bytes  # honest serialized proof (tagged blob)
     alt_blob: bytes  # a second, structurally different honest proof
     decode: Callable[[bytes], object]
     encode: Callable[[object], bytes]
     run_verify: Callable[[object], None]  # raises a typed error to reject
+    proof_format: str = PROOF_FORMAT  # blob framing, for artifacts
+
+
+def _codecs(protocol: str):
+    """Tagged-blob decode/encode pair pinned to one protocol."""
+
+    def decode(data: bytes):
+        _, proof = proof_from_blob(data, expected_protocol=protocol)
+        return proof
+
+    def encode(proof) -> bytes:
+        return proof_to_blob(protocol, proof)
+
+    return decode, encode
+
+
+def _cube_circuit():
+    """The tiny shared circuit (``pub == x**3``) for plonkish targets."""
+    b = CircuitBuilder()
+    x = b.add_variable()
+    pub = b.public_input()
+    b.assert_equal(pub, b.mul(b.mul(x, x), x))
+    return b.build(), x, pub
 
 
 @lru_cache(maxsize=1)
@@ -69,6 +108,7 @@ def stark_target() -> FuzzTarget:
     proof = stark_prove(air, trace, publics, _STARK_CONFIG)
     alt_air, alt_trace, alt_publics = spec.build_air(6)
     alt_proof = stark_prove(alt_air, alt_trace, alt_publics, _STARK_CONFIG)
+    decode, encode = _codecs("stark")
 
     def run_verify(p) -> None:
         stark_verify(air, p, _STARK_CONFIG)
@@ -76,10 +116,10 @@ def stark_target() -> FuzzTarget:
     run_verify(proof)  # sanity: the honest proof must pass
     return FuzzTarget(
         protocol="stark",
-        blob=stark_proof_to_bytes(proof),
-        alt_blob=stark_proof_to_bytes(alt_proof),
-        decode=stark_proof_from_bytes,
-        encode=stark_proof_to_bytes,
+        blob=encode(proof),
+        alt_blob=encode(alt_proof),
+        decode=decode,
+        encode=encode,
         run_verify=run_verify,
     )
 
@@ -87,13 +127,11 @@ def stark_target() -> FuzzTarget:
 @lru_cache(maxsize=1)
 def plonk_target() -> FuzzTarget:
     """Tiny Plonk circuit target (``pub == x**3``, two witnesses)."""
-    b = CircuitBuilder()
-    x = b.add_variable()
-    pub = b.public_input()
-    b.assert_equal(pub, b.mul(b.mul(x, x), x))
-    data = plonk_setup(b.build(), _PLONK_CONFIG)
+    circuit, x, pub = _cube_circuit()
+    data = plonk_setup(circuit, _PLONK_CONFIG)
     proof = plonk_prove(data, {x.index: 3, pub.index: 27})
     alt_proof = plonk_prove(data, {x.index: 5, pub.index: 125})
+    decode, encode = _codecs("plonk")
 
     def run_verify(p) -> None:
         plonk_verify(data.verifier_data, p)
@@ -101,18 +139,47 @@ def plonk_target() -> FuzzTarget:
     run_verify(proof)
     return FuzzTarget(
         protocol="plonk",
-        blob=plonk_proof_to_bytes(proof),
-        alt_blob=plonk_proof_to_bytes(alt_proof),
-        decode=plonk_proof_from_bytes,
-        encode=plonk_proof_to_bytes,
+        blob=encode(proof),
+        alt_blob=encode(alt_proof),
+        decode=decode,
+        encode=encode,
         run_verify=run_verify,
     )
 
 
+@lru_cache(maxsize=1)
+def hyperplonk_target() -> FuzzTarget:
+    """Sumcheck-native HyperPlonk target over the same cube circuit."""
+    circuit, x, pub = _cube_circuit()
+    data = hp_setup(circuit, _HYPERPLONK_CONFIG)
+    proof = hp_prove(data, {x.index: 3, pub.index: 27})
+    alt_proof = hp_prove(data, {x.index: 5, pub.index: 125})
+    decode, encode = _codecs("hyperplonk")
+
+    def run_verify(p) -> None:
+        hp_verify(data.verifier_data, p)
+
+    run_verify(proof)
+    return FuzzTarget(
+        protocol="hyperplonk",
+        blob=encode(proof),
+        alt_blob=encode(alt_proof),
+        decode=decode,
+        encode=encode,
+        run_verify=run_verify,
+    )
+
+
+_TARGET_BUILDERS = {
+    "stark": stark_target,
+    "plonk": plonk_target,
+    "hyperplonk": hyperplonk_target,
+}
+
+
 def target_for(protocol: str) -> FuzzTarget:
     """Look up (and lazily build) the target for ``protocol``."""
-    if protocol == "stark":
-        return stark_target()
-    if protocol == "plonk":
-        return plonk_target()
-    raise ValueError(f"unknown fuzz protocol {protocol!r}")
+    builder = _TARGET_BUILDERS.get(protocol)
+    if builder is None:
+        raise ValueError(f"unknown fuzz protocol {protocol!r}")
+    return builder()

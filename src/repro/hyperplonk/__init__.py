@@ -1,0 +1,34 @@
+"""Sumcheck-native HyperPlonk-lite backend (no NTT on the hot path).
+
+Proves the same circuits as :mod:`repro.plonk` but replaces the
+LDE/quotient/FRI machinery with a committed zerocheck: multilinear
+Merkle commitments (:class:`repro.pcs.MultilinearPCS`), the sum-check
+protocol (:mod:`repro.sumcheck`), and FRI-style fold-consistency
+queries over the committed sumcheck levels.
+"""
+
+from .proof import (
+    HyperPlonkBaseOpening,
+    HyperPlonkConfig,
+    HyperPlonkData,
+    HyperPlonkLevelOpening,
+    HyperPlonkProof,
+    HyperPlonkQueryRound,
+    HyperPlonkVerifierData,
+)
+from .prover import prove, setup
+from .verifier import HyperPlonkError, verify
+
+__all__ = [
+    "HyperPlonkConfig",
+    "HyperPlonkData",
+    "HyperPlonkVerifierData",
+    "HyperPlonkProof",
+    "HyperPlonkQueryRound",
+    "HyperPlonkBaseOpening",
+    "HyperPlonkLevelOpening",
+    "HyperPlonkError",
+    "setup",
+    "prove",
+    "verify",
+]

@@ -1,0 +1,158 @@
+"""HyperPlonk-lite proof containers and setup artifacts.
+
+Mirrors :mod:`repro.plonk.proof` for the sumcheck-native backend: the
+setup output pairs the circuit with its Merkle-committed preprocessed
+table, and the proof carries caps, the sumcheck transcript, the
+per-round folded-level caps, and the query-time spot-check openings.
+There is no FRI proof and no quotient commitment -- the evaluation
+argument is the committed sumcheck itself.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from ..merkle import MerkleProof, MerkleTree
+from ..plonk.circuit import Circuit
+from ..sumcheck import SumcheckProof
+
+#: Serialized size of one Poseidon digest / one field element.
+DIGEST_BYTES = 32
+ELEM_BYTES = 8
+
+
+@dataclass(frozen=True)
+class HyperPlonkConfig:
+    """Knobs of the sumcheck-native prover.
+
+    Deliberately tiny compared to :class:`~repro.fri.FriConfig`: with no
+    low-degree extension there is no rate, no final polynomial, and no
+    proof-of-work grinding -- just the Merkle cap height and how many
+    fold-consistency spot checks the verifier demands.
+    """
+
+    cap_height: int = 1
+    num_queries: int = 16
+
+
+@dataclass
+class HyperPlonkData:
+    """Setup output: the circuit plus its preprocessed commitment.
+
+    ``preprocessed`` Merkle-commits one row per gate holding the 5
+    selector values followed by the 3 sigma labels (no LDE -- the leaves
+    are the subgroup rows themselves).  ``sigmas``/``ids`` cache the
+    (3, n) permutation label matrices so proving never re-derives them.
+    """
+
+    circuit: Circuit
+    preprocessed: MerkleTree
+    sigmas: np.ndarray
+    ids: np.ndarray
+    config: HyperPlonkConfig
+
+    @property
+    def verifier_data(self) -> "HyperPlonkVerifierData":
+        """The subset of setup data the verifier needs."""
+        return HyperPlonkVerifierData(
+            preprocessed_cap=self.preprocessed.cap.copy(),
+            n=self.circuit.n,
+            num_public_inputs=len(self.circuit.public_input_rows),
+            public_input_rows=list(self.circuit.public_input_rows),
+            config=self.config,
+        )
+
+
+@dataclass
+class HyperPlonkVerifierData:
+    """Everything the verifier must know about a circuit."""
+
+    preprocessed_cap: np.ndarray
+    n: int
+    num_public_inputs: int
+    public_input_rows: List[int]
+    config: HyperPlonkConfig
+
+
+def _path_bytes(proof: MerkleProof) -> int:
+    return int(proof.siblings.shape[0]) * DIGEST_BYTES
+
+
+@dataclass
+class HyperPlonkBaseOpening:
+    """Openings of the base commitments at one hypercube row.
+
+    ``z_next`` opens row ``(pos + 1) % n`` of the Z commitment so the
+    verifier can recompute the wrap-around permutation constraint.
+    """
+
+    pre_row: np.ndarray  # (8,): 5 selectors + 3 sigma labels
+    pre_proof: MerkleProof
+    wires_row: np.ndarray  # (3,)
+    wires_proof: MerkleProof
+    z_value: int
+    z_proof: MerkleProof
+    z_next_value: int
+    z_next_proof: MerkleProof
+
+    def size_bytes(self) -> int:
+        """Payload bytes: opened rows/values plus four Merkle paths."""
+        total = (8 + 3 + 2) * ELEM_BYTES
+        for proof in (self.pre_proof, self.wires_proof, self.z_proof, self.z_next_proof):
+            total += _path_bytes(proof)
+        return total
+
+
+@dataclass
+class HyperPlonkLevelOpening:
+    """One folded level's spot check: the fold pair and its paths."""
+
+    low_value: int
+    high_value: int
+    low_proof: MerkleProof
+    high_proof: MerkleProof
+
+    def size_bytes(self) -> int:
+        """Payload bytes: the low/high pair plus both Merkle paths."""
+        return 2 * ELEM_BYTES + _path_bytes(self.low_proof) + _path_bytes(self.high_proof)
+
+
+@dataclass
+class HyperPlonkQueryRound:
+    """One fold-consistency query: base rows plus every committed level."""
+
+    index: int
+    base: List[HyperPlonkBaseOpening]  # the two base rows j, j + n/2
+    levels: List[HyperPlonkLevelOpening]  # one per committed folded level
+
+    def size_bytes(self) -> int:
+        """Payload bytes: query index plus base and level openings."""
+        total = 4  # the u32 query index
+        total += sum(b.size_bytes() for b in self.base)
+        total += sum(lv.size_bytes() for lv in self.levels)
+        return total
+
+
+@dataclass
+class HyperPlonkProof:
+    """A complete sumcheck-native proof."""
+
+    wires_cap: np.ndarray
+    z_cap: np.ndarray
+    public_inputs: List[int]
+    sumcheck: SumcheckProof
+    level_caps: List[np.ndarray]
+    query_rounds: List[HyperPlonkQueryRound]
+
+    def size_bytes(self) -> int:
+        """Serialized proof size (caps + sumcheck rounds + queries)."""
+        total = 0
+        for cap in (self.wires_cap, self.z_cap, *self.level_caps):
+            total += int(np.atleast_2d(cap).shape[0]) * DIGEST_BYTES
+        total += len(self.public_inputs) * ELEM_BYTES
+        total += (2 + 2 * len(self.sumcheck.round_values)) * ELEM_BYTES
+        total += sum(qr.size_bytes() for qr in self.query_rounds)
+        return total

@@ -1,0 +1,258 @@
+"""Sumcheck-native HyperPlonk-lite prover (paper Section 8.1).
+
+Proves the same gate + copy constraints as :mod:`repro.plonk`, but over
+the *boolean hypercube* instead of a multiplicative subgroup's LDE
+coset: the witness tables are treated as multilinear extensions and the
+"everything vanishes" claim becomes a zerocheck run through the
+sum-check protocol (Algorithm 2).  The paper argues UniZK's unified
+hardware covers exactly this newer protocol family (Spartan, Binius,
+Basefold); this backend is the repo's concrete instance.
+
+The hot path executes **zero NTT butterflies** (asserted in CI):
+
+1. witness generation, then a row-wise Merkle commitment of the wire
+   table through :class:`~repro.pcs.MultilinearPCS` -- pure Poseidon
+   hashing, no LDE;
+2. Fiat-Shamir ``beta``/``gamma`` and the permutation accumulator ``Z``
+   via the same chunked partial-product kernel Plonk uses, committed
+   row-wise;
+3. ``alpha`` batches the gate / permutation / Z-start constraints into
+   one table ``C``; zerocheck multiplies by the ``eq(tau, x)``
+   indicator so ``sum_x eq(tau, x) C(x) = 0`` implies ``C == 0`` whp
+   (Schwartz-Zippel over the random ``tau``);
+4. a *committed* sumcheck over ``Q = eq(tau, .) * C``: every folded
+   level is Merkle-committed (``on_fold`` hook) so the verifier can
+   spot-check fold consistency, Basefold-style, tying the final value
+   to the base commitments;
+5. query rounds: random positions where the verifier recomputes ``Q``
+   from openings of the preprocessed / wires / Z commitments and walks
+   the fold chain down the committed levels.
+
+No quotient polynomial, no coset division, no FRI -- proof size is
+traded for a prover that is all element-wise kernels, sums, and
+hashing.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+from .. import tracing
+from ..field import gl64, goldilocks as gl
+from ..hashing import Challenger
+from ..merkle import MerkleTree
+from ..pcs import MultilinearPCS, eq_table
+from ..plonk.circuit import Circuit
+from ..plonk.permutation import compute_z, id_values, sigma_values
+from ..sumcheck import prove as sumcheck_prove
+from .proof import (
+    HyperPlonkBaseOpening,
+    HyperPlonkConfig,
+    HyperPlonkData,
+    HyperPlonkLevelOpening,
+    HyperPlonkProof,
+    HyperPlonkQueryRound,
+)
+
+
+def setup(circuit: Circuit, config: HyperPlonkConfig) -> HyperPlonkData:
+    """Preprocess a circuit: Merkle-commit selectors + sigmas row-wise.
+
+    Unlike the univariate setup there is no low-degree extension -- the
+    leaves are the ``(n, 8)`` subgroup rows themselves, so even setup
+    runs NTT-free.
+    """
+    sigmas = sigma_values(circuit)
+    ids = id_values(circuit.n)
+    pre_rows = np.ascontiguousarray(
+        np.concatenate([circuit.selectors, sigmas]).T
+    )  # (n, 8): one leaf per gate row
+    pcs = MultilinearPCS(config.cap_height)
+    preprocessed = pcs.commit(pre_rows, "preprocessed")
+    return HyperPlonkData(
+        circuit=circuit,
+        preprocessed=preprocessed,
+        sigmas=sigmas,
+        ids=ids,
+        config=config,
+    )
+
+
+def _constraint_table(
+    circuit: Circuit,
+    wires: np.ndarray,
+    z: np.ndarray,
+    f: np.ndarray,
+    g: np.ndarray,
+    public_values: List[int],
+    alpha: int,
+) -> np.ndarray:
+    """The alpha-batched constraint table ``C`` over the subgroup rows.
+
+    ``C[i] = gate[i] + alpha * perm[i] + alpha^2 * l0[i]`` where
+
+    * ``gate`` is the Plonk row constraint including the public-input
+      term ``PI(row) = -v_k`` at public rows;
+    * ``perm[i] = Z[i] f[i] - Z[i+1 mod n] g[i]`` (the running-product
+      step, wrapping at the last row exactly like the subgroup version);
+    * ``l0`` pins ``Z[0] = 1`` at row 0.
+
+    An honest witness makes every entry zero.
+    """
+    n = circuit.n
+    sel = circuit.selectors
+    w = wires
+    pi = np.zeros(n, dtype=np.uint64)
+    for row, val in zip(circuit.public_input_rows, public_values):
+        pi[row] = np.uint64(gl.neg(val))
+    gate = gl64.add(
+        gl64.add(
+            gl64.add(gl64.mul(sel[0], w[0]), gl64.mul(sel[1], w[1])),
+            gl64.mul(sel[2], gl64.mul(w[0], w[1])),
+        ),
+        gl64.add(gl64.add(gl64.mul(sel[3], w[2]), sel[4]), pi),
+    )
+    z_next = np.roll(z, -1)
+    perm = gl64.sub(gl64.mul(z, f), gl64.mul(z_next, g))
+    l0 = np.zeros(n, dtype=np.uint64)
+    l0[0] = np.uint64(gl.sub(int(z[0]), 1))
+    alpha_sq = np.uint64(gl.mul(alpha, alpha))
+    return gl64.add(
+        gl64.add(gate, gl64.mul(perm, np.uint64(gl.canonical(alpha)))),
+        gl64.mul(l0, alpha_sq),
+    )
+
+
+def _base_opening(
+    data: HyperPlonkData,
+    wires_tree: MerkleTree,
+    z_tree: MerkleTree,
+    pos: int,
+    n: int,
+) -> HyperPlonkBaseOpening:
+    """Open every base commitment at row ``pos`` (plus Z at ``pos+1``)."""
+    nxt = (pos + 1) % n
+    return HyperPlonkBaseOpening(
+        pre_row=data.preprocessed.leaves[pos].copy(),
+        pre_proof=data.preprocessed.prove(pos),
+        wires_row=wires_tree.leaves[pos].copy(),
+        wires_proof=wires_tree.prove(pos),
+        z_value=int(z_tree.leaves[pos][0]),
+        z_proof=z_tree.prove(pos),
+        z_next_value=int(z_tree.leaves[nxt][0]),
+        z_next_proof=z_tree.prove(nxt),
+    )
+
+
+def _query_round(
+    data: HyperPlonkData,
+    wires_tree: MerkleTree,
+    z_tree: MerkleTree,
+    level_trees: List[MerkleTree],
+    index: int,
+    n: int,
+) -> HyperPlonkQueryRound:
+    """Assemble one fold-consistency query at transcript index ``index``.
+
+    The base pair ``(j, j + n/2)`` determines ``T1[j]`` after the first
+    fold; each committed level then opens the pair that folds into the
+    next level's checked position, mirroring a FRI query walk.
+    """
+    j = index % (n // 2)
+    base = [
+        _base_opening(data, wires_tree, z_tree, j, n),
+        _base_opening(data, wires_tree, z_tree, j + n // 2, n),
+    ]
+    levels = []
+    pos = j
+    for tree in level_trees:
+        half = tree.num_leaves() // 2
+        p = pos % half
+        levels.append(
+            HyperPlonkLevelOpening(
+                low_value=int(tree.leaves[p][0]),
+                high_value=int(tree.leaves[p + half][0]),
+                low_proof=tree.prove(p),
+                high_proof=tree.prove(p + half),
+            )
+        )
+        pos = p
+    return HyperPlonkQueryRound(index=index, base=base, levels=levels)
+
+
+def prove(
+    data: HyperPlonkData,
+    inputs: Dict[int, int],
+    challenger: Challenger | None = None,
+) -> HyperPlonkProof:
+    """Generate a HyperPlonk-lite proof for the given input assignment.
+
+    ``inputs`` maps variable indices to values, exactly as
+    :func:`repro.plonk.prove` -- the two backends prove the same
+    circuits.
+    """
+    circuit = data.circuit
+    config = data.config
+    n = circuit.n
+    v = circuit.log_n
+    challenger = challenger or Challenger()
+    pcs = MultilinearPCS(config.cap_height)
+
+    with tracing.span("prove:hyperplonk", category="prove", n=n):
+        with tracing.span("witness", category="witness"):
+            witness = circuit.generate_witness(inputs)
+            wires = circuit.wire_values(witness)  # (3, n)
+            public_values = [int(wires[0, row]) for row in circuit.public_input_rows]
+
+        challenger.observe_cap(data.preprocessed.cap)
+        challenger.observe_elements(np.asarray(public_values, dtype=np.uint64))
+
+        with tracing.span("commit:wires", category="commit"):
+            wires_tree = pcs.commit(np.ascontiguousarray(wires.T), "wires")
+        challenger.observe_cap(wires_tree.cap)
+
+        beta = challenger.get_challenge()
+        gamma = challenger.get_challenge()
+        with tracing.span("permutation", category="permutation"):
+            z, f, g = compute_z(wires, data.ids, data.sigmas, beta, gamma)
+        with tracing.span("commit:z", category="commit"):
+            z_tree = pcs.commit(z, "z")
+        challenger.observe_cap(z_tree.cap)
+
+        alpha = challenger.get_challenge()
+        tau = challenger.get_n_challenges(v)
+
+        with tracing.span("zerocheck", category="quotient"):
+            c_table = _constraint_table(circuit, wires, z, f, g, public_values, alpha)
+            q_table = gl64.mul(eq_table(tau), c_table)
+
+        # Committed sumcheck: Merkle-commit every folded level (down to
+        # size 2) and bind its cap before the next round's values.
+        level_trees: List[MerkleTree] = []
+
+        def commit_level(_round: int, folded: np.ndarray) -> None:
+            if folded.shape[0] > 1:
+                tree = pcs.commit(folded, "fold")
+                level_trees.append(tree)
+                challenger.observe_cap(tree.cap)
+
+        with tracing.span("sumcheck", category="sumcheck"):
+            sc_proof = sumcheck_prove(q_table, challenger, on_fold=commit_level)
+
+        with tracing.span("queries", category="open"):
+            indices = challenger.get_indices(config.num_queries, n)
+            query_rounds = [
+                _query_round(data, wires_tree, z_tree, level_trees, idx, n)
+                for idx in indices
+            ]
+
+    return HyperPlonkProof(
+        wires_cap=wires_tree.cap.copy(),
+        z_cap=z_tree.cap.copy(),
+        public_inputs=public_values,
+        sumcheck=sc_proof,
+        level_caps=[t.cap.copy() for t in level_trees],
+        query_rounds=query_rounds,
+    )

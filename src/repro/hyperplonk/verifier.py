@@ -1,0 +1,240 @@
+"""HyperPlonk-lite verifier.
+
+Replays the Fiat-Shamir transcript, checks the sumcheck rounds, then
+spends its queries on *fold-consistency* spot checks: at each random
+position the batched constraint value ``Q`` is recomputed from scratch
+out of openings of the preprocessed / wires / Z commitments, and the
+chain ``Q -> T1 -> T2 -> ... -> final_value`` is walked down the
+committed folded levels with the sumcheck challenges.  Any tampering
+with the round polynomials, the committed tables, or the openings
+breaks either the running-claim check (in :func:`repro.sumcheck.verify`)
+or one of the Merkle / fold-consistency checks here.
+
+All rejection paths raise :class:`HyperPlonkError` (or a ``ValueError``
+subclass from a decoder) -- the typed-rejection contract the fuzzer
+enforces across every registered protocol.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from ..field import goldilocks as gl
+from ..hashing import Challenger
+from ..merkle import verify_proof
+from ..pcs import eq_at
+from ..plonk.permutation import coset_representatives
+from ..sumcheck import SumcheckError, verify as sumcheck_verify
+from .proof import HyperPlonkProof, HyperPlonkQueryRound, HyperPlonkVerifierData
+
+
+class HyperPlonkError(Exception):
+    """Raised when a HyperPlonk-lite proof fails verification."""
+
+
+_U64_LIMIT = 1 << 64
+
+
+def _check_elem(value: object, what: str) -> int:
+    """A proof scalar must be a u64-representable integer."""
+    if isinstance(value, bool) or not isinstance(value, (int, np.integer)):
+        raise HyperPlonkError(f"{what} is not a field element")
+    value = int(value)
+    if not 0 <= value < _U64_LIMIT:
+        raise HyperPlonkError(f"{what} out of range")
+    return value
+
+
+def _check_cap(cap: np.ndarray, what: str) -> np.ndarray:
+    try:
+        cap = np.atleast_2d(np.asarray(cap, dtype=np.uint64))
+    except (TypeError, ValueError, OverflowError) as exc:
+        raise HyperPlonkError(f"malformed {what}") from exc
+    c = cap.shape[0]
+    if cap.ndim != 2 or cap.shape[1] != 4 or c == 0 or c & (c - 1):
+        raise HyperPlonkError(f"malformed {what}")
+    return cap
+
+
+def _check_row(values: np.ndarray, width: int, what: str) -> np.ndarray:
+    try:
+        row = np.asarray(values, dtype=np.uint64).reshape(-1)
+    except (TypeError, ValueError, OverflowError) as exc:
+        raise HyperPlonkError(f"malformed {what}") from exc
+    if row.size != width:
+        raise HyperPlonkError(f"{what} has wrong width")
+    return row
+
+
+def _base_q_value(
+    vdata: HyperPlonkVerifierData,
+    proof: HyperPlonkProof,
+    opening,
+    pos: int,
+    pi_map: dict,
+    beta: int,
+    gamma: int,
+    alpha: int,
+    tau: Sequence[int],
+) -> int:
+    """Recompute ``Q[pos] = eq(tau, pos) * C[pos]`` from base openings."""
+    n = vdata.n
+    pre_row = _check_row(opening.pre_row, 8, "preprocessed opening")
+    wires_row = _check_row(opening.wires_row, 3, "wires opening")
+    z_val = _check_elem(opening.z_value, "Z opening")
+    z_next = _check_elem(opening.z_next_value, "Z-next opening")
+    if not verify_proof(pre_row, pos, opening.pre_proof, vdata.preprocessed_cap):
+        raise HyperPlonkError("preprocessed opening fails its Merkle check")
+    if not verify_proof(wires_row, pos, opening.wires_proof, proof.wires_cap):
+        raise HyperPlonkError("wires opening fails its Merkle check")
+    if not verify_proof(
+        np.array([z_val], dtype=np.uint64), pos, opening.z_proof, proof.z_cap
+    ):
+        raise HyperPlonkError("Z opening fails its Merkle check")
+    if not verify_proof(
+        np.array([z_next], dtype=np.uint64),
+        (pos + 1) % n,
+        opening.z_next_proof,
+        proof.z_cap,
+    ):
+        raise HyperPlonkError("Z-next opening fails its Merkle check")
+
+    sel = [int(x) for x in pre_row[:5]]
+    sig = [int(x) for x in pre_row[5:8]]
+    w = [int(x) for x in wires_row]
+
+    gate = gl.add(
+        gl.add(
+            gl.add(gl.mul(sel[0], w[0]), gl.mul(sel[1], w[1])),
+            gl.mul(sel[2], gl.mul(w[0], w[1])),
+        ),
+        gl.add(gl.add(gl.mul(sel[3], w[2]), sel[4]), pi_map.get(pos, 0)),
+    )
+
+    omega = gl.primitive_root_of_unity(n.bit_length() - 1)
+    x = gl.pow_mod(omega, pos)
+    f_val = 1
+    g_val = 1
+    for j, k in enumerate(coset_representatives()):
+        f_val = gl.mul(
+            f_val, gl.add(gl.add(w[j], gl.mul(gl.mul(k, x), beta)), gamma)
+        )
+        g_val = gl.mul(g_val, gl.add(gl.add(w[j], gl.mul(sig[j], beta)), gamma))
+    perm = gl.sub(gl.mul(z_val, f_val), gl.mul(z_next, g_val))
+    l0 = gl.sub(z_val, 1) if pos == 0 else 0
+
+    c_val = gl.add(
+        gl.add(gate, gl.mul(alpha, perm)),
+        gl.mul(gl.mul(alpha, alpha), l0),
+    )
+    return gl.mul(eq_at(tau, pos), c_val)
+
+
+def _check_query_round(
+    vdata: HyperPlonkVerifierData,
+    proof: HyperPlonkProof,
+    qr: HyperPlonkQueryRound,
+    rs: List[int],
+    pi_map: dict,
+    beta: int,
+    gamma: int,
+    alpha: int,
+    tau: Sequence[int],
+    level_caps: List[np.ndarray],
+) -> None:
+    """Walk one query's fold chain from the base tables to the final value."""
+    n = vdata.n
+    j = qr.index % (n // 2)
+    if len(qr.base) != 2:
+        raise HyperPlonkError("query round must open exactly two base rows")
+    q_lo = _base_q_value(vdata, proof, qr.base[0], j, pi_map, beta, gamma, alpha, tau)
+    q_hi = _base_q_value(
+        vdata, proof, qr.base[1], j + n // 2, pi_map, beta, gamma, alpha, tau
+    )
+    cur = gl.add(gl.mul(q_lo, gl.sub(1, rs[0])), gl.mul(q_hi, rs[0]))
+    if len(qr.levels) != len(level_caps):
+        raise HyperPlonkError("query round has the wrong number of levels")
+    pos = j
+    for k, (lvl, cap) in enumerate(zip(qr.levels, level_caps)):
+        m = (n // 2) >> k  # committed table size at this level
+        half = m // 2
+        p = pos % half
+        lo = _check_elem(lvl.low_value, "fold-level opening")
+        hi = _check_elem(lvl.high_value, "fold-level opening")
+        if not verify_proof(np.array([lo], dtype=np.uint64), p, lvl.low_proof, cap):
+            raise HyperPlonkError("fold-level opening fails its Merkle check")
+        if not verify_proof(
+            np.array([hi], dtype=np.uint64), p + half, lvl.high_proof, cap
+        ):
+            raise HyperPlonkError("fold-level opening fails its Merkle check")
+        mine = lo if pos == p else hi
+        if gl.canonical(mine) != cur:
+            raise HyperPlonkError("fold consistency check failed")
+        cur = gl.add(gl.mul(lo, gl.sub(1, rs[k + 1])), gl.mul(hi, rs[k + 1]))
+        pos = p
+    if cur != gl.canonical(proof.sumcheck.final_value):
+        raise HyperPlonkError("fold chain does not reach the sumcheck final value")
+
+
+def verify(
+    vdata: HyperPlonkVerifierData,
+    proof: HyperPlonkProof,
+    challenger: Challenger | None = None,
+) -> bool:
+    """Verify a HyperPlonk-lite proof; raises :class:`HyperPlonkError`."""
+    n = vdata.n
+    v = n.bit_length() - 1
+    config = vdata.config
+    challenger = challenger or Challenger()
+
+    publics = list(proof.public_inputs)
+    if len(publics) != vdata.num_public_inputs:
+        raise HyperPlonkError("wrong number of public inputs")
+    publics = [_check_elem(p, "public input") for p in publics]
+    pi_map = {
+        row: gl.neg(val) for row, val in zip(vdata.public_input_rows, publics)
+    }
+    wires_cap = _check_cap(proof.wires_cap, "wires cap")
+    z_cap = _check_cap(proof.z_cap, "Z cap")
+
+    challenger.observe_cap(vdata.preprocessed_cap)
+    challenger.observe_elements(np.asarray(publics, dtype=np.uint64))
+    challenger.observe_cap(wires_cap)
+    beta = challenger.get_challenge()
+    gamma = challenger.get_challenge()
+    challenger.observe_cap(z_cap)
+    alpha = challenger.get_challenge()
+    tau = challenger.get_n_challenges(v)
+
+    sc = proof.sumcheck
+    if gl.canonical(_check_elem(sc.claimed_sum, "claimed sum")) != 0:
+        raise HyperPlonkError("zerocheck claims a nonzero sum")
+    if len(proof.level_caps) != v - 1:
+        raise HyperPlonkError("wrong number of fold-level caps")
+    level_caps = [
+        _check_cap(cap, "fold-level cap") for cap in proof.level_caps
+    ]
+
+    def absorb_level(k: int, _r: int) -> None:
+        # Mirror of the prover's on_fold commitment: levels of size > 1
+        # exist for every round but the last.
+        if k < v - 1:
+            challenger.observe_cap(level_caps[k])
+
+    try:
+        rs = sumcheck_verify(sc, v, challenger, on_challenge=absorb_level)
+    except SumcheckError as exc:
+        raise HyperPlonkError(f"sumcheck transcript rejected: {exc}") from exc
+
+    indices = challenger.get_indices(config.num_queries, n)
+    if len(proof.query_rounds) != config.num_queries:
+        raise HyperPlonkError("wrong number of query rounds")
+    for expected, qr in zip(indices, proof.query_rounds):
+        if qr.index != expected:
+            raise HyperPlonkError("query index does not match the transcript")
+        _check_query_round(
+            vdata, proof, qr, rs, pi_map, beta, gamma, alpha, tau, level_caps
+        )
+    return True

@@ -1,0 +1,18 @@
+"""Polynomial commitment schemes (the pluggable commitment plane).
+
+Splits the FRI-specific commit/open sequencing out of the proof
+pipeline so univariate-FRI and multilinear commitment backends are
+interchangeable behind protocol backends (see :mod:`repro.protocols`).
+"""
+
+from .base import PCS
+from .fri import FriPCS
+from .multilinear import MultilinearPCS, eq_at, eq_table
+
+__all__ = [
+    "PCS",
+    "FriPCS",
+    "MultilinearPCS",
+    "eq_at",
+    "eq_table",
+]

@@ -1,11 +1,15 @@
 """The shared commitment core of the unified proof pipeline.
 
-:class:`CommitmentPipeline` owns the whole protocol-agnostic flow of a
-FRI-based proof (paper Figure 1):
+:class:`CommitmentPipeline` owns the *transcript half* of a FRI-based
+proof (paper Figure 1): what gets observed, in what order, and when
+Fiat-Shamir randomness is drawn.  The *data-plane half* -- building
+:class:`~repro.fri.prover.PolynomialBatch` commitments (iNTT -> LDE ->
+Merkle), interpolating quotients, and running the batch FRI opening
+proof -- lives in :class:`repro.pcs.FriPCS`, one of the interchangeable
+commitment backends behind :mod:`repro.pcs`:
 
 1. **commit** -- :meth:`commit_values` / :meth:`commit_coeffs` build a
-   :class:`~repro.fri.prover.PolynomialBatch` (iNTT -> LDE -> Merkle)
-   and observe its cap on the transcript;
+   batch through the PCS and observe its cap on the transcript;
 2. **challenge** -- :meth:`challenge` / :meth:`ext_challenge` draw
    Fiat-Shamir randomness from the shared duplex challenger;
 3. **quotient** -- :meth:`commit_quotient` interpolates a combined
@@ -16,10 +20,13 @@ FRI-based proof (paper Figure 1):
    far.
 
 The pipeline threads one :class:`~repro.field.gl64.Workspace` arena
-(from a per-shape prover plan) through every commitment and the FRI
-call -- the zero-copy data plane -- and wraps each stage in a
-:func:`repro.tracing.span`, so any proof that runs through it is
-observable per stage without protocol-specific instrumentation.
+(from a per-shape prover plan) through the PCS into every commitment
+and the FRI call -- the zero-copy data plane -- and the PCS wraps each
+stage in a :func:`repro.tracing.span`, so any proof that runs through
+it is observable per stage without protocol-specific instrumentation.
+The split is pure code motion: kernels, call order, spans, operation
+counters and proof bytes are bit-identical to the pre-split pipeline
+(enforced by the perf-counter CI gate).
 
 Batches are opened by ``(batch_index, poly_index)`` pairs; the batch
 index is simply the order of :meth:`add_batch`/``commit_*`` calls, so
@@ -33,11 +40,10 @@ from typing import Iterable, List, Sequence, Tuple
 
 import numpy as np
 
-from .. import parallel, tracing
 from ..field import gl64
-from ..fri import FriConfig, FriOpenings, FriProof, PolynomialBatch, fri_prove, open_batches
+from ..fri import FriConfig, FriOpenings, FriProof, PolynomialBatch
 from ..hashing import Challenger
-from ..ntt import coset_intt
+from ..pcs.fri import FriPCS
 
 
 class CommitmentPipeline:
@@ -52,8 +58,13 @@ class CommitmentPipeline:
         self.config = config
         self.challenger = challenger if challenger is not None else Challenger()
         self.ws = ws
-        #: Batches in commitment order == FRI opening batch indices.
-        self.batches: List[PolynomialBatch] = []
+        #: The commitment backend (univariate FRI).
+        self.pcs = FriPCS(config, ws=ws)
+
+    @property
+    def batches(self) -> List[PolynomialBatch]:
+        """Batches in commitment order == FRI opening batch indices."""
+        return self.pcs.batches
 
     # -- transcript interaction ------------------------------------------
 
@@ -83,7 +94,7 @@ class CommitmentPipeline:
         The batch joins the opening/FRI index space; with ``observe``
         its cap is bound into the transcript now.
         """
-        self.batches.append(batch)
+        self.pcs.add_batch(batch)
         if observe:
             self.challenger.observe_cap(batch.cap)
         return batch
@@ -92,29 +103,19 @@ class CommitmentPipeline:
         self, rows: np.ndarray, label: str, observe: bool = True
     ) -> PolynomialBatch:
         """Commit polynomials given by subgroup evaluations (rows)."""
-        with tracing.span(f"commit:{label}", category="commit"):
-            batch = PolynomialBatch.from_values(
-                rows,
-                self.config.rate_bits,
-                self.config.cap_height,
-                ws=self.ws,
-                slot=label,
-            )
-        return self.add_batch(batch, observe=observe)
+        batch = self.pcs.commit_values(rows, label)
+        if observe:
+            self.challenger.observe_cap(batch.cap)
+        return batch
 
     def commit_coeffs(
         self, rows: np.ndarray, label: str, observe: bool = True
     ) -> PolynomialBatch:
         """Commit polynomials given by coefficient rows."""
-        with tracing.span(f"commit:{label}", category="commit"):
-            batch = PolynomialBatch.from_coeffs(
-                rows,
-                self.config.rate_bits,
-                self.config.cap_height,
-                ws=self.ws,
-                slot=label,
-            )
-        return self.add_batch(batch, observe=observe)
+        batch = self.pcs.commit_coeffs(rows, label)
+        if observe:
+            self.challenger.observe_cap(batch.cap)
+        return batch
 
     def commit_quotient(
         self,
@@ -126,40 +127,14 @@ class CommitmentPipeline:
     ) -> PolynomialBatch:
         """Interpolate and commit a quotient evaluated on the LDE coset.
 
-        ``ext_values`` is the (N_lde, 2) extension-field evaluation of
-        the (already divisor-divided) constraint blend; each limb is
-        coset-iNTT'd and split into ``chunks`` degree-``n`` coefficient
-        chunks, giving a ``2 * chunks``-polynomial batch -- the quotient
-        layout both STARK and Plonk use.
-
-        Under an active shard pool the limb iNTTs, chunk LDEs and the
-        Merkle build fuse into one shard graph (no barrier between the
-        interpolation and the extensions); the resulting batch, cap and
-        counters are bit-identical to the serial path.
+        See :meth:`repro.pcs.FriPCS.commit_quotient` for the data-plane
+        details (per-limb coset iNTT, chunking, the fused shard graph
+        under an active pool).
         """
-        pool = parallel.current_pool()
-        if pool is not None and pool.wants_commit(n << self.config.rate_bits):
-            from ..parallel import ops as par_ops
-
-            with tracing.span(f"commit:{label}", category="commit"):
-                batch = par_ops.sharded_commit_quotient(
-                    pool,
-                    ext_values,
-                    n,
-                    chunks,
-                    self.config.rate_bits,
-                    self.config.cap_height,
-                    f"commit:{label}",
-                )
-            return self.add_batch(batch, observe=observe)
-        with tracing.span("quotient:intt", category="quotient"):
-            chunk_rows = []
-            for limb in range(2):
-                coeffs = coset_intt(ext_values[:, limb], ws=self.ws)
-                for k in range(chunks):
-                    chunk_rows.append(coeffs[k * n : (k + 1) * n])
-            stacked = np.stack(chunk_rows)
-        return self.commit_coeffs(stacked, label, observe=observe)
+        batch = self.pcs.commit_quotient(ext_values, n, chunks, label)
+        if observe:
+            self.challenger.observe_cap(batch.cap)
+        return batch
 
     # -- openings + FRI --------------------------------------------------
 
@@ -173,10 +148,4 @@ class CommitmentPipeline:
         ``columns[k]`` lists the ``(batch_index, poly_index)`` pairs
         opened at ``points[k]``; batch indices are commitment order.
         """
-        with tracing.span("open", category="open"):
-            openings = open_batches(self.batches, points, columns)
-        with tracing.span("fri", category="fri"):
-            proof = fri_prove(
-                self.batches, openings, self.challenger, self.config, ws=self.ws
-            )
-        return openings, proof
+        return self.pcs.open_and_prove(points, columns, self.challenger)

@@ -1,0 +1,124 @@
+"""The protocol-backend interface.
+
+A :class:`ProofSystem` is one registered proving protocol (STARK, Plonk,
+HyperPlonk-lite) with a uniform surface over its existing functional
+modules: build a setup, prove, verify, and move proofs across process
+boundaries.  The CLI (``repro prove --protocol``), the proving service
+(job kinds), and the soundness fuzzer all dispatch through the registry
+(:mod:`repro.protocols.registry`) instead of hard-coding per-protocol
+branches.
+
+The interface deliberately wraps the existing ``prove``/``verify``
+functions rather than replacing them -- the functional modules stay the
+source of truth (and keep their pinned op-counter goldens); a backend
+only adapts signatures and owns the workload -> setup plumbing.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Any, Dict, Mapping, Optional
+
+
+@dataclass
+class ProtocolSetup:
+    """One proved instance: workload + scale bound to a backend setup.
+
+    ``data`` is backend-specific (AIR + trace for STARK, circuit setup
+    artifacts + inputs for the Plonk family); callers treat it as
+    opaque and hand it back to the owning :class:`ProofSystem`.
+    """
+
+    protocol: str
+    workload: str
+    scale: int
+    config: Any
+    data: Any
+    #: Trace/circuit rows (display + sizing; a power of two).
+    rows: int
+
+
+class ProofSystem(ABC):
+    """One registered proving protocol."""
+
+    #: Registry name; also the proof-blob protocol tag and job kind.
+    name: str = "?"
+    #: One-line description shown by ``repro prove --list-protocols``.
+    description: str = ""
+    #: Result-envelope kind carrying this protocol's proofs.
+    envelope_kind: str = "?"
+    #: Whether the prover's hot path runs NTTs (False for the
+    #: sumcheck-native backend -- asserted by its perf gate).
+    uses_ntt: bool = True
+
+    # -- configuration ---------------------------------------------------
+
+    @abstractmethod
+    def default_config(self) -> Dict[str, int]:
+        """Default config knobs as a plain dict (small/fast, NOT sound)."""
+
+    @abstractmethod
+    def config_from(self, knobs: Mapping[str, int]) -> Any:
+        """Build the frozen config object from a complete knob dict."""
+
+    def make_config(self, overrides: Optional[Mapping[str, int]] = None) -> Any:
+        """Defaults + overrides -> frozen config; unknown keys rejected."""
+        base = dict(self.default_config())
+        overrides = dict(overrides or {})
+        unknown = set(overrides) - set(base)
+        if unknown:
+            raise ValueError(
+                f"unknown {self.name} config keys: {', '.join(sorted(unknown))} "
+                f"(valid: {', '.join(sorted(base))})"
+            )
+        base.update(overrides)
+        return self.config_from(base)
+
+    # -- proving ---------------------------------------------------------
+
+    def supports(self, workload) -> bool:
+        """Whether a :class:`~repro.workloads.WorkloadSpec` has the
+        builder this backend needs."""
+        return True
+
+    @abstractmethod
+    def setup(self, workload, scale: int, config: Any) -> ProtocolSetup:
+        """Build the instance (circuit/AIR + preprocessing) to prove."""
+
+    @abstractmethod
+    def prove(self, setup: ProtocolSetup, pool=None):
+        """Prove the instance; ``pool`` shards when the backend supports
+        it (backends without a sharded path ignore it)."""
+
+    @abstractmethod
+    def verify(self, setup: ProtocolSetup, proof) -> None:
+        """Verify; raises the backend's typed error on any failure."""
+
+    # -- serialization ---------------------------------------------------
+
+    def to_bytes(self, proof) -> bytes:
+        """Raw canonical proof body (digests are defined over this)."""
+        from ..serialize import proof_body_codec
+
+        return proof_body_codec(self.name)[0](proof)
+
+    def from_bytes(self, data: bytes):
+        """Decode a raw proof body (typed ``ValueError`` on bad input)."""
+        from ..serialize import proof_body_codec
+
+        return proof_body_codec(self.name)[1](data)
+
+    def digest(self, proof) -> str:
+        """Hex content address of the canonical proof body."""
+        return hashlib.sha256(self.to_bytes(proof)).hexdigest()
+
+    # -- fuzzing ---------------------------------------------------------
+
+    def fuzz_target(self):
+        """The soundness-fuzz target for this protocol (lazy import --
+        building a target proves small honest instances)."""
+        from ..fuzz.targets import target_for
+
+        return target_for(self.name)

@@ -1,0 +1,50 @@
+"""HyperPlonk-lite backend: the sumcheck-native prover in the registry."""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Mapping
+
+from ..hyperplonk import (
+    HyperPlonkConfig,
+    prove as hp_prove,
+    setup as hp_setup,
+    verify as hp_verify,
+)
+from .base import ProofSystem, ProtocolSetup
+
+
+class HyperPlonkSystem(ProofSystem):
+    """Sumcheck-native prover over the multilinear PCS -- zero NTTs."""
+
+    name = "hyperplonk"
+    description = "sumcheck-native zerocheck over a multilinear PCS (no NTT)"
+    envelope_kind = "hyperplonk-proof"
+    uses_ntt = False
+
+    def default_config(self) -> Dict[str, int]:
+        return dict(cap_height=1, num_queries=16)
+
+    def config_from(self, knobs: Mapping[str, int]) -> HyperPlonkConfig:
+        return HyperPlonkConfig(**dict(knobs))
+
+    def setup(self, workload, scale: int, config: HyperPlonkConfig) -> ProtocolSetup:
+        circuit, inputs, _ = workload.build_circuit(scale)
+        data = hp_setup(circuit, config)
+        return ProtocolSetup(
+            protocol=self.name,
+            workload=workload.name,
+            scale=scale,
+            config=config,
+            data=(data, inputs),
+            rows=circuit.n,
+        )
+
+    def prove(self, setup: ProtocolSetup, pool=None):
+        # No sharded path: the prover is hashing-bound and pools shard
+        # only the LDE/FRI stages this backend doesn't run.
+        data, inputs = setup.data
+        return hp_prove(data, inputs)
+
+    def verify(self, setup: ProtocolSetup, proof) -> None:
+        data, _ = setup.data
+        hp_verify(data.verifier_data, proof)

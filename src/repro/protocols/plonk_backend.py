@@ -1,0 +1,50 @@
+"""Plonk backend: :mod:`repro.plonk` behind the registry interface."""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Mapping
+
+from ..fri import FriConfig
+from ..plonk import prove as plonk_prove, setup as plonk_setup, verify as plonk_verify
+from .base import ProofSystem, ProtocolSetup
+
+
+class PlonkSystem(ProofSystem):
+    """Plonky2-style circuits: gate + copy constraints over FRI."""
+
+    name = "plonk"
+    description = "Plonky2-style gates + permutation argument over FRI"
+    envelope_kind = "plonk-proof"
+    uses_ntt = True
+
+    def default_config(self) -> Dict[str, int]:
+        return dict(
+            rate_bits=3,
+            cap_height=1,
+            num_queries=8,
+            proof_of_work_bits=4,
+            final_poly_len=4,
+        )
+
+    def config_from(self, knobs: Mapping[str, int]) -> FriConfig:
+        return FriConfig(**dict(knobs))
+
+    def setup(self, workload, scale: int, config: FriConfig) -> ProtocolSetup:
+        circuit, inputs, _ = workload.build_circuit(scale)
+        data = plonk_setup(circuit, config)
+        return ProtocolSetup(
+            protocol=self.name,
+            workload=workload.name,
+            scale=scale,
+            config=config,
+            data=(data, inputs),
+            rows=circuit.n,
+        )
+
+    def prove(self, setup: ProtocolSetup, pool=None):
+        data, inputs = setup.data
+        return plonk_prove(data, inputs, pool=pool)
+
+    def verify(self, setup: ProtocolSetup, proof) -> None:
+        data, _ = setup.data
+        plonk_verify(data.verifier_data, proof)

@@ -1,0 +1,39 @@
+"""The protocol registry: name -> :class:`~repro.protocols.base.ProofSystem`.
+
+Insertion-ordered so every consumer (CLI listings, job kinds, fuzz
+campaigns) enumerates protocols in one canonical order.  Lookup
+failures raise :class:`repro.errors.UnknownProtocolError` -- the same
+typed error path the CLI and service surface to users.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from ..errors import UnknownProtocolError
+from .base import ProofSystem
+
+_REGISTRY: Dict[str, ProofSystem] = {}
+
+
+def register(system: ProofSystem) -> ProofSystem:
+    """Register a backend under its ``name``; duplicate names rejected."""
+    if not system.name or system.name == "?":
+        raise ValueError("proof system must define a name")
+    if system.name in _REGISTRY:
+        raise ValueError(f"protocol {system.name!r} is already registered")
+    _REGISTRY[system.name] = system
+    return system
+
+
+def get(name: str) -> ProofSystem:
+    """Look up a backend; raises :class:`UnknownProtocolError`."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise UnknownProtocolError(name, names()) from None
+
+
+def names() -> Tuple[str, ...]:
+    """Registered protocol names in registration order."""
+    return tuple(_REGISTRY)

@@ -1,0 +1,54 @@
+"""STARK backend: :mod:`repro.stark` behind the registry interface."""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Mapping
+
+from ..fri import FriConfig
+from ..stark import prove as stark_prove, verify as stark_verify
+from .base import ProofSystem, ProtocolSetup
+
+
+class StarkSystem(ProofSystem):
+    """Starky-style AIR proofs over the univariate FRI PCS."""
+
+    name = "stark"
+    description = "AIR transition constraints, LDE + batch FRI opening"
+    envelope_kind = "stark-proof"
+    uses_ntt = True
+
+    def default_config(self) -> Dict[str, int]:
+        return dict(
+            rate_bits=1,
+            cap_height=1,
+            num_queries=10,
+            proof_of_work_bits=3,
+            final_poly_len=4,
+        )
+
+    def config_from(self, knobs: Mapping[str, int]) -> FriConfig:
+        return FriConfig(**dict(knobs))
+
+    def supports(self, workload) -> bool:
+        return workload.build_air is not None
+
+    def setup(self, workload, scale: int, config: FriConfig) -> ProtocolSetup:
+        if workload.build_air is None:
+            raise ValueError(f"workload {workload.name!r} has no AET builder")
+        air, trace, publics = workload.build_air(scale)
+        return ProtocolSetup(
+            protocol=self.name,
+            workload=workload.name,
+            scale=scale,
+            config=config,
+            data=(air, trace, publics),
+            rows=int(trace.shape[0]),
+        )
+
+    def prove(self, setup: ProtocolSetup, pool=None):
+        air, trace, publics = setup.data
+        return stark_prove(air, trace, publics, setup.config, pool=pool)
+
+    def verify(self, setup: ProtocolSetup, proof) -> None:
+        air, _, _ = setup.data
+        stark_verify(air, proof, setup.config)

@@ -22,9 +22,16 @@ from .fri.proof import (
     FriQueryRound,
 )
 from .fri.prover import FriOpenings
+from .hyperplonk.proof import (
+    HyperPlonkBaseOpening,
+    HyperPlonkLevelOpening,
+    HyperPlonkProof,
+    HyperPlonkQueryRound,
+)
 from .merkle.tree import MerkleProof
 from .plonk.proof import PlonkProof
 from .stark.proof import StarkProof
+from .sumcheck import SumcheckProof
 
 
 class ByteWriter:
@@ -336,6 +343,245 @@ def stark_proof_from_bytes(data: bytes) -> StarkProof:
     )
 
 
+# -- HyperPlonk-lite -----------------------------------------------------------
+
+
+def _write_base_opening(w: ByteWriter, op: HyperPlonkBaseOpening) -> None:
+    w.elems(op.pre_row)
+    _write_merkle_proof(w, op.pre_proof)
+    w.elems(op.wires_row)
+    _write_merkle_proof(w, op.wires_proof)
+    w.u64(op.z_value)
+    _write_merkle_proof(w, op.z_proof)
+    w.u64(op.z_next_value)
+    _write_merkle_proof(w, op.z_next_proof)
+
+
+def _read_base_opening(r: ByteReader) -> HyperPlonkBaseOpening:
+    pre_row = r.elems()
+    if pre_row.ndim != 1 or pre_row.size != 8:
+        raise ValueError("malformed preprocessed opening (expected 8 elements)")
+    pre_proof = _read_merkle_proof(r)
+    wires_row = r.elems()
+    if wires_row.ndim != 1 or wires_row.size != 3:
+        raise ValueError("malformed wires opening (expected 3 elements)")
+    wires_proof = _read_merkle_proof(r)
+    z_value = r.u64()
+    z_proof = _read_merkle_proof(r)
+    z_next_value = r.u64()
+    z_next_proof = _read_merkle_proof(r)
+    return HyperPlonkBaseOpening(
+        pre_row=pre_row,
+        pre_proof=pre_proof,
+        wires_row=wires_row,
+        wires_proof=wires_proof,
+        z_value=z_value,
+        z_proof=z_proof,
+        z_next_value=z_next_value,
+        z_next_proof=z_next_proof,
+    )
+
+
+def hyperplonk_proof_to_bytes(proof: HyperPlonkProof) -> bytes:
+    """Serialize a HyperPlonk-lite proof."""
+    w = ByteWriter()
+    w.elems(proof.wires_cap)
+    w.elems(proof.z_cap)
+    w.u32(len(proof.public_inputs))
+    for v in proof.public_inputs:
+        w.u64(v)
+    sc = proof.sumcheck
+    w.u64(sc.claimed_sum)
+    w.u32(len(sc.round_values))
+    for y0, y1 in sc.round_values:
+        w.u64(y0)
+        w.u64(y1)
+    w.u64(sc.final_value)
+    w.u32(len(proof.level_caps))
+    for cap in proof.level_caps:
+        w.elems(cap)
+    w.u32(len(proof.query_rounds))
+    for qr in proof.query_rounds:
+        w.u64(qr.index)
+        w.u32(len(qr.base))
+        for op in qr.base:
+            _write_base_opening(w, op)
+        w.u32(len(qr.levels))
+        for lvl in qr.levels:
+            w.u64(lvl.low_value)
+            w.u64(lvl.high_value)
+            _write_merkle_proof(w, lvl.low_proof)
+            _write_merkle_proof(w, lvl.high_proof)
+    return w.getvalue()
+
+
+def hyperplonk_proof_digest(proof: HyperPlonkProof) -> str:
+    """Hex digest of the canonical serialized form (content address)."""
+    import hashlib
+
+    return hashlib.sha256(hyperplonk_proof_to_bytes(proof)).hexdigest()
+
+
+def hyperplonk_proof_from_bytes(data: bytes) -> HyperPlonkProof:
+    """Deserialize a HyperPlonk-lite proof."""
+    r = ByteReader(data)
+    wires_cap = _read_cap(r, "wires cap")
+    z_cap = _read_cap(r, "Z cap")
+    publics = [r.u64() for _ in range(r.count(8, "public input count"))]
+    claimed_sum = r.u64()
+    rounds = [
+        (r.u64(), r.u64()) for _ in range(r.count(16, "sumcheck round count"))
+    ]
+    final_value = r.u64()
+    sumcheck = SumcheckProof(
+        claimed_sum=claimed_sum, round_values=rounds, final_value=final_value
+    )
+    level_caps = [
+        _read_cap(r, "fold-level cap")
+        for _ in range(r.count(8, "fold-level cap count"))
+    ]
+    query_rounds = []
+    for _ in range(r.count(8, "query-round count")):
+        index = r.u64()
+        base = [
+            _read_base_opening(r) for _ in range(r.count(8, "base opening count"))
+        ]
+        levels = []
+        for _ in range(r.count(16, "fold-level opening count")):
+            low_value = r.u64()
+            high_value = r.u64()
+            low_proof = _read_merkle_proof(r)
+            high_proof = _read_merkle_proof(r)
+            levels.append(
+                HyperPlonkLevelOpening(
+                    low_value=low_value,
+                    high_value=high_value,
+                    low_proof=low_proof,
+                    high_proof=high_proof,
+                )
+            )
+        query_rounds.append(
+            HyperPlonkQueryRound(index=index, base=base, levels=levels)
+        )
+    if not r.done():
+        raise ValueError("trailing bytes after HyperPlonk proof")
+    return HyperPlonkProof(
+        wires_cap=wires_cap,
+        z_cap=z_cap,
+        public_inputs=publics,
+        sumcheck=sumcheck,
+        level_caps=level_caps,
+        query_rounds=query_rounds,
+    )
+
+
+# -- Tagged proof blobs --------------------------------------------------------
+#
+# The raw ``*_proof_to_bytes`` bodies carry no self-description: feeding
+# a Plonk body to the STARK decoder yields garbage or a confusing
+# structural error.  Everything that ships a proof across a boundary
+# (CLI files, service envelopes, fuzz artifacts) therefore wraps the
+# body in a tagged blob -- magic, a format-version byte, the protocol
+# tag, then the length-prefixed body -- so readers dispatch on the tag
+# and reject untagged bytes with a clear typed error.  Digests stay
+# defined over the *raw body* so the pinned golden digests are
+# unaffected by the framing.
+
+PROOF_BLOB_MAGIC = b"UZKP"
+PROOF_FORMAT_VERSION = 1
+
+
+class ProofFormatError(ValueError):
+    """A proof blob's framing (magic / version / protocol tag) is invalid."""
+
+
+#: Protocols with a registered body codec, in registry order.
+PROOF_PROTOCOLS = ("stark", "plonk", "hyperplonk")
+
+_BODY_CODECS = {
+    "stark": (stark_proof_to_bytes, stark_proof_from_bytes),
+    "plonk": (plonk_proof_to_bytes, plonk_proof_from_bytes),
+    "hyperplonk": (hyperplonk_proof_to_bytes, hyperplonk_proof_from_bytes),
+}
+
+
+def proof_body_codec(protocol: str) -> tuple:
+    """The ``(to_bytes, from_bytes)`` body codec for a protocol tag."""
+    try:
+        return _BODY_CODECS[protocol]
+    except KeyError:
+        raise ProofFormatError(f"unknown proof protocol tag {protocol!r}") from None
+
+
+def write_proof_blob(protocol: str, body: bytes) -> bytes:
+    """Frame a raw proof body with its protocol tag and format version."""
+    if protocol not in _BODY_CODECS:
+        raise ProofFormatError(f"unknown proof protocol tag {protocol!r}")
+    tag = protocol.encode("utf-8")
+    w = ByteWriter()
+    w._chunks.append(PROOF_BLOB_MAGIC)
+    w._chunks.append(bytes([PROOF_FORMAT_VERSION]))
+    w.u32(len(tag))
+    w._chunks.append(tag)
+    w.u32(len(body))
+    w._chunks.append(body)
+    return w.getvalue()
+
+
+def read_proof_blob(data: bytes) -> tuple:
+    """Unframe a tagged blob; returns ``(protocol, body)``.
+
+    Raises :class:`ProofFormatError` for untagged bytes, an unsupported
+    format version, or an unknown protocol tag -- before any body
+    decoding happens.
+    """
+    if len(data) < 5 or data[:4] != PROOF_BLOB_MAGIC:
+        raise ProofFormatError("untagged proof bytes (missing proof-blob magic)")
+    version = data[4]
+    if version != PROOF_FORMAT_VERSION:
+        raise ProofFormatError(f"unsupported proof format version {version}")
+    r = ByteReader(data[5:])
+    try:
+        tag_raw = r._take(r.u32())
+        body = r._take(r.u32())
+        trailing = not r.done()
+    except ValueError as exc:
+        raise ProofFormatError(f"malformed proof blob: {exc}") from exc
+    if trailing:
+        raise ProofFormatError("trailing bytes after proof blob")
+    try:
+        protocol = tag_raw.decode("utf-8")
+    except UnicodeDecodeError as exc:
+        raise ProofFormatError("malformed proof blob: bad protocol tag") from exc
+    if protocol not in _BODY_CODECS:
+        raise ProofFormatError(f"unknown proof protocol tag {protocol!r}")
+    return protocol, body
+
+
+def proof_to_blob(protocol: str, proof) -> bytes:
+    """Serialize a proof object into a tagged blob."""
+    if protocol not in _BODY_CODECS:
+        raise ProofFormatError(f"unknown proof protocol tag {protocol!r}")
+    to_bytes, _ = _BODY_CODECS[protocol]
+    return write_proof_blob(protocol, to_bytes(proof))
+
+
+def proof_from_blob(data: bytes, expected_protocol: str | None = None) -> tuple:
+    """Decode a tagged blob; returns ``(protocol, proof)``.
+
+    With ``expected_protocol``, a well-formed blob carrying a different
+    protocol's proof is rejected (still a :class:`ProofFormatError`)
+    instead of being fed to the wrong decoder.
+    """
+    protocol, body = read_proof_blob(data)
+    if expected_protocol is not None and protocol != expected_protocol:
+        raise ProofFormatError(
+            f"proof blob carries protocol {protocol!r}, expected {expected_protocol!r}"
+        )
+    _, from_bytes = _BODY_CODECS[protocol]
+    return protocol, from_bytes(body)
+
+
 # -- Result envelopes ----------------------------------------------------------
 #
 # The proving service ships job results (proofs, simulation reports)
@@ -348,7 +594,13 @@ ENVELOPE_MAGIC = b"UZKR"
 ENVELOPE_VERSION = 1
 
 #: Payload kinds an envelope may carry.
-ENVELOPE_KINDS = ("stark-proof", "plonk-proof", "sim-report", "debug")
+ENVELOPE_KINDS = (
+    "stark-proof",
+    "plonk-proof",
+    "hyperplonk-proof",
+    "sim-report",
+    "debug",
+)
 
 
 def write_result_envelope(kind: str, workload: str, payload: bytes) -> bytes:

@@ -1,17 +1,20 @@
 """Job execution: the code that runs inside a worker process.
 
 Maps a :class:`~repro.service.jobs.JobSpec` (as a plain dict, the wire
-form) onto the existing proving paths:
+form) onto the registered proving backends:
 
-* ``stark``    -- ``spec.build_air(scale)`` then :func:`repro.stark.prove`;
-* ``plonk``    -- ``spec.build_circuit(scale)`` then Plonk setup/prove;
+* any protocol kind (``stark``, ``plonk``, ``hyperplonk``, ...) --
+  resolved through :mod:`repro.protocols` and run via its
+  :class:`~repro.protocols.ProofSystem`;
 * ``simulate`` -- :func:`repro.sim.simulate_plonky2` performance model;
 * ``sleep`` / ``crash`` -- fault-injection kinds for tests/benchmarks.
 
-Results are framed as serialize.py envelopes so they cross the process
-boundary (and the client socket) exactly the way a real prover/verifier
-deployment would ship proofs.  :func:`verify_result` closes the loop on
-the client side.
+Results are framed as serialize.py envelopes whose proof payloads are
+*tagged blobs* (protocol tag + format version, see
+:func:`repro.serialize.proof_to_blob`), so they cross the process
+boundary (and the client socket) exactly the way a real
+prover/verifier deployment would ship proofs.  :func:`verify_result`
+closes the loop on the client side.
 """
 
 from __future__ import annotations
@@ -24,35 +27,35 @@ from typing import Any, Dict
 from .. import tracing
 from ..fri import FriConfig
 from ..metrics import counting
+from ..protocols import get as get_protocol
 from ..serialize import (
+    proof_from_blob,
+    proof_to_blob,
     read_result_envelope,
-    stark_proof_from_bytes,
-    stark_proof_to_bytes,
-    plonk_proof_from_bytes,
-    plonk_proof_to_bytes,
     write_result_envelope,
 )
 from .jobs import FAULT_KINDS, JobSpec
 
-#: Small, fast parameters (NOT sound) per proving kind; overridable
-#: through ``JobSpec.config``.
+#: Small, fast parameters (NOT sound) per proving kind, sourced from the
+#: registered backends; overridable through ``JobSpec.config``.
 DEFAULT_CONFIGS = {
-    "stark": dict(
-        rate_bits=1, cap_height=1, num_queries=10, proof_of_work_bits=3,
-        final_poly_len=4,
-    ),
-    "plonk": dict(
-        rate_bits=3, cap_height=1, num_queries=8, proof_of_work_bits=4,
-        final_poly_len=4,
-    ),
+    "stark": get_protocol("stark").default_config(),
+    "plonk": get_protocol("plonk").default_config(),
 }
 
 
 def fri_config_for(spec: JobSpec) -> FriConfig:
-    """The FRI parameters a spec resolves to (defaults + overrides)."""
+    """The FRI parameters a stark/plonk spec resolves to (defaults +
+    overrides).  Kept for FRI-family callers; :func:`config_for` is the
+    protocol-generic path."""
     base = dict(DEFAULT_CONFIGS.get(spec.kind, DEFAULT_CONFIGS["stark"]))
     base.update(spec.config)
     return FriConfig(**base)
+
+
+def config_for(spec: JobSpec):
+    """The backend config any protocol spec resolves to."""
+    return get_protocol(spec.kind).make_config(spec.config)
 
 
 def validate_spec(spec: JobSpec, fault_injection: bool = False) -> None:
@@ -65,19 +68,24 @@ def validate_spec(spec: JobSpec, fault_injection: bool = False) -> None:
         return
     from ..workloads import by_name
 
-    spec_obj = by_name(spec.workload)  # raises KeyError on unknown workload
-    if spec.kind == "stark" and spec_obj.build_air is None:
-        raise ValueError(f"workload {spec.workload!r} has no AET builder")
-    fri_config_for(spec)  # raises on bad config overrides
+    workload = by_name(spec.workload)  # raises UnknownWorkloadError
+    if spec.kind == "simulate":
+        return
+    system = get_protocol(spec.kind)  # raises UnknownProtocolError
+    if not system.supports(workload):
+        raise ValueError(
+            f"workload {spec.workload!r} has no {spec.kind} builder"
+        )
+    system.make_config(spec.config)  # raises on bad config overrides
 
 
 def execute(spec_dict: Dict[str, Any]) -> Dict[str, Any]:
     """Run one job spec; returns envelope bytes plus measured stats.
 
     Each job runs inside a :func:`repro.tracing.trace` session, so the
-    per-stage span tree (commit / quotient / open / FRI, with wall time
-    and counter deltas) rides back in the result dict alongside the
-    envelope and total counters.
+    per-stage span tree (commit / quotient / open / FRI or sumcheck,
+    with wall time and counter deltas) rides back in the result dict
+    alongside the envelope and total counters.
     """
     spec = JobSpec.from_dict(spec_dict)
     t0 = time.monotonic()
@@ -91,30 +99,28 @@ def execute(spec_dict: Dict[str, Any]) -> Dict[str, Any]:
     }
 
 
-#: Per-process cache of Plonk setup artifacts.  Workers serve many jobs
-#: of a few circuit shapes, and ``setup()`` (sigma computation + the
-#: preprocessed commitment) dominates small-proof latency, so caching
-#: :class:`CircuitData` per (workload, scale, config) turns repeat jobs
-#: into prove-only work.  ``FriConfig`` is frozen/hashable, so it keys
-#: directly.  Size-capped FIFO: shapes are few, so eviction is rare.
-_PLONK_DATA_CAP = 16
-_PLONK_DATA: Dict[Any, Any] = {}
+#: Per-process cache of protocol setup artifacts.  Workers serve many
+#: jobs of a few instance shapes, and ``setup()`` (sigma computation +
+#: the preprocessed commitment, or AET generation) dominates small-proof
+#: latency, so caching the :class:`~repro.protocols.ProtocolSetup` per
+#: (kind, workload, scale, config) turns repeat jobs into prove-only
+#: work.  Config objects are frozen/hashable, so they key directly.
+#: Size-capped FIFO: shapes are few, so eviction is rare.
+_SETUP_CAP = 16
+_SETUPS: Dict[Any, Any] = {}
 
 
-def _plonk_data_for(workload, spec: JobSpec, config: FriConfig):
-    """Cached ``(CircuitData, inputs)`` for a plonk spec's circuit shape."""
-    key = (spec.workload, spec.scale, config)
-    hit = _PLONK_DATA.get(key)
+def _setup_for(system, workload, spec: JobSpec, config):
+    """Cached :class:`ProtocolSetup` for a protocol spec's shape."""
+    key = (spec.kind, spec.workload, spec.scale, config)
+    hit = _SETUPS.get(key)
     if hit is not None:
         return hit
-    from ..plonk import setup
-
-    circuit, inputs, _ = workload.build_circuit(spec.scale)
-    data = setup(circuit, config)
-    if len(_PLONK_DATA) >= _PLONK_DATA_CAP:
-        _PLONK_DATA.pop(next(iter(_PLONK_DATA)))
-    _PLONK_DATA[key] = (data, inputs)
-    return data, inputs
+    psetup = system.setup(workload, spec.scale, config)
+    if len(_SETUPS) >= _SETUP_CAP:
+        _SETUPS.pop(next(iter(_SETUPS)))
+    _SETUPS[key] = psetup
+    return psetup
 
 
 def _run(spec: JobSpec) -> bytes:
@@ -128,32 +134,6 @@ def _run(spec: JobSpec) -> bytes:
 
     workload = by_name(spec.workload)
 
-    if spec.kind == "stark":
-        from ..stark import plan_for, prove
-
-        air, trace, publics = workload.build_air(spec.scale)
-        config = fri_config_for(spec)
-        # Worker processes keep serving jobs, so the per-shape plan
-        # (tables + workspace arena) stays warm across a batch.
-        plan = plan_for(trace.shape[0], config.rate_bits)
-        proof = prove(air, trace, publics, config, plan=plan)
-        return write_result_envelope(
-            "stark-proof", spec.workload, stark_proof_to_bytes(proof)
-        )
-
-    if spec.kind == "plonk":
-        from ..plonk import plan_for as plonk_plan_for, prove
-
-        config = fri_config_for(spec)
-        # Setup artifacts and the per-shape plan (tables + workspace
-        # arena) both persist across jobs in a long-lived worker.
-        data, inputs = _plonk_data_for(workload, spec, config)
-        plan = plonk_plan_for(data.circuit.n, config.rate_bits)
-        proof = prove(data, inputs, plan=plan)
-        return write_result_envelope(
-            "plonk-proof", spec.workload, plonk_proof_to_bytes(proof)
-        )
-
     if spec.kind == "simulate":
         from ..hw import DEFAULT_CONFIG
         from ..sim import simulate_plonky2
@@ -162,7 +142,16 @@ def _run(spec: JobSpec) -> bytes:
         payload = json.dumps(report.to_dict(), sort_keys=True).encode()
         return write_result_envelope("sim-report", spec.workload, payload)
 
-    raise ValueError(f"unknown job kind {spec.kind!r}")
+    system = get_protocol(spec.kind)
+    config = system.make_config(spec.config)
+    # Setup artifacts persist across jobs in a long-lived worker; the
+    # per-shape prover plans (tables + workspace arenas) are cached
+    # thread-locally inside the backends' prove paths.
+    psetup = _setup_for(system, workload, spec, config)
+    proof = system.prove(psetup)
+    return write_result_envelope(
+        system.envelope_kind, spec.workload, proof_to_blob(spec.kind, proof)
+    )
 
 
 def verify_result(spec_dict: Dict[str, Any], envelope: bytes) -> bool:
@@ -178,25 +167,24 @@ def verify_result(spec_dict: Dict[str, Any], envelope: bytes) -> bool:
             f"envelope is for {workload_name!r}, expected {spec.workload!r}"
         )
 
-    if kind == "stark-proof":
-        from ..stark import verify
-        from ..workloads import by_name
-
-        air, _, _ = by_name(spec.workload).build_air(spec.scale)
-        verify(air, stark_proof_from_bytes(payload), fri_config_for(spec))
-        return True
-
-    if kind == "plonk-proof":
-        from ..plonk import setup, verify
-        from ..workloads import by_name
-
-        circuit, _, _ = by_name(spec.workload).build_circuit(spec.scale)
-        data = setup(circuit, fri_config_for(spec))
-        verify(data.verifier_data, plonk_proof_from_bytes(payload))
-        return True
-
     if kind == "sim-report":
         json.loads(payload.decode())
         return True
+    if kind == "debug":
+        return True
 
-    return True  # debug payloads: envelope framing already validated
+    if not kind.endswith("-proof"):
+        raise ValueError(f"unverifiable envelope kind {kind!r}")
+    protocol = kind[: -len("-proof")]
+    if protocol != spec.kind:
+        raise ValueError(
+            f"envelope carries a {protocol!r} proof, expected {spec.kind!r}"
+        )
+    from ..workloads import by_name
+
+    system = get_protocol(protocol)
+    _, proof = proof_from_blob(payload, expected_protocol=protocol)
+    config = system.make_config(spec.config)
+    psetup = system.setup(by_name(spec.workload), spec.scale, config)
+    system.verify(psetup, proof)
+    return True

@@ -24,11 +24,22 @@ from dataclasses import dataclass, field
 from enum import Enum
 from typing import Any, Dict, List, Optional
 
-#: Job kinds the executor understands.  ``sleep`` and ``crash`` are
-#: fault-injection kinds used by the failure tests and benchmarks; the
-#: service only accepts them when started with ``fault_injection=True``.
-JOB_KINDS = ("stark", "plonk", "simulate", "sleep", "crash")
+from ..errors import UnknownEntryError
+from ..protocols import names as _protocol_names
+
+#: Job kinds the executor understands: every registered proof protocol,
+#: the performance-model ``simulate`` kind, plus the fault-injection
+#: kinds (``sleep``/``crash``) used by the failure tests and benchmarks;
+#: the service only accepts the latter when started with
+#: ``fault_injection=True``.
+JOB_KINDS = _protocol_names() + ("simulate", "sleep", "crash")
 FAULT_KINDS = ("sleep", "crash")
+
+
+class UnknownJobKindError(UnknownEntryError):
+    """An unknown job kind (still a ``ValueError`` for old callers)."""
+
+    entry_kind = "job kind"
 
 
 class JobState(str, Enum):
@@ -61,7 +72,7 @@ class JobSpec:
 
     def __post_init__(self) -> None:
         if self.kind not in JOB_KINDS:
-            raise ValueError(f"unknown job kind {self.kind!r}")
+            raise UnknownJobKindError(self.kind, JOB_KINDS)
 
     def canonical(self) -> str:
         """Deterministic JSON form (sorted keys) used for hashing."""

@@ -16,7 +16,7 @@ verifier checks consistency and folds with a random challenge.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Tuple
+from typing import Callable, List, Optional, Tuple
 
 import numpy as np
 
@@ -59,11 +59,23 @@ class SumcheckProof:
     final_value: int
 
 
-def prove(table: np.ndarray, challenger: Challenger | None = None) -> SumcheckProof:
+def prove(
+    table: np.ndarray,
+    challenger: Challenger | None = None,
+    on_fold: Optional[Callable[[int, np.ndarray], None]] = None,
+) -> SumcheckProof:
     """Run the prover; returns the proof (Algorithm 2 with Fiat-Shamir).
 
     Each round reports ``y0 = sum(A[:m/2])`` and ``y1 = sum(A[m/2:])``,
     then folds with the transcript challenge.
+
+    ``on_fold(round_index, folded_table)`` is called right after each
+    fold, *before* the next round's values join the transcript.  A
+    committed-sumcheck caller (the HyperPlonk-lite backend) uses it to
+    Merkle-commit each folded level and absorb the cap into the shared
+    challenger; the verifier mirrors the absorption through
+    :func:`verify`'s ``on_challenge`` hook at the same transcript
+    position.
     """
     table = np.asarray(table, dtype=np.uint64).copy()
     n = table.shape[0]
@@ -82,6 +94,8 @@ def prove(table: np.ndarray, challenger: Challenger | None = None) -> SumcheckPr
         challenger.observe_element(y1)
         r = challenger.get_challenge()
         table = fold_table(table, r)
+        if on_fold is not None:
+            on_fold(len(rounds) - 1, table)
     return SumcheckProof(
         claimed_sum=claimed, round_values=rounds, final_value=int(table[0])
     )
@@ -92,13 +106,21 @@ class SumcheckError(Exception):
 
 
 def verify(
-    proof: SumcheckProof, num_vars: int, challenger: Challenger | None = None
+    proof: SumcheckProof,
+    num_vars: int,
+    challenger: Challenger | None = None,
+    on_challenge: Optional[Callable[[int, int], None]] = None,
 ) -> List[int]:
     """Verify the round consistency; returns the challenge point.
 
     The caller must separately check ``proof.final_value`` against an
     oracle for the multilinear extension at the returned point (e.g. a
     polynomial-commitment opening, or direct evaluation in tests).
+
+    ``on_challenge(round_index, r)`` is called right after each round's
+    challenge is squeezed -- the mirror of :func:`prove`'s ``on_fold``
+    hook, where a committed-sumcheck verifier absorbs the prover's
+    per-level commitment caps at the identical transcript position.
     """
     if len(proof.round_values) != num_vars:
         raise SumcheckError("wrong number of rounds")
@@ -106,13 +128,15 @@ def verify(
     challenger.observe_element(proof.claimed_sum)
     expected = proof.claimed_sum
     point: List[int] = []
-    for y0, y1 in proof.round_values:
+    for k, (y0, y1) in enumerate(proof.round_values):
         if gl.add(y0, y1) != expected:
             raise SumcheckError("round sum does not match the running claim")
         challenger.observe_element(y0)
         challenger.observe_element(y1)
         r = challenger.get_challenge()
         point.append(r)
+        if on_challenge is not None:
+            on_challenge(k, r)
         # Restriction is linear in the variable: g(r) = y0 (1 - r) + y1 r.
         expected = gl.add(gl.mul(y0, gl.sub(1, r)), gl.mul(y1, r))
     if proof.final_value != expected:

@@ -2,6 +2,7 @@
 functional scaled-down circuits and AETs."""
 
 from . import aes128, ecdsa, factorial, fibonacci, image_crop, mvm, sha256
+from ..errors import UnknownWorkloadError
 from .base import WorkloadSpec
 
 #: The six Plonky2 applications of Tables 1, 3, 4 and Figures 8-9.
@@ -21,12 +22,21 @@ STARKY_WORKLOADS = [factorial.SPEC, fibonacci.SPEC, sha256.SPEC]
 PIPEZK_WORKLOADS = [sha256.SPEC, aes128.SPEC]
 
 
+def workload_names() -> list:
+    """Every registered workload name, paper order."""
+    return [spec.name for spec in PAPER_WORKLOADS + [aes128.SPEC]]
+
+
 def by_name(name: str) -> WorkloadSpec:
-    """Look up a workload spec by its display name."""
+    """Look up a workload spec by its display name.
+
+    Raises :class:`repro.errors.UnknownWorkloadError` (a ``KeyError``
+    and ``ValueError`` subclass) listing the valid names.
+    """
     for spec in PAPER_WORKLOADS + [aes128.SPEC]:
         if spec.name == name:
             return spec
-    raise KeyError(f"unknown workload {name!r}")
+    raise UnknownWorkloadError(name, workload_names())
 
 
 __all__ = [
@@ -35,6 +45,8 @@ __all__ = [
     "STARKY_WORKLOADS",
     "PIPEZK_WORKLOADS",
     "by_name",
+    "workload_names",
+    "UnknownWorkloadError",
     "factorial",
     "fibonacci",
     "ecdsa",

@@ -31,6 +31,45 @@ class TestUnknownWorkload:
         assert "'Mystery'" in err and "Fibonacci" in err
 
 
+class TestUnknownProtocol:
+    def _check(self, capsys, argv):
+        assert main(argv) == 2
+        captured = capsys.readouterr()
+        lines = captured.err.strip().splitlines()
+        assert len(lines) == 1, f"expected one-line error, got: {captured.err!r}"
+        assert "unknown protocol" in lines[0]
+        assert "Traceback" not in captured.err + captured.out
+
+    def test_prove_unknown_protocol(self, capsys):
+        self._check(capsys, ["prove", "--protocol", "groth16"])
+
+    def test_fuzz_unknown_protocol(self, capsys):
+        self._check(capsys, ["fuzz", "--protocol", "groth16",
+                             "--iterations", "1"])
+
+    def test_error_names_the_protocol_and_choices(self, capsys):
+        main(["prove", "--protocol", "groth16"])
+        err = capsys.readouterr().err
+        assert "'groth16'" in err
+        for name in ("stark", "plonk", "hyperplonk"):
+            assert name in err
+
+    def test_submit_unknown_kind_fails_before_connecting(self, capsys):
+        # Client-side validation: no server is running here.
+        assert main(["submit", "--kind", "quantum", "--port", "1"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown job kind" in err and "'quantum'" in err
+        # Fault-injection kinds are not submittable from the CLI.
+        assert main(["submit", "--kind", "crash", "--port", "1"]) == 2
+        assert "unknown job kind" in capsys.readouterr().err
+
+    def test_list_protocols(self, capsys):
+        assert main(["prove", "--list-protocols"]) == 0
+        out = capsys.readouterr().out
+        for name in ("stark", "plonk", "hyperplonk"):
+            assert f"{name}:" in out
+
+
 class TestAnalyzeErrors:
     def _check(self, capsys, argv, fragment):
         assert main(argv) == 2

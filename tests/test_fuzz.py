@@ -3,7 +3,7 @@
 Covers the contract from three directions:
 
 * every mutator class produces mutants that are rejected with a *typed*
-  error, for both protocols;
+  error, for every registered protocol;
 * crafted regression vectors pin each verifier/deserializer hardening
   fix (degree-bits bound, pair-leaf shape, leaf-width pin, leaves/proofs
   pairing, hostile lengths) -- including a revert simulation showing the
@@ -56,6 +56,41 @@ class TestTargets:
             target_for("groth16")
 
 
+#: Structural mutators that only apply to some proof shapes: mutators
+#: must return None (not crash) on the protocols they do not cover.
+_STARK_ONLY = {"perturb-degree-bits"}
+_FRI_ONLY = {
+    "perturb-opening-value",
+    "swap-opening-points",
+    "drop-layer",
+    "duplicate-layer",
+    "resize-final-poly",
+    "corrupt-pow-witness",
+    "splice-fri-proof",
+    "pad-initial-leaf",
+    "reshape-initial-leaf",
+    "truncate-pair-leaf",
+    "mismatch-initial-proofs",
+    "scalar-pair-leaf",
+}
+_SUMCHECK_ONLY = {
+    "tamper-sumcheck-round",
+    "perturb-final-value",
+    "perturb-claimed-sum",
+    "perturb-z-opening",
+}
+
+
+def _applicable(protocol: str, name: str) -> bool:
+    if name in _STARK_ONLY:
+        return protocol == "stark"
+    if name in _FRI_ONLY:
+        return protocol in ("stark", "plonk")
+    if name in _SUMCHECK_ONLY:
+        return protocol == "hyperplonk"
+    return True
+
+
 class TestMutatorsRejected:
     """Every mutator class must be rejected with a typed error."""
 
@@ -80,8 +115,8 @@ class TestMutatorsRejected:
             )
             if tried >= 2:
                 return
-        if name == "perturb-degree-bits" and protocol == "plonk":
-            assert tried == 0  # STARK-only mutator, correctly inapplicable
+        if not _applicable(protocol, name):
+            assert tried == 0  # shape-specific mutator, correctly inapplicable
         else:
             assert tried > 0, f"{protocol}/{name} never produced a mutant"
 
@@ -262,11 +297,13 @@ class TestCampaign:
         assert a.ok and b.ok
         assert a.outcomes == b.outcomes
         assert a.iterations_run == 60
-        # The campaign must actually exercise mutants, not skip them all.
+        # The campaign must actually exercise mutants, not skip them all
+        # (shape-specific mutators decline on 2 of 3 protocols, so a
+        # fraction of draws is legitimately not-applicable).
         tested = sum(
             v for k, v in a.outcomes.items() if k.startswith("rejected")
         )
-        assert tested >= 50
+        assert tested >= 35
 
     def test_budget_stops_campaign(self):
         report = run_fuzz(seed=4, budget_s=0.5)

@@ -204,14 +204,16 @@ class TestExecutorCache:
             "workload": "Fibonacci", "kind": "plonk", "scale": 6,
             "config": {}, "params": {},
         }
-        executor._PLONK_DATA.clear()
+        executor._SETUPS.clear()
         first = executor.execute(spec)
-        assert len(executor._PLONK_DATA) == 1
-        (data, _inputs), = executor._PLONK_DATA.values()
+        assert len(executor._SETUPS) == 1
+        psetup, = executor._SETUPS.values()
         second = executor.execute(spec)
-        assert len(executor._PLONK_DATA) == 1
-        (data2, _), = executor._PLONK_DATA.values()
-        assert data2 is data  # same CircuitData object reused
+        assert len(executor._SETUPS) == 1
+        psetup2, = executor._SETUPS.values()
+        # Same ProtocolSetup (and so the same CircuitData) reused.
+        assert psetup2 is psetup
+        assert psetup2.data[0] is psetup.data[0]
         assert first["envelope"] == second["envelope"]
 
     def test_execute_returns_span_tree(self):
@@ -229,17 +231,17 @@ class TestExecutorCache:
     def test_cache_is_size_capped(self):
         from repro.service import executor
 
-        executor._PLONK_DATA.clear()
-        for i in range(executor._PLONK_DATA_CAP):
-            executor._PLONK_DATA[("fake", i, None)] = (None, None)
+        executor._SETUPS.clear()
+        for i in range(executor._SETUP_CAP):
+            executor._SETUPS[("fake", i, None)] = None
         spec = {
             "workload": "Fibonacci", "kind": "plonk", "scale": 6,
             "config": {}, "params": {},
         }
         executor.execute(spec)  # full cache: inserting evicts the oldest
-        assert len(executor._PLONK_DATA) == executor._PLONK_DATA_CAP
-        assert ("fake", 0, None) not in executor._PLONK_DATA
-        executor._PLONK_DATA.clear()
+        assert len(executor._SETUPS) == executor._SETUP_CAP
+        assert ("fake", 0, None) not in executor._SETUPS
+        executor._SETUPS.clear()
 
 
 class TestSessionIsolation:

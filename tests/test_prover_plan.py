@@ -90,7 +90,7 @@ def test_plan_caches_are_read_only_and_reused():
 
 
 def test_service_executor_digests_are_deterministic():
-    from repro.serialize import read_result_envelope, stark_proof_from_bytes
+    from repro.serialize import proof_from_blob, read_result_envelope
     from repro.service.executor import DEFAULT_CONFIGS, execute
 
     spec = {"workload": "Fibonacci", "kind": "stark", "scale": 6}
@@ -103,5 +103,5 @@ def test_service_executor_digests_are_deterministic():
     if DEFAULT_CONFIGS["stark"] == dict(
         rate_bits=1, cap_height=1, num_queries=10, proof_of_work_bits=3, final_poly_len=4
     ):
-        proof = stark_proof_from_bytes(payloads[0])
+        _, proof = proof_from_blob(payloads[0], expected_protocol="stark")
         assert stark_proof_digest(proof) == GOLDEN_DIGEST

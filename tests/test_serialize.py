@@ -240,3 +240,93 @@ class TestResultEnvelope:
         _, proof = stark_setup
         assert stark_proof_digest(proof) == stark_proof_digest(proof)
         assert len(stark_proof_digest(proof)) == 64
+
+
+class TestTaggedProofBlob:
+    """Protocol tag + format-version framing around raw proof bodies."""
+
+    def test_roundtrip_each_protocol(self, stark_setup, plonk_setup):
+        from repro.serialize import proof_body_codec, proof_from_blob, proof_to_blob
+
+        for protocol, proof in (
+            ("stark", stark_setup[1]), ("plonk", plonk_setup[1]),
+        ):
+            blob = proof_to_blob(protocol, proof)
+            tag, decoded = proof_from_blob(blob)
+            assert tag == protocol
+            # Digest is defined over the raw body, so framing does not
+            # perturb the pinned goldens.
+            encode = proof_body_codec(protocol)[0]
+            assert encode(decoded) == encode(proof)
+
+    def test_blob_carries_magic_and_version(self, plonk_setup):
+        from repro.serialize import (
+            PROOF_BLOB_MAGIC,
+            PROOF_FORMAT_VERSION,
+            proof_to_blob,
+        )
+
+        blob = proof_to_blob("plonk", plonk_setup[1])
+        assert blob.startswith(PROOF_BLOB_MAGIC)
+        assert blob[len(PROOF_BLOB_MAGIC)] == PROOF_FORMAT_VERSION
+
+    def test_untagged_blob_rejected(self, plonk_setup):
+        from repro.serialize import ProofFormatError, proof_from_blob
+        from repro.serialize import plonk_proof_to_bytes as raw
+
+        body = raw(plonk_setup[1])  # a bare body, no UZKP framing
+        with pytest.raises(ProofFormatError, match="magic"):
+            proof_from_blob(body)
+
+    def test_wrong_version_rejected(self, plonk_setup):
+        from repro.serialize import (
+            PROOF_BLOB_MAGIC,
+            ProofFormatError,
+            proof_from_blob,
+            proof_to_blob,
+        )
+
+        blob = bytearray(proof_to_blob("plonk", plonk_setup[1]))
+        blob[len(PROOF_BLOB_MAGIC)] = 99
+        with pytest.raises(ProofFormatError, match="version"):
+            proof_from_blob(bytes(blob))
+
+    def test_protocol_mismatch_rejected(self, plonk_setup):
+        from repro.serialize import ProofFormatError, proof_from_blob, proof_to_blob
+
+        blob = proof_to_blob("plonk", plonk_setup[1])
+        with pytest.raises(ProofFormatError, match="plonk"):
+            proof_from_blob(blob, expected_protocol="stark")
+
+    def test_unknown_tag_rejected(self):
+        from repro.serialize import ProofFormatError, proof_from_blob, write_proof_blob
+
+        with pytest.raises(ValueError, match="protocol"):
+            write_proof_blob("groth16", b"x")
+        # Hand-craft a framed blob with a hostile tag.
+        from repro.serialize import PROOF_BLOB_MAGIC, PROOF_FORMAT_VERSION
+        import struct
+
+        tag = b"groth16"
+        blob = (
+            PROOF_BLOB_MAGIC
+            + bytes([PROOF_FORMAT_VERSION])
+            + struct.pack("<I", len(tag)) + tag
+            + struct.pack("<I", 1) + b"x"
+        )
+        with pytest.raises(ProofFormatError, match="protocol"):
+            proof_from_blob(blob)
+
+    def test_truncated_and_trailing_rejected(self, plonk_setup):
+        from repro.serialize import ProofFormatError, proof_from_blob, proof_to_blob
+
+        blob = proof_to_blob("plonk", plonk_setup[1])
+        with pytest.raises(ProofFormatError):
+            proof_from_blob(blob[: len(blob) // 2])
+        with pytest.raises(ProofFormatError, match="trailing"):
+            proof_from_blob(blob + b"\x00")
+
+    def test_error_is_a_valueerror(self):
+        from repro.serialize import ProofFormatError
+
+        assert issubclass(ProofFormatError, ValueError)

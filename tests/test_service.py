@@ -7,7 +7,7 @@ from concurrent.futures import ThreadPoolExecutor
 import pytest
 
 from repro.metrics import counting
-from repro.serialize import read_result_envelope, stark_proof_from_bytes
+from repro.serialize import proof_from_blob, read_result_envelope
 from repro.service import (
     JobSpec,
     PriorityJobQueue,
@@ -148,16 +148,31 @@ class TestServiceEndToEnd:
             air, _, _ = build_air(FIB["scale"])
             from repro.service import fri_config_for
 
-            stark_verify(
-                air, stark_proof_from_bytes(payload),
-                fri_config_for(JobSpec(**FIB)),
-            )
+            _, proof = proof_from_blob(payload, expected_protocol="stark")
+            stark_verify(air, proof, fri_config_for(JobSpec(**FIB)))
             assert verify_result(FIB, result.envelope)
             stats = svc.job(jid)
             assert stats["state"] == "done"
             assert stats["queue_wait_s"] >= 0
             assert stats["run_time_s"] > 0
             assert stats["counters"]["sponge_permutations"] > 0
+
+    def test_hyperplonk_job_round_trips_and_verifies(self):
+        spec = {"workload": "Fibonacci", "kind": "hyperplonk", "scale": 6,
+                "config": {"num_queries": 4}}
+        with _service() as svc:
+            jid = svc.submit(**spec)
+            result = svc.result(jid, timeout_s=60)
+            kind, workload, payload = read_result_envelope(result.envelope)
+            assert kind == "hyperplonk-proof" and workload == "Fibonacci"
+            # The tagged blob carries the protocol it claims to be.
+            protocol, _proof = proof_from_blob(payload)
+            assert protocol == "hyperplonk"
+            assert verify_result(spec, result.envelope)
+            # Sumcheck-native prover: no NTT work on the hot path.
+            assert result.counters.get("ntt_butterflies", 0) == 0
+            assert result.counters.get("ntt_transforms", 0) == 0
+            assert svc.job(jid)["state"] == "done"
 
     def test_cache_hit_is_byte_identical(self):
         with _service(workers=1) as svc:
@@ -458,10 +473,8 @@ class TestShardedService:
             kind, workload, payload = read_result_envelope(result.envelope)
             assert kind == "stark-proof" and workload == "Fibonacci"
             air, _, _ = build_air(FIB["scale"])
-            stark_verify(
-                air, stark_proof_from_bytes(payload),
-                fri_config_for(JobSpec(**FIB)),
-            )
+            _, proof = proof_from_blob(payload, expected_protocol="stark")
+            stark_verify(air, proof, fri_config_for(JobSpec(**FIB)))
             # Shard spans ride back nested inside the prove stages.
             shard = [
                 s
