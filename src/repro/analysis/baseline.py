@@ -1,12 +1,17 @@
 """Justification-carrying suppression baseline.
 
 A baseline entry accepts a known finding instead of fixing it -- but
-only with a human-written justification.  Entries match findings by
-``(rule, key)`` where ``key`` is :meth:`Finding.key` (file + scope +
-detail for lint findings; schedule + PE for sanitizer findings --
-never line numbers, so baselines survive unrelated edits).  ``count``
-caps how many matching findings the entry absorbs; extra occurrences
-in the same scope surface as new findings.
+only with a human-written justification.  Entries match findings
+content-first: by ``(rule, fingerprint)`` where ``fingerprint`` is
+:meth:`Finding.fingerprint` (a hash of the rule id plus the normalized
+source snippet), falling back to ``(rule, key)`` where ``key`` is
+:meth:`Finding.key` (file + scope + detail for lint findings; schedule
++ PE for sanitizer findings; protocol / graph for the semantic
+layers -- never line numbers).  Fingerprint matching makes baselines
+robust to line drift *and* scope renames of unrelated code; the key
+fallback keeps hand-written entries (no fingerprint) working.
+``count`` caps how many matching findings the entry absorbs; extra
+occurrences in the same scope surface as new findings.
 
 File format (JSON, sorted, diff-friendly)::
 
@@ -15,6 +20,7 @@ File format (JSON, sorted, diff-friendly)::
       "entries": [
         {"rule": "prover.raw-mod",
          "key": "stark/poseidon_air.py::_reference_permute::% gl.P",
+         "fingerprint": "9e21c6d0a3b17f44",
          "count": 3,
          "justification": "executable spec; intentionally scalar"}
       ]
@@ -42,12 +48,17 @@ BASELINE_NAME = "ANALYSIS_BASELINE.json"
 
 @dataclass(frozen=True)
 class BaselineEntry:
-    """One suppressed finding class."""
+    """One suppressed finding class.
+
+    ``fingerprint`` is optional (hand-written entries may omit it);
+    when present it is tried before the ``key`` fallback.
+    """
 
     rule: str
     key: str
     justification: str
     count: int = 1
+    fingerprint: str = ""
 
 
 def default_baseline_path() -> Path:
@@ -89,11 +100,14 @@ def load_baseline(path: Path) -> List[BaselineEntry]:
         for field_name in ("rule", "key", "justification"):
             if not isinstance(raw.get(field_name), str):
                 raise AnalysisError(f"{where}: missing or non-string {field_name!r}")
-        unknown = set(raw) - {"rule", "key", "justification", "count"}
+        unknown = set(raw) - {"rule", "key", "justification", "count", "fingerprint"}
         if unknown:
             raise AnalysisError(
                 f"{where}: unknown field(s) {sorted(unknown)}"
             )
+        fingerprint = raw.get("fingerprint", "")
+        if not isinstance(fingerprint, str):
+            raise AnalysisError(f"{where}: fingerprint must be a string")
         if raw["rule"] not in RULES:
             known = ", ".join(sorted(RULES))
             raise AnalysisError(
@@ -115,6 +129,7 @@ def load_baseline(path: Path) -> List[BaselineEntry]:
                 key=raw["key"],
                 justification=raw["justification"],
                 count=count,
+                fingerprint=fingerprint,
             )
         )
     return entries
@@ -128,6 +143,7 @@ def save_baseline(path: Path, entries: List[BaselineEntry]) -> None:
             {
                 "rule": e.rule,
                 "key": e.key,
+                **({"fingerprint": e.fingerprint} if e.fingerprint else {}),
                 "count": e.count,
                 "justification": e.justification,
             }
@@ -150,22 +166,40 @@ class MatchResult:
 def match_baseline(
     findings: List[Finding], entries: List[BaselineEntry]
 ) -> MatchResult:
-    """Split ``findings`` into new vs. baselined; report stale entries."""
-    budget: Dict[Tuple[str, str], int] = {
-        (e.rule, e.key): e.count for e in entries
-    }
-    used: Dict[Tuple[str, str], int] = {k: 0 for k in budget}
+    """Split ``findings`` into new vs. baselined; report stale entries.
+
+    Each finding first looks for an entry whose ``(rule, fingerprint)``
+    matches its content fingerprint; only if no fingerprinted entry has
+    budget left does it fall back to the ``(rule, key)`` location
+    match.  An entry's budget is shared across both match paths.
+    """
+    budget: List[int] = [e.count for e in entries]
+    used: List[int] = [0] * len(entries)
+    by_fp: Dict[Tuple[str, str], List[int]] = {}
+    by_key: Dict[Tuple[str, str], List[int]] = {}
+    for i, e in enumerate(entries):
+        if e.fingerprint:
+            by_fp.setdefault((e.rule, e.fingerprint), []).append(i)
+        by_key.setdefault((e.rule, e.key), []).append(i)
+
+    def _claim(indices: List[int]) -> bool:
+        for i in indices:
+            if budget[i] > 0:
+                budget[i] -= 1
+                used[i] += 1
+                return True
+        return False
+
     new: List[Finding] = []
     suppressed: List[Finding] = []
     for f in findings:
-        ident = (f.rule, f.key())
-        if budget.get(ident, 0) > 0:
-            budget[ident] -= 1
-            used[ident] += 1
+        if _claim(by_fp.get((f.rule, f.fingerprint()), [])) or _claim(
+            by_key.get((f.rule, f.key()), [])
+        ):
             suppressed.append(f)
         else:
             new.append(f)
-    stale = [e for e in entries if used[(e.rule, e.key)] == 0]
+    stale = [e for i, e in enumerate(entries) if used[i] == 0]
     unjustified = [e for e in entries if not e.justification.strip()]
     return MatchResult(new=new, suppressed=suppressed, stale=stale, unjustified=unjustified)
 
@@ -177,23 +211,29 @@ def update_baseline(
 
     Every current finding gets an entry sized to its occurrence count;
     entries for findings that no longer occur are dropped; existing
-    justifications are preserved.  New entries carry an *empty*
-    justification, which ``--strict`` rejects until a human fills it in.
+    justifications are preserved (matched by fingerprint first, key
+    second).  New entries carry an *empty* justification, which
+    ``--strict`` rejects until a human fills it in.
     """
     counts: Dict[Tuple[str, str], int] = {}
+    fingerprints: Dict[Tuple[str, str], str] = {}
     for f in findings:
         ident = (f.rule, f.key())
         counts[ident] = counts.get(ident, 0) + 1
-    old = {(e.rule, e.key): e for e in entries}
+        fingerprints.setdefault(ident, f.fingerprint())
+    old_by_fp = {(e.rule, e.fingerprint): e for e in entries if e.fingerprint}
+    old_by_key = {(e.rule, e.key): e for e in entries}
     merged = []
     for (rule, key), count in counts.items():
-        prior = old.get((rule, key))
+        fingerprint = fingerprints[(rule, key)]
+        prior = old_by_fp.get((rule, fingerprint)) or old_by_key.get((rule, key))
         merged.append(
             BaselineEntry(
                 rule=rule,
                 key=key,
                 count=count,
                 justification=prior.justification if prior else "",
+                fingerprint=fingerprint,
             )
         )
     return merged

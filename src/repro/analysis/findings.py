@@ -1,19 +1,26 @@
 """Finding records and the static-analysis rule catalogue.
 
-Every check in the analysis subsystem -- schedule sanitizer rules and
-repo lint passes alike -- is registered here as a :class:`Rule` with a
-stable id.  Checks report :class:`Finding` records carrying the rule id
-plus a location (PE coordinate and cycle for schedule findings, file /
-scope for lint findings); the runner matches findings against the
-suppression baseline by :meth:`Finding.key`.
+Every check in the analysis subsystem -- schedule sanitizer rules,
+repo lint passes, transcript conformance and shard-graph race
+detection alike -- is registered here as a :class:`Rule` with a stable
+id.  Checks report :class:`Finding` records carrying the rule id plus
+a location (PE coordinate and cycle for schedule findings, file /
+scope for lint findings, protocol for transcript findings, graph for
+race findings); the runner matches findings against the suppression
+baseline by :meth:`Finding.fingerprint` first and :meth:`Finding.key`
+as the fallback.
 
 Rule ids are namespaced: ``sched.*`` for the PE-grid schedule
 sanitizer (:mod:`repro.analysis.sanitizer`), ``prover.*`` for the AST
-lint passes (:mod:`repro.analysis.lint`).
+lint passes (:mod:`repro.analysis.lint`), ``fs.*`` for Fiat-Shamir
+transcript conformance (:mod:`repro.analysis.transcript`), and
+``race.*`` for shard-graph race detection
+(:mod:`repro.analysis.races`).
 """
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
@@ -102,6 +109,69 @@ RULES: Dict[str, Rule] = {
             "an *_into kernel taking an `out` buffer whose docstring "
             "does not state the aliasing contract",
         ),
+        # -- layer 3: Fiat-Shamir transcript conformance ------------------
+        Rule(
+            "fs.transcript-mismatch",
+            "transcript",
+            "prover and verifier transcripts diverge: a different event "
+            "kind or payload at the same stream position",
+        ),
+        Rule(
+            "fs.publics-order",
+            "transcript",
+            "public inputs not bound into the transcript at the "
+            "spec-declared position (after the setup caps, before any "
+            "challenge)",
+        ),
+        Rule(
+            "fs.unobserved-message",
+            "transcript",
+            "a commitment cap carried by the proof was never observed "
+            "on the transcript (weak Fiat-Shamir)",
+        ),
+        Rule(
+            "fs.binding-order",
+            "transcript",
+            "a commitment cap observed only after a challenge that must "
+            "depend on it was already drawn",
+        ),
+        Rule(
+            "fs.challenge-repeat",
+            "transcript",
+            "an identical challenge value drawn at two transcript "
+            "positions (the duplex state did not advance between draws)",
+        ),
+        Rule(
+            "fs.dangling-observe",
+            "transcript",
+            "a prover message observed after the final challenge: no "
+            "verifier randomness can depend on it",
+        ),
+        # -- layer 4: shard-graph race detection --------------------------
+        Rule(
+            "race.write-write",
+            "races",
+            "two shards write overlapping regions of one shared buffer "
+            "with no dependency path ordering them",
+        ),
+        Rule(
+            "race.read-write",
+            "races",
+            "one shard reads a region another shard writes with no "
+            "dependency path ordering them",
+        ),
+        Rule(
+            "race.no-footprint",
+            "races",
+            "a shard kind with no declared read/write footprint: its "
+            "memory accesses cannot be verified race-free",
+        ),
+        Rule(
+            "race.challenger-in-shard",
+            "races",
+            "a shard kernel is handed a Challenger: Fiat-Shamir "
+            "interaction must stay in the coordinator",
+        ),
     )
 }
 
@@ -109,6 +179,10 @@ RULES: Dict[str, Rule] = {
 SCHEDULE_RULES = tuple(r.id for r in RULES.values() if r.layer == "schedule")
 #: Rule ids belonging to the repo lint layer.
 LINT_RULES = tuple(r.id for r in RULES.values() if r.layer == "lint")
+#: Rule ids belonging to the transcript conformance layer.
+TRANSCRIPT_RULES = tuple(r.id for r in RULES.values() if r.layer == "transcript")
+#: Rule ids belonging to the shard-graph race layer.
+RACE_RULES = tuple(r.id for r in RULES.values() if r.layer == "races")
 
 
 class AnalysisError(Exception):
@@ -134,10 +208,15 @@ class Finding:
     """One structured analysis finding.
 
     Schedule findings populate ``schedule``/``pe``/``cycle``; lint
-    findings populate ``path``/``line``/``scope``/``detail``.  ``key()``
-    is the location identity the suppression baseline matches on: it
-    deliberately excludes line numbers and cycle-level detail where the
-    surrounding scope is stable, so baselines survive unrelated edits.
+    findings populate ``path``/``line``/``scope``/``detail``;
+    transcript findings populate ``protocol``/``detail``; race findings
+    populate ``graph``/``detail``.  ``key()`` is the location identity
+    the suppression baseline falls back to: it deliberately excludes
+    line numbers and cycle-level detail where the surrounding scope is
+    stable, so baselines survive unrelated edits.  ``fingerprint()`` is
+    the content identity matched first: a hash of the rule id plus the
+    normalized source snippet (lint) or location key (other layers),
+    which survives even scope renames and file moves of unrelated code.
     """
 
     rule: str
@@ -151,13 +230,36 @@ class Finding:
     schedule: Optional[str] = None
     pe: Optional[Tuple[int, int]] = None
     cycle: Optional[int] = None
+    # transcript location
+    protocol: Optional[str] = None
+    # race location
+    graph: Optional[str] = None
+    #: Normalized source text the finding anchors to (lint findings).
+    snippet: Optional[str] = None
 
     def key(self) -> str:
         """The baseline-matching location key (excludes line numbers)."""
         if self.path is not None:
             return f"{self.path}::{self.scope or '<module>'}::{self.detail or ''}"
+        if self.protocol is not None:
+            return f"protocol:{self.protocol}::{self.detail or ''}"
+        if self.graph is not None:
+            return f"graph:{self.graph}::{self.detail or ''}"
         pe = f"pe({self.pe[0]},{self.pe[1]})" if self.pe is not None else "pe(?)"
         return f"{self.schedule or '<schedule>'}::{pe}"
+
+    def fingerprint(self) -> str:
+        """Content-based identity: hash of rule id + normalized snippet.
+
+        Findings without a source snippet (schedule, transcript, race)
+        hash their location key instead, so every finding has a stable
+        fingerprint the baseline can match on before falling back to
+        the key/line location.
+        """
+        basis = self.snippet if self.snippet else self.key()
+        normalized = " ".join(basis.split())
+        digest = hashlib.sha256(f"{self.rule}::{normalized}".encode())
+        return digest.hexdigest()[:16]
 
     def format(self) -> str:
         """One human-readable report line."""
@@ -167,6 +269,14 @@ class Finding:
                 where += f":{self.line}"
             if self.scope:
                 where += f" ({self.scope})"
+        elif self.protocol is not None:
+            where = f"protocol {self.protocol}"
+            if self.detail:
+                where += f" ({self.detail})"
+        elif self.graph is not None:
+            where = f"graph {self.graph}"
+            if self.detail:
+                where += f" ({self.detail})"
         else:
             where = self.schedule or "<schedule>"
             if self.pe is not None:
@@ -177,8 +287,16 @@ class Finding:
 
     def to_dict(self) -> dict:
         """JSON-ready representation (for ``--json`` output)."""
-        out = {"rule": self.rule, "message": self.message, "key": self.key()}
-        for name in ("path", "line", "scope", "detail", "schedule", "cycle"):
+        out = {
+            "rule": self.rule,
+            "message": self.message,
+            "key": self.key(),
+            "fingerprint": self.fingerprint(),
+        }
+        for name in (
+            "path", "line", "scope", "detail", "schedule", "cycle",
+            "protocol", "graph", "snippet",
+        ):
             value = getattr(self, name)
             if value is not None:
                 out[name] = value
@@ -198,5 +316,8 @@ def sort_findings(findings: List[Finding]) -> List[Finding]:
             f.schedule or "",
             f.pe or (-1, -1),
             f.cycle if f.cycle is not None else -1,
+            f.protocol or "",
+            f.graph or "",
+            f.detail or "",
         ),
     )

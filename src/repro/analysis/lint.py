@@ -34,12 +34,14 @@ from .findings import LINT_RULES, Finding, check_rule_ids
 
 #: Module prefixes (relative to the ``repro`` package root, ``/``
 #: separators) whose allocations must come from Workspace arenas.
-HOT_PATH_PREFIXES = ("ntt/", "hashing/", "fri/")
+HOT_PATH_PREFIXES = ("ntt/", "hashing/", "fri/", "pcs/")
 #: Individual hot-path files.  The shard kernels and graph builders run
-#: once per shard per proof -- the same budget as the provers they split.
+#: once per shard per proof -- the same budget as the provers they split;
+#: the hyperplonk prover is the sumcheck-native hot path.
 HOT_PATH_FILES = (
     "stark/prover.py",
     "plonk/prover.py",
+    "hyperplonk/prover.py",
     "parallel/kernels.py",
     "parallel/ops.py",
 )
@@ -56,6 +58,9 @@ PROVING_PATH_PREFIXES = (
     "pipeline/",
     "sumcheck/",
     "parallel/",
+    "hyperplonk/",
+    "pcs/",
+    "protocols/",
 )
 
 #: Names that look like a field modulus on the right of ``%``.
@@ -117,20 +122,28 @@ class _ScopedVisitor(ast.NodeVisitor):
 
 
 class _Pass(_ScopedVisitor):
-    def __init__(self, relpath: str) -> None:
+    def __init__(self, relpath: str, lines: Optional[Sequence[str]] = None) -> None:
         super().__init__()
         self.relpath = relpath
+        self.lines = lines or ()
         self.findings: List[Finding] = []
 
     def report(self, rule: str, node: ast.AST, detail: str, msg: str) -> None:
+        line = getattr(node, "lineno", None)
+        snippet = None
+        if line is not None and 0 < line <= len(self.lines):
+            # The fingerprint basis: the source line the finding anchors
+            # to, so baselines survive line drift and scope renames.
+            snippet = f"{self.relpath}::{self.lines[line - 1].strip()}"
         self.findings.append(
             Finding(
                 rule=rule,
                 message=msg,
                 path=self.relpath,
-                line=getattr(node, "lineno", None),
+                line=line,
                 scope=self.scope,
                 detail=detail,
+                snippet=snippet,
             )
         )
 
@@ -260,15 +273,16 @@ def lint_source(
         check_rule_ids(rules)
         enabled = set(rules)
     tree = ast.parse(source, filename=relpath)
+    lines = source.splitlines()
     passes: List[_Pass] = []
     if "prover.raw-mod" in enabled and not is_field_module(relpath):
-        passes.append(_RawModPass(relpath))
+        passes.append(_RawModPass(relpath, lines))
     if "prover.hot-alloc" in enabled and is_hot_path(relpath):
-        passes.append(_HotAllocPass(relpath))
+        passes.append(_HotAllocPass(relpath, lines))
     if "prover.nondeterminism" in enabled and is_proving_path(relpath):
-        passes.append(_NondetPass(relpath))
+        passes.append(_NondetPass(relpath, lines))
     if "prover.into-aliasing-doc" in enabled:
-        passes.append(_IntoAliasingPass(relpath))
+        passes.append(_IntoAliasingPass(relpath, lines))
     findings: List[Finding] = []
     for p in passes:
         p.visit(tree)

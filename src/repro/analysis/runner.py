@@ -1,9 +1,11 @@
-"""Shared runner for both analysis layers.
+"""Shared runner for all analysis layers.
 
 ``python -m repro.analysis`` and ``repro analyze`` run the same code:
 sanitize every shipped PE-grid schedule (layer 1), lint the whole
-``repro`` package (layer 2), match the findings against the
-suppression baseline, and report.
+``repro`` package (layer 2), check Fiat-Shamir transcript conformance
+for every registered protocol (layer 3), race-check representative
+instances of every shipped shard-graph shape (layer 4), match the
+findings against the suppression baseline, and report.
 
 Exit status: ``0`` clean (or informational mode), ``1`` non-baselined
 findings under ``--strict``, ``2`` usage errors (unknown rule id,
@@ -31,8 +33,10 @@ from .baseline import (
 )
 from .findings import (
     LINT_RULES,
+    RACE_RULES,
     RULES,
     SCHEDULE_RULES,
+    TRANSCRIPT_RULES,
     AnalysisError,
     Finding,
     check_rule_ids,
@@ -49,17 +53,37 @@ class AnalysisReport:
     schedules_checked: int
     modules_checked: int
     baseline_entries: List[BaselineEntry] = field(default_factory=list)
+    protocols_checked: List[str] = field(default_factory=list)
+    graphs_checked: List[str] = field(default_factory=list)
 
     @property
     def new_findings(self) -> List[Finding]:
         """Findings not absorbed by the suppression baseline."""
         return self.match.new
 
+    @property
+    def exit_code(self) -> int:
+        """The strict-mode exit status this report implies."""
+        if self.match.new or self.match.unjustified:
+            return 1
+        return 0
+
+    def rule_counts(self) -> dict:
+        """Findings per rule id (new + suppressed), zero-count rules omitted."""
+        counts: dict = {}
+        for f in self.findings:
+            counts[f.rule] = counts.get(f.rule, 0) + 1
+        return dict(sorted(counts.items()))
+
     def to_dict(self) -> dict:
         """JSON-ready report (for ``--json`` output)."""
         return {
             "schedules_checked": self.schedules_checked,
             "modules_checked": self.modules_checked,
+            "protocols_checked": list(self.protocols_checked),
+            "graphs_checked": list(self.graphs_checked),
+            "rule_counts": self.rule_counts(),
+            "exit_code": self.exit_code,
             "new": [f.to_dict() for f in self.match.new],
             "suppressed": [f.to_dict() for f in self.match.suppressed],
             "stale_baseline": [
@@ -72,6 +96,10 @@ class AnalysisReport:
         lines = [
             f"schedule sanitizer: {self.schedules_checked} shipped schedules",
             f"repo lint: {len(RULES)} rules over {self.modules_checked} modules",
+            f"transcript conformance: "
+            f"{len(self.protocols_checked)} protocols "
+            f"({', '.join(self.protocols_checked) or 'skipped'})",
+            f"race detection: {len(self.graphs_checked)} shipped graph shapes",
             f"findings: {len(self.match.new)} new, "
             f"{len(self.match.suppressed)} baselined, "
             f"{len(self.match.stale)} stale baseline entries",
@@ -93,10 +121,12 @@ def run_analysis(
     rules: Optional[Sequence[str]] = None,
     baseline_path: Optional[Path] = None,
 ) -> AnalysisReport:
-    """Run both layers and match against the baseline."""
+    """Run all four layers and match against the baseline."""
     from .lint import iter_modules, lint_source
+    from .races import run_race_checks
     from .sanitizer import sanitize
     from .schedules import shipped_specs
+    from .transcript import run_transcript_checks
 
     if rules is not None:
         check_rule_ids(rules)
@@ -105,6 +135,8 @@ def run_analysis(
         None if rules is None else [r for r in rules if r in SCHEDULE_RULES]
     )
     lint_rules = None if rules is None else [r for r in rules if r in LINT_RULES]
+    fs_rules = None if rules is None else [r for r in rules if r in TRANSCRIPT_RULES]
+    race_rules = None if rules is None else [r for r in rules if r in RACE_RULES]
 
     schedules_checked = 0
     if schedule_rules is None or schedule_rules:
@@ -118,6 +150,20 @@ def run_analysis(
             modules_checked += 1
             findings.extend(lint_source(relpath, source, rules=lint_rules))
 
+    protocols_checked: List[str] = []
+    if fs_rules is None or fs_rules:
+        fs_findings, protocols_checked = run_transcript_checks()
+        if fs_rules is not None:
+            fs_findings = [f for f in fs_findings if f.rule in fs_rules]
+        findings.extend(fs_findings)
+
+    graphs_checked: List[str] = []
+    if race_rules is None or race_rules:
+        race_findings, graphs_checked = run_race_checks()
+        if race_rules is not None:
+            race_findings = [f for f in race_findings if f.rule in race_rules]
+        findings.extend(race_findings)
+
     findings = sort_findings(findings)
     entries = load_baseline(baseline_path or default_baseline_path())
     return AnalysisReport(
@@ -126,13 +172,20 @@ def run_analysis(
         schedules_checked=schedules_checked,
         modules_checked=modules_checked,
         baseline_entries=entries,
+        protocols_checked=protocols_checked,
+        graphs_checked=graphs_checked,
     )
 
 
 def list_rules() -> str:
     """The rule catalogue, one line per rule."""
     lines = []
-    for layer, title in (("schedule", "Schedule sanitizer"), ("lint", "Repo lint")):
+    for layer, title in (
+        ("schedule", "Schedule sanitizer"),
+        ("lint", "Repo lint"),
+        ("transcript", "Transcript conformance"),
+        ("races", "Shard-graph race detection"),
+    ):
         lines.append(f"{title}:")
         for rule in RULES.values():
             if rule.layer == layer:
@@ -232,7 +285,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro.analysis",
         description="UniZK reproduction static analysis: "
-        "PE-grid schedule sanitizer + prover-invariant lint",
+        "PE-grid schedule sanitizer, prover-invariant lint, "
+        "Fiat-Shamir transcript conformance, shard-graph race detection",
     )
     add_analyze_arguments(parser)
     args = parser.parse_args(argv)

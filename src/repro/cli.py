@@ -16,8 +16,9 @@
 * ``submit``      -- submit a job to a running service, optionally wait
   for and verify the proof;
 * ``status``      -- query a running service for job or service stats;
-* ``analyze``     -- run the static analysis (PE-grid schedule
-  sanitizer + prover-invariant lint) against the suppression baseline;
+* ``analyze``     -- run the soundness analysis (PE-grid schedule
+  sanitizer, prover-invariant lint, Fiat-Shamir transcript
+  conformance, shard-graph race detection) against the baseline;
 * ``fuzz``        -- mutate honest proofs against the verifiers and
   cross-check the optimized kernels against slow references, failing
   on any accept or untyped crash.
@@ -553,7 +554,8 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser(
         "analyze",
-        help="run the static analysis (schedule sanitizer + prover lint)",
+        help="run the soundness analysis (schedule sanitizer, prover lint, "
+        "transcript conformance, race detection)",
     )
     add_analyze_arguments(p)
 

@@ -62,8 +62,13 @@ class Challenger:
             self.observe_digest(digest)
 
     def clone(self) -> "Challenger":
-        """Fork the transcript (used by proof-of-work grinding)."""
-        other = Challenger()
+        """Fork the transcript (used by proof-of-work grinding).
+
+        Constructs ``type(self)()`` so subclasses fork as themselves --
+        the analysis-layer recording challenger relies on this to give
+        every grinding fork its own (discarded) event stream.
+        """
+        other = type(self)()
         other._state = self._state.copy()
         other._input_buffer = list(self._input_buffer)
         other._output_buffer = list(self._output_buffer)

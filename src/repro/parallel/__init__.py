@@ -16,7 +16,11 @@ every prover takes its serial path unchanged.
 Correctness contract: sharded and serial proofs are bit-identical --
 same digests, same operation counters.  Fiat-Shamir order is pinned by
 the provers (caps observed in batch-index order between graph runs);
-shards only ever compute.
+shards only ever compute.  Every kernel declares its read/write
+footprint (:mod:`repro.parallel.footprints`) and the pool race-checks
+each graph at submission (``validate=True``, raising
+:class:`~repro.parallel.pool.GraphRaceError`), so a missing dependency
+edge fails deterministically instead of corrupting an unlucky run.
 """
 
 from __future__ import annotations
@@ -27,12 +31,16 @@ import logging
 import os
 from typing import Iterator, Optional
 
-from .pool import ShardError, ShardPool
+from .footprints import FOOTPRINTS, Access, buffer_key, footprint
+from .pool import GraphRaceError, ShardError, ShardPool
 from .scheduler import CriticalPathScheduler, Shard, ShardGraph, StageProfile, static_order
 from .shm import SharedArena, ShmRef, resolve
 
 __all__ = [
+    "Access",
     "CriticalPathScheduler",
+    "FOOTPRINTS",
+    "GraphRaceError",
     "Shard",
     "ShardError",
     "ShardGraph",
@@ -40,8 +48,10 @@ __all__ = [
     "SharedArena",
     "ShmRef",
     "StageProfile",
+    "buffer_key",
     "current_pool",
     "effective_cpus",
+    "footprint",
     "maybe_sharding",
     "resolve",
     "resolve_workers",

@@ -168,7 +168,7 @@ def _commit_graph(
     from ..hashing import sponge
 
     n_lde = n << rate_bits
-    graph = graph if graph is not None else ShardGraph()
+    graph = graph if graph is not None else ShardGraph(f"commit:{slot}")
     coeffs_out = _buf(pool, (num_polys, n), f"{slot}:coeffs")
     values_out = _buf(pool, (n_lde, num_polys), f"{slot}:values")
     if mode == "direct":
@@ -218,10 +218,16 @@ def _commit_graph(
     return graph, finish
 
 
-def sharded_from_coeffs(pool, coeffs: np.ndarray, rate_bits: int, cap_height: int, slot: str):
-    """Sharded ``PolynomialBatch.from_coeffs`` (bit-identical result)."""
+def from_coeffs_graph(pool, coeffs: np.ndarray, rate_bits: int, cap_height: int, slot: str):
+    """Build (don't run) the ``from_coeffs`` commit graph.
+
+    Returns ``(graph, finish)``; run the graph through the pool, then
+    call ``finish()`` to assemble the batch.  The build/run split lets
+    the race analyzer inspect the exact shipped graph shapes without
+    executing any kernel.
+    """
     coeffs = np.atleast_2d(np.asarray(coeffs, dtype=np.uint64))
-    graph, finish = _commit_graph(
+    return _commit_graph(
         pool,
         slot,
         mode="direct",
@@ -231,17 +237,21 @@ def sharded_from_coeffs(pool, coeffs: np.ndarray, rate_bits: int, cap_height: in
         rate_bits=rate_bits,
         cap_height=cap_height,
     )
+
+
+def sharded_from_coeffs(pool, coeffs: np.ndarray, rate_bits: int, cap_height: int, slot: str):
+    """Sharded ``PolynomialBatch.from_coeffs`` (bit-identical result)."""
+    graph, finish = from_coeffs_graph(pool, coeffs, rate_bits, cap_height, slot)
     pool.run(graph)
     return finish()
 
 
-def sharded_from_values(pool, rows: np.ndarray, rate_bits: int, cap_height: int, slot: str):
-    """Sharded ``PolynomialBatch.from_values``: iNTT folded into the
-    LDE shards (each row shard interpolates its own rows first)."""
+def from_values_graph(pool, rows: np.ndarray, rate_bits: int, cap_height: int, slot: str):
+    """Build (don't run) the ``from_values`` commit graph."""
     rows = np.atleast_2d(np.asarray(rows, dtype=np.uint64))
     src = _buf(pool, rows.shape, f"{slot}:src")
     src[:] = rows
-    graph, finish = _commit_graph(
+    return _commit_graph(
         pool,
         slot,
         mode="intt",
@@ -251,8 +261,58 @@ def sharded_from_values(pool, rows: np.ndarray, rate_bits: int, cap_height: int,
         rate_bits=rate_bits,
         cap_height=cap_height,
     )
+
+
+def sharded_from_values(pool, rows: np.ndarray, rate_bits: int, cap_height: int, slot: str):
+    """Sharded ``PolynomialBatch.from_values``: iNTT folded into the
+    LDE shards (each row shard interpolates its own rows first)."""
+    graph, finish = from_values_graph(pool, rows, rate_bits, cap_height, slot)
     pool.run(graph)
     return finish()
+
+
+def quotient_commit_graph(
+    pool,
+    ext_values: np.ndarray,
+    n: int,
+    chunks: int,
+    rate_bits: int,
+    cap_height: int,
+    slot: str,
+):
+    """Build (don't run) the fused quotient-commit graph."""
+    ext_values = np.asarray(ext_values, dtype=np.uint64)
+    big_n = ext_values.shape[0]
+    src = _buf(pool, ext_values.shape, f"{slot}:ext")
+    src[:] = ext_values
+    limbs = _buf(pool, (2, big_n), f"{slot}:limbs")
+    graph = ShardGraph(f"commit:{slot}")
+    intt_ids = [
+        graph.add(
+            f"{slot}:intt{limb}",
+            "intt_limb",
+            {
+                "src": _out_ref(pool, src),
+                "out": _out_ref(pool, limbs),
+                "limb": limb,
+            },
+            units=big_n,
+        )
+        for limb in range(2)
+    ]
+    return _commit_graph(
+        pool,
+        slot,
+        mode="chunks",
+        src=_out_ref(pool, limbs),
+        num_polys=2 * chunks,
+        n=n,
+        rate_bits=rate_bits,
+        cap_height=cap_height,
+        chunks=chunks,
+        extra_deps=intt_ids,
+        graph=graph,
+    )
 
 
 def sharded_commit_quotient(
@@ -267,37 +327,8 @@ def sharded_commit_quotient(
     """Sharded quotient commit: one fused graph for both coset-iNTT
     limbs and the chunk LDE/Merkle, so the second limb's interpolation
     overlaps the first limb's extensions."""
-    ext_values = np.asarray(ext_values, dtype=np.uint64)
-    big_n = ext_values.shape[0]
-    src = _buf(pool, ext_values.shape, f"{slot}:ext")
-    src[:] = ext_values
-    limbs = _buf(pool, (2, big_n), f"{slot}:limbs")
-    graph = ShardGraph()
-    intt_ids = [
-        graph.add(
-            f"{slot}:intt{limb}",
-            "intt_limb",
-            {
-                "src": _out_ref(pool, src),
-                "out": _out_ref(pool, limbs),
-                "limb": limb,
-            },
-            units=big_n,
-        )
-        for limb in range(2)
-    ]
-    graph, finish = _commit_graph(
-        pool,
-        slot,
-        mode="chunks",
-        src=_out_ref(pool, limbs),
-        num_polys=2 * chunks,
-        n=n,
-        rate_bits=rate_bits,
-        cap_height=cap_height,
-        chunks=chunks,
-        extra_deps=intt_ids,
-        graph=graph,
+    graph, finish = quotient_commit_graph(
+        pool, ext_values, n, chunks, rate_bits, cap_height, slot
     )
     pool.run(graph)
     return finish()
@@ -324,12 +355,8 @@ def adopt_batch(pool, batch) -> Dict[str, Any]:
     return refs
 
 
-def sharded_combine(pool, batches: Sequence, openings, alpha: np.ndarray) -> np.ndarray:
-    """Sharded ``combine_openings``: row ranges of the LDE domain.
-
-    The alpha-power ladder is a scalar recurrence independent of the
-    row, so each shard replays it locally; rows compose bit-exactly.
-    """
+def combine_graph(pool, batches: Sequence, openings, alpha: np.ndarray):
+    """Build (don't run) the FRI combine graph; returns ``(graph, out)``."""
     n_lde = batches[0].values.shape[0]
     out = _buf(pool, (n_lde, 2), "fri:vals0")
     refs = [adopt_batch(pool, b) for b in batches]
@@ -342,7 +369,7 @@ def sharded_combine(pool, batches: Sequence, openings, alpha: np.ndarray) -> np.
         "columns": [list(c) for c in openings.columns],
         "opening_values": [np.atleast_2d(v) for v in openings.values],
     }
-    graph = ShardGraph()
+    graph = ShardGraph("fri:combine")
     for i, (lo, hi) in enumerate(_split(n_lde, pool.workers)):
         graph.add(
             f"fri:combine{i}",
@@ -350,16 +377,25 @@ def sharded_combine(pool, batches: Sequence, openings, alpha: np.ndarray) -> np.
             {**args_common, "lo": lo, "hi": hi},
             units=hi - lo,
         )
+    return graph, out
+
+
+def sharded_combine(pool, batches: Sequence, openings, alpha: np.ndarray) -> np.ndarray:
+    """Sharded ``combine_openings``: row ranges of the LDE domain.
+
+    The alpha-power ladder is a scalar recurrence independent of the
+    row, so each shard replays it locally; rows compose bit-exactly.
+    """
+    graph, out = combine_graph(pool, batches, openings, alpha)
     pool.run(graph)
     return out
 
 
-def sharded_layer_tree(pool, values: np.ndarray, cap_height: int, layer: int):
-    """Sharded ``_layer_tree``: commit one FRI fold layer.
+def layer_tree_graph(pool, values: np.ndarray, cap_height: int, layer: int):
+    """Build (don't run) one FRI layer-commit graph.
 
-    The layer values land in the ``fri:vals{layer}`` arena slot and the
-    digests in ``fri:tree{layer}``, where :func:`layer_ref_args` finds
-    them again at query time without copying.
+    Returns ``(graph, finish)``; ``finish()`` wraps the shard-filled
+    arena into the :class:`MerkleTree` once the graph ran.
     """
     from ..hashing import sponge
     from ..merkle.tree import MerkleTree, level_sizes
@@ -373,7 +409,7 @@ def sharded_layer_tree(pool, values: np.ndarray, cap_height: int, layer: int):
     cap = min(cap_height, half.bit_length() - 1)
     sizes = level_sizes(half, cap)
     arena = _buf(pool, (sum(sizes), sponge.DIGEST_LEN), f"fri:tree{layer}")
-    graph = ShardGraph()
+    graph = ShardGraph(f"fri:tree{layer}")
     _add_merkle_shards(
         pool,
         graph,
@@ -387,9 +423,24 @@ def sharded_layer_tree(pool, values: np.ndarray, cap_height: int, layer: int):
         2 * values.shape[1],
         deps=(),
     )
+
+    def finish():
+        leaves = np.concatenate([vals[:half], vals[half:]], axis=1)
+        return MerkleTree.from_levels(leaves, cap, arena, sizes)
+
+    return graph, finish
+
+
+def sharded_layer_tree(pool, values: np.ndarray, cap_height: int, layer: int):
+    """Sharded ``_layer_tree``: commit one FRI fold layer.
+
+    The layer values land in the ``fri:vals{layer}`` arena slot and the
+    digests in ``fri:tree{layer}``, where :func:`layer_ref_args` finds
+    them again at query time without copying.
+    """
+    graph, finish = layer_tree_graph(pool, values, cap_height, layer)
     pool.run(graph)
-    leaves = np.concatenate([vals[:half], vals[half:]], axis=1)
-    return MerkleTree.from_levels(leaves, cap, arena, sizes)
+    return finish()
 
 
 def layer_ref_args(pool, tree, values: np.ndarray, layer: int) -> Dict[str, Any]:
@@ -406,6 +457,30 @@ def layer_ref_args(pool, tree, values: np.ndarray, layer: int) -> Dict[str, Any]
     }
 
 
+def query_rounds_graph(
+    pool,
+    batches: Sequence,
+    layer_args: List[Dict[str, Any]],
+    indices: Sequence[int],
+):
+    """Build (don't run) the query-gather graph; returns ``(graph, chunks)``."""
+    batch_refs = [adopt_batch(pool, b) for b in batches]
+    chunks = _split(len(indices), pool.workers)
+    graph = ShardGraph("fri:queries")
+    for i, (lo, hi) in enumerate(chunks):
+        graph.add(
+            f"fri:queries{i}",
+            "fri_queries",
+            {
+                "indices": [int(x) for x in indices[lo:hi]],
+                "batches": batch_refs,
+                "layers": layer_args,
+            },
+            units=hi - lo,
+        )
+    return graph, chunks
+
+
 def sharded_query_rounds(
     pool,
     batches: Sequence,
@@ -420,20 +495,7 @@ def sharded_query_rounds(
     from ..fri.proof import FriInitialOpening, FriLayerOpening, FriQueryRound
     from ..merkle.tree import MerkleProof
 
-    batch_refs = [adopt_batch(pool, b) for b in batches]
-    chunks = _split(len(indices), pool.workers)
-    graph = ShardGraph()
-    for i, (lo, hi) in enumerate(chunks):
-        graph.add(
-            f"fri:queries{i}",
-            "fri_queries",
-            {
-                "indices": [int(x) for x in indices[lo:hi]],
-                "batches": batch_refs,
-                "layers": layer_args,
-            },
-            units=hi - lo,
-        )
+    graph, chunks = query_rounds_graph(pool, batches, layer_args, indices)
     results = pool.run(graph)
     rounds: List = []
     for i, (lo, hi) in enumerate(chunks):

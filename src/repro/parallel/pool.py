@@ -48,6 +48,27 @@ class ShardError(RuntimeError):
     """A shard failed in a worker (the proof cannot be assembled)."""
 
 
+class GraphRaceError(ShardError):
+    """A shard graph was rejected at submission by the race analyzer.
+
+    ``findings`` carries the structured ``race.*``
+    :class:`~repro.analysis.findings.Finding` records -- the same
+    objects ``repro analyze`` reports -- so callers and tests can
+    assert on specific rules.
+    """
+
+    def __init__(self, graph_name: str, findings) -> None:
+        self.findings = list(findings)
+        lines = "; ".join(f.format() for f in self.findings[:4])
+        more = len(self.findings) - 4
+        if more > 0:
+            lines += f"; ... {more} more"
+        super().__init__(
+            f"shard graph {graph_name or '<unnamed>'!r} rejected by race "
+            f"analysis ({len(self.findings)} finding(s)): {lines}"
+        )
+
+
 def _shard_worker_main(
     worker_id: int, task_q, result_q, unregister_on_attach: bool = False
 ) -> None:
@@ -108,6 +129,15 @@ class ShardPool:
     and CI force them low to exercise the parallel path on small
     proofs).  Construction is cheap: worker processes fork lazily on
     the first parallel :meth:`run`.
+
+    With ``validate=True`` (the default -- mirroring how the schedule
+    sanitizer arms :class:`repro.hw.GridEmulator`) every submitted
+    graph is checked by the race analyzer
+    (:func:`repro.analysis.races.graph_findings`) before any shard
+    dispatches: unordered overlapping accesses, undeclared kernels and
+    challenger-carrying args raise :class:`GraphRaceError` instead of
+    racing.  ``validate=False`` opts out (the graphs are tiny, but the
+    check is pure Python bookkeeping on the coordinator).
     """
 
     def __init__(
@@ -119,6 +149,7 @@ class ShardPool:
         min_tree_leaves: int = 1024,
         min_queries: int = 8,
         profile: Optional[StageProfile] = None,
+        validate: bool = True,
     ) -> None:
         if workers is None:
             from . import effective_cpus
@@ -138,6 +169,7 @@ class ShardPool:
             if value < 1:
                 raise ValueError(f"{name} must be >= 1, got {value}")
         self.workers = workers
+        self.validate = bool(validate)
         self.min_rows = min_rows
         self.min_tree_leaves = min_tree_leaves
         self.min_queries = min_queries
@@ -234,6 +266,14 @@ class ShardPool:
             raise RuntimeError("shard pool is closed")
         if len(graph) == 0:
             return {}
+        if self.validate:
+            # Lazy import: repro.analysis imports this package for the
+            # shipped-graph pass; the deferred import breaks the cycle.
+            from ..analysis.races import graph_findings
+
+            findings = graph_findings(graph)
+            if findings:
+                raise GraphRaceError(graph.name, findings)
         sched = CriticalPathScheduler(graph, self.profile)
         self.stats["graphs"] += 1
         self.stats["shards"] += len(graph)

@@ -48,9 +48,14 @@ class Shard:
 
 
 class ShardGraph:
-    """A DAG of shards, acyclic by construction (deps must pre-exist)."""
+    """A DAG of shards, acyclic by construction (deps must pre-exist).
 
-    def __init__(self) -> None:
+    ``name`` labels the graph in race-analysis findings and pool
+    errors (e.g. ``commit:wires``); it has no scheduling effect.
+    """
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
         self.shards: Dict[str, Shard] = {}
         self.order: List[str] = []  # insertion order == a topological order
 

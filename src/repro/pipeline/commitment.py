@@ -32,6 +32,15 @@ Batches are opened by ``(batch_index, poly_index)`` pairs; the batch
 index is simply the order of :meth:`add_batch`/``commit_*`` calls, so
 protocols control their layout by call order (Plonk registers its
 preprocessed setup batch first, then wires, Z, quotient).
+
+The observe-before-challenge discipline this class encodes is exactly
+what the transcript-conformance analyzer
+(:mod:`repro.analysis.transcript`, ``fs.*`` rules) verifies end to end:
+it replays every registered protocol's prove and verify paths through a
+recording challenger and checks each commitment cap is observed before
+any challenge that must depend on it, so a pipeline refactor that
+reorders these calls fails ``repro analyze --strict`` even if the
+proof still verifies against its own prover.
 """
 
 from __future__ import annotations

@@ -15,6 +15,7 @@ from .hyperplonk_backend import HyperPlonkSystem
 from .plonk_backend import PlonkSystem
 from .registry import get, names, register
 from .stark_backend import StarkSystem
+from .transcript import CapBinding, TranscriptSpec
 
 register(StarkSystem())
 register(PlonkSystem())
@@ -29,6 +30,8 @@ for _name in names():
 __all__ = [
     "ProofSystem",
     "ProtocolSetup",
+    "CapBinding",
+    "TranscriptSpec",
     "StarkSystem",
     "PlonkSystem",
     "HyperPlonkSystem",

@@ -96,6 +96,50 @@ class ProofSystem(ABC):
     def verify(self, setup: ProtocolSetup, proof) -> None:
         """Verify; raises the backend's typed error on any failure."""
 
+    # -- transcript conformance ------------------------------------------
+
+    def transcript_spec(self):
+        """The backend's :class:`~repro.protocols.transcript.TranscriptSpec`.
+
+        ``None`` means the backend does not declare its transcript shape
+        and the conformance analyzer reports it as unverifiable.  New
+        backends should return a spec so ``repro analyze`` checks their
+        Fiat-Shamir sequencing for free.
+        """
+        return None
+
+    def prove_with_challenger(self, setup: ProtocolSetup, challenger):
+        """Prove with an externally supplied transcript challenger.
+
+        Used by the transcript-conformance analyzer to record the
+        prover's exact observe/challenge event stream.
+        """
+        raise NotImplementedError(
+            f"{self.name} backend does not support challenger injection"
+        )
+
+    def verify_with_challenger(self, setup: ProtocolSetup, proof, challenger) -> None:
+        """Verify with an externally supplied transcript challenger."""
+        raise NotImplementedError(
+            f"{self.name} backend does not support challenger injection"
+        )
+
+    def cap_bindings(self, setup: ProtocolSetup, proof):
+        """Cap-to-challenge deadlines for one proved instance.
+
+        Returns a list of :class:`~repro.protocols.transcript.CapBinding`
+        covering every commitment cap the proof (and setup) carries.
+        """
+        raise NotImplementedError(
+            f"{self.name} backend does not declare cap bindings"
+        )
+
+    def public_inputs_of(self, setup: ProtocolSetup, proof):
+        """The public-input values bound into the transcript."""
+        raise NotImplementedError(
+            f"{self.name} backend does not expose its public inputs"
+        )
+
     # -- serialization ---------------------------------------------------
 
     def to_bytes(self, proof) -> bytes:

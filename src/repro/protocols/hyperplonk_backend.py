@@ -11,6 +11,7 @@ from ..hyperplonk import (
     verify as hp_verify,
 )
 from .base import ProofSystem, ProtocolSetup
+from .transcript import CapBinding, TranscriptSpec
 
 
 class HyperPlonkSystem(ProofSystem):
@@ -48,3 +49,40 @@ class HyperPlonkSystem(ProofSystem):
     def verify(self, setup: ProtocolSetup, proof) -> None:
         data, _ = setup.data
         hp_verify(data.verifier_data, proof)
+
+    # -- transcript conformance ------------------------------------------
+
+    def transcript_spec(self) -> TranscriptSpec:
+        return TranscriptSpec(
+            workload="Fibonacci",
+            scales=(4, 8),
+            config_overrides=dict(num_queries=2),
+            setup_caps=1,  # preprocessed (circuit-digest) cap, then publics
+        )
+
+    def prove_with_challenger(self, setup: ProtocolSetup, challenger):
+        data, inputs = setup.data
+        return hp_prove(data, inputs, challenger=challenger)
+
+    def verify_with_challenger(self, setup: ProtocolSetup, proof, challenger) -> None:
+        data, _ = setup.data
+        hp_verify(data.verifier_data, proof, challenger=challenger)
+
+    def cap_bindings(self, setup: ProtocolSetup, proof):
+        # Base-challenge ordinals with v = log2(rows): beta #0, gamma
+        # #1, alpha #2, tau #3..v+2, sumcheck round-k challenge at
+        # #v+3+k.  level_caps[k] is committed right after round k's
+        # challenge and must be bound before round k+1's.
+        data, _ = setup.data
+        v = data.circuit.log_n
+        bindings = [
+            CapBinding("preprocessed_cap", data.preprocessed.cap, 0),
+            CapBinding("wires_cap", proof.wires_cap, 0),
+            CapBinding("z_cap", proof.z_cap, 2),
+        ]
+        for k, cap in enumerate(proof.level_caps):
+            bindings.append(CapBinding(f"level_caps[{k}]", cap, v + 4 + k))
+        return bindings
+
+    def public_inputs_of(self, setup: ProtocolSetup, proof):
+        return list(proof.public_inputs)

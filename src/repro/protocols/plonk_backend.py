@@ -7,6 +7,7 @@ from typing import Any, Dict, Mapping
 from ..fri import FriConfig
 from ..plonk import prove as plonk_prove, setup as plonk_setup, verify as plonk_verify
 from .base import ProofSystem, ProtocolSetup
+from .transcript import CapBinding, TranscriptSpec
 
 
 class PlonkSystem(ProofSystem):
@@ -48,3 +49,38 @@ class PlonkSystem(ProofSystem):
     def verify(self, setup: ProtocolSetup, proof) -> None:
         data, _ = setup.data
         plonk_verify(data.verifier_data, proof)
+
+    # -- transcript conformance ------------------------------------------
+
+    def transcript_spec(self) -> TranscriptSpec:
+        return TranscriptSpec(
+            workload="Fibonacci",
+            scales=(4, 8),
+            config_overrides=dict(num_queries=2, proof_of_work_bits=1),
+            setup_caps=1,  # preprocessed (circuit-digest) cap, then publics
+        )
+
+    def prove_with_challenger(self, setup: ProtocolSetup, challenger):
+        data, inputs = setup.data
+        return plonk_prove(data, inputs, challenger=challenger)
+
+    def verify_with_challenger(self, setup: ProtocolSetup, proof, challenger) -> None:
+        data, _ = setup.data
+        plonk_verify(data.verifier_data, proof, challenger=challenger)
+
+    def cap_bindings(self, setup: ProtocolSetup, proof):
+        # Base-challenge ordinals: beta #0, gamma #1, alpha (ext) #2-3,
+        # zeta (ext) #4-5, FRI alpha #6-7, layer beta_k at #8+2k.
+        data, _ = setup.data
+        bindings = [
+            CapBinding("preprocessed_cap", data.preprocessed.cap, 0),
+            CapBinding("wires_cap", proof.wires_cap, 0),
+            CapBinding("z_cap", proof.z_cap, 2),
+            CapBinding("quotient_cap", proof.quotient_cap, 4),
+        ]
+        for k, cap in enumerate(proof.fri_proof.commit_caps):
+            bindings.append(CapBinding(f"fri.commit_caps[{k}]", cap, 8 + 2 * k))
+        return bindings
+
+    def public_inputs_of(self, setup: ProtocolSetup, proof):
+        return list(proof.public_inputs)

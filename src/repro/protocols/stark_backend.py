@@ -7,6 +7,7 @@ from typing import Any, Dict, Mapping
 from ..fri import FriConfig
 from ..stark import prove as stark_prove, verify as stark_verify
 from .base import ProofSystem, ProtocolSetup
+from .transcript import CapBinding, TranscriptSpec
 
 
 class StarkSystem(ProofSystem):
@@ -52,3 +53,37 @@ class StarkSystem(ProofSystem):
     def verify(self, setup: ProtocolSetup, proof) -> None:
         air, _, _ = setup.data
         stark_verify(air, proof, setup.config)
+
+    # -- transcript conformance ------------------------------------------
+
+    def transcript_spec(self) -> TranscriptSpec:
+        # scale is log2(rows) for AIR builders; queries/grinding shrunk
+        # because conformance is structural, not statistical.
+        return TranscriptSpec(
+            workload="Fibonacci",
+            scales=(3, 4),
+            config_overrides=dict(num_queries=2, proof_of_work_bits=1),
+            setup_caps=0,
+        )
+
+    def prove_with_challenger(self, setup: ProtocolSetup, challenger):
+        air, trace, publics = setup.data
+        return stark_prove(air, trace, publics, setup.config, challenger=challenger)
+
+    def verify_with_challenger(self, setup: ProtocolSetup, proof, challenger) -> None:
+        air, _, _ = setup.data
+        stark_verify(air, proof, setup.config, challenger=challenger)
+
+    def cap_bindings(self, setup: ProtocolSetup, proof):
+        # Base-challenge ordinals: alpha (ext) draws #0-1, zeta (ext)
+        # #2-3, FRI alpha #4-5, then layer beta_k (ext) at #6+2k.
+        bindings = [
+            CapBinding("trace_cap", proof.trace_cap, 0),
+            CapBinding("quotient_cap", proof.quotient_cap, 2),
+        ]
+        for k, cap in enumerate(proof.fri_proof.commit_caps):
+            bindings.append(CapBinding(f"fri.commit_caps[{k}]", cap, 6 + 2 * k))
+        return bindings
+
+    def public_inputs_of(self, setup: ProtocolSetup, proof):
+        return list(proof.public_inputs)

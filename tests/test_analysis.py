@@ -405,6 +405,66 @@ class TestBaseline:
 
 
 # ---------------------------------------------------------------------------
+# Content fingerprints: baselines survive line drift and scope renames
+# ---------------------------------------------------------------------------
+
+
+class TestFingerprints:
+    SRC = "import numpy as np\ndef f():\n    return np.zeros(4)\n"
+
+    def _finding(self):
+        (f,) = lint_source("ntt/foo.py", self.SRC)
+        return f
+
+    def test_fingerprint_is_content_based(self):
+        f = self._finding()
+        assert f.snippet == "ntt/foo.py::return np.zeros(4)"
+        assert len(f.fingerprint()) == 16
+        # Line drift alone does not move the fingerprint.
+        drifted = Finding(**{**f.__dict__, "line": f.line + 40})
+        assert drifted.fingerprint() == f.fingerprint()
+        # A different rule on the same snippet is a different identity.
+        other = Finding(**{**f.__dict__, "rule": "prover.raw-mod"})
+        assert other.fingerprint() != f.fingerprint()
+
+    def test_snippetless_findings_fall_back_to_key(self):
+        f = Finding(rule="race.write-write", message="m",
+                    graph="commit:t", detail="a~b")
+        assert f.fingerprint() == Finding(**f.__dict__).fingerprint()
+
+    def test_baseline_matches_fingerprint_across_scope_rename(self):
+        f = self._finding()
+        entry = BaselineEntry(
+            rule=f.rule, key=f.key(), justification="j",
+            fingerprint=f.fingerprint(),
+        )
+        # The enclosing function was renamed: the key no longer matches
+        # but the content fingerprint still claims the entry.
+        renamed = Finding(**{**f.__dict__, "scope": "g"})
+        assert renamed.key() != f.key()
+        res = match_baseline([renamed], [entry])
+        assert res.suppressed == [renamed] and not res.new and not res.stale
+
+    def test_key_fallback_for_handwritten_entries(self):
+        f = self._finding()
+        bare = BaselineEntry(rule=f.rule, key=f.key(), justification="j")
+        res = match_baseline([f], [bare])
+        assert res.suppressed == [f] and not res.new
+
+    def test_update_preserves_justification_across_key_change(self):
+        f = self._finding()
+        entry = BaselineEntry(
+            rule=f.rule, key=f.key(), justification="kept",
+            fingerprint=f.fingerprint(),
+        )
+        renamed = Finding(**{**f.__dict__, "scope": "g"})
+        merged = update_baseline([renamed], [entry])
+        (out,) = merged
+        assert out.key == renamed.key()
+        assert out.justification == "kept"
+
+
+# ---------------------------------------------------------------------------
 # Repo-wide gate: the tree must be clean against its shipped baseline
 # ---------------------------------------------------------------------------
 
@@ -414,8 +474,24 @@ class TestRepoGate:
         report = run_analysis()
         assert report.schedules_checked == 4
         assert report.modules_checked > 50
+        assert report.protocols_checked == ["stark", "plonk", "hyperplonk"]
+        assert len(report.graphs_checked) == 6
         new = [f.format() for f in report.new_findings]
         assert not new, "non-baselined findings:\n" + "\n".join(new)
         unjust = [e.key for e in report.match.unjustified]
         assert not unjust, "unjustified baseline entries: " + ", ".join(unjust)
         assert not report.match.stale
+        assert report.exit_code == 0
+        payload = report.to_dict()
+        assert payload["exit_code"] == 0
+        assert payload["protocols_checked"] == report.protocols_checked
+        assert set(payload["rule_counts"]) <= set(
+            f.rule for f in report.findings
+        ) | set()
+
+    def test_rule_subset_skips_other_layers(self):
+        report = run_analysis(rules=["prover.raw-mod"])
+        assert report.schedules_checked == 0
+        assert report.protocols_checked == []
+        assert report.graphs_checked == []
+        assert report.modules_checked > 50
