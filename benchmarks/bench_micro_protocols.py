@@ -92,6 +92,29 @@ def test_hyperplonk_prove_64_rows(benchmark):
     assert proof.size_bytes() > 0
 
 
+def test_hyperplonk_batched_openings_shrink_proof():
+    # Proof-size regression gate for format v2: each tree's multiproof
+    # must stay strictly smaller than the individual per-query
+    # authentication paths it replaced (shared sibling nodes are the
+    # entire win; equality would mean the dedup stopped deduplicating).
+    # The preprocessed tree is in the setup artifact, so it prices the
+    # old per-index encoding exactly.
+    from repro.merkle.multiproof import individual_paths_bytes
+
+    circuit, inputs, _ = by_name("Fibonacci").build_circuit(8)
+    cfg = HyperPlonkConfig(cap_height=1, num_queries=16)
+    data = hp_setup(circuit, cfg)
+    proof = hp_prove(data, inputs)
+    indices = proof.pre_opening.proof.indices
+    assert len(indices) > 1  # 16 queries must open more than one leaf
+    batched = proof.pre_opening.proof.size_bytes()
+    individual = individual_paths_bytes(data.preprocessed, indices)
+    assert batched < individual, (
+        f"multiproof {batched}B not smaller than per-index paths "
+        f"{individual}B"
+    )
+
+
 # --------------------------------------------------------------------
 # NTT vs sumcheck: same circuit, both backends, increasing scales.
 #

@@ -222,6 +222,16 @@ def _representative_graphs():
     graph, _ = ops.query_rounds_graph(pool, [batch], layer_args, list(range(6)))
     graphs.append(("fri:queries", graph))
 
+    # HyperPlonk-lite shapes: a multilinear-PCS commit and one fused
+    # sumcheck fold + fold-level commit round.
+    ml_rows = np.arange(16 * 3, dtype=np.uint64).reshape(16, 3)
+    graph, _ = ops.multilinear_commit_graph(pool, ml_rows, 1, "chk:ml")
+    graphs.append(("mlpcs:commit", graph))
+
+    buf = ops.sumcheck_table_buffer(pool, np.arange(16, dtype=np.uint64), "chk:sc")
+    graph, _, _ = ops.sumcheck_fold_graph(pool, buf, 7, 0, 1)
+    graphs.append(("sumcheck:round", graph))
+
     return pool, graphs
 
 

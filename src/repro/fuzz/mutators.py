@@ -120,18 +120,9 @@ def _all_arrays(proof) -> list:
                 arrays.append(layer.pair_leaf)
                 arrays.append(layer.proof.siblings)
     if hasattr(proof, "sumcheck"):  # hyperplonk shape
-        for qr in proof.query_rounds:
-            for op in qr.base:
-                arrays.append(op.pre_row)
-                arrays.append(op.wires_row)
-                arrays.extend(
-                    p.siblings
-                    for p in (op.pre_proof, op.wires_proof,
-                              op.z_proof, op.z_next_proof)
-                )
-            for lv in qr.levels:
-                arrays.append(lv.low_proof.siblings)
-                arrays.append(lv.high_proof.siblings)
+        for op in proof.tree_openings():
+            arrays.append(op.rows)
+            arrays.append(op.proof.nodes)
     return [a for a in arrays if a.size]
 
 
@@ -440,19 +431,54 @@ def perturb_claimed_sum(target: FuzzTarget, rng) -> Optional[Mutant]:
 
 
 def perturb_z_opening(target: FuzzTarget, rng) -> Optional[Mutant]:
-    """Perturb one claimed z / z_next value in a base opening."""
+    """Perturb one opened Z-tree row value in the batched opening."""
     proof = target.decode(target.blob)
-    if not hasattr(proof, "sumcheck") or not proof.query_rounds:
+    if not hasattr(proof, "sumcheck"):
         return None
-    qr = _choice(rng, proof.query_rounds)
-    if not qr.base:
+    rows = proof.z_opening.rows
+    if not rows.size:
         return None
-    op = _choice(rng, qr.base)
-    if int(rng.integers(0, 2)):
-        op.z_value = _rand_elem(rng, not_equal=op.z_value)
-    else:
-        op.z_next_value = _rand_elem(rng, not_equal=op.z_next_value)
+    idx = int(rng.integers(0, rows.shape[0]))
+    rows[idx, 0] = np.uint64(_rand_elem(rng, not_equal=int(rows[idx, 0])))
     return Mutant("perturb-z-opening", data=target.encode(proof))
+
+
+def drop_opened_row(target: FuzzTarget, rng) -> Optional[Mutant]:
+    """Remove one index + row from a batched tree opening.
+
+    The verifier re-derives the expected index set from the transcript,
+    so a multiproof opening fewer positions than the queries touch must
+    reject on the index-set comparison (before any hashing).
+    """
+    proof = target.decode(target.blob)
+    if not hasattr(proof, "sumcheck"):
+        return None
+    ops = [op for op in proof.tree_openings() if len(op.proof.indices) >= 2]
+    if not ops:
+        return None
+    op = _choice(rng, ops)
+    k = int(rng.integers(0, len(op.proof.indices)))
+    op.proof.indices = op.proof.indices[:k] + op.proof.indices[k + 1 :]
+    op.rows = np.delete(op.rows, k, axis=0)
+    return Mutant("drop-opened-row", data=target.encode(proof))
+
+
+def pad_opening_nodes(target: FuzzTarget, rng) -> Optional[Mutant]:
+    """Append a junk digest to a multiproof's shared node list.
+
+    ``verify_multi`` demands the node cursor land exactly at the end of
+    the list -- unconsumed nodes must reject even though every derived
+    digest still matches the cap.
+    """
+    proof = target.decode(target.blob)
+    if not hasattr(proof, "sumcheck"):
+        return None
+    op = _choice(rng, proof.tree_openings())
+    junk = np.array(
+        [[_rand_elem(rng) for _ in range(4)]], dtype=np.uint64
+    )
+    op.proof.nodes = np.concatenate([op.proof.nodes, junk])
+    return Mutant("pad-opening-nodes", data=target.encode(proof))
 
 
 # -- object-level mutators (states the codec cannot express) -------------------
@@ -518,6 +544,8 @@ MUTATORS: Dict[str, Callable[[FuzzTarget, np.random.Generator], Optional[Mutant]
     "perturb-final-value": perturb_final_value,
     "perturb-claimed-sum": perturb_claimed_sum,
     "perturb-z-opening": perturb_z_opening,
+    "drop-opened-row": drop_opened_row,
+    "pad-opening-nodes": pad_opening_nodes,
     "mismatch-initial-proofs": mismatch_initial_proofs,
     "scalar-pair-leaf": scalar_pair_leaf,
 }

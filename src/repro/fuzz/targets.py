@@ -32,7 +32,7 @@ from ..hyperplonk import prove as hp_prove, setup as hp_setup, verify as hp_veri
 from ..plonk import CircuitBuilder, PlonkError
 from ..plonk import prove as plonk_prove, setup as plonk_setup, verify as plonk_verify
 from ..protocols import names as _protocol_names
-from ..serialize import PROOF_FORMAT_VERSION, proof_from_blob, proof_to_blob
+from ..serialize import proof_format_version, proof_from_blob, proof_to_blob
 from ..stark import StarkError
 from ..stark import prove as stark_prove, verify as stark_verify
 from ..workloads import by_name
@@ -53,8 +53,16 @@ TYPED_REJECTIONS: Tuple[type, ...] = (
 #: Protocols the fuzzer targets: every registered proof backend.
 PROTOCOLS = _protocol_names()
 
-#: Blob framing identifier recorded in finding artifacts.
-PROOF_FORMAT = f"uzkp-v{PROOF_FORMAT_VERSION}"
+
+def proof_format_tag(protocol: str) -> str:
+    """Blob framing identifier recorded in finding artifacts.
+
+    Format versions are per protocol (the hyperplonk body moved to v2
+    with batched openings), so the tag carries the protocol's own
+    version rather than one blob-wide constant.
+    """
+    return f"uzkp-v{proof_format_version(protocol)}"
+
 
 _STARK_CONFIG = FriConfig(
     rate_bits=1, cap_height=1, num_queries=4, proof_of_work_bits=2, final_poly_len=4
@@ -75,7 +83,7 @@ class FuzzTarget:
     decode: Callable[[bytes], object]
     encode: Callable[[object], bytes]
     run_verify: Callable[[object], None]  # raises a typed error to reject
-    proof_format: str = PROOF_FORMAT  # blob framing, for artifacts
+    proof_format: str = "uzkp-v1"  # blob framing, for artifacts
 
 
 def _codecs(protocol: str):
@@ -116,6 +124,7 @@ def stark_target() -> FuzzTarget:
     run_verify(proof)  # sanity: the honest proof must pass
     return FuzzTarget(
         protocol="stark",
+        proof_format=proof_format_tag("stark"),
         blob=encode(proof),
         alt_blob=encode(alt_proof),
         decode=decode,
@@ -139,6 +148,7 @@ def plonk_target() -> FuzzTarget:
     run_verify(proof)
     return FuzzTarget(
         protocol="plonk",
+        proof_format=proof_format_tag("plonk"),
         blob=encode(proof),
         alt_blob=encode(alt_proof),
         decode=decode,
@@ -162,6 +172,7 @@ def hyperplonk_target() -> FuzzTarget:
     run_verify(proof)
     return FuzzTarget(
         protocol="hyperplonk",
+        proof_format=proof_format_tag("hyperplonk"),
         blob=encode(proof),
         alt_blob=encode(alt_proof),
         decode=decode,

@@ -8,12 +8,10 @@ queries over the committed sumcheck levels.
 """
 
 from .proof import (
-    HyperPlonkBaseOpening,
     HyperPlonkConfig,
     HyperPlonkData,
-    HyperPlonkLevelOpening,
     HyperPlonkProof,
-    HyperPlonkQueryRound,
+    HyperPlonkTreeOpening,
     HyperPlonkVerifierData,
 )
 from .prover import prove, setup
@@ -24,9 +22,7 @@ __all__ = [
     "HyperPlonkData",
     "HyperPlonkVerifierData",
     "HyperPlonkProof",
-    "HyperPlonkQueryRound",
-    "HyperPlonkBaseOpening",
-    "HyperPlonkLevelOpening",
+    "HyperPlonkTreeOpening",
     "HyperPlonkError",
     "setup",
     "prove",

@@ -6,16 +6,25 @@ table, and the proof carries caps, the sumcheck transcript, the
 per-round folded-level caps, and the query-time spot-check openings.
 There is no FRI proof and no quotient commitment -- the evaluation
 argument is the committed sumcheck itself.
+
+Query openings are *batched per tree* (format v2): instead of one
+authentication path per opened leaf per query, each committed tree
+ships a single :class:`HyperPlonkTreeOpening` -- the deduplicated
+sorted index set, the opened leaf rows, and one
+:class:`~repro.merkle.MerkleMultiProof` whose sibling nodes are shared
+across every query that touches the tree.  The verifier re-derives the
+expected index set from the transcript, so the indices carried here are
+purely structural (they pin the row order) and any divergence rejects.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import List, Sequence, Set, Tuple
 
 import numpy as np
 
-from ..merkle import MerkleProof, MerkleTree
+from ..merkle import MerkleMultiProof, MerkleTree
 from ..plonk.circuit import Circuit
 from ..sumcheck import SumcheckProof
 
@@ -77,82 +86,97 @@ class HyperPlonkVerifierData:
     config: HyperPlonkConfig
 
 
-def _path_bytes(proof: MerkleProof) -> int:
-    return int(proof.siblings.shape[0]) * DIGEST_BYTES
+def query_index_sets(
+    indices: Sequence[int], n: int, num_levels: int
+) -> Tuple[Set[int], Set[int], List[Set[int]]]:
+    """The deduplicated index sets every query touches, per tree.
+
+    Both the prover (to gather the batched openings) and the verifier
+    (to re-derive the expected sets from the transcript) walk the same
+    fold chains: query ``j`` (sampled over ``[0, n/2)``) opens the base
+    pair ``(j, j + n/2)`` of the preprocessed / wires trees, the Z tree
+    additionally at both next-row positions, and level ``k``'s pair
+    ``(p, p + half_k)`` where ``p = j mod half_k``.
+
+    Returns ``(base_set, z_set, level_sets)`` -- the preprocessed and
+    wires trees share ``base_set``.
+    """
+    base: Set[int] = set()
+    z: Set[int] = set()
+    levels: List[Set[int]] = [set() for _ in range(num_levels)]
+    for j in indices:
+        j = int(j)
+        lo, hi = j, j + n // 2
+        base.update((lo, hi))
+        z.update((lo, (lo + 1) % n, hi, (hi + 1) % n))
+        pos = j
+        for k in range(num_levels):
+            half = (n // 4) >> k
+            p = pos % half
+            levels[k].update((p, p + half))
+            pos = p
+    return base, z, levels
 
 
 @dataclass
-class HyperPlonkBaseOpening:
-    """Openings of the base commitments at one hypercube row.
+class HyperPlonkTreeOpening:
+    """All of one tree's query openings, batched into a multiproof.
 
-    ``z_next`` opens row ``(pos + 1) % n`` of the Z commitment so the
-    verifier can recompute the wrap-around permutation constraint.
+    ``rows`` holds the opened leaf rows in ascending index order --
+    row ``k`` is the leaf at ``proof.indices[k]``.  The multiproof's
+    sibling nodes are deduplicated across the whole index set, which is
+    where the v2 format's proof-size win over per-query individual
+    paths comes from.
     """
 
-    pre_row: np.ndarray  # (8,): 5 selectors + 3 sigma labels
-    pre_proof: MerkleProof
-    wires_row: np.ndarray  # (3,)
-    wires_proof: MerkleProof
-    z_value: int
-    z_proof: MerkleProof
-    z_next_value: int
-    z_next_proof: MerkleProof
+    rows: np.ndarray  # (k, leaf_width), ascending proof.indices order
+    proof: MerkleMultiProof
 
     def size_bytes(self) -> int:
-        """Payload bytes: opened rows/values plus four Merkle paths."""
-        total = (8 + 3 + 2) * ELEM_BYTES
-        for proof in (self.pre_proof, self.wires_proof, self.z_proof, self.z_next_proof):
-            total += _path_bytes(proof)
-        return total
-
-
-@dataclass
-class HyperPlonkLevelOpening:
-    """One folded level's spot check: the fold pair and its paths."""
-
-    low_value: int
-    high_value: int
-    low_proof: MerkleProof
-    high_proof: MerkleProof
-
-    def size_bytes(self) -> int:
-        """Payload bytes: the low/high pair plus both Merkle paths."""
-        return 2 * ELEM_BYTES + _path_bytes(self.low_proof) + _path_bytes(self.high_proof)
-
-
-@dataclass
-class HyperPlonkQueryRound:
-    """One fold-consistency query: base rows plus every committed level."""
-
-    index: int
-    base: List[HyperPlonkBaseOpening]  # the two base rows j, j + n/2
-    levels: List[HyperPlonkLevelOpening]  # one per committed folded level
-
-    def size_bytes(self) -> int:
-        """Payload bytes: query index plus base and level openings."""
-        total = 4  # the u32 query index
-        total += sum(b.size_bytes() for b in self.base)
-        total += sum(lv.size_bytes() for lv in self.levels)
-        return total
+        """Payload bytes: indices, opened rows, and shared path nodes."""
+        return (
+            4 * len(self.proof.indices)
+            + int(self.rows.size) * ELEM_BYTES
+            + self.proof.size_bytes()
+        )
 
 
 @dataclass
 class HyperPlonkProof:
-    """A complete sumcheck-native proof."""
+    """A complete sumcheck-native proof (batched-opening format v2)."""
 
     wires_cap: np.ndarray
     z_cap: np.ndarray
     public_inputs: List[int]
     sumcheck: SumcheckProof
     level_caps: List[np.ndarray]
-    query_rounds: List[HyperPlonkQueryRound]
+    #: Batched openings: preprocessed / wires / Z base trees, then one
+    #: entry per committed fold level (same order as ``level_caps``).
+    pre_opening: HyperPlonkTreeOpening
+    wires_opening: HyperPlonkTreeOpening
+    z_opening: HyperPlonkTreeOpening
+    level_openings: List[HyperPlonkTreeOpening]
+
+    def tree_openings(self) -> List[HyperPlonkTreeOpening]:
+        """Every tree opening, base trees first then fold levels.
+
+        (Named ``tree_openings`` rather than ``openings`` because the
+        FRI-family proofs carry an ``openings`` *attribute* the fuzzer
+        duck-types on.)
+        """
+        return [
+            self.pre_opening,
+            self.wires_opening,
+            self.z_opening,
+            *self.level_openings,
+        ]
 
     def size_bytes(self) -> int:
-        """Serialized proof size (caps + sumcheck rounds + queries)."""
+        """Serialized proof size (caps + sumcheck rounds + openings)."""
         total = 0
         for cap in (self.wires_cap, self.z_cap, *self.level_caps):
             total += int(np.atleast_2d(cap).shape[0]) * DIGEST_BYTES
         total += len(self.public_inputs) * ELEM_BYTES
         total += (2 + 2 * len(self.sumcheck.round_values)) * ELEM_BYTES
-        total += sum(qr.size_bytes() for qr in self.query_rounds)
+        total += sum(op.size_bytes() for op in self.tree_openings())
         return total

@@ -21,12 +21,22 @@ The hot path executes **zero NTT butterflies** (asserted in CI):
    indicator so ``sum_x eq(tau, x) C(x) = 0`` implies ``C == 0`` whp
    (Schwartz-Zippel over the random ``tau``);
 4. a *committed* sumcheck over ``Q = eq(tau, .) * C``: every folded
-   level is Merkle-committed (``on_fold`` hook) so the verifier can
-   spot-check fold consistency, Basefold-style, tying the final value
-   to the base commitments;
-5. query rounds: random positions where the verifier recomputes ``Q``
-   from openings of the preprocessed / wires / Z commitments and walks
-   the fold chain down the committed levels.
+   level is Merkle-committed so the verifier can spot-check fold
+   consistency, Basefold-style, tying the final value to the base
+   commitments;
+5. batched query openings: the transcript pins random positions, and
+   every committed tree ships one deduplicated multiproof covering all
+   the rows those positions touch.
+
+With a shard pool active (:func:`repro.parallel.current_pool`, or the
+``pool`` argument), the hashing-bound stages fan out: the wires / Z
+commitments run as ``merkle_subtree``/``merkle_top`` shard graphs, and
+each sumcheck round's fold + fold-level commit is one fused graph
+(``sumcheck_fold`` row shards feeding Merkle shards).  Fiat-Shamir
+stays pinned in the coordinator between graph runs -- challenges are
+squeezed before a graph is built and caps observed after it runs -- so
+sharded proofs are bit-identical to serial (same digests, same op
+counters).
 
 No quotient polynomial, no coset division, no FRI -- proof size is
 traded for a prover that is all element-wise kernels, sums, and
@@ -35,25 +45,24 @@ hashing.
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict, Iterable, List, Tuple
 
 import numpy as np
 
-from .. import tracing
+from .. import parallel, tracing
 from ..field import gl64, goldilocks as gl
 from ..hashing import Challenger
-from ..merkle import MerkleTree
+from ..merkle import MerkleTree, prove_multi
 from ..pcs import MultilinearPCS, eq_table
 from ..plonk.circuit import Circuit
 from ..plonk.permutation import compute_z, id_values, sigma_values
-from ..sumcheck import prove as sumcheck_prove
+from ..sumcheck import SumcheckProof, fold_table, prove as sumcheck_prove
 from .proof import (
-    HyperPlonkBaseOpening,
     HyperPlonkConfig,
     HyperPlonkData,
-    HyperPlonkLevelOpening,
     HyperPlonkProof,
-    HyperPlonkQueryRound,
+    HyperPlonkTreeOpening,
+    query_index_sets,
 )
 
 
@@ -62,7 +71,9 @@ def setup(circuit: Circuit, config: HyperPlonkConfig) -> HyperPlonkData:
 
     Unlike the univariate setup there is no low-degree extension -- the
     leaves are the ``(n, 8)`` subgroup rows themselves, so even setup
-    runs NTT-free.
+    runs NTT-free.  The commitment deliberately stays serial (no
+    ``slot``): setup artifacts outlive any one proof, and a shard-arena
+    slot would be recycled by the next same-shape commit.
     """
     sigmas = sigma_values(circuit)
     ids = id_values(circuit.n)
@@ -125,73 +136,83 @@ def _constraint_table(
     )
 
 
-def _base_opening(
-    data: HyperPlonkData,
-    wires_tree: MerkleTree,
-    z_tree: MerkleTree,
-    pos: int,
-    n: int,
-) -> HyperPlonkBaseOpening:
-    """Open every base commitment at row ``pos`` (plus Z at ``pos+1``)."""
-    nxt = (pos + 1) % n
-    return HyperPlonkBaseOpening(
-        pre_row=data.preprocessed.leaves[pos].copy(),
-        pre_proof=data.preprocessed.prove(pos),
-        wires_row=wires_tree.leaves[pos].copy(),
-        wires_proof=wires_tree.prove(pos),
-        z_value=int(z_tree.leaves[pos][0]),
-        z_proof=z_tree.prove(pos),
-        z_next_value=int(z_tree.leaves[nxt][0]),
-        z_next_proof=z_tree.prove(nxt),
+def _sharded_committed_sumcheck(
+    pool,
+    pcs: MultilinearPCS,
+    q_table: np.ndarray,
+    challenger: Challenger,
+    cap_height: int,
+) -> Tuple[SumcheckProof, List[MerkleTree]]:
+    """The committed sumcheck with each round's fold + commit sharded.
+
+    Mirrors :func:`repro.sumcheck.prove` round by round -- same sums,
+    same transcript order -- but runs each fold and its fold-level
+    Merkle commit as one fused shard graph
+    (:func:`repro.parallel.ops.sharded_sumcheck_round`).  The
+    challenger never leaves the coordinator: ``r`` is squeezed before
+    the round's graph is built, the finished cap observed after it
+    runs.  Rounds below the pool's sharding threshold take the serial
+    tail (``fold_table`` + :meth:`MultilinearPCS.commit`), which is
+    bit-identical by construction.
+    """
+    from ..parallel import ops as par_ops
+
+    claimed = int(gl64.sum_array(q_table))
+    challenger.observe_element(claimed)
+    rounds: List[Tuple[int, int]] = []
+    level_trees: List[MerkleTree] = []
+    table = par_ops.sumcheck_table_buffer(pool, q_table)
+    level = 0
+    while table.shape[0] > 1:
+        half = table.shape[0] // 2
+        y0 = int(gl64.sum_array(table[:half]))
+        y1 = int(gl64.sum_array(table[half:]))
+        rounds.append((y0, y1))
+        challenger.observe_element(y0)
+        challenger.observe_element(y1)
+        r = challenger.get_challenge()
+        if half >= max(2, pool.min_rows):
+            with tracing.span(
+                "pcs:commit", category="commit", label="fold", rows=half
+            ):
+                table, tree = par_ops.sharded_sumcheck_round(
+                    pool, table, r, level, cap_height
+                )
+        else:
+            table = fold_table(np.asarray(table), r)
+            tree = pcs.commit(table, "fold") if table.shape[0] > 1 else None
+        if tree is not None:
+            level_trees.append(tree)
+            challenger.observe_cap(tree.cap)
+        level += 1
+    final = int(np.asarray(table).reshape(-1)[0])
+    return (
+        SumcheckProof(claimed_sum=claimed, round_values=rounds, final_value=final),
+        level_trees,
     )
 
 
-def _query_round(
-    data: HyperPlonkData,
-    wires_tree: MerkleTree,
-    z_tree: MerkleTree,
-    level_trees: List[MerkleTree],
-    index: int,
-    n: int,
-) -> HyperPlonkQueryRound:
-    """Assemble one fold-consistency query at transcript index ``index``.
-
-    The base pair ``(j, j + n/2)`` determines ``T1[j]`` after the first
-    fold; each committed level then opens the pair that folds into the
-    next level's checked position, mirroring a FRI query walk.
-    """
-    j = index % (n // 2)
-    base = [
-        _base_opening(data, wires_tree, z_tree, j, n),
-        _base_opening(data, wires_tree, z_tree, j + n // 2, n),
-    ]
-    levels = []
-    pos = j
-    for tree in level_trees:
-        half = tree.num_leaves() // 2
-        p = pos % half
-        levels.append(
-            HyperPlonkLevelOpening(
-                low_value=int(tree.leaves[p][0]),
-                high_value=int(tree.leaves[p + half][0]),
-                low_proof=tree.prove(p),
-                high_proof=tree.prove(p + half),
-            )
-        )
-        pos = p
-    return HyperPlonkQueryRound(index=index, base=base, levels=levels)
+def _tree_opening(tree: MerkleTree, indices: Iterable[int]) -> HyperPlonkTreeOpening:
+    """Batch-open one tree at a deduplicated index set (pure reads)."""
+    idx = sorted({int(i) for i in indices})
+    rows = np.stack([tree.leaves[i] for i in idx])
+    return HyperPlonkTreeOpening(rows=rows, proof=prove_multi(tree, idx))
 
 
 def prove(
     data: HyperPlonkData,
     inputs: Dict[int, int],
     challenger: Challenger | None = None,
+    pool=None,
 ) -> HyperPlonkProof:
     """Generate a HyperPlonk-lite proof for the given input assignment.
 
     ``inputs`` maps variable indices to values, exactly as
     :func:`repro.plonk.prove` -- the two backends prove the same
-    circuits.
+    circuits.  ``pool`` scopes a shard pool for the duration of the
+    proof (``None`` inherits the ambient
+    :func:`repro.parallel.current_pool`, so ``prove --workers`` callers
+    that set the context variable need not pass it).
     """
     circuit = data.circuit
     config = data.config
@@ -200,7 +221,9 @@ def prove(
     challenger = challenger or Challenger()
     pcs = MultilinearPCS(config.cap_height)
 
-    with tracing.span("prove:hyperplonk", category="prove", n=n):
+    with parallel.maybe_sharding(pool) as eff, tracing.span(
+        "prove:hyperplonk", category="prove", n=n
+    ):
         with tracing.span("witness", category="witness"):
             witness = circuit.generate_witness(inputs)
             wires = circuit.wire_values(witness)  # (3, n)
@@ -210,7 +233,9 @@ def prove(
         challenger.observe_elements(np.asarray(public_values, dtype=np.uint64))
 
         with tracing.span("commit:wires", category="commit"):
-            wires_tree = pcs.commit(np.ascontiguousarray(wires.T), "wires")
+            wires_tree = pcs.commit(
+                np.ascontiguousarray(wires.T), "wires", slot="hp:wires"
+            )
         challenger.observe_cap(wires_tree.cap)
 
         beta = challenger.get_challenge()
@@ -218,7 +243,7 @@ def prove(
         with tracing.span("permutation", category="permutation"):
             z, f, g = compute_z(wires, data.ids, data.sigmas, beta, gamma)
         with tracing.span("commit:z", category="commit"):
-            z_tree = pcs.commit(z, "z")
+            z_tree = pcs.commit(z, "z", slot="hp:z")
         challenger.observe_cap(z_tree.cap)
 
         alpha = challenger.get_challenge()
@@ -230,22 +255,36 @@ def prove(
 
         # Committed sumcheck: Merkle-commit every folded level (down to
         # size 2) and bind its cap before the next round's values.
-        level_trees: List[MerkleTree] = []
-
-        def commit_level(_round: int, folded: np.ndarray) -> None:
-            if folded.shape[0] > 1:
-                tree = pcs.commit(folded, "fold")
-                level_trees.append(tree)
-                challenger.observe_cap(tree.cap)
-
         with tracing.span("sumcheck", category="sumcheck"):
-            sc_proof = sumcheck_prove(q_table, challenger, on_fold=commit_level)
+            if eff is not None and eff.parallel and n // 2 >= max(2, eff.min_rows):
+                sc_proof, level_trees = _sharded_committed_sumcheck(
+                    eff, pcs, q_table, challenger, config.cap_height
+                )
+            else:
+                level_trees = []
+
+                def commit_level(_round: int, folded: np.ndarray) -> None:
+                    if folded.shape[0] > 1:
+                        tree = pcs.commit(folded, "fold")
+                        level_trees.append(tree)
+                        challenger.observe_cap(tree.cap)
+
+                sc_proof = sumcheck_prove(q_table, challenger, on_fold=commit_level)
 
         with tracing.span("queries", category="open"):
-            indices = challenger.get_indices(config.num_queries, n)
-            query_rounds = [
-                _query_round(data, wires_tree, z_tree, level_trees, idx, n)
-                for idx in indices
+            # Queries sample the pair index j directly: position pairs
+            # (j, j + n/2) are what the fold walk consumes, so the
+            # transcript draws over [0, n/2) instead of folding a
+            # [0, n) sample down.
+            indices = challenger.get_indices(config.num_queries, n // 2)
+            base_set, z_set, level_sets = query_index_sets(
+                indices, n, len(level_trees)
+            )
+            pre_opening = _tree_opening(data.preprocessed, base_set)
+            wires_opening = _tree_opening(wires_tree, base_set)
+            z_opening = _tree_opening(z_tree, z_set)
+            level_openings = [
+                _tree_opening(tree, s) for tree, s in zip(level_trees, level_sets)
             ]
 
     return HyperPlonkProof(
@@ -254,5 +293,8 @@ def prove(
         public_inputs=public_values,
         sumcheck=sc_proof,
         level_caps=[t.cap.copy() for t in level_trees],
-        query_rounds=query_rounds,
+        pre_opening=pre_opening,
+        wires_opening=wires_opening,
+        z_opening=z_opening,
+        level_openings=level_openings,
     )

@@ -5,10 +5,17 @@ spends its queries on *fold-consistency* spot checks: at each random
 position the batched constraint value ``Q`` is recomputed from scratch
 out of openings of the preprocessed / wires / Z commitments, and the
 chain ``Q -> T1 -> T2 -> ... -> final_value`` is walked down the
-committed folded levels with the sumcheck challenges.  Any tampering
-with the round polynomials, the committed tables, or the openings
-breaks either the running-claim check (in :func:`repro.sumcheck.verify`)
-or one of the Merkle / fold-consistency checks here.
+committed folded levels with the sumcheck challenges.
+
+Openings arrive batched per tree (format v2): the verifier re-derives
+every index each query touches from the transcript
+(:func:`~repro.hyperplonk.proof.query_index_sets`), demands that each
+tree's multiproof covers exactly that sorted set, and checks the whole
+set against the cap in one :func:`repro.merkle.verify_multi` pass.  Any
+tampering with the round polynomials, the committed tables, or the
+openings breaks either the running-claim check (in
+:func:`repro.sumcheck.verify`) or one of the Merkle /
+fold-consistency checks here.
 
 All rejection paths raise :class:`HyperPlonkError` (or a ``ValueError``
 subclass from a decoder) -- the typed-rejection contract the fuzzer
@@ -17,17 +24,22 @@ enforces across every registered protocol.
 
 from __future__ import annotations
 
-from typing import List, Sequence
+from typing import Dict, Iterable, Sequence
 
 import numpy as np
 
 from ..field import goldilocks as gl
 from ..hashing import Challenger
-from ..merkle import verify_proof
+from ..merkle import MerkleMultiProof, verify_multi
 from ..pcs import eq_at
 from ..plonk.permutation import coset_representatives
 from ..sumcheck import SumcheckError, verify as sumcheck_verify
-from .proof import HyperPlonkProof, HyperPlonkQueryRound, HyperPlonkVerifierData
+from .proof import (
+    HyperPlonkProof,
+    HyperPlonkTreeOpening,
+    HyperPlonkVerifierData,
+    query_index_sets,
+)
 
 
 class HyperPlonkError(Exception):
@@ -58,20 +70,51 @@ def _check_cap(cap: np.ndarray, what: str) -> np.ndarray:
     return cap
 
 
-def _check_row(values: np.ndarray, width: int, what: str) -> np.ndarray:
+def _check_opening(
+    opening: HyperPlonkTreeOpening,
+    expected: Iterable[int],
+    width: int,
+    cap: np.ndarray,
+    num_leaves: int,
+    cap_height: int,
+    what: str,
+) -> Dict[int, np.ndarray]:
+    """Validate one tree's batched opening; returns ``index -> row``.
+
+    The index set is *derived*, never trusted: the multiproof must open
+    exactly the sorted positions the transcript's queries touch, with
+    one ``width``-wide row per position, and the whole set must
+    authenticate against the tree's cap.
+    """
+    expected_idx = tuple(sorted({int(i) for i in expected}))
     try:
-        row = np.asarray(values, dtype=np.uint64).reshape(-1)
+        indices = tuple(int(i) for i in opening.proof.indices)
+        rows = np.asarray(opening.rows, dtype=np.uint64)
+        nodes = np.asarray(opening.proof.nodes, dtype=np.uint64)
     except (TypeError, ValueError, OverflowError) as exc:
         raise HyperPlonkError(f"malformed {what}") from exc
-    if row.size != width:
-        raise HyperPlonkError(f"{what} has wrong width")
-    return row
+    if indices != expected_idx:
+        raise HyperPlonkError(f"{what} does not open the queried indices")
+    if rows.ndim != 2 or rows.shape != (len(expected_idx), width):
+        raise HyperPlonkError(f"{what} has wrong shape")
+    if nodes.ndim != 2 or nodes.shape[1] != 4:
+        raise HyperPlonkError(f"malformed {what}")
+    depth = num_leaves.bit_length() - 1
+    if cap.shape[0] != 1 << min(cap_height, depth):
+        raise HyperPlonkError(f"{what} cap has the wrong height")
+    leaves = {idx: rows[k] for k, idx in enumerate(expected_idx)}
+    clean = MerkleMultiProof(indices=expected_idx, nodes=nodes)
+    if not verify_multi(leaves, clean, cap, depth, min(cap_height, depth)):
+        raise HyperPlonkError(f"{what} fails its Merkle check")
+    return leaves
 
 
 def _base_q_value(
     vdata: HyperPlonkVerifierData,
-    proof: HyperPlonkProof,
-    opening,
+    pre_row: np.ndarray,
+    wires_row: np.ndarray,
+    z_val: int,
+    z_next: int,
     pos: int,
     pi_map: dict,
     beta: int,
@@ -79,28 +122,8 @@ def _base_q_value(
     alpha: int,
     tau: Sequence[int],
 ) -> int:
-    """Recompute ``Q[pos] = eq(tau, pos) * C[pos]`` from base openings."""
+    """Recompute ``Q[pos] = eq(tau, pos) * C[pos]`` from opened rows."""
     n = vdata.n
-    pre_row = _check_row(opening.pre_row, 8, "preprocessed opening")
-    wires_row = _check_row(opening.wires_row, 3, "wires opening")
-    z_val = _check_elem(opening.z_value, "Z opening")
-    z_next = _check_elem(opening.z_next_value, "Z-next opening")
-    if not verify_proof(pre_row, pos, opening.pre_proof, vdata.preprocessed_cap):
-        raise HyperPlonkError("preprocessed opening fails its Merkle check")
-    if not verify_proof(wires_row, pos, opening.wires_proof, proof.wires_cap):
-        raise HyperPlonkError("wires opening fails its Merkle check")
-    if not verify_proof(
-        np.array([z_val], dtype=np.uint64), pos, opening.z_proof, proof.z_cap
-    ):
-        raise HyperPlonkError("Z opening fails its Merkle check")
-    if not verify_proof(
-        np.array([z_next], dtype=np.uint64),
-        (pos + 1) % n,
-        opening.z_next_proof,
-        proof.z_cap,
-    ):
-        raise HyperPlonkError("Z-next opening fails its Merkle check")
-
     sel = [int(x) for x in pre_row[:5]]
     sig = [int(x) for x in pre_row[5:8]]
     w = [int(x) for x in wires_row]
@@ -130,52 +153,6 @@ def _base_q_value(
         gl.mul(gl.mul(alpha, alpha), l0),
     )
     return gl.mul(eq_at(tau, pos), c_val)
-
-
-def _check_query_round(
-    vdata: HyperPlonkVerifierData,
-    proof: HyperPlonkProof,
-    qr: HyperPlonkQueryRound,
-    rs: List[int],
-    pi_map: dict,
-    beta: int,
-    gamma: int,
-    alpha: int,
-    tau: Sequence[int],
-    level_caps: List[np.ndarray],
-) -> None:
-    """Walk one query's fold chain from the base tables to the final value."""
-    n = vdata.n
-    j = qr.index % (n // 2)
-    if len(qr.base) != 2:
-        raise HyperPlonkError("query round must open exactly two base rows")
-    q_lo = _base_q_value(vdata, proof, qr.base[0], j, pi_map, beta, gamma, alpha, tau)
-    q_hi = _base_q_value(
-        vdata, proof, qr.base[1], j + n // 2, pi_map, beta, gamma, alpha, tau
-    )
-    cur = gl.add(gl.mul(q_lo, gl.sub(1, rs[0])), gl.mul(q_hi, rs[0]))
-    if len(qr.levels) != len(level_caps):
-        raise HyperPlonkError("query round has the wrong number of levels")
-    pos = j
-    for k, (lvl, cap) in enumerate(zip(qr.levels, level_caps)):
-        m = (n // 2) >> k  # committed table size at this level
-        half = m // 2
-        p = pos % half
-        lo = _check_elem(lvl.low_value, "fold-level opening")
-        hi = _check_elem(lvl.high_value, "fold-level opening")
-        if not verify_proof(np.array([lo], dtype=np.uint64), p, lvl.low_proof, cap):
-            raise HyperPlonkError("fold-level opening fails its Merkle check")
-        if not verify_proof(
-            np.array([hi], dtype=np.uint64), p + half, lvl.high_proof, cap
-        ):
-            raise HyperPlonkError("fold-level opening fails its Merkle check")
-        mine = lo if pos == p else hi
-        if gl.canonical(mine) != cur:
-            raise HyperPlonkError("fold consistency check failed")
-        cur = gl.add(gl.mul(lo, gl.sub(1, rs[k + 1])), gl.mul(hi, rs[k + 1]))
-        pos = p
-    if cur != gl.canonical(proof.sumcheck.final_value):
-        raise HyperPlonkError("fold chain does not reach the sumcheck final value")
 
 
 def verify(
@@ -218,7 +195,7 @@ def verify(
     ]
 
     def absorb_level(k: int, _r: int) -> None:
-        # Mirror of the prover's on_fold commitment: levels of size > 1
+        # Mirror of the prover's per-fold commitment: levels of size > 1
         # exist for every round but the last.
         if k < v - 1:
             challenger.observe_cap(level_caps[k])
@@ -228,13 +205,57 @@ def verify(
     except SumcheckError as exc:
         raise HyperPlonkError(f"sumcheck transcript rejected: {exc}") from exc
 
-    indices = challenger.get_indices(config.num_queries, n)
-    if len(proof.query_rounds) != config.num_queries:
-        raise HyperPlonkError("wrong number of query rounds")
-    for expected, qr in zip(indices, proof.query_rounds):
-        if qr.index != expected:
-            raise HyperPlonkError("query index does not match the transcript")
-        _check_query_round(
-            vdata, proof, qr, rs, pi_map, beta, gamma, alpha, tau, level_caps
+    # Queries sample the pair index j in [0, n/2) directly (the fold
+    # walk only ever consumes the pair (j, j + n/2)).
+    indices = challenger.get_indices(config.num_queries, n // 2)
+    num_levels = v - 1
+    if len(proof.level_openings) != num_levels:
+        raise HyperPlonkError("wrong number of fold-level openings")
+    base_set, z_set, level_sets = query_index_sets(indices, n, num_levels)
+
+    ch = config.cap_height
+    pre_map = _check_opening(
+        proof.pre_opening, base_set, 8, vdata.preprocessed_cap, n, ch,
+        "preprocessed opening",
+    )
+    wires_map = _check_opening(
+        proof.wires_opening, base_set, 3, wires_cap, n, ch, "wires opening"
+    )
+    z_map = _check_opening(proof.z_opening, z_set, 1, z_cap, n, ch, "Z opening")
+    level_maps = []
+    for k, (op, cap, s) in enumerate(
+        zip(proof.level_openings, level_caps, level_sets)
+    ):
+        level_maps.append(
+            _check_opening(op, s, 1, cap, (n // 2) >> k, ch, "fold-level opening")
         )
+
+    for j in indices:
+        lo_pos, hi_pos = j, j + n // 2
+        q_lo = _base_q_value(
+            vdata, pre_map[lo_pos], wires_map[lo_pos],
+            int(z_map[lo_pos][0]), int(z_map[(lo_pos + 1) % n][0]),
+            lo_pos, pi_map, beta, gamma, alpha, tau,
+        )
+        q_hi = _base_q_value(
+            vdata, pre_map[hi_pos], wires_map[hi_pos],
+            int(z_map[hi_pos][0]), int(z_map[(hi_pos + 1) % n][0]),
+            hi_pos, pi_map, beta, gamma, alpha, tau,
+        )
+        cur = gl.add(gl.mul(q_lo, gl.sub(1, rs[0])), gl.mul(q_hi, rs[0]))
+        pos = j
+        for k in range(num_levels):
+            half = (n // 4) >> k
+            p = pos % half
+            lo = int(level_maps[k][p][0])
+            hi = int(level_maps[k][p + half][0])
+            mine = lo if pos == p else hi
+            if gl.canonical(mine) != cur:
+                raise HyperPlonkError("fold consistency check failed")
+            cur = gl.add(gl.mul(lo, gl.sub(1, rs[k + 1])), gl.mul(hi, rs[k + 1]))
+            pos = p
+        if cur != gl.canonical(proof.sumcheck.final_value):
+            raise HyperPlonkError(
+                "fold chain does not reach the sumcheck final value"
+            )
     return True

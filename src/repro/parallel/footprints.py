@@ -178,6 +178,17 @@ def _fp_merkle_top(args: Dict[str, Any]) -> List[Access]:
     return out
 
 
+def _fp_sumcheck_fold(args: Dict[str, Any]) -> List[Access]:
+    lo, hi = int(args["lo"]), int(args["hi"])
+    shape = _shape(args["src"])
+    half = (shape[0] // 2) if shape else 0
+    return (
+        _acc(args["src"], "r", axis=0, lo=lo, hi=hi)
+        + _acc(args["src"], "r", axis=0, lo=half + lo, hi=half + hi)
+        + _acc(args["out"], "w", axis=0, lo=lo, hi=hi)
+    )
+
+
 def _fp_fri_combine(args: Dict[str, Any]) -> List[Access]:
     lo, hi = int(args["lo"]), int(args["hi"])
     out = _acc(args["out"], "w", axis=0, lo=lo, hi=hi)
@@ -207,6 +218,7 @@ FOOTPRINTS: Dict[str, Callable[[Dict[str, Any]], List[Access]]] = {
     "intt_limb": _fp_intt_limb,
     "merkle_subtree": _fp_merkle_subtree,
     "merkle_top": _fp_merkle_top,
+    "sumcheck_fold": _fp_sumcheck_fold,
     "fri_combine": _fp_fri_combine,
     "fri_queries": _fp_fri_queries,
 }

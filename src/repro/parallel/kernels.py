@@ -165,6 +165,28 @@ def merkle_top(args: Dict[str, Any]):
     return None
 
 
+def sumcheck_fold_range(args: Dict[str, Any]):
+    """Fold rows ``[lo, hi)`` of one sumcheck round into ``out``.
+
+    A row-range restriction of :func:`repro.sumcheck.fold_table`:
+    output row ``j`` depends only on source rows ``j`` and
+    ``j + half``, so a shard reads the aligned pair of source ranges
+    and writes its own disjoint output range.  The fold is pure
+    ``gl64`` element-wise arithmetic (never counted by the op
+    counters), so sharding perturbs neither digests nor counter
+    goldens -- the folded table is bit-identical to the serial fold.
+    """
+    from ..sumcheck import fold_table
+
+    src = resolve(args["src"])
+    out = resolve(args["out"])
+    lo, hi = int(args["lo"]), int(args["hi"])
+    half = src.shape[0] // 2
+    block = np.concatenate([src[lo:hi], src[half + lo : half + hi]])
+    out[lo:hi] = fold_table(block, int(args["r"]))
+    return None
+
+
 def fri_combine_range(args: Dict[str, Any]):
     """Rows ``[lo, hi)`` of the combined FRI quotient values.
 
@@ -239,6 +261,7 @@ KERNELS: Dict[str, Callable[[Dict[str, Any]], Any]] = {
     "intt_limb": coset_intt_limb,
     "merkle_subtree": merkle_subtree,
     "merkle_top": merkle_top,
+    "sumcheck_fold": sumcheck_fold_range,
     "fri_combine": fri_combine_range,
     "fri_queries": fri_query_chunk,
 }

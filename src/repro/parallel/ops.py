@@ -334,6 +334,129 @@ def sharded_commit_quotient(
     return finish()
 
 
+def multilinear_commit_graph(pool, rows: np.ndarray, cap_height: int, slot: str):
+    """Build (don't run) a multilinear-PCS commit graph.
+
+    The hypercube evaluation rows *are* the leaves (no LDE stage, the
+    whole point of the sumcheck-native path), so the graph is pure
+    Merkle work: aligned ``merkle_subtree`` shards plus the
+    ``merkle_top`` cap climb.  Returns ``(graph, finish)``;
+    ``finish()`` wraps the shard-filled arena into a
+    :class:`~repro.merkle.MerkleTree` without re-hashing.
+    """
+    from ..hashing import sponge
+    from ..merkle.tree import MerkleTree, level_sizes
+
+    rows = np.atleast_2d(np.asarray(rows, dtype=np.uint64))
+    n = rows.shape[0]
+    leaves = _buf(pool, rows.shape, f"{slot}:leaves")
+    leaves[:] = rows
+    sizes = level_sizes(n, cap_height)
+    arena = _buf(pool, (sum(sizes), sponge.DIGEST_LEN), f"{slot}:tree")
+    graph = ShardGraph(f"mlpcs:{slot}")
+    _add_merkle_shards(
+        pool,
+        graph,
+        slot,
+        {"arena": _out_ref(pool, arena), "sizes": sizes, "leaves": _out_ref(pool, leaves)},
+        n,
+        rows.shape[1],
+        deps=(),
+    )
+
+    def finish():
+        return MerkleTree.from_levels(leaves, cap_height, arena, sizes)
+
+    return graph, finish
+
+
+def sharded_multilinear_commit(pool, rows: np.ndarray, cap_height: int, slot: str):
+    """Sharded :meth:`repro.pcs.MultilinearPCS.commit` (bit-identical)."""
+    graph, finish = multilinear_commit_graph(pool, rows, cap_height, slot)
+    pool.run(graph)
+    return finish()
+
+
+def sumcheck_table_buffer(pool, table: np.ndarray, slot: str = "sumcheck:q") -> np.ndarray:
+    """Copy a sumcheck table into a shard-visible ``(n, 1)`` buffer.
+
+    The column shape matches what the fold-level Merkle commits expect
+    as leaves, so each round's output buffer doubles as the committed
+    level's leaf matrix with no reshuffling.
+    """
+    table = np.asarray(table, dtype=np.uint64)
+    buf = _buf(pool, (table.shape[0], 1), slot)
+    buf[:] = table.reshape(-1, 1)
+    return buf
+
+
+def sumcheck_fold_graph(pool, table: np.ndarray, r: int, level: int, cap_height: int):
+    """Build (don't run) one sumcheck fold + fold-level commit graph.
+
+    ``table`` is the current ``(2m, 1)`` round table in a shard-visible
+    buffer; the graph fans the fold ``out[j] = table[j] (1-r) +
+    table[j+m] r`` across ``sumcheck_fold`` row-range shards, and --
+    when the folded level has more than one row -- feeds the fold
+    shards straight into the level's Merkle subtree shards (the fused
+    per-round pipeline; no barrier between fold and hash).  Returns
+    ``(graph, out, finish)`` where ``finish()`` is the committed
+    :class:`~repro.merkle.MerkleTree`, or ``None`` for the final
+    single-row level.
+
+    Fiat-Shamir discipline: ``r`` was squeezed by the coordinator
+    *before* this graph is built, and the coordinator observes the
+    finished cap after the run -- workers never see a challenger.
+    """
+    from ..hashing import sponge
+    from ..merkle.tree import MerkleTree, level_sizes
+
+    half = table.shape[0] // 2
+    out = _buf(pool, (half, 1), f"sumcheck:lvl{level}")
+    graph = ShardGraph(f"sumcheck:round{level}")
+    fold_ids = []
+    for i, (lo, hi) in enumerate(_split(half, pool.workers)):
+        fold_ids.append(
+            graph.add(
+                f"sc:fold{i}",
+                "sumcheck_fold",
+                {
+                    "src": _out_ref(pool, table),
+                    "out": _out_ref(pool, out),
+                    "lo": lo,
+                    "hi": hi,
+                    "r": int(r),
+                },
+                units=hi - lo,
+            )
+        )
+    if half <= 1:
+        return graph, out, (lambda: None)
+    cap = min(cap_height, half.bit_length() - 1)
+    sizes = level_sizes(half, cap)
+    arena = _buf(pool, (sum(sizes), sponge.DIGEST_LEN), f"sumcheck:tree{level}")
+    _add_merkle_shards(
+        pool,
+        graph,
+        f"sc:tree{level}",
+        {"arena": _out_ref(pool, arena), "sizes": sizes, "leaves": _out_ref(pool, out)},
+        half,
+        1,
+        deps=fold_ids,
+    )
+
+    def finish():
+        return MerkleTree.from_levels(out, cap, arena, sizes)
+
+    return graph, out, finish
+
+
+def sharded_sumcheck_round(pool, table: np.ndarray, r: int, level: int, cap_height: int):
+    """Run one fused fold+commit sumcheck round; returns ``(out, tree)``."""
+    graph, out, finish = sumcheck_fold_graph(pool, table, r, level, cap_height)
+    pool.run(graph)
+    return out, finish()
+
+
 def adopt_batch(pool, batch) -> Dict[str, Any]:
     """Worker-visible refs for a batch's values + tree arena.
 

@@ -249,6 +249,11 @@ class ShardPool:
         """Whether a batch commit of ``n_lde`` LDE rows is worth sharding."""
         return self.parallel and n_lde >= self.min_rows
 
+    def wants_tree(self, num_leaves: int) -> bool:
+        """Whether a bare Merkle commit (no LDE stage -- the multilinear
+        PCS path) of ``num_leaves`` leaves is worth sharding."""
+        return self.parallel and num_leaves >= self.min_tree_leaves
+
     def adopt_slot(self) -> str:
         """A fresh arena slot prefix for adopting an external buffer."""
         return f"adopt{next(self._adopt_seq)}"

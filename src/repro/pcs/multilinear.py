@@ -26,6 +26,7 @@ from typing import List, Sequence, Tuple
 
 import numpy as np
 
+from .. import parallel, tracing
 from ..field import gl64, goldilocks as gl
 from ..merkle import MerkleProof, MerkleTree, verify_proof
 from .base import PCS
@@ -65,11 +66,23 @@ class MultilinearPCS(PCS):
     def __init__(self, cap_height: int = 1) -> None:
         self.cap_height = cap_height
 
-    def commit(self, rows: np.ndarray, label: str = "pcs") -> MerkleTree:
+    def commit(
+        self, rows: np.ndarray, label: str = "pcs", *, slot: str | None = None
+    ) -> MerkleTree:
         """Commit a table: rows are leaves, one per hypercube point.
 
         1-d tables commit as single-element leaves.  The cap height is
         clamped to the tree depth so tiny folded levels stay valid.
+
+        ``label`` tags the tracing span, so commit:wires / commit:z /
+        commit:fold stages are distinguishable in ``--trace-out``
+        traces.  With ``slot`` set and a shard pool active
+        (:func:`repro.parallel.current_pool`), large tables commit
+        through ``merkle_subtree``/``merkle_top`` shard graphs instead
+        of hashing serially -- bit-identical digests, same sponge
+        counters.  Callers only pass a slot for proof-lifetime trees
+        (the arena slot is reused across proofs, so a setup-lifetime
+        commitment must stay serial and heap-backed).
         """
         rows = np.asarray(rows, dtype=np.uint64)
         if rows.ndim == 1:
@@ -78,7 +91,16 @@ class MultilinearPCS(PCS):
         if n == 0 or n & (n - 1):
             raise ValueError("table length must be a non-zero power of two")
         cap_height = min(self.cap_height, n.bit_length() - 1)
-        return MerkleTree(rows, cap_height)
+        with tracing.span("pcs:commit", category="commit", label=label, rows=n):
+            if slot is not None:
+                pool = parallel.current_pool()
+                if pool is not None and pool.wants_tree(n):
+                    from ..parallel import ops as par_ops
+
+                    return par_ops.sharded_multilinear_commit(
+                        pool, rows, cap_height, slot
+                    )
+            return MerkleTree(rows, cap_height)
 
     def open(self, commitment: MerkleTree, index: int) -> Tuple[np.ndarray, MerkleProof]:
         """Open one hypercube position: the leaf row plus its path."""

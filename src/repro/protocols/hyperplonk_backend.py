@@ -41,10 +41,12 @@ class HyperPlonkSystem(ProofSystem):
         )
 
     def prove(self, setup: ProtocolSetup, pool=None):
-        # No sharded path: the prover is hashing-bound and pools shard
-        # only the LDE/FRI stages this backend doesn't run.
+        # Sharded path: the wires/Z commits and each sumcheck round's
+        # fold + fold-level commit fan out over the pool (``None``
+        # inherits the ambient repro.parallel pool, so service/CLI
+        # callers that scope one via parallel.sharding are covered).
         data, inputs = setup.data
-        return hp_prove(data, inputs)
+        return hp_prove(data, inputs, pool=pool)
 
     def verify(self, setup: ProtocolSetup, proof) -> None:
         data, _ = setup.data

@@ -22,12 +22,8 @@ from .fri.proof import (
     FriQueryRound,
 )
 from .fri.prover import FriOpenings
-from .hyperplonk.proof import (
-    HyperPlonkBaseOpening,
-    HyperPlonkLevelOpening,
-    HyperPlonkProof,
-    HyperPlonkQueryRound,
-)
+from .hyperplonk.proof import HyperPlonkProof, HyperPlonkTreeOpening
+from .merkle.multiproof import MerkleMultiProof
 from .merkle.tree import MerkleProof
 from .plonk.proof import PlonkProof
 from .stark.proof import StarkProof
@@ -346,44 +342,36 @@ def stark_proof_from_bytes(data: bytes) -> StarkProof:
 # -- HyperPlonk-lite -----------------------------------------------------------
 
 
-def _write_base_opening(w: ByteWriter, op: HyperPlonkBaseOpening) -> None:
-    w.elems(op.pre_row)
-    _write_merkle_proof(w, op.pre_proof)
-    w.elems(op.wires_row)
-    _write_merkle_proof(w, op.wires_proof)
-    w.u64(op.z_value)
-    _write_merkle_proof(w, op.z_proof)
-    w.u64(op.z_next_value)
-    _write_merkle_proof(w, op.z_next_proof)
+def _write_tree_opening(w: ByteWriter, op: HyperPlonkTreeOpening) -> None:
+    w.u32(len(op.proof.indices))
+    for idx in op.proof.indices:
+        w.u32(idx)
+    w.elems(op.rows)
+    w.elems(op.proof.nodes)
 
 
-def _read_base_opening(r: ByteReader) -> HyperPlonkBaseOpening:
-    pre_row = r.elems()
-    if pre_row.ndim != 1 or pre_row.size != 8:
-        raise ValueError("malformed preprocessed opening (expected 8 elements)")
-    pre_proof = _read_merkle_proof(r)
-    wires_row = r.elems()
-    if wires_row.ndim != 1 or wires_row.size != 3:
-        raise ValueError("malformed wires opening (expected 3 elements)")
-    wires_proof = _read_merkle_proof(r)
-    z_value = r.u64()
-    z_proof = _read_merkle_proof(r)
-    z_next_value = r.u64()
-    z_next_proof = _read_merkle_proof(r)
-    return HyperPlonkBaseOpening(
-        pre_row=pre_row,
-        pre_proof=pre_proof,
-        wires_row=wires_row,
-        wires_proof=wires_proof,
-        z_value=z_value,
-        z_proof=z_proof,
-        z_next_value=z_next_value,
-        z_next_proof=z_next_proof,
+def _read_tree_opening(r: ByteReader, width: int, what: str) -> HyperPlonkTreeOpening:
+    indices = tuple(
+        r.u32() for _ in range(r.count(4, f"{what} index count"))
+    )
+    for a, b in zip(indices, indices[1:]):
+        if b <= a:
+            raise ValueError(f"malformed {what} (indices must be strictly ascending)")
+    rows = r.elems()
+    if rows.ndim != 2 or rows.shape != (len(indices), width):
+        raise ValueError(
+            f"malformed {what} (expected a ({len(indices)}, {width}) row array)"
+        )
+    nodes = r.elems()
+    if nodes.ndim != 2 or nodes.shape[1] != 4:
+        raise ValueError(f"malformed {what} (path nodes must be (k, 4))")
+    return HyperPlonkTreeOpening(
+        rows=rows, proof=MerkleMultiProof(indices=indices, nodes=nodes)
     )
 
 
 def hyperplonk_proof_to_bytes(proof: HyperPlonkProof) -> bytes:
-    """Serialize a HyperPlonk-lite proof."""
+    """Serialize a HyperPlonk-lite proof (batched-opening format v2)."""
     w = ByteWriter()
     w.elems(proof.wires_cap)
     w.elems(proof.z_cap)
@@ -400,18 +388,12 @@ def hyperplonk_proof_to_bytes(proof: HyperPlonkProof) -> bytes:
     w.u32(len(proof.level_caps))
     for cap in proof.level_caps:
         w.elems(cap)
-    w.u32(len(proof.query_rounds))
-    for qr in proof.query_rounds:
-        w.u64(qr.index)
-        w.u32(len(qr.base))
-        for op in qr.base:
-            _write_base_opening(w, op)
-        w.u32(len(qr.levels))
-        for lvl in qr.levels:
-            w.u64(lvl.low_value)
-            w.u64(lvl.high_value)
-            _write_merkle_proof(w, lvl.low_proof)
-            _write_merkle_proof(w, lvl.high_proof)
+    _write_tree_opening(w, proof.pre_opening)
+    _write_tree_opening(w, proof.wires_opening)
+    _write_tree_opening(w, proof.z_opening)
+    w.u32(len(proof.level_openings))
+    for op in proof.level_openings:
+        _write_tree_opening(w, op)
     return w.getvalue()
 
 
@@ -423,7 +405,7 @@ def hyperplonk_proof_digest(proof: HyperPlonkProof) -> str:
 
 
 def hyperplonk_proof_from_bytes(data: bytes) -> HyperPlonkProof:
-    """Deserialize a HyperPlonk-lite proof."""
+    """Deserialize a HyperPlonk-lite proof (batched-opening format v2)."""
     r = ByteReader(data)
     wires_cap = _read_cap(r, "wires cap")
     z_cap = _read_cap(r, "Z cap")
@@ -440,29 +422,13 @@ def hyperplonk_proof_from_bytes(data: bytes) -> HyperPlonkProof:
         _read_cap(r, "fold-level cap")
         for _ in range(r.count(8, "fold-level cap count"))
     ]
-    query_rounds = []
-    for _ in range(r.count(8, "query-round count")):
-        index = r.u64()
-        base = [
-            _read_base_opening(r) for _ in range(r.count(8, "base opening count"))
-        ]
-        levels = []
-        for _ in range(r.count(16, "fold-level opening count")):
-            low_value = r.u64()
-            high_value = r.u64()
-            low_proof = _read_merkle_proof(r)
-            high_proof = _read_merkle_proof(r)
-            levels.append(
-                HyperPlonkLevelOpening(
-                    low_value=low_value,
-                    high_value=high_value,
-                    low_proof=low_proof,
-                    high_proof=high_proof,
-                )
-            )
-        query_rounds.append(
-            HyperPlonkQueryRound(index=index, base=base, levels=levels)
-        )
+    pre_opening = _read_tree_opening(r, 8, "preprocessed opening")
+    wires_opening = _read_tree_opening(r, 3, "wires opening")
+    z_opening = _read_tree_opening(r, 1, "Z opening")
+    level_openings = [
+        _read_tree_opening(r, 1, "fold-level opening")
+        for _ in range(r.count(4, "fold-level opening count"))
+    ]
     if not r.done():
         raise ValueError("trailing bytes after HyperPlonk proof")
     return HyperPlonkProof(
@@ -471,7 +437,10 @@ def hyperplonk_proof_from_bytes(data: bytes) -> HyperPlonkProof:
         public_inputs=publics,
         sumcheck=sumcheck,
         level_caps=level_caps,
-        query_rounds=query_rounds,
+        pre_opening=pre_opening,
+        wires_opening=wires_opening,
+        z_opening=z_opening,
+        level_openings=level_openings,
     )
 
 
@@ -488,7 +457,18 @@ def hyperplonk_proof_from_bytes(data: bytes) -> HyperPlonkProof:
 # unaffected by the framing.
 
 PROOF_BLOB_MAGIC = b"UZKP"
+#: Legacy blob-wide version (the version every protocol started at).
 PROOF_FORMAT_VERSION = 1
+
+#: Current body-format version per protocol tag.  Bumped when a body
+#: codec changes incompatibly; the blob's version byte must match the
+#: entry for its protocol.  hyperplonk is at 2: batched per-tree
+#: multiproof openings replaced the v1 per-query individual paths.
+PROOF_FORMAT_VERSIONS = {
+    "stark": 1,
+    "plonk": 1,
+    "hyperplonk": 2,
+}
 
 
 class ProofFormatError(ValueError):
@@ -503,6 +483,14 @@ _BODY_CODECS = {
     "plonk": (plonk_proof_to_bytes, plonk_proof_from_bytes),
     "hyperplonk": (hyperplonk_proof_to_bytes, hyperplonk_proof_from_bytes),
 }
+
+
+def proof_format_version(protocol: str) -> int:
+    """The current body-format version for a protocol tag."""
+    try:
+        return PROOF_FORMAT_VERSIONS[protocol]
+    except KeyError:
+        raise ProofFormatError(f"unknown proof protocol tag {protocol!r}") from None
 
 
 def proof_body_codec(protocol: str) -> tuple:
@@ -520,7 +508,7 @@ def write_proof_blob(protocol: str, body: bytes) -> bytes:
     tag = protocol.encode("utf-8")
     w = ByteWriter()
     w._chunks.append(PROOF_BLOB_MAGIC)
-    w._chunks.append(bytes([PROOF_FORMAT_VERSION]))
+    w._chunks.append(bytes([PROOF_FORMAT_VERSIONS[protocol]]))
     w.u32(len(tag))
     w._chunks.append(tag)
     w.u32(len(body))
@@ -531,15 +519,15 @@ def write_proof_blob(protocol: str, body: bytes) -> bytes:
 def read_proof_blob(data: bytes) -> tuple:
     """Unframe a tagged blob; returns ``(protocol, body)``.
 
-    Raises :class:`ProofFormatError` for untagged bytes, an unsupported
-    format version, or an unknown protocol tag -- before any body
-    decoding happens.
+    Raises :class:`ProofFormatError` for untagged bytes, an unknown
+    protocol tag, or a format version the tagged protocol's current
+    codec does not speak -- before any body decoding happens.  The tag
+    is resolved *first* so an unknown protocol reports as such rather
+    than as a version mismatch.
     """
     if len(data) < 5 or data[:4] != PROOF_BLOB_MAGIC:
         raise ProofFormatError("untagged proof bytes (missing proof-blob magic)")
     version = data[4]
-    if version != PROOF_FORMAT_VERSION:
-        raise ProofFormatError(f"unsupported proof format version {version}")
     r = ByteReader(data[5:])
     try:
         tag_raw = r._take(r.u32())
@@ -555,6 +543,11 @@ def read_proof_blob(data: bytes) -> tuple:
         raise ProofFormatError("malformed proof blob: bad protocol tag") from exc
     if protocol not in _BODY_CODECS:
         raise ProofFormatError(f"unknown proof protocol tag {protocol!r}")
+    if version != PROOF_FORMAT_VERSIONS[protocol]:
+        raise ProofFormatError(
+            f"unsupported proof format version {version} for {protocol!r} "
+            f"(expected {PROOF_FORMAT_VERSIONS[protocol]})"
+        )
     return protocol, body
 
 

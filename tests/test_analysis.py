@@ -475,7 +475,7 @@ class TestRepoGate:
         assert report.schedules_checked == 4
         assert report.modules_checked > 50
         assert report.protocols_checked == ["stark", "plonk", "hyperplonk"]
-        assert len(report.graphs_checked) == 6
+        assert len(report.graphs_checked) == 8
         new = [f.format() for f in report.new_findings]
         assert not new, "non-baselined findings:\n" + "\n".join(new)
         unjust = [e.key for e in report.match.unjustified]

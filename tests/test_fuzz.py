@@ -62,6 +62,8 @@ _STARK_ONLY = {"perturb-degree-bits"}
 _FRI_ONLY = {
     "perturb-opening-value",
     "swap-opening-points",
+    "drop-query-round",
+    "duplicate-query-round",
     "drop-layer",
     "duplicate-layer",
     "resize-final-poly",
@@ -78,6 +80,8 @@ _SUMCHECK_ONLY = {
     "perturb-final-value",
     "perturb-claimed-sum",
     "perturb-z-opening",
+    "drop-opened-row",
+    "pad-opening-nodes",
 }
 
 

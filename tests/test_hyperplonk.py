@@ -16,10 +16,12 @@ from repro.field import goldilocks as gl
 from repro.hyperplonk import (
     HyperPlonkConfig,
     HyperPlonkError,
+    HyperPlonkTreeOpening,
     prove,
     setup,
     verify,
 )
+from repro.merkle import MerkleMultiProof
 from repro.metrics import counting
 from repro.plonk import CircuitBuilder
 from repro.serialize import (
@@ -115,15 +117,15 @@ class TestTamperRejection:
     def test_tampered_wires_opening(self, cube):
         data, _, proof = cube
         bad = self._decode(proof)
-        row = bad.query_rounds[0].base[0].wires_row
-        row[0] = np.uint64(gl.add(int(row[0]), 1))
+        rows = bad.wires_opening.rows
+        rows[0, 0] = np.uint64(gl.add(int(rows[0, 0]), 1))
         self._reject(data, bad, match="Merkle")
 
     def test_tampered_z_value(self, cube):
         data, _, proof = cube
         bad = self._decode(proof)
-        op = bad.query_rounds[0].base[0]
-        op.z_value = gl.add(op.z_value, 1)
+        rows = bad.z_opening.rows
+        rows[0, 0] = np.uint64(gl.add(int(rows[0, 0]), 1))
         self._reject(data, bad)
 
     def test_swapped_level_cap(self, cube):
@@ -136,11 +138,25 @@ class TestTamperRejection:
         )
         self._reject(data, bad)
 
-    def test_dropped_query_round(self, cube):
+    def test_dropped_opened_row(self, cube):
+        # Removing one (index, row) pair from a batched opening must
+        # fail the verifier's re-derived index-set comparison.
         data, _, proof = cube
         bad = self._decode(proof)
-        del bad.query_rounds[0]
-        self._reject(data, bad)
+        op = bad.wires_opening
+        bad.wires_opening = HyperPlonkTreeOpening(
+            rows=op.rows[1:],
+            proof=MerkleMultiProof(
+                indices=op.proof.indices[1:], nodes=op.proof.nodes
+            ),
+        )
+        self._reject(data, bad, match="indices")
+
+    def test_dropped_level_opening(self, cube):
+        data, _, proof = cube
+        bad = self._decode(proof)
+        del bad.level_openings[0]
+        self._reject(data, bad, match="fold-level")
 
     def test_cross_witness_proof_rejected(self, cube):
         data, _, _ = cube
@@ -159,6 +175,112 @@ class TestTamperRejection:
             bad = self._decode(proof)
             bad.public_inputs[0] = hostile
             self._reject(data, bad)
+
+
+class TestTracingLabels:
+    def test_commit_spans_carry_tree_labels(self):
+        # Every MultilinearPCS.commit opens a ``pcs:commit`` span whose
+        # ``label`` arg names the committed tree, so a trace of one
+        # prove distinguishes wires / Z / fold-level commit costs.
+        from repro import tracing
+
+        data, inputs = _cube_instance()
+        with tracing.trace() as session:
+            prove(data, inputs)
+        labels = [
+            s.args.get("label")
+            for s in session.walk()
+            if s.name == "pcs:commit"
+        ]
+        assert "wires" in labels
+        assert "z" in labels
+        assert "fold" in labels
+
+    def test_setup_commit_labeled_preprocessed(self):
+        from repro import tracing
+
+        b = CircuitBuilder()
+        x = b.add_variable()
+        pub = b.public_input()
+        b.assert_equal(pub, b.mul(b.mul(x, x), x))
+        circuit = b.build()
+        with tracing.trace() as session:
+            setup(circuit, CONFIG)
+        labels = [
+            s.args.get("label")
+            for s in session.walk()
+            if s.name == "pcs:commit"
+        ]
+        assert labels == ["preprocessed"]
+
+
+class TestEdgeCases:
+    def _two_row_instance(self):
+        # CircuitBuilder floors at n=4, so the v=1 (n=2) edge needs a
+        # hand-built circuit: all-zero selectors, one variable on every
+        # wire, identity copy permutation.  An all-zero witness
+        # satisfies every blended constraint, and with n // 2 == 1 the
+        # committed sumcheck produces *no* fold levels at all.
+        from repro.plonk.circuit import Circuit
+
+        circuit = Circuit(
+            num_vars=1,
+            selectors=np.zeros((5, 2), dtype=np.uint64),
+            wire_vars=np.zeros((3, 2), dtype=np.int64),
+            sigma=np.arange(6, dtype=np.int64),
+            public_input_rows=[],
+            generators=[],
+        )
+        data = setup(circuit, HyperPlonkConfig(cap_height=1, num_queries=2))
+        return data, {0: 0}
+
+    def test_single_variable_circuit_round_trips(self):
+        data, inputs = self._two_row_instance()
+        proof = prove(data, inputs)
+        assert proof.level_caps == []
+        assert proof.level_openings == []
+        assert len(proof.sumcheck.round_values) == 1
+        assert verify(data.verifier_data, proof) is True
+        body = hyperplonk_proof_to_bytes(proof)
+        assert hyperplonk_proof_to_bytes(
+            hyperplonk_proof_from_bytes(body)
+        ) == body
+
+    def test_cap_height_clamps_on_tiny_levels(self):
+        # cap_height=3 exceeds the depth of every fold-level tree on a
+        # small instance; commit clamps per tree instead of failing, and
+        # the verifier applies the same clamp when checking caps.
+        b = CircuitBuilder()
+        x = b.add_variable()
+        pub = b.public_input()
+        b.assert_equal(pub, b.mul(b.mul(x, x), x))
+        data = setup(b.build(), HyperPlonkConfig(cap_height=3, num_queries=2))
+        proof = prove(data, {x.index: 3, pub.index: 27})
+        n = data.circuit.n
+        for k, cap in enumerate(proof.level_caps):
+            num_leaves = (n // 2) >> k
+            depth = num_leaves.bit_length() - 1
+            assert np.atleast_2d(cap).shape[0] == 1 << min(3, depth)
+        assert verify(data.verifier_data, proof) is True
+
+    def test_duplicate_query_indices_dedup_in_openings(self):
+        # num_queries=8 over n//2=2 possible indices forces collisions:
+        # the batched openings must carry each index once and still
+        # verify and round-trip byte-stably.
+        data, inputs = _cube_instance()
+        cfg = HyperPlonkConfig(cap_height=1, num_queries=8)
+        dup_data = setup(data.circuit, cfg)
+        proof = prove(dup_data, inputs)
+        n = dup_data.circuit.n
+        assert len(proof.wires_opening.proof.indices) <= n
+        assert list(proof.wires_opening.proof.indices) == sorted(
+            set(proof.wires_opening.proof.indices)
+        )
+        assert verify(dup_data.verifier_data, proof) is True
+        body = hyperplonk_proof_to_bytes(proof)
+        assert hyperplonk_proof_to_bytes(
+            hyperplonk_proof_from_bytes(body)
+        ) == body
 
 
 class TestCodec:

@@ -15,10 +15,17 @@ import pytest
 from repro import metrics, parallel, tracing
 from repro.fri.config import FriConfig
 from repro.fri.prover import PolynomialBatch
+from repro.hyperplonk import HyperPlonkConfig
+from repro.hyperplonk import prove as hp_prove, setup as hp_setup
+from repro.hyperplonk import verify as hp_verify
 from repro.merkle import MerkleTree, level_sizes
 from repro.parallel import ops as par_ops
 from repro.plonk import prove as plonk_prove, setup
-from repro.serialize import plonk_proof_digest, stark_proof_digest
+from repro.serialize import (
+    hyperplonk_proof_digest,
+    plonk_proof_digest,
+    stark_proof_digest,
+)
 from repro.stark import prove as stark_prove, verify as stark_verify
 from repro.workloads import fibonacci
 
@@ -28,6 +35,7 @@ CONFIG = FriConfig(
 PLONK_CONFIG = FriConfig(
     rate_bits=3, cap_height=1, num_queries=8, proof_of_work_bits=4, final_poly_len=4
 )
+HP_CONFIG = HyperPlonkConfig(cap_height=1, num_queries=8)
 SCALE = 6
 
 #: Thresholds that force sharding even on tiny CI-sized proofs.
@@ -370,6 +378,16 @@ def _plonk_digest_and_counts(pool):
     return plonk_proof_digest(proof), counts
 
 
+def _hyperplonk_digest_and_counts(pool):
+    circuit, inputs, _ = fibonacci.SPEC.build_circuit(SCALE)
+    data = hp_setup(circuit, HP_CONFIG)
+    with parallel.maybe_sharding(pool):
+        with metrics.counting() as c:
+            proof = hp_prove(data, inputs)
+        counts = dict(c.as_dict())
+    return data, proof, hyperplonk_proof_digest(proof), counts
+
+
 class TestBitIdentity:
     """The whole point: sharded == serial, bit for bit, op for op."""
 
@@ -388,6 +406,16 @@ class TestBitIdentity:
             sharded_digest, sharded_counts = _plonk_digest_and_counts(pool)
         assert sharded_digest == serial_digest
         assert sharded_counts == serial_counts
+
+    def test_hyperplonk_sharded_is_bit_identical(self):
+        data, _, serial_digest, serial_counts = _hyperplonk_digest_and_counts(None)
+        with _pool(2) as pool:
+            _, proof, sharded_digest, sharded_counts = (
+                _hyperplonk_digest_and_counts(pool)
+            )
+        assert sharded_digest == serial_digest
+        assert sharded_counts == serial_counts
+        assert hp_verify(data.verifier_data, proof) is True
 
     def test_repeat_proof_reuses_segments(self):
         _, serial_digest, _ = _stark_digest_and_counts(None)

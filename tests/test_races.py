@@ -70,6 +70,8 @@ class TestGraphFindings:
             "fri:layer_tree",
             "fri:combine",
             "fri:queries",
+            "mlpcs:commit",
+            "sumcheck:round",
         ]
         assert findings == [], [f.format() for f in findings]
 
